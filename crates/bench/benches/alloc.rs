@@ -1,0 +1,56 @@
+//! End-to-end allocation algorithm benchmarks: FBF vs BIN PACKING vs
+//! CRAM (per metric) at increasing subscription counts — the data
+//! behind experiment E7.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenps_bench::ideal_input;
+use greenps_core::cram::{cram, CramConfig};
+use greenps_core::model::AllocationInput;
+use greenps_core::sorting::{bin_packing, fbf};
+use greenps_profile::ClosenessMetric;
+use greenps_workload::homogeneous;
+
+fn inputs() -> Vec<(usize, AllocationInput)> {
+    [500usize, 1000]
+        .iter()
+        .map(|&n| (n, ideal_input(&homogeneous(n, 14))))
+        .collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let inputs = inputs();
+    let mut group = c.benchmark_group("alloc/sorting");
+    group.sample_size(10);
+    for (n, input) in &inputs {
+        group.bench_with_input(BenchmarkId::new("fbf", n), input, |b, input| {
+            b.iter(|| black_box(fbf(input, 1).unwrap().broker_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("binpacking", n), input, |b, input| {
+            b.iter(|| black_box(bin_packing(input).unwrap().broker_count()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cram(c: &mut Criterion) {
+    let input = ideal_input(&homogeneous(500, 15));
+    let mut group = c.benchmark_group("alloc/cram");
+    group.sample_size(10);
+    for metric in [ClosenessMetric::Ios, ClosenessMetric::Xor] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(metric),
+            &metric,
+            |b, &metric| {
+                b.iter(|| {
+                    let (alloc, _) =
+                        cram(&input, CramConfig::with_metric(metric)).unwrap();
+                    black_box(alloc.broker_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting, bench_cram);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benchmarks of the four closeness metrics over realistic profiles
+//! (the hot loop of CRAM's partner search).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenps_bench::ideal_input;
+use greenps_profile::ClosenessMetric;
+use greenps_workload::homogeneous;
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut scenario = homogeneous(400, 11);
+    scenario.brokers.truncate(8);
+    let input = ideal_input(&scenario);
+    let profiles: Vec<_> = input.subscriptions.iter().map(|s| &s.profile).collect();
+    let mut group = c.benchmark_group("closeness/pairwise");
+    for metric in ClosenessMetric::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(metric),
+            &metric,
+            |b, &metric| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let a = profiles[i % profiles.len()];
+                    let z = profiles[(i * 31 + 7) % profiles.len()];
+                    i += 1;
+                    black_box(metric.closeness(a, z))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_relationship(c: &mut Criterion) {
+    let mut scenario = homogeneous(400, 12);
+    scenario.brokers.truncate(8);
+    let input = ideal_input(&scenario);
+    let profiles: Vec<_> = input.subscriptions.iter().map(|s| &s.profile).collect();
+    c.bench_function("closeness/relationship", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = profiles[i % profiles.len()];
+            let z = profiles[(i * 17 + 3) % profiles.len()];
+            i += 1;
+            black_box(a.relationship(z))
+        });
+    });
+}
+
+criterion_group!(benches, bench_metrics, bench_relationship);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Phase-3 benchmarks: recursive overlay construction and GRAPE
+//! publisher placement.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use greenps_bench::ideal_input;
+use greenps_core::cram::{cram, CramConfig};
+use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
+use greenps_core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
+use greenps_profile::ClosenessMetric;
+use greenps_workload::homogeneous;
+
+fn bench_overlay(c: &mut Criterion) {
+    let input = ideal_input(&homogeneous(1000, 18));
+    let (leaf, _) =
+        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf alloc");
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+    group.bench_function("build_binpacking", |b| {
+        let cfg = OverlayConfig::new(AllocatorKind::BinPacking);
+        b.iter(|| black_box(build_overlay(&input, &leaf, &cfg).unwrap().broker_count()));
+    });
+    group.bench_function("build_cram", |b| {
+        let cfg =
+            OverlayConfig::new(AllocatorKind::Cram(CramConfig::with_metric(ClosenessMetric::Ios)));
+        b.iter(|| black_box(build_overlay(&input, &leaf, &cfg).unwrap().broker_count()));
+    });
+    group.finish();
+}
+
+fn bench_grape(c: &mut Criterion) {
+    let input = ideal_input(&homogeneous(1000, 19));
+    let (leaf, _) =
+        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf alloc");
+    let overlay = build_overlay(
+        &input,
+        &leaf,
+        &OverlayConfig::new(AllocatorKind::BinPacking),
+    )
+    .expect("overlay");
+    let tree = InterestTree::from_overlay(&overlay);
+    c.bench_function("grape/place_all_publishers", |b| {
+        b.iter(|| {
+            black_box(
+                place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load())
+                    .len(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_overlay, bench_grape);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Poset insertion/removal benchmarks (the paper reports 3,200 GIF
+//! inserts in about 2 s on 2011 hardware).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenps_bench::ideal_input;
+use greenps_profile::{Poset, SubscriptionProfile};
+use greenps_workload::homogeneous;
+use std::collections::BTreeSet;
+
+fn unique_profiles(subs: usize) -> Vec<SubscriptionProfile> {
+    let mut scenario = homogeneous(subs, 13);
+    scenario.brokers.truncate(8);
+    let input = ideal_input(&scenario);
+    let set: BTreeSet<SubscriptionProfile> =
+        input.subscriptions.into_iter().map(|s| s.profile).collect();
+    set.into_iter().collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poset/build");
+    group.sample_size(10);
+    for subs in [400usize, 800, 1600] {
+        let profiles = unique_profiles(subs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}gifs", profiles.len())),
+            &profiles,
+            |b, profiles| {
+                b.iter(|| {
+                    let mut poset: Poset<usize> = Poset::new();
+                    for (i, p) in profiles.iter().enumerate() {
+                        poset.insert(i, p.clone());
+                    }
+                    black_box(poset.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_remove(c: &mut Criterion) {
+    let profiles = unique_profiles(800);
+    c.bench_function("poset/remove_reinsert", |b| {
+        let mut poset: Poset<usize> = Poset::new();
+        for (i, p) in profiles.iter().enumerate() {
+            poset.insert(i, p.clone());
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = i % profiles.len();
+            let p = poset.remove(k).expect("present");
+            poset.insert(k, p);
+            i += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_remove);
+criterion_main!(benches);

@@ -1,0 +1,502 @@
+//! Regenerates every figure/table of the evaluation (DESIGN.md §4).
+//!
+//! ```text
+//! experiments [--quick] [--csv <dir>] <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all>
+//! ```
+//!
+//! `--quick` shrinks the grids so the whole suite finishes in a couple
+//! of minutes; the default parameters follow the paper (80 brokers, 40
+//! publishers at 70 msg/min, 2,000–8,000 subscriptions, heterogeneous
+//! tiers, SciNet scales).
+
+use greenps_bench::ideal_input;
+use greenps_core::cram::{cram, CramConfig};
+use greenps_core::croc::{plan, PlanConfig};
+use greenps_core::model::AllocationInput;
+use greenps_core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
+use greenps_core::sorting::{bin_packing, fbf};
+use greenps_profile::{ClosenessMetric, Poset};
+use greenps_workload::report::{outcome_table, reduction_pct, Table};
+use greenps_workload::runner::{run_approach, Approach, Outcome, RunConfig};
+use greenps_workload::scenario::{
+    every_broker_subscribes, heterogeneous, homogeneous, scinet_custom, Scenario,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Clone)]
+struct Opts {
+    quick: bool,
+    csv: Option<PathBuf>,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts { quick: false, csv: None };
+    let mut which = Vec::new();
+    while let Some(a) = args.first().cloned() {
+        args.remove(0);
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--csv" => {
+                let dir = args.first().expect("--csv needs a directory").clone();
+                args.remove(0);
+                opts.csv = Some(PathBuf::from(dir));
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    if let Some(dir) = &opts.csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for w in which {
+        match w.as_str() {
+            "e1" | "e2" | "e3" => e1_e2_e3(&opts),
+            "e4" => e4(&opts),
+            "e5" => e5(&opts),
+            "e6" => e6(&opts),
+            "e7" => e7(&opts),
+            "e8" => e8(&opts),
+            "e9" => e9(&opts),
+            "e10" => e10(&opts),
+            "all" => {
+                e1_e2_e3(&opts);
+                e4(&opts);
+                e5(&opts);
+                e6(&opts);
+                e7(&opts);
+                e8(&opts);
+                e9(&opts);
+                e10(&opts);
+            }
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}
+
+fn emit(opts: &Opts, name: &str, title: &str, table: &Table) {
+    println!("\n=== {name}: {title} ===");
+    print!("{}", table.render());
+    if let Some(dir) = &opts.csv {
+        table.write_csv(&dir.join(format!("{name}.csv"))).expect("write csv");
+    }
+}
+
+fn run_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        warmup: greenps_simnet::SimDuration::from_secs(5),
+        profile: greenps_simnet::SimDuration::from_secs(90),
+        measure: greenps_simnet::SimDuration::from_secs(90),
+        seed,
+    }
+}
+
+fn grid_outcomes(scenarios: &[Scenario], approaches: &[Approach]) -> Vec<Outcome> {
+    let mut out = Vec::new();
+    for s in scenarios {
+        for &a in approaches {
+            let t0 = Instant::now();
+            let o = run_approach(s, a, &run_cfg(s.seed));
+            eprintln!(
+                "[{}] {} -> {} brokers, {:.1} msg/s avg ({:.1}s wall)",
+                s.name,
+                o.approach,
+                o.allocated_brokers,
+                o.metrics.avg_broker_msg_rate,
+                t0.elapsed().as_secs_f64()
+            );
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// E1–E3: homogeneous cluster — message rate, allocated brokers, hops
+/// and delay vs number of subscriptions, for all ten approaches.
+fn e1_e2_e3(opts: &Opts) {
+    let sizes: &[usize] =
+        if opts.quick { &[400, 800] } else { &[2000, 4000, 6000, 8000] };
+    let scenarios: Vec<Scenario> = sizes
+        .iter()
+        .map(|&n| {
+            let mut s = homogeneous(n, 1);
+            if opts.quick {
+                s.brokers.truncate(24);
+            }
+            s
+        })
+        .collect();
+    let outcomes = grid_outcomes(&scenarios, &Approach::ALL_PAPER);
+    emit(opts, "e1", "homogeneous cluster, all approaches", &outcome_table(&outcomes));
+
+    // Headline reductions vs MANUAL (the paper's 92% / 91% claims).
+    let mut head = Table::new(&[
+        "subs",
+        "approach",
+        "msg-rate reduction vs MANUAL (%)",
+        "broker reduction vs MANUAL (%)",
+    ]);
+    for s in &scenarios {
+        let base = outcomes
+            .iter()
+            .find(|o| o.scenario == s.name && o.approach == "MANUAL")
+            .unwrap();
+        for o in outcomes.iter().filter(|o| o.scenario == s.name) {
+            if o.approach == "MANUAL" {
+                continue;
+            }
+            head.row(vec![
+                s.sub_count().to_string(),
+                o.approach.clone(),
+                format!(
+                    "{:.1}",
+                    reduction_pct(
+                        base.metrics.avg_broker_msg_rate,
+                        o.metrics.avg_broker_msg_rate
+                    )
+                ),
+                format!(
+                    "{:.1}",
+                    reduction_pct(
+                        base.allocated_brokers as f64,
+                        o.allocated_brokers as f64
+                    )
+                ),
+            ]);
+        }
+    }
+    emit(opts, "e2", "reductions vs MANUAL (headline: up to 92% / 91%)", &head);
+
+    let mut hops = Table::new(&["subs", "approach", "mean hops", "mean delay (ms)"]);
+    for o in &outcomes {
+        hops.row(vec![
+            o.subscriptions.to_string(),
+            o.approach.clone(),
+            format!("{:.2}", o.metrics.mean_hops),
+            format!("{:.2}", o.metrics.mean_delay_s * 1e3),
+        ]);
+    }
+    emit(opts, "e3", "hop count and delivery delay", &hops);
+}
+
+/// E4: heterogeneous cluster (15×100% / 25×50% / 40×25% capacity).
+fn e4(opts: &Opts) {
+    let ns: &[usize] = if opts.quick { &[50] } else { &[50, 100, 150, 200] };
+    let scenarios: Vec<Scenario> = ns.iter().map(|&n| heterogeneous(n, 2)).collect();
+    let approaches: &[Approach] = if opts.quick {
+        &[
+            Approach::Manual,
+            Approach::BinPacking,
+            Approach::Cram(ClosenessMetric::Ios),
+        ]
+    } else {
+        &Approach::ALL_PAPER
+    };
+    let outcomes = grid_outcomes(&scenarios, approaches);
+    emit(opts, "e4", "heterogeneous cluster", &outcome_table(&outcomes));
+}
+
+/// E5: SciNet large-scale deployments.
+fn e5(opts: &Opts) {
+    let scales: Vec<Scenario> = if opts.quick {
+        vec![scinet_custom(100, 18, 40, 3)]
+    } else {
+        // Reduced per-publisher subscription counts keep the full-grid
+        // run in minutes while preserving the saturation shape; see
+        // EXPERIMENTS.md.
+        vec![scinet_custom(400, 72, 100, 3), scinet_custom(1000, 100, 100, 3)]
+    };
+    let approaches = [
+        Approach::Manual,
+        Approach::Automatic,
+        Approach::BinPacking,
+        Approach::Cram(ClosenessMetric::Ios),
+    ];
+    let outcomes = grid_outcomes(&scales, &approaches);
+    emit(opts, "e5", "SciNet large-scale", &outcome_table(&outcomes));
+}
+
+/// E6: publisher relocation alone cannot reduce the message rate when
+/// every broker hosts an identical subscription (§II-B).
+fn e6(opts: &Opts) {
+    let brokers = if opts.quick { 16 } else { 80 };
+    let s = every_broker_subscribes(brokers, 4);
+    let approaches =
+        [Approach::Manual, Approach::GrapeOnly, Approach::Cram(ClosenessMetric::Ios)];
+    let outcomes = grid_outcomes(&[s], &approaches);
+    let mut t = Table::new(&["approach", "brokers", "avg msg rate", "vs MANUAL (%)"]);
+    let base = outcomes[0].metrics.avg_broker_msg_rate;
+    for o in &outcomes {
+        t.row(vec![
+            o.approach.clone(),
+            o.allocated_brokers.to_string(),
+            format!("{:.2}", o.metrics.avg_broker_msg_rate),
+            format!("{:.1}", reduction_pct(base, o.metrics.avg_broker_msg_rate)),
+        ]);
+    }
+    emit(opts, "e6", "publisher-relocation-only limitation", &t);
+
+    // GRAPE priority sweep: trade total message rate against delivery
+    // delay on a normal workload.
+    let sweep_scenario = {
+        let mut s = homogeneous(if opts.quick { 200 } else { 1000 }, 5);
+        if opts.quick {
+            s.brokers.truncate(16);
+        }
+        s
+    };
+    let mut t = Table::new(&["GRAPE priority P", "brokers", "avg msg rate", "mean delay (ms)"]);
+    for priority in [0.0, 0.5, 1.0] {
+        let mut plan_cfg = PlanConfig::cram(ClosenessMetric::Ios);
+        plan_cfg.grape = greenps_core::grape::GrapeConfig { priority };
+        let o = greenps_workload::runner::run_custom_plan(
+            &sweep_scenario,
+            &format!("CRAM-IOS/P={priority}"),
+            &plan_cfg,
+            &run_cfg(5),
+        );
+        t.row(vec![
+            format!("{priority:.1}"),
+            o.allocated_brokers.to_string(),
+            format!("{:.2}", o.metrics.avg_broker_msg_rate),
+            format!("{:.2}", o.metrics.mean_delay_s * 1e3),
+        ]);
+    }
+    emit(opts, "e6b", "GRAPE load/delay priority sweep", &t);
+}
+
+/// E7: allocation algorithm computation time (no simulation).
+fn e7(opts: &Opts) {
+    let sizes: &[usize] =
+        if opts.quick { &[500, 1000] } else { &[2000, 4000, 6000, 8000] };
+    let mut t = Table::new(&["subs", "algorithm", "time (ms)", "allocated brokers"]);
+    let mut xor_vs_ios: Vec<(f64, f64)> = Vec::new();
+    for &n in sizes {
+        let scenario = homogeneous(n, 5);
+        let input = ideal_input(&scenario);
+        let timed = |f: &dyn Fn() -> usize| -> (f64, usize) {
+            let t0 = Instant::now();
+            let brokers = f();
+            (t0.elapsed().as_secs_f64() * 1e3, brokers)
+        };
+        let (ms, b) = timed(&|| fbf(&input, 5).map(|a| a.broker_count()).unwrap_or(0));
+        t.row(vec![n.to_string(), "FBF".into(), format!("{ms:.1}"), b.to_string()]);
+        let (ms, b) =
+            timed(&|| bin_packing(&input).map(|a| a.broker_count()).unwrap_or(0));
+        t.row(vec![n.to_string(), "BINPACKING".into(), format!("{ms:.1}"), b.to_string()]);
+        let mut times = std::collections::BTreeMap::new();
+        for metric in ClosenessMetric::ALL {
+            let (ms, b) = timed(&|| {
+                cram(&input, CramConfig::with_metric(metric))
+                    .map(|(a, _)| a.broker_count())
+                    .unwrap_or(0)
+            });
+            times.insert(metric.to_string(), ms);
+            t.row(vec![
+                n.to_string(),
+                format!("CRAM-{metric}"),
+                format!("{ms:.1}"),
+                b.to_string(),
+            ]);
+        }
+        xor_vs_ios.push((times["XOR"], times["IOS"]));
+    }
+    emit(opts, "e7", "allocation computation time (XOR ≥75% slower claim)", &t);
+    for (x, i) in xor_vs_ios {
+        println!("  XOR/IOS time ratio: {:.2}x", x / i.max(1e-9));
+    }
+}
+
+/// E8: search-pruning ablation, GIF reduction, poset insert time.
+fn e8(opts: &Opts) {
+    let n = if opts.quick { 1000 } else { 8000 };
+    let scenario = homogeneous(n, 6);
+    let input = ideal_input(&scenario);
+    let mut t = Table::new(&[
+        "variant",
+        "closeness computations",
+        "iterations",
+        "merges",
+        "brokers",
+        "time (ms)",
+    ]);
+    for (label, pruning) in [("poset-pruned", true), ("exhaustive", false)] {
+        let cfg = CramConfig {
+            metric: ClosenessMetric::Ios,
+            one_to_many: true,
+            poset_pruning: pruning,
+        };
+        let t0 = Instant::now();
+        let (alloc, stats) = cram(&input, cfg).expect("cram");
+        t.row(vec![
+            label.into(),
+            stats.closeness_computations.to_string(),
+            stats.iterations.to_string(),
+            stats.merges.to_string(),
+            alloc.broker_count().to_string(),
+            format!("{:.1}", t0.elapsed().as_secs_f64() * 1e3),
+        ]);
+        if pruning {
+            println!(
+                "GIF grouping: {} subscriptions -> {} GIFs ({:.1}% reduction; paper: up to 61%)",
+                stats.subscriptions,
+                stats.initial_gifs,
+                reduction_pct(stats.subscriptions as f64, stats.initial_gifs as f64)
+            );
+        }
+    }
+    emit(opts, "e8", "CRAM search-pruning ablation", &t);
+
+    // Poset insert timing (paper: 3,200 GIFs ≈ 2 s).
+    let mut poset: Poset<usize> = Poset::new();
+    let profiles: Vec<_> = input
+        .subscriptions
+        .iter()
+        .map(|s| s.profile.clone())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let t0 = Instant::now();
+    for (i, p) in profiles.iter().enumerate() {
+        poset.insert(i, p.clone());
+    }
+    println!(
+        "poset: inserted {} unique GIF profiles in {:.2} s ({} relationship ops)",
+        profiles.len(),
+        t0.elapsed().as_secs_f64(),
+        poset.relation_ops()
+    );
+}
+
+/// E9: one-to-many (CGS) ablation and overlay-optimization ablation.
+fn e9(opts: &Opts) {
+    let n = if opts.quick { 800 } else { 4000 };
+    let scenario = homogeneous(n, 7);
+    let input = ideal_input(&scenario);
+
+    let mut t = Table::new(&["variant", "merges", "one-to-many merges", "brokers"]);
+    for (label, otm) in [("with one-to-many", true), ("pairwise only", false)] {
+        let cfg = CramConfig {
+            metric: ClosenessMetric::Ios,
+            one_to_many: otm,
+            poset_pruning: true,
+        };
+        let (alloc, stats) = cram(&input, cfg).expect("cram");
+        t.row(vec![
+            label.into(),
+            stats.merges.to_string(),
+            stats.one_to_many_merges.to_string(),
+            alloc.broker_count().to_string(),
+        ]);
+    }
+    emit(opts, "e9", "one-to-many clustering ablation", &t);
+
+    // Overlay optimization ablation over a fixed leaf allocation.
+    let (leaf, _) =
+        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf");
+    let mut t = Table::new(&[
+        "overlay variant",
+        "total brokers",
+        "pure forwarders removed",
+        "takeovers",
+        "best-fit swaps",
+    ]);
+    let variants: [(&str, bool, bool, bool); 5] = [
+        ("all optimizations", true, true, true),
+        ("no pure-forwarder elimination", false, true, true),
+        ("no takeover", true, false, true),
+        ("no best-fit", true, true, false),
+        ("none", false, false, false),
+    ];
+    for (label, pf, take, fit) in variants {
+        let cfg = OverlayConfig {
+            allocator: AllocatorKind::Cram(CramConfig::with_metric(ClosenessMetric::Ios)),
+            eliminate_pure_forwarders: pf,
+            takeover_children: take,
+            best_fit_replacement: fit,
+        };
+        let overlay = build_overlay(&input, &leaf, &cfg).expect("overlay");
+        t.row(vec![
+            label.into(),
+            overlay.broker_count().to_string(),
+            overlay.stats.pure_forwarders_removed.to_string(),
+            overlay.stats.takeovers.to_string(),
+            overlay.stats.best_fit_swaps.to_string(),
+        ]);
+    }
+    emit(opts, "e9b", "overlay construction optimization ablation", &t);
+}
+
+/// E10: bit-vector load-estimation accuracy — estimated subscription
+/// rates vs rates actually observed in the simulator.
+fn e10(opts: &Opts) {
+    let n = if opts.quick { 200 } else { 1000 };
+    let mut scenario = homogeneous(n, 8);
+    scenario.brokers.truncate(20);
+    let cfg = run_cfg(8);
+    let (_, input) = greenps_workload::runner::profile_and_gather(&scenario, &cfg);
+
+    // Ground truth: exact selectivity over the publication stream.
+    let ideal = ideal_input(&scenario);
+    let mut t = Table::new(&["percentile", "relative rate-estimation error (%)"]);
+    let mut errors: Vec<f64> = Vec::new();
+    for entry in &input.subscriptions {
+        let est = entry.profile.estimate_load(&input.publishers).rate;
+        let truth_entry = ideal
+            .subscriptions
+            .iter()
+            .find(|e| e.id == entry.id)
+            .expect("same ids");
+        let truth = truth_entry.profile.estimate_load(&ideal.publishers).rate;
+        if truth > 0.0 {
+            errors.push(100.0 * (est - truth).abs() / truth);
+        }
+    }
+    errors.sort_by(f64::total_cmp);
+    for q in [0.5, 0.9, 0.99] {
+        let idx = ((errors.len() as f64 * q) as usize).min(errors.len() - 1);
+        t.row(vec![format!("p{:.0}", q * 100.0), format!("{:.1}", errors[idx])]);
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
+    t.row(vec!["mean".into(), format!("{mean:.1}")]);
+    emit(opts, "e10", "bit-vector framework estimation accuracy", &t);
+
+    // The framework feeds the planner: confirm a plan from *measured*
+    // profiles matches one from ideal profiles within a broker or two.
+    let measured = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    let perfect = plan(&ideal, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    println!(
+        "plan from measured profiles: {} brokers; from ideal profiles: {} brokers",
+        measured.broker_count(),
+        perfect.broker_count()
+    );
+
+    // E10b: bit-vector capacity sweep — "a larger size will improve the
+    // accuracy of estimating the anticipated load of a subscription, but
+    // will lengthen the time required to profile subscriptions" (§III-B).
+    let mut t = Table::new(&["bit-vector capacity", "mean rate-estimation error (%)"]);
+    for bits in [160usize, 320, 640, 1280] {
+        let mut s = scenario.clone();
+        for b in &mut s.brokers {
+            b.profile_bits = bits;
+        }
+        let (_, input_b) = greenps_workload::runner::profile_and_gather(&s, &cfg);
+        let mut errs = Vec::new();
+        for entry in &input_b.subscriptions {
+            let est = entry.profile.estimate_load(&input_b.publishers).rate;
+            if let Some(truth_entry) = ideal.subscriptions.iter().find(|e| e.id == entry.id) {
+                let truth = truth_entry.profile.estimate_load(&ideal.publishers).rate;
+                if truth > 0.0 {
+                    errs.push(100.0 * (est - truth).abs() / truth);
+                }
+            }
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        t.row(vec![bits.to_string(), format!("{mean:.1}")]);
+    }
+    emit(opts, "e10b", "bit-vector capacity vs estimation accuracy", &t);
+    let _ = AllocationInput::new();
+}

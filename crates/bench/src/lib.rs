@@ -1,0 +1,113 @@
+//! # greenps-bench
+//!
+//! Shared input builders for the criterion micro-benchmarks and the
+//! `experiments` binary that regenerates every figure/table of the
+//! paper (see DESIGN.md §4 for the experiment index E1–E10).
+
+#![warn(missing_docs)]
+
+use greenps_core::model::{AllocationInput, SubscriptionEntry};
+use greenps_profile::{PublisherProfile, PublisherTable, SubscriptionProfile};
+use greenps_pubsub::ids::{AdvId, MsgId, SubId};
+use greenps_workload::scenario::Scenario;
+
+/// Number of publications per publisher used to fill synthetic
+/// profiles.
+pub const PROFILE_WINDOW: u64 = 400;
+
+/// Builds an [`AllocationInput`] directly from a scenario by evaluating
+/// every subscription filter against the stocks' publication streams —
+/// "ideal" Phase-1 profiles without running the simulator. Used by the
+/// algorithm-only experiments (E7–E9) and the criterion benches.
+pub fn ideal_input(scenario: &Scenario) -> AllocationInput {
+    let mut input = AllocationInput::new();
+    for cfg in &scenario.brokers {
+        input.brokers.push(greenps_core::model::BrokerSpec::new(
+            cfg.id,
+            cfg.url.clone(),
+            cfg.matching_delay,
+            cfg.out_bandwidth,
+        ));
+    }
+    let rate = 1e6 / scenario.publish_period.as_micros() as f64;
+    let mut publishers = PublisherTable::new();
+    let mut streams: Vec<Vec<greenps_pubsub::Publication>> = Vec::new();
+    for (i, stock) in scenario.stocks.iter().enumerate() {
+        let adv = AdvId::new(i as u64 + 1);
+        let pubs: Vec<greenps_pubsub::Publication> = (0..PROFILE_WINDOW)
+            .map(|m| stock.publication(adv, MsgId::new(m)))
+            .collect();
+        let mean_size =
+            pubs.iter().map(|p| p.wire_size()).sum::<usize>() as f64 / pubs.len() as f64;
+        publishers.insert(PublisherProfile::new(
+            adv,
+            rate,
+            rate * mean_size,
+            MsgId::new(PROFILE_WINDOW - 1),
+        ));
+        streams.push(pubs);
+    }
+    input.publishers = publishers;
+
+    for sub in &scenario.subs {
+        let mut profile = SubscriptionProfile::new();
+        let stream = &streams[sub.publisher_index];
+        for p in stream {
+            if sub.filter.matches(p) {
+                profile.record(p.adv_id, p.msg_id);
+            }
+        }
+        input
+            .subscriptions
+            .push(SubscriptionEntry::new(sub.id, sub.filter.clone(), profile));
+    }
+    input
+}
+
+/// A small sanity check used by benches: every subscription id is
+/// unique and profiles are non-trivially filled.
+pub fn check_input(input: &AllocationInput) {
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &input.subscriptions {
+        assert!(seen.insert(s.id), "duplicate sub id {:?}", s.id);
+    }
+    let filled = input
+        .subscriptions
+        .iter()
+        .filter(|s| s.profile.count_ones() > 0)
+        .count();
+    assert!(
+        filled * 2 >= input.subscriptions.len(),
+        "most profiles should record publications ({filled}/{})",
+        input.subscriptions.len()
+    );
+    let _ = SubId::new(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenps_workload::homogeneous;
+
+    #[test]
+    fn ideal_input_profiles_match_selectivity() {
+        let mut s = homogeneous(200, 3);
+        s.brokers.truncate(10);
+        let input = ideal_input(&s);
+        check_input(&input);
+        assert_eq!(input.subscriptions.len(), 200);
+        assert_eq!(input.brokers.len(), 10);
+        assert_eq!(input.publishers.len(), 40);
+        // Template subscriptions (2 predicates) sink the whole window.
+        for e in &input.subscriptions {
+            if e.filter.len() == 2 {
+                assert_eq!(e.profile.count_ones() as u64, PROFILE_WINDOW);
+            } else {
+                assert!(e.profile.count_ones() as u64 <= PROFILE_WINDOW);
+            }
+        }
+        // ~70 msg/min
+        let p = input.publishers.iter().next().unwrap();
+        assert!((p.rate - 70.0 / 60.0).abs() < 0.01);
+    }
+}

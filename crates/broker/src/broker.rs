@@ -1,0 +1,586 @@
+//! The content-based broker process, with the CROC Back-end Component
+//! (CBC) integrated — mirroring the PADRES broker of the paper.
+//!
+//! A broker:
+//!
+//! * floods advertisements, routes subscriptions toward matching
+//!   advertisements, and forwards publications along matching
+//!   subscriptions (advertisement-based routing, `greenps-pubsub`);
+//! * models matching cost with a linear delay function of its stored
+//!   subscription count, serializing publications through a single
+//!   service queue;
+//! * profiles local subscriptions with bit vectors and local publishers
+//!   with rate/bandwidth counters (the CBC);
+//! * answers BIR floods with aggregated BIA messages (Phase 1).
+
+use crate::messages::{BrokerMsg, GatheredBroker};
+use greenps_core::model::{BrokerSpec, LinearFn, SubscriptionEntry};
+use greenps_profile::{PublisherProfile, SubscriptionProfile};
+use greenps_pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
+use greenps_pubsub::routing::RoutingTables;
+use greenps_simnet::{Context, NodeId, Process, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-publisher statistics kept by the CBC for locally attached
+/// publishers.
+#[derive(Debug, Clone)]
+struct LocalPublisher {
+    first_seen: SimTime,
+    msgs: u64,
+    bytes: u64,
+    last_msg_id: MsgId,
+}
+
+/// Broker configuration.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Broker identity.
+    pub id: BrokerId,
+    /// Connection URL advertised in the BIA.
+    pub url: String,
+    /// Linear matching-delay model — also the simulated service time.
+    pub matching_delay: LinearFn,
+    /// Total output bandwidth reported in the BIA (bytes/s); the
+    /// harness should also set it as the simnet node output capacity.
+    pub out_bandwidth: f64,
+    /// Bit-vector capacity for CBC profiles (paper default 1,280).
+    pub profile_bits: usize,
+}
+
+impl BrokerConfig {
+    /// A broker with the given identity and capacity, default profile
+    /// size.
+    pub fn new(id: BrokerId, matching_delay: LinearFn, out_bandwidth: f64) -> Self {
+        Self {
+            id,
+            url: format!("sim://{id}"),
+            matching_delay,
+            out_bandwidth,
+            profile_bits: greenps_profile::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingBir {
+    parent: NodeId,
+    waiting: BTreeSet<NodeId>,
+    collected: Vec<GatheredBroker>,
+}
+
+/// The broker process.
+pub struct Broker {
+    config: BrokerConfig,
+    routing: RoutingTables<NodeId>,
+    broker_neighbors: BTreeSet<NodeId>,
+    clients: BTreeSet<NodeId>,
+    busy_until: SimTime,
+    /// CBC: bit-vector profiles of local (client) subscriptions.
+    sub_profiles: BTreeMap<SubId, SubscriptionProfile>,
+    /// CBC: local publisher statistics keyed by advertisement.
+    local_publishers: BTreeMap<AdvId, LocalPublisher>,
+    pending_bir: BTreeMap<u64, PendingBir>,
+    seen_bir: BTreeSet<u64>,
+    /// Publications processed (matched) by this broker.
+    pub matched_count: u64,
+    /// Publications delivered to local clients.
+    pub delivered_count: u64,
+}
+
+impl Broker {
+    /// Creates a broker process.
+    pub fn new(config: BrokerConfig) -> Self {
+        Self {
+            config,
+            routing: RoutingTables::new(),
+            broker_neighbors: BTreeSet::new(),
+            clients: BTreeSet::new(),
+            busy_until: SimTime::ZERO,
+            sub_profiles: BTreeMap::new(),
+            local_publishers: BTreeMap::new(),
+            pending_bir: BTreeMap::new(),
+            seen_bir: BTreeSet::new(),
+            matched_count: 0,
+            delivered_count: 0,
+        }
+    }
+
+    /// Broker identity.
+    pub fn id(&self) -> BrokerId {
+        self.config.id
+    }
+
+    /// Registers a neighboring broker node (call on both endpoints after
+    /// connecting them in the network).
+    pub fn add_broker_neighbor(&mut self, node: NodeId) {
+        self.broker_neighbors.insert(node);
+    }
+
+    /// Number of stored subscriptions (routing-table entries).
+    pub fn subscription_count(&self) -> usize {
+        self.routing.subscription_count()
+    }
+
+    /// The CBC profile of a local subscription.
+    pub fn profile_of(&self, sub: SubId) -> Option<&SubscriptionProfile> {
+        self.sub_profiles.get(&sub)
+    }
+
+    /// Resets CBC profiling state (fresh re-profiling window).
+    pub fn reset_profiles(&mut self) {
+        for p in self.sub_profiles.values_mut() {
+            *p = SubscriptionProfile::with_capacity(self.config.profile_bits);
+        }
+        self.local_publishers.clear();
+    }
+
+    /// Builds this broker's own BIA contribution.
+    fn own_info(&self, now: SimTime) -> GatheredBroker {
+        let subscriptions = self
+            .sub_profiles
+            .iter()
+            .filter_map(|(&id, profile)| {
+                self.routing.subscription(id).map(|s| {
+                    SubscriptionEntry::new(id, s.filter.clone(), profile.clone())
+                })
+            })
+            .collect();
+        let publishers = self
+            .local_publishers
+            .iter()
+            .map(|(&adv, lp)| {
+                let elapsed = now.since(lp.first_seen).as_secs_f64().max(1e-9);
+                PublisherProfile::new(
+                    adv,
+                    lp.msgs as f64 / elapsed,
+                    lp.bytes as f64 / elapsed,
+                    lp.last_msg_id,
+                )
+            })
+            .collect();
+        GatheredBroker {
+            spec: BrokerSpec::new(
+                self.config.id,
+                self.config.url.clone(),
+                self.config.matching_delay,
+                self.config.out_bandwidth,
+            ),
+            subscriptions,
+            publishers,
+        }
+    }
+
+    fn handle_publication(
+        &mut self,
+        ctx: &mut Context<'_, BrokerMsg>,
+        from: NodeId,
+        env: crate::messages::PubEnvelope,
+    ) {
+        // Single service queue: matching delay depends on table size.
+        let service =
+            SimDuration::from_secs_f64(self.config.matching_delay.delay(self.subscription_count()));
+        let now = ctx.now();
+        let start = now.max(self.busy_until);
+        self.busy_until = start + service;
+        let fwd_delay = self.busy_until.since(now);
+        self.matched_count += 1;
+
+        // CBC: update local publisher stats.
+        if self.clients.contains(&from) {
+            let lp = self
+                .local_publishers
+                .entry(env.publication.adv_id)
+                .or_insert_with(|| LocalPublisher {
+                    first_seen: now,
+                    msgs: 0,
+                    bytes: 0,
+                    last_msg_id: MsgId::new(0),
+                });
+            lp.msgs += 1;
+            lp.bytes += env.publication.wire_size() as u64;
+            lp.last_msg_id = lp.last_msg_id.max(env.publication.msg_id);
+        }
+
+        // Match once; derive forwarding set and local deliveries.
+        let matching = self.routing.matching_subscriptions_mut(&env.publication);
+        let mut hops: Vec<NodeId> = Vec::new();
+        for &sub in &matching {
+            let Some(&hop) = self.routing.subscription_hop(sub) else { continue };
+            if hop == from {
+                continue;
+            }
+            if self.clients.contains(&hop) {
+                // CBC: record the publication in the local profile.
+                if let Some(profile) = self.sub_profiles.get_mut(&sub) {
+                    profile.record(env.publication.adv_id, env.publication.msg_id);
+                }
+            }
+            if !hops.contains(&hop) {
+                hops.push(hop);
+            }
+        }
+        for hop in hops {
+            if self.clients.contains(&hop) {
+                self.delivered_count += 1;
+            }
+            ctx.send_after(fwd_delay, hop, BrokerMsg::Publication(env.hopped()));
+        }
+    }
+
+    fn handle_bir(&mut self, ctx: &mut Context<'_, BrokerMsg>, from: NodeId, request: u64) {
+        if !self.seen_bir.insert(request) {
+            // Duplicate (possible only in non-tree overlays): answer
+            // empty so the sender is not left waiting.
+            ctx.send(from, BrokerMsg::Bia { request, infos: Vec::new() });
+            return;
+        }
+        let targets: Vec<NodeId> = self
+            .broker_neighbors
+            .iter()
+            .copied()
+            .filter(|&n| n != from)
+            .collect();
+        if targets.is_empty() {
+            let infos = vec![self.own_info(ctx.now())];
+            ctx.send(from, BrokerMsg::Bia { request, infos });
+            return;
+        }
+        for &t in &targets {
+            ctx.send(t, BrokerMsg::Bir { request });
+        }
+        self.pending_bir.insert(
+            request,
+            PendingBir {
+                parent: from,
+                waiting: targets.into_iter().collect(),
+                collected: Vec::new(),
+            },
+        );
+    }
+
+    fn handle_bia(
+        &mut self,
+        ctx: &mut Context<'_, BrokerMsg>,
+        from: NodeId,
+        request: u64,
+        infos: Vec<GatheredBroker>,
+    ) {
+        let Some(pending) = self.pending_bir.get_mut(&request) else {
+            return;
+        };
+        pending.waiting.remove(&from);
+        pending.collected.extend(infos);
+        if pending.waiting.is_empty() {
+            let pending = self.pending_bir.remove(&request).unwrap();
+            let mut infos = pending.collected;
+            infos.push(self.own_info(ctx.now()));
+            ctx.send(pending.parent, BrokerMsg::Bia { request, infos });
+        }
+    }
+}
+
+impl Process<BrokerMsg> for Broker {
+    fn on_message(&mut self, ctx: &mut Context<'_, BrokerMsg>, from: NodeId, msg: BrokerMsg) {
+        match msg {
+            BrokerMsg::ClientHello { .. } => {
+                self.clients.insert(from);
+            }
+            BrokerMsg::Advertise(adv) => {
+                if self.routing.insert_advertisement(adv.clone(), from) {
+                    for &n in &self.broker_neighbors {
+                        if n != from {
+                            ctx.send(n, BrokerMsg::Advertise(adv.clone()));
+                        }
+                    }
+                    // Late advertisement: route existing subscriptions
+                    // toward it.
+                    let subs = self.routing.subscriptions_toward(&adv, &from);
+                    if self.broker_neighbors.contains(&from) {
+                        for sub_id in subs {
+                            if let Some(s) = self.routing.subscription(sub_id) {
+                                ctx.send(from, BrokerMsg::Subscribe(s.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            BrokerMsg::Unadvertise(id) => {
+                if self.routing.remove_advertisement(id) {
+                    for &n in &self.broker_neighbors {
+                        if n != from {
+                            ctx.send(n, BrokerMsg::Unadvertise(id));
+                        }
+                    }
+                }
+            }
+            BrokerMsg::Subscribe(sub) => {
+                let is_local = self.clients.contains(&from);
+                let forwards = self.routing.insert_subscription(sub.clone(), from);
+                if is_local {
+                    self.sub_profiles.insert(
+                        sub.id,
+                        SubscriptionProfile::with_capacity(self.config.profile_bits),
+                    );
+                }
+                for hop in forwards {
+                    if self.broker_neighbors.contains(&hop) {
+                        ctx.send(hop, BrokerMsg::Subscribe(sub.clone()));
+                    }
+                }
+            }
+            BrokerMsg::Unsubscribe(id) => {
+                if self.routing.remove_subscription(id).is_some() {
+                    self.sub_profiles.remove(&id);
+                    for &n in &self.broker_neighbors {
+                        if n != from {
+                            ctx.send(n, BrokerMsg::Unsubscribe(id));
+                        }
+                    }
+                }
+            }
+            BrokerMsg::Publication(env) => self.handle_publication(ctx, from, env),
+            BrokerMsg::Bir { request } => self.handle_bir(ctx, from, request),
+            BrokerMsg::Bia { request, infos } => {
+                self.handle_bia(ctx, from, request, infos)
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{CrocClient, PublisherClient, SubscriberClient};
+    use crate::messages::PubEnvelope;
+    use greenps_pubsub::filter::{stock_advertisement, stock_template};
+    use greenps_pubsub::ids::ClientId;
+    use greenps_pubsub::message::{Publication, Subscription};
+    use greenps_simnet::{LinkSpec, Network};
+
+    fn quick_broker(id: u64) -> Broker {
+        Broker::new(BrokerConfig::new(
+            BrokerId::new(id),
+            LinearFn::new(0.0001, 0.0),
+            1e9,
+        ))
+    }
+
+    /// Three brokers in a chain, publisher on one end, subscriber on the
+    /// other: publication flows through, hop count = 3.
+    #[test]
+    fn chain_delivery_with_hops() {
+        let mut net: Network<BrokerMsg> = Network::new();
+        let b0 = net.add_node(quick_broker(0));
+        let b1 = net.add_node(quick_broker(1));
+        let b2 = net.add_node(quick_broker(2));
+        for (a, b) in [(b0, b1), (b1, b2)] {
+            net.connect(a, b, LinkSpec::with_latency(SimDuration::from_millis(1)));
+            net.node_as_mut::<Broker>(a).unwrap().add_broker_neighbor(b);
+            net.node_as_mut::<Broker>(b).unwrap().add_broker_neighbor(a);
+        }
+        let publisher = net.add_node(PublisherClient::new(
+            ClientId::new(1),
+            AdvId::new(1),
+            stock_advertisement("YHOO"),
+            SimDuration::from_millis(100),
+            b0,
+            Box::new(|adv, msg| {
+                Publication::builder(adv, msg)
+                    .attr("class", "STOCK")
+                    .attr("symbol", "YHOO")
+                    .attr("low", 18.0)
+                    .build()
+            }),
+        ));
+        net.connect(publisher, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        let subscriber = net.add_node(SubscriberClient::new(
+            ClientId::new(2),
+            b2,
+            vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+        ));
+        net.connect(subscriber, b2, LinkSpec::with_latency(SimDuration::from_millis(1)));
+
+        net.run_for(SimDuration::from_secs(1));
+        let sub = net.node_as::<SubscriberClient>(subscriber).unwrap();
+        assert!(sub.deliveries() >= 9, "got {}", sub.deliveries());
+        assert_eq!(sub.mean_hops(), Some(3.0));
+        let delay = sub.mean_delay().unwrap();
+        // ≥ 3 links × 1ms + client link... ≥ 3ms and < 10ms
+        assert!(delay.as_secs_f64() > 0.003 && delay.as_secs_f64() < 0.01, "{delay}");
+        // No deliveries to the wrong place; broker b1 forwarded all.
+        assert_eq!(net.node_as::<Broker>(b1).unwrap().delivered_count, 0);
+        assert!(net.node_as::<Broker>(b2).unwrap().delivered_count >= 9);
+    }
+
+    /// A subscriber on a different stock receives nothing.
+    #[test]
+    fn non_matching_subscriber_gets_nothing() {
+        let mut net: Network<BrokerMsg> = Network::new();
+        let b0 = net.add_node(quick_broker(0));
+        let publisher = net.add_node(PublisherClient::new(
+            ClientId::new(1),
+            AdvId::new(1),
+            stock_advertisement("YHOO"),
+            SimDuration::from_millis(50),
+            b0,
+            Box::new(|adv, msg| {
+                Publication::builder(adv, msg)
+                    .attr("class", "STOCK")
+                    .attr("symbol", "YHOO")
+                    .build()
+            }),
+        ));
+        net.connect(publisher, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        let subscriber = net.add_node(SubscriberClient::new(
+            ClientId::new(2),
+            b0,
+            vec![Subscription::new(SubId::new(1), stock_template("GOOG"))],
+        ));
+        net.connect(subscriber, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            net.node_as::<SubscriberClient>(subscriber).unwrap().deliveries(),
+            0
+        );
+    }
+
+    /// CBC profiles record exactly the delivered publications, and the
+    /// BIR/BIA gather returns them.
+    #[test]
+    fn bir_gathers_profiles_over_a_tree() {
+        let mut net: Network<BrokerMsg> = Network::new();
+        let b0 = net.add_node(quick_broker(0));
+        let b1 = net.add_node(quick_broker(1));
+        let b2 = net.add_node(quick_broker(2));
+        for (a, b) in [(b0, b1), (b0, b2)] {
+            net.connect(a, b, LinkSpec::with_latency(SimDuration::from_millis(1)));
+            net.node_as_mut::<Broker>(a).unwrap().add_broker_neighbor(b);
+            net.node_as_mut::<Broker>(b).unwrap().add_broker_neighbor(a);
+        }
+        let publisher = net.add_node(PublisherClient::new(
+            ClientId::new(1),
+            AdvId::new(7),
+            stock_advertisement("YHOO"),
+            SimDuration::from_millis(100),
+            b1,
+            Box::new(|adv, msg| {
+                Publication::builder(adv, msg)
+                    .attr("class", "STOCK")
+                    .attr("symbol", "YHOO")
+                    .build()
+            }),
+        ));
+        net.connect(publisher, b1, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        let subscriber = net.add_node(SubscriberClient::new(
+            ClientId::new(2),
+            b2,
+            vec![Subscription::new(SubId::new(9), stock_template("YHOO"))],
+        ));
+        net.connect(subscriber, b2, LinkSpec::with_latency(SimDuration::from_millis(1)));
+
+        net.run_for(SimDuration::from_secs(2));
+
+        // CROC attaches to b0 and gathers.
+        let croc = net.add_node(CrocClient::new(b0));
+        net.connect(croc, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.node_as_mut::<Broker>(b0).unwrap(); // b0 treats croc as client on hello
+        net.run_for(SimDuration::from_millis(10));
+        net.inject(croc, croc, BrokerMsg::Bir { request: 0 });
+        net.run_for(SimDuration::from_secs(1));
+
+        let croc_client = net.node_as::<CrocClient>(croc).unwrap();
+        let infos = croc_client.result().expect("gather completed");
+        assert_eq!(infos.len(), 3, "three brokers answered");
+        let total_subs: usize = infos.iter().map(|i| i.subscriptions.len()).sum();
+        assert_eq!(total_subs, 1);
+        let entry = infos
+            .iter()
+            .flat_map(|i| i.subscriptions.iter())
+            .next()
+            .unwrap();
+        assert_eq!(entry.id, SubId::new(9));
+        assert!(entry.profile.count_ones() >= 15, "profile recorded deliveries");
+        // Publisher profile came from b1.
+        let pubs: Vec<&PublisherProfile> =
+            infos.iter().flat_map(|i| i.publishers.iter()).collect();
+        assert_eq!(pubs.len(), 1);
+        assert_eq!(pubs[0].adv_id, AdvId::new(7));
+        assert!(pubs[0].rate > 5.0, "≈10 msg/s observed, got {}", pubs[0].rate);
+    }
+
+    /// Matching delay queues publications: with service time 10 ms and
+    /// two simultaneous arrivals, the second departs 10 ms later.
+    #[test]
+    fn service_queue_serializes() {
+        let mut net: Network<BrokerMsg> = Network::new();
+        let b0 = net.add_node(Broker::new(BrokerConfig::new(
+            BrokerId::new(0),
+            LinearFn::new(0.01, 0.0),
+            1e9,
+        )));
+        let subscriber = net.add_node(SubscriberClient::new(
+            ClientId::new(2),
+            b0,
+            vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+        ));
+        net.connect(subscriber, b0, LinkSpec::with_latency(SimDuration::ZERO));
+        net.run_for(SimDuration::from_millis(1));
+
+        let adv = greenps_pubsub::message::Advertisement::new(
+            AdvId::new(1),
+            stock_advertisement("YHOO"),
+        );
+        net.call_node(subscriber, b0, BrokerMsg::Advertise(adv));
+        let mk = |id: u64| {
+            BrokerMsg::Publication(PubEnvelope::new(
+                Publication::builder(AdvId::new(1), MsgId::new(id))
+                    .attr("class", "STOCK")
+                    .attr("symbol", "YHOO")
+                    .build(),
+                SimTime::ZERO,
+            ))
+        };
+        // Two publications arrive at (almost) the same instant (sent
+        // "from" the broker itself so the local subscription's hop is
+        // not excluded as the origin).
+        net.inject(b0, b0, mk(1));
+        net.inject(b0, b0, mk(2));
+        net.run_to_quiescence();
+        let sub = net.node_as::<SubscriberClient>(subscriber).unwrap();
+        assert_eq!(sub.deliveries(), 2);
+        // Second delivery delayed by an extra service time.
+        let delays = sub.delays();
+        assert!(delays[1].as_secs_f64() >= delays[0].as_secs_f64() + 0.009);
+    }
+
+    #[test]
+    fn reset_profiles_clears_cbc() {
+        let mut broker = quick_broker(1);
+        broker.sub_profiles.insert(SubId::new(1), {
+            let mut p = SubscriptionProfile::new();
+            p.record(AdvId::new(1), MsgId::new(5));
+            p
+        });
+        broker.local_publishers.insert(
+            AdvId::new(1),
+            LocalPublisher {
+                first_seen: SimTime::ZERO,
+                msgs: 3,
+                bytes: 300,
+                last_msg_id: MsgId::new(5),
+            },
+        );
+        broker.reset_profiles();
+        assert_eq!(broker.profile_of(SubId::new(1)).unwrap().count_ones(), 0);
+        assert!(broker.local_publishers.is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Publish/subscribe client processes: publishers, subscribers, and the
+//! CROC coordinator client.
+
+use crate::messages::{BrokerMsg, GatheredBroker, PubEnvelope};
+use greenps_pubsub::ids::{AdvId, ClientId, MsgId};
+use greenps_pubsub::message::{Advertisement, Publication, Subscription};
+use greenps_pubsub::Filter;
+use greenps_simnet::{Context, NodeId, Process, SimDuration};
+use std::any::Any;
+
+/// Produces the next publication for a publisher: called with the
+/// publisher's advertisement id and the next message id.
+pub type PublicationGen = Box<dyn FnMut(AdvId, MsgId) -> Publication + Send>;
+
+/// A publisher client: advertises on start, then publishes at a fixed
+/// period.
+pub struct PublisherClient {
+    client: ClientId,
+    adv_id: AdvId,
+    advertisement: Filter,
+    period: SimDuration,
+    broker: NodeId,
+    generate: PublicationGen,
+    next_msg: MsgId,
+    published: u64,
+}
+
+impl PublisherClient {
+    /// Creates a publisher publishing every `period` to `broker`.
+    pub fn new(
+        client: ClientId,
+        adv_id: AdvId,
+        advertisement: Filter,
+        period: SimDuration,
+        broker: NodeId,
+        generate: PublicationGen,
+    ) -> Self {
+        Self {
+            client,
+            adv_id,
+            advertisement,
+            period,
+            broker,
+            generate,
+            next_msg: MsgId::new(0),
+            published: 0,
+        }
+    }
+
+    /// Publications emitted so far.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// The publisher's advertisement id.
+    pub fn adv_id(&self) -> AdvId {
+        self.adv_id
+    }
+}
+
+impl Process<BrokerMsg> for PublisherClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, BrokerMsg>) {
+        ctx.send(self.broker, BrokerMsg::ClientHello { client: self.client });
+        ctx.send(
+            self.broker,
+            BrokerMsg::Advertise(Advertisement::new(
+                self.adv_id,
+                self.advertisement.clone(),
+            )),
+        );
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, BrokerMsg>, _from: NodeId, _msg: BrokerMsg) {
+        // Publishers sink nothing.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, BrokerMsg>, _key: u64) {
+        let publication = (self.generate)(self.adv_id, self.next_msg);
+        self.next_msg = self.next_msg.next();
+        self.published += 1;
+        ctx.send(
+            self.broker,
+            BrokerMsg::Publication(PubEnvelope::new(publication, ctx.now())),
+        );
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A subscriber client: subscribes on start and records delivery
+/// statistics (count, hops, end-to-end delay).
+pub struct SubscriberClient {
+    client: ClientId,
+    broker: NodeId,
+    subscriptions: Vec<Subscription>,
+    deliveries: u64,
+    hops_sum: u64,
+    delay_sum_us: u64,
+    delays: Vec<SimDuration>,
+}
+
+impl SubscriberClient {
+    /// Creates a subscriber with a set of subscriptions.
+    pub fn new(client: ClientId, broker: NodeId, subscriptions: Vec<Subscription>) -> Self {
+        Self {
+            client,
+            broker,
+            subscriptions,
+            deliveries: 0,
+            hops_sum: 0,
+            delay_sum_us: 0,
+            delays: Vec::new(),
+        }
+    }
+
+    /// Publications received.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Mean broker hop count over deliveries.
+    pub fn mean_hops(&self) -> Option<f64> {
+        (self.deliveries > 0).then(|| self.hops_sum as f64 / self.deliveries as f64)
+    }
+
+    /// Mean end-to-end delivery delay.
+    pub fn mean_delay(&self) -> Option<SimDuration> {
+        (self.deliveries > 0)
+            .then(|| SimDuration::from_micros(self.delay_sum_us / self.deliveries))
+    }
+
+    /// Every observed delivery delay, in arrival order.
+    pub fn delays(&self) -> &[SimDuration] {
+        &self.delays
+    }
+
+    /// Resets delivery statistics (start of a measurement window).
+    pub fn reset_stats(&mut self) {
+        self.deliveries = 0;
+        self.hops_sum = 0;
+        self.delay_sum_us = 0;
+        self.delays.clear();
+    }
+
+    /// The subscriptions this client holds.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+}
+
+impl Process<BrokerMsg> for SubscriberClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, BrokerMsg>) {
+        ctx.send(self.broker, BrokerMsg::ClientHello { client: self.client });
+        for s in &self.subscriptions {
+            ctx.send(self.broker, BrokerMsg::Subscribe(s.clone()));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, BrokerMsg>, _from: NodeId, msg: BrokerMsg) {
+        if let BrokerMsg::Publication(env) = msg {
+            self.deliveries += 1;
+            self.hops_sum += u64::from(env.hops);
+            let delay = ctx.now().since(env.published_at);
+            self.delay_sum_us += delay.as_micros();
+            self.delays.push(delay);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The CROC coordinator client: triggers a BIR flood and collects the
+/// aggregated BIA (Phase 1).
+///
+/// Trigger a gather by injecting `BrokerMsg::Bir { request }` addressed
+/// to the CROC node itself; the answer is available from
+/// [`CrocClient::result`] once the flood completes.
+pub struct CrocClient {
+    broker: NodeId,
+    current_request: Option<u64>,
+    result: Option<Vec<GatheredBroker>>,
+}
+
+impl CrocClient {
+    /// Creates a CROC client attached to `broker`.
+    pub fn new(broker: NodeId) -> Self {
+        Self { broker, current_request: None, result: None }
+    }
+
+    /// The gathered broker information, once complete.
+    pub fn result(&self) -> Option<&Vec<GatheredBroker>> {
+        self.result.as_ref()
+    }
+
+    /// Takes the gathered result, clearing it.
+    pub fn take_result(&mut self) -> Option<Vec<GatheredBroker>> {
+        self.result.take()
+    }
+}
+
+impl Process<BrokerMsg> for CrocClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, BrokerMsg>) {
+        ctx.send(self.broker, BrokerMsg::ClientHello { client: ClientId::new(u64::MAX) });
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, BrokerMsg>, from: NodeId, msg: BrokerMsg) {
+        match msg {
+            // Self-injected trigger.
+            BrokerMsg::Bir { request } if from == ctx.node_id() => {
+                self.current_request = Some(request);
+                self.result = None;
+                ctx.send(self.broker, BrokerMsg::Bir { request });
+            }
+            BrokerMsg::Bia { request, infos } if Some(request) == self.current_request => {
+                self.result = Some(infos);
+                self.current_request = None;
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{Broker, BrokerConfig};
+    use greenps_core::model::LinearFn;
+    use greenps_pubsub::filter::{stock_advertisement, stock_template};
+    use greenps_pubsub::ids::{BrokerId, SubId};
+    use greenps_simnet::{LinkSpec, Network};
+
+    #[test]
+    fn publisher_emits_at_rate() {
+        let mut net: Network<BrokerMsg> = Network::new();
+        let b0 = net.add_node(Broker::new(BrokerConfig::new(
+            BrokerId::new(0),
+            LinearFn::new(0.0001, 0.0),
+            1e9,
+        )));
+        let p = net.add_node(PublisherClient::new(
+            ClientId::new(1),
+            AdvId::new(1),
+            stock_advertisement("YHOO"),
+            SimDuration::from_millis(100),
+            b0,
+            Box::new(|adv, msg| Publication::builder(adv, msg).attr("x", 1i64).build()),
+        ));
+        net.connect(p, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.run_for(SimDuration::from_secs(1));
+        let publisher = net.node_as::<PublisherClient>(p).unwrap();
+        assert_eq!(publisher.published(), 10);
+        assert_eq!(publisher.adv_id(), AdvId::new(1));
+    }
+
+    #[test]
+    fn subscriber_stats_reset() {
+        let mut s = SubscriberClient::new(
+            ClientId::new(1),
+            NodeId(0),
+            vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+        );
+        assert_eq!(s.subscriptions().len(), 1);
+        s.deliveries = 5;
+        s.hops_sum = 10;
+        s.reset_stats();
+        assert_eq!(s.deliveries(), 0);
+        assert_eq!(s.mean_hops(), None);
+        assert_eq!(s.mean_delay(), None);
+    }
+
+    #[test]
+    fn croc_take_result_clears() {
+        let mut c = CrocClient::new(NodeId(0));
+        c.result = Some(vec![]);
+        assert!(c.take_result().is_some());
+        assert!(c.result().is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! # greenps-broker
+//!
+//! The PADRES-like broker built on `greenps-pubsub` routing and the
+//! `greenps-simnet` discrete-event runtime, with the paper's CROC
+//! Back-end Component (CBC) integrated: bit-vector subscription
+//! profiling, local publisher profiling, and the BIR/BIA information-
+//! gathering protocol of Phase 1.
+//!
+//! The [`deploy`] module provides the PANDA-style deployment harness the
+//! evaluation uses: build a topology, attach publishers/subscribers,
+//! warm up, gather, and measure.
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod client;
+pub mod deploy;
+pub mod live;
+pub mod messages;
+
+pub use broker::{Broker, BrokerConfig};
+pub use client::{CrocClient, PublicationGen, PublisherClient, SubscriberClient};
+pub use deploy::{Deployment, RunMetrics, TopologySpec};
+pub use messages::{BrokerMsg, GatheredBroker, PubEnvelope};

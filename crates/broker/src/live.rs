@@ -1,0 +1,348 @@
+//! Live threaded deployment: the same broker overlay semantics running
+//! on OS threads and crossbeam channels instead of the discrete-event
+//! simulator — the moral equivalent of a PANDA deployment onto real
+//! processes.
+//!
+//! Each broker is a thread owning advertisement-based routing tables;
+//! links are channel pairs. The harness uses this runtime to demonstrate
+//! that a `ReconfigurationPlan` is executable against live processes,
+//! not only inside the simulator.
+
+use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
+use greenps_pubsub::message::{Advertisement, Publication, Subscription};
+use greenps_pubsub::routing::RoutingTables;
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Global endpoint id: brokers and clients share one namespace.
+type EndpointId = u64;
+
+/// Messages flowing between live endpoints.
+enum LiveMsg {
+    AttachBroker(EndpointId, Sender<Envelope>),
+    AttachClient(EndpointId, Sender<Publication>),
+    Advertise(Advertisement),
+    Subscribe(Subscription),
+    Unsubscribe(SubId),
+    Publication(Publication),
+    Shutdown,
+}
+
+struct Envelope {
+    from: EndpointId,
+    msg: LiveMsg,
+}
+
+/// Statistics a live broker reports at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveBrokerStats {
+    /// Messages received from peers/clients.
+    pub msgs_in: u64,
+    /// Messages sent to peers/clients.
+    pub msgs_out: u64,
+    /// Publications delivered to local clients.
+    pub delivered: u64,
+}
+
+fn broker_main(my_id: EndpointId, rx: Receiver<Envelope>) -> LiveBrokerStats {
+    let mut routing: RoutingTables<EndpointId> = RoutingTables::new();
+    let mut peers: HashMap<EndpointId, Sender<Envelope>> = HashMap::new();
+    let mut clients: HashMap<EndpointId, Sender<Publication>> = HashMap::new();
+    let mut stats = LiveBrokerStats::default();
+    while let Ok(Envelope { from, msg }) = rx.recv() {
+        stats.msgs_in += 1;
+        match msg {
+            LiveMsg::AttachBroker(id, tx) => {
+                stats.msgs_in -= 1; // control wiring, not traffic
+                peers.insert(id, tx);
+            }
+            LiveMsg::AttachClient(id, tx) => {
+                stats.msgs_in -= 1;
+                clients.insert(id, tx);
+            }
+            LiveMsg::Advertise(adv) => {
+                if routing.insert_advertisement(adv.clone(), from) {
+                    for (&id, tx) in &peers {
+                        if id != from {
+                            stats.msgs_out += 1;
+                            let _ = tx.send(Envelope {
+                                from: my_id,
+                                msg: LiveMsg::Advertise(adv.clone()),
+                            });
+                        }
+                    }
+                    for sub_id in routing.subscriptions_toward(&adv, &from) {
+                        if let (Some(s), Some(tx)) =
+                            (routing.subscription(sub_id), peers.get(&from))
+                        {
+                            stats.msgs_out += 1;
+                            let _ = tx.send(Envelope {
+                                from: my_id,
+                                msg: LiveMsg::Subscribe(s.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+            LiveMsg::Subscribe(sub) => {
+                for hop in routing.insert_subscription(sub.clone(), from) {
+                    if let Some(tx) = peers.get(&hop) {
+                        stats.msgs_out += 1;
+                        let _ = tx.send(Envelope {
+                            from: my_id,
+                            msg: LiveMsg::Subscribe(sub.clone()),
+                        });
+                    }
+                }
+            }
+            LiveMsg::Unsubscribe(id) => {
+                if routing.remove_subscription(id).is_some() {
+                    for (&pid, tx) in &peers {
+                        if pid != from {
+                            stats.msgs_out += 1;
+                            let _ = tx.send(Envelope {
+                                from: my_id,
+                                msg: LiveMsg::Unsubscribe(id),
+                            });
+                        }
+                    }
+                }
+            }
+            LiveMsg::Publication(p) => {
+                for hop in routing.route_publication_mut(&p, Some(&from)) {
+                    if let Some(tx) = peers.get(&hop) {
+                        stats.msgs_out += 1;
+                        let _ = tx.send(Envelope {
+                            from: my_id,
+                            msg: LiveMsg::Publication(p.clone()),
+                        });
+                    } else if let Some(tx) = clients.get(&hop) {
+                        stats.msgs_out += 1;
+                        stats.delivered += 1;
+                        let _ = tx.send(p.clone());
+                    }
+                }
+            }
+            LiveMsg::Shutdown => break,
+        }
+    }
+    stats
+}
+
+/// A live, threaded broker overlay.
+pub struct LiveNet {
+    handles: BTreeMap<BrokerId, JoinHandle<LiveBrokerStats>>,
+    senders: BTreeMap<BrokerId, Sender<Envelope>>,
+    next_endpoint: EndpointId,
+}
+
+impl LiveNet {
+    /// Spawns one thread per broker and wires the overlay edges.
+    ///
+    /// # Panics
+    /// Panics if an edge references an unknown broker.
+    pub fn start(brokers: &[BrokerId], edges: &[(BrokerId, BrokerId)]) -> Self {
+        let mut senders = BTreeMap::new();
+        let mut receivers = BTreeMap::new();
+        for &b in brokers {
+            let (tx, rx) = unbounded::<Envelope>();
+            senders.insert(b, tx);
+            receivers.insert(b, rx);
+        }
+        let mut handles = BTreeMap::new();
+        for &b in brokers {
+            let rx = receivers.remove(&b).unwrap();
+            let my_id = endpoint_of(b);
+            let handle = std::thread::Builder::new()
+                .name(format!("broker-{b}"))
+                .spawn(move || broker_main(my_id, rx))
+                .expect("spawn broker thread");
+            handles.insert(b, handle);
+        }
+        let net = Self { handles, senders, next_endpoint: 1 << 32 };
+        for &(a, b) in edges {
+            net.wire(a, b);
+        }
+        net
+    }
+
+    fn wire(&self, a: BrokerId, b: BrokerId) {
+        let ta = self.senders[&a].clone();
+        let tb = self.senders[&b].clone();
+        ta.send(Envelope {
+            from: endpoint_of(b),
+            msg: LiveMsg::AttachBroker(endpoint_of(b), tb.clone()),
+        })
+        .unwrap();
+        tb.send(Envelope {
+            from: endpoint_of(a),
+            msg: LiveMsg::AttachBroker(endpoint_of(a), ta),
+        })
+        .unwrap();
+    }
+
+    fn fresh_endpoint(&mut self) -> EndpointId {
+        let id = self.next_endpoint;
+        self.next_endpoint += 1;
+        id
+    }
+
+    /// Registers a publisher at a broker; returns a handle for
+    /// publishing.
+    ///
+    /// # Panics
+    /// Panics on an unknown broker.
+    pub fn publisher(&mut self, broker: BrokerId, adv: Advertisement) -> LivePublisher {
+        let endpoint = self.fresh_endpoint();
+        let tx = self.senders[&broker].clone();
+        tx.send(Envelope { from: endpoint, msg: LiveMsg::Advertise(adv.clone()) })
+            .unwrap();
+        LivePublisher { endpoint, tx, adv_id: adv.id }
+    }
+
+    /// Registers a subscriber at a broker; returns the delivery channel.
+    ///
+    /// # Panics
+    /// Panics on an unknown broker.
+    pub fn subscriber(
+        &mut self,
+        broker: BrokerId,
+        subscription: Subscription,
+    ) -> Receiver<Publication> {
+        let endpoint = self.fresh_endpoint();
+        let (dtx, drx) = unbounded();
+        let tx = &self.senders[&broker];
+        tx.send(Envelope { from: endpoint, msg: LiveMsg::AttachClient(endpoint, dtx) })
+            .unwrap();
+        tx.send(Envelope { from: endpoint, msg: LiveMsg::Subscribe(subscription) })
+            .unwrap();
+        drx
+    }
+
+    /// Retracts a subscription previously registered at `broker`.
+    ///
+    /// # Panics
+    /// Panics on an unknown broker.
+    pub fn unsubscribe(&self, broker: BrokerId, id: SubId) {
+        self.senders[&broker]
+            .send(Envelope { from: endpoint_of(broker), msg: LiveMsg::Unsubscribe(id) })
+            .unwrap();
+    }
+
+    /// Stops every broker and returns their statistics.
+    pub fn shutdown(self) -> BTreeMap<BrokerId, LiveBrokerStats> {
+        for (b, tx) in &self.senders {
+            let _ = tx.send(Envelope { from: endpoint_of(*b), msg: LiveMsg::Shutdown });
+        }
+        self.handles
+            .into_iter()
+            .map(|(b, h)| (b, h.join().expect("broker thread panicked")))
+            .collect()
+    }
+
+    /// Number of live brokers.
+    pub fn broker_count(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+/// A handle for publishing into a live overlay.
+pub struct LivePublisher {
+    endpoint: EndpointId,
+    tx: Sender<Envelope>,
+    /// The advertisement id this publisher publishes under.
+    pub adv_id: AdvId,
+}
+
+impl LivePublisher {
+    /// Publishes one message.
+    pub fn publish(&self, publication: Publication) {
+        let _ = self.tx.send(Envelope {
+            from: self.endpoint,
+            msg: LiveMsg::Publication(publication),
+        });
+    }
+}
+
+fn endpoint_of(b: BrokerId) -> EndpointId {
+    b.raw()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenps_pubsub::filter::{stock_advertisement, stock_template};
+    use greenps_pubsub::ids::MsgId;
+    use std::time::Duration;
+
+    #[test]
+    fn live_chain_delivers() {
+        let brokers: Vec<BrokerId> = (0..3).map(BrokerId::new).collect();
+        let edges = vec![
+            (BrokerId::new(0), BrokerId::new(1)),
+            (BrokerId::new(1), BrokerId::new(2)),
+        ];
+        let mut net = LiveNet::start(&brokers, &edges);
+        assert_eq!(net.broker_count(), 3);
+        // Give wiring a moment to land before advertising.
+        std::thread::sleep(Duration::from_millis(20));
+        let publisher = net.publisher(
+            BrokerId::new(0),
+            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let inbox = net.subscriber(
+            BrokerId::new(2),
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        for i in 0..10u64 {
+            publisher.publish(
+                Publication::builder(AdvId::new(1), MsgId::new(i))
+                    .attr("class", "STOCK")
+                    .attr("symbol", "YHOO")
+                    .attr("low", 18.0)
+                    .build(),
+            );
+        }
+        let mut got = 0;
+        while inbox.recv_timeout(Duration::from_secs(2)).is_ok() {
+            got += 1;
+            if got == 10 {
+                break;
+            }
+        }
+        assert_eq!(got, 10);
+        let stats = net.shutdown();
+        assert!(stats[&BrokerId::new(1)].msgs_out >= 10, "middle broker forwarded");
+        assert_eq!(stats[&BrokerId::new(2)].delivered, 10);
+    }
+
+    #[test]
+    fn live_non_matching_subscription_silent() {
+        let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
+        let edges = vec![(BrokerId::new(0), BrokerId::new(1))];
+        let mut net = LiveNet::start(&brokers, &edges);
+        std::thread::sleep(Duration::from_millis(20));
+        let publisher = net.publisher(
+            BrokerId::new(0),
+            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let inbox = net.subscriber(
+            BrokerId::new(1),
+            Subscription::new(SubId::new(1), stock_template("GOOG")),
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        publisher.publish(
+            Publication::builder(AdvId::new(1), MsgId::new(0))
+                .attr("class", "STOCK")
+                .attr("symbol", "YHOO")
+                .build(),
+        );
+        assert!(inbox.recv_timeout(Duration::from_millis(300)).is_err());
+        net.shutdown();
+    }
+}

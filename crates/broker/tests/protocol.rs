@@ -1,0 +1,164 @@
+//! Broker protocol integration tests: unsubscribe/unadvertise flows,
+//! re-profiling, and larger fan-out trees.
+
+use greenps_broker::{Broker, BrokerConfig, BrokerMsg, Deployment, SubscriberClient, TopologySpec};
+use greenps_core::model::LinearFn;
+use greenps_pubsub::filter::{stock_advertisement, stock_template};
+use greenps_pubsub::ids::{AdvId, BrokerId, ClientId, MsgId, SubId};
+use greenps_pubsub::message::{Publication, Subscription};
+use greenps_pubsub::Op;
+use greenps_pubsub::Predicate;
+use greenps_simnet::{LinkSpec, SimDuration};
+
+fn spec(n: u64) -> TopologySpec {
+    TopologySpec {
+        brokers: (0..n)
+            .map(|i| BrokerConfig::new(BrokerId::new(i), LinearFn::new(0.0001, 0.0), 1e9))
+            .collect(),
+        edges: (1..n).map(|i| (BrokerId::new((i - 1) / 2), BrokerId::new(i))).collect(),
+        link: LinkSpec::with_latency(SimDuration::from_millis(1)),
+    }
+}
+
+fn stock_gen(symbol: &'static str) -> greenps_broker::PublicationGen {
+    Box::new(move |adv, msg: MsgId| {
+        Publication::builder(adv, msg)
+            .attr("class", "STOCK")
+            .attr("symbol", symbol)
+            .attr("low", 10.0 + (msg.raw() % 10) as f64)
+            .build()
+    })
+}
+
+#[test]
+fn unsubscribe_stops_delivery_network_wide() {
+    let mut d = Deployment::build(&spec(7));
+    d.attach_publisher(
+        ClientId::new(1),
+        AdvId::new(1),
+        stock_advertisement("YHOO"),
+        SimDuration::from_millis(100),
+        BrokerId::new(3),
+        stock_gen("YHOO"),
+    );
+    let sub_node = d.attach_subscriber(
+        ClientId::new(2),
+        BrokerId::new(6),
+        vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+    );
+    d.run_for(SimDuration::from_secs(2));
+    let before = d.net.node_as::<SubscriberClient>(sub_node).unwrap().deliveries();
+    assert!(before > 10);
+
+    // The subscriber's broker receives an Unsubscribe from the client.
+    let broker_node = d.brokers[&BrokerId::new(6)];
+    d.net.inject(sub_node, broker_node, BrokerMsg::Unsubscribe(SubId::new(1)));
+    d.run_for(SimDuration::from_secs(1)); // let it propagate
+    let settled = d.net.node_as::<SubscriberClient>(sub_node).unwrap().deliveries();
+    d.run_for(SimDuration::from_secs(3));
+    let after = d.net.node_as::<SubscriberClient>(sub_node).unwrap().deliveries();
+    assert!(
+        after <= settled + 1,
+        "deliveries kept arriving after unsubscribe: {settled} -> {after}"
+    );
+    // Upstream brokers dropped the route: the publication no longer
+    // crosses the root.
+    d.net.reset_counters();
+    d.run_for(SimDuration::from_secs(3));
+    let root_traffic = d.net.counters(d.brokers[&BrokerId::new(0)]).msgs_in;
+    assert_eq!(root_traffic, 0, "root still sees traffic after unsubscribe");
+}
+
+#[test]
+fn overlapping_subscriptions_share_one_stream() {
+    // Two subscribers on the same broker with overlapping filters: the
+    // upstream link carries each publication once.
+    let mut d = Deployment::build(&spec(3));
+    d.attach_publisher(
+        ClientId::new(1),
+        AdvId::new(1),
+        stock_advertisement("YHOO"),
+        SimDuration::from_millis(100),
+        BrokerId::new(1),
+        stock_gen("YHOO"),
+    );
+    d.attach_subscriber(
+        ClientId::new(2),
+        BrokerId::new(2),
+        vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+    );
+    d.attach_subscriber(
+        ClientId::new(3),
+        BrokerId::new(2),
+        vec![Subscription::new(
+            SubId::new(2),
+            stock_template("YHOO").and(Predicate::new("low", Op::Lt, 15.0)),
+        )],
+    );
+    d.run_for(SimDuration::from_secs(1));
+    d.net.reset_counters();
+    d.run_for(SimDuration::from_secs(10));
+    // ~100 publications; broker 2 receives each once from broker 0 but
+    // sends up to two copies to its clients.
+    let b2 = d.net.counters(d.brokers[&BrokerId::new(2)]);
+    assert!(b2.msgs_in >= 95 && b2.msgs_in <= 105, "in {}", b2.msgs_in);
+    assert!(b2.msgs_out > b2.msgs_in, "fan-out to two clients");
+}
+
+#[test]
+fn reset_profiles_supports_reprofiling_rounds() {
+    let mut d = Deployment::build(&spec(3));
+    d.attach_publisher(
+        ClientId::new(1),
+        AdvId::new(1),
+        stock_advertisement("YHOO"),
+        SimDuration::from_millis(100),
+        BrokerId::new(1),
+        stock_gen("YHOO"),
+    );
+    d.attach_subscriber(
+        ClientId::new(2),
+        BrokerId::new(2),
+        vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+    );
+    d.run_for(SimDuration::from_secs(5));
+    let infos1 = d.gather(SimDuration::from_secs(10)).expect("gather 1");
+    let ones1: usize =
+        infos1.iter().flat_map(|i| &i.subscriptions).map(|s| s.profile.count_ones()).sum();
+    assert!(ones1 >= 40);
+
+    // Reset CBC state everywhere and re-profile a shorter window.
+    let broker_nodes: Vec<_> = d.brokers.values().copied().collect();
+    for node in broker_nodes {
+        d.net.node_as_mut::<Broker>(node).unwrap().reset_profiles();
+    }
+    d.run_for(SimDuration::from_secs(2));
+    let infos2 = d.gather(SimDuration::from_secs(10)).expect("gather 2");
+    let ones2: usize =
+        infos2.iter().flat_map(|i| &i.subscriptions).map(|s| s.profile.count_ones()).sum();
+    assert!(ones2 > 0 && ones2 < ones1, "fresh window is shorter: {ones2} vs {ones1}");
+}
+
+#[test]
+fn wide_tree_floods_advertisements_everywhere() {
+    let mut d = Deployment::build(&spec(15));
+    d.attach_publisher(
+        ClientId::new(1),
+        AdvId::new(1),
+        stock_advertisement("YHOO"),
+        SimDuration::from_millis(200),
+        BrokerId::new(7), // a leaf
+        stock_gen("YHOO"),
+    );
+    d.run_for(SimDuration::from_secs(1));
+    // Every broker in the 15-node tree knows the advertisement: attach a
+    // late subscriber at the farthest leaf and expect deliveries.
+    let sub_node = d.attach_subscriber(
+        ClientId::new(2),
+        BrokerId::new(14),
+        vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+    );
+    d.run_for(SimDuration::from_secs(5));
+    let s = d.net.node_as::<SubscriberClient>(sub_node).unwrap();
+    assert!(s.deliveries() >= 20, "late subscriber receives: {}", s.deliveries());
+}

@@ -1,0 +1,415 @@
+//! Capacity bookkeeping and the allocation feasibility test (paper
+//! §IV-A).
+//!
+//! A broker "is deemed to have enough capacity to handle a subscription
+//! only if by accepting this subscription, its remaining available
+//! output bandwidth is greater than 0 and its incoming publication rate
+//! is less than or equal to its maximum matching rate", where the
+//! maximum matching rate is the inverse of the linear matching-delay
+//! function.
+//!
+//! [`Packer`] holds the running state of one allocation attempt: brokers
+//! sorted by resourcefulness (descending total output bandwidth), each
+//! with its accumulated union profile, used output bandwidth and stored
+//! subscription count. FBF, BIN PACKING and CRAM's allocation test all
+//! place units through it.
+
+use crate::model::{AllocError, Allocation, BrokerLoad, BrokerSpec, Unit};
+use greenps_profile::{PublisherTable, SubscriptionProfile};
+use greenps_pubsub::ids::BrokerId;
+
+/// Running placement state of one broker during packing.
+#[derive(Debug, Clone)]
+struct BrokerState {
+    spec: BrokerSpec,
+    union: SubscriptionProfile,
+    out_used: f64,
+    subs: usize,
+    units: Vec<Unit>,
+}
+
+impl BrokerState {
+    fn new(spec: BrokerSpec) -> Self {
+        Self {
+            spec,
+            union: SubscriptionProfile::new(),
+            out_used: 0.0,
+            subs: 0,
+            units: Vec::new(),
+        }
+    }
+
+    /// The feasibility test from the paper.
+    fn can_accept(&self, unit: &Unit, publishers: &PublisherTable) -> bool {
+        // Remaining output bandwidth must stay positive.
+        if self.out_used + unit.out_bandwidth >= self.spec.out_bandwidth {
+            return false;
+        }
+        // Incoming publication rate must not exceed the maximum
+        // matching rate at the new subscription count.
+        let in_rate = self.union.estimate_union_load(&unit.profile, publishers).rate;
+        let max_rate = self.spec.matching_delay.max_rate(self.subs + unit.sub_count());
+        in_rate <= max_rate
+    }
+
+    fn accept(&mut self, unit: Unit) {
+        self.union.or_assign(&unit.profile);
+        self.out_used += unit.out_bandwidth;
+        self.subs += unit.sub_count();
+        self.units.push(unit);
+    }
+}
+
+/// One allocation attempt over a broker pool.
+#[derive(Debug, Clone)]
+pub struct Packer<'p> {
+    states: Vec<BrokerState>,
+    publishers: &'p PublisherTable,
+}
+
+impl<'p> Packer<'p> {
+    /// Creates a packer over the broker pool, sorted in descending order
+    /// of total available output bandwidth (ties broken by id for
+    /// determinism).
+    pub fn new(brokers: &[BrokerSpec], publishers: &'p PublisherTable) -> Self {
+        let mut specs: Vec<BrokerSpec> = brokers.to_vec();
+        specs.sort_by(|a, b| {
+            b.out_bandwidth
+                .partial_cmp(&a.out_bandwidth)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        Self { states: specs.into_iter().map(BrokerState::new).collect(), publishers }
+    }
+
+    /// Number of brokers in the pool.
+    pub fn broker_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Places a unit on the most resourceful broker that can accept it.
+    ///
+    /// # Errors
+    /// Returns [`AllocError::NoBrokers`] on an empty pool and
+    /// [`AllocError::Infeasible`] when no broker passes the test.
+    pub fn place(&mut self, unit: Unit) -> Result<BrokerId, AllocError> {
+        if self.states.is_empty() {
+            return Err(AllocError::NoBrokers);
+        }
+        for state in &mut self.states {
+            if state.can_accept(&unit, self.publishers) {
+                let id = state.spec.id;
+                state.accept(unit);
+                return Ok(id);
+            }
+        }
+        Err(AllocError::Infeasible { subs: unit.subs })
+    }
+
+    /// True when at least one broker could accept the unit, without
+    /// placing it.
+    pub fn fits(&self, unit: &Unit) -> bool {
+        self.states.iter().any(|s| s.can_accept(unit, self.publishers))
+    }
+
+    /// Finalizes into an [`Allocation`] containing only brokers that
+    /// received units.
+    pub fn into_allocation(self) -> Allocation {
+        let publishers = self.publishers;
+        let loads = self
+            .states
+            .into_iter()
+            .filter(|s| !s.units.is_empty())
+            .map(|s| {
+                let input = s.union.estimate_load(publishers);
+                BrokerLoad {
+                    broker: s.spec.id,
+                    units: s.units,
+                    union_profile: s.union,
+                    out_bw_used: s.out_used,
+                    in_rate: input.rate,
+                    in_bandwidth: input.bandwidth,
+                }
+            })
+            .collect();
+        Allocation { loads }
+    }
+}
+
+/// A feasibility-only packing pass over borrowed units: returns the
+/// bandwidth-descending packing outcome without cloning any unit, or
+/// the index of the first unplaceable unit. The CRAM allocation test
+/// runs thousands of these per invocation; avoiding the per-test unit
+/// clones is what keeps 8,000-subscription runs tractable.
+#[derive(Debug)]
+pub struct RefPacker<'u> {
+    states: Vec<RefBrokerState<'u>>,
+}
+
+#[derive(Debug)]
+struct RefBrokerState<'u> {
+    spec: BrokerSpec,
+    union: SubscriptionProfile,
+    /// Running estimate of the union profile's input rate.
+    in_rate: f64,
+    out_used: f64,
+    subs: usize,
+    units: Vec<&'u Unit>,
+}
+
+impl<'u> RefPacker<'u> {
+    /// Creates a reference packer over a broker pool (same ordering as
+    /// [`Packer`]).
+    pub fn new(brokers: &[BrokerSpec]) -> Self {
+        let mut specs: Vec<BrokerSpec> = brokers.to_vec();
+        specs.sort_by(|a, b| {
+            b.out_bandwidth
+                .partial_cmp(&a.out_bandwidth)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        Self {
+            states: specs
+                .into_iter()
+                .map(|spec| RefBrokerState {
+                    spec,
+                    union: SubscriptionProfile::new(),
+                    in_rate: 0.0,
+                    out_used: 0.0,
+                    subs: 0,
+                    units: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Packs borrowed units in descending bandwidth order.
+    ///
+    /// # Errors
+    /// Fails with the subscriptions of the first unplaceable unit.
+    pub fn pack_sorted(
+        &mut self,
+        publishers: &PublisherTable,
+        mut units: Vec<&'u Unit>,
+    ) -> Result<(), AllocError> {
+        if self.states.is_empty() {
+            return if units.is_empty() {
+                Ok(())
+            } else {
+                Err(AllocError::NoBrokers)
+            };
+        }
+        units.sort_by(|a, b| {
+            b.out_bandwidth
+                .total_cmp(&a.out_bandwidth)
+                .then_with(|| a.subs.cmp(&b.subs))
+        });
+        'units: for unit in units {
+            for state in &mut self.states {
+                // Cheap bandwidth check first — the dominant rejection.
+                if state.out_used + unit.out_bandwidth >= state.spec.out_bandwidth {
+                    continue;
+                }
+                // Incremental rate check: only the unit's publishers
+                // can change the union rate.
+                let delta = state.union.estimate_rate_delta(&unit.profile, publishers);
+                let in_rate = state.in_rate + delta;
+                let max_rate =
+                    state.spec.matching_delay.max_rate(state.subs + unit.sub_count());
+                if in_rate > max_rate {
+                    continue;
+                }
+                state.union.or_assign(&unit.profile);
+                state.in_rate = in_rate;
+                state.out_used += unit.out_bandwidth;
+                state.subs += unit.sub_count();
+                state.units.push(unit);
+                continue 'units;
+            }
+            return Err(AllocError::Infeasible { subs: unit.subs.clone() });
+        }
+        Ok(())
+    }
+
+    /// Number of brokers that received at least one unit.
+    pub fn used_brokers(&self) -> usize {
+        self.states.iter().filter(|s| !s.units.is_empty()).count()
+    }
+
+    /// Materializes a full [`Allocation`] (clones the packed units).
+    pub fn into_allocation(self, publishers: &PublisherTable) -> Allocation {
+        let loads = self
+            .states
+            .into_iter()
+            .filter(|s| !s.units.is_empty())
+            .map(|s| {
+                let input = s.union.estimate_load(publishers);
+                BrokerLoad {
+                    broker: s.spec.id,
+                    units: s.units.into_iter().cloned().collect(),
+                    union_profile: s.union,
+                    out_bw_used: s.out_used,
+                    in_rate: input.rate,
+                    in_bandwidth: input.bandwidth,
+                }
+            })
+            .collect();
+        Allocation { loads }
+    }
+}
+
+/// Runs a complete packing pass: places every unit in the given order.
+///
+/// # Errors
+/// Fails fast with the unit that could not be placed, mirroring the
+/// paper's "the algorithm ends … if at least one subscription cannot be
+/// allocated to any broker".
+pub fn pack_all(
+    brokers: &[BrokerSpec],
+    publishers: &PublisherTable,
+    units: impl IntoIterator<Item = Unit>,
+) -> Result<Allocation, AllocError> {
+    let mut packer = Packer::new(brokers, publishers);
+    for unit in units {
+        packer.place(unit)?;
+    }
+    Ok(packer.into_allocation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearFn;
+    use greenps_profile::{PublisherProfile, ShiftingBitVector};
+    use greenps_pubsub::ids::{AdvId, MsgId, SubId};
+
+    fn publishers() -> PublisherTable {
+        [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
+            .into_iter()
+            .collect()
+    }
+
+    fn unit(sub: u64, ids: &[u64], publishers: &PublisherTable) -> Unit {
+        let mut v = ShiftingBitVector::starting_at(100, 0);
+        for &id in ids {
+            v.record(id);
+        }
+        let mut p = SubscriptionProfile::with_capacity(100);
+        p.insert_vector(AdvId::new(1), v);
+        let load = p.estimate_load(publishers);
+        Unit { subs: vec![SubId::new(sub)], profile: p, out_bandwidth: load.bandwidth }
+    }
+
+    fn broker(id: u64, bw: f64) -> BrokerSpec {
+        BrokerSpec::new(BrokerId::new(id), format!("b{id}"), LinearFn::new(0.0001, 0.0), bw)
+    }
+
+    #[test]
+    fn places_on_most_resourceful_first() {
+        let pubs = publishers();
+        let brokers = vec![broker(1, 10_000.0), broker(2, 50_000.0)];
+        let mut packer = Packer::new(&brokers, &pubs);
+        assert_eq!(packer.broker_count(), 2);
+        let placed = packer.place(unit(1, &[0], &pubs)).unwrap();
+        assert_eq!(placed, BrokerId::new(2), "most resourceful wins");
+    }
+
+    #[test]
+    fn bandwidth_must_stay_strictly_positive() {
+        let pubs = publishers();
+        // unit uses 5% of 100kB/s = 5000 B/s; broker has exactly 5000.
+        let brokers = vec![broker(1, 5_000.0)];
+        let u = unit(1, &[0, 1, 2, 3, 4], &pubs);
+        assert!((u.out_bandwidth - 5_000.0).abs() < 1e-9);
+        let mut packer = Packer::new(&brokers, &pubs);
+        assert!(!packer.fits(&u));
+        assert!(matches!(
+            packer.place(u),
+            Err(AllocError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn overflows_to_next_broker() {
+        let pubs = publishers();
+        let brokers = vec![broker(1, 12_000.0), broker(2, 12_000.0)];
+        let mut packer = Packer::new(&brokers, &pubs);
+        // each unit needs 10kB/s; first goes to b1, second to b2.
+        let a = packer.place(unit(1, &(0..10).collect::<Vec<_>>(), &pubs)).unwrap();
+        let b = packer.place(unit(2, &(10..20).collect::<Vec<_>>(), &pubs)).unwrap();
+        assert_ne!(a, b);
+        let alloc = packer.into_allocation();
+        assert_eq!(alloc.broker_count(), 2);
+    }
+
+    #[test]
+    fn matching_rate_constraint_limits_subscriptions() {
+        let pubs = publishers();
+        // 25 ms per message with one sub: max rate = 40 msg/s; a unit
+        // inducing 50 msg/s (50 of 100 slots) cannot be hosted.
+        let slow = BrokerSpec::new(
+            BrokerId::new(1),
+            "b1",
+            LinearFn::new(0.025, 0.0),
+            1e9,
+        );
+        let u = unit(1, &(0..50).collect::<Vec<_>>(), &pubs);
+        let mut packer = Packer::new(&[slow], &pubs);
+        assert!(packer.place(u).is_err());
+        // 10 msg/s unit is fine.
+        let mut packer = Packer::new(
+            &[BrokerSpec::new(BrokerId::new(1), "b1", LinearFn::new(0.025, 0.0), 1e9)],
+            &pubs,
+        );
+        assert!(packer.place(unit(2, &(0..10).collect::<Vec<_>>(), &pubs)).is_ok());
+    }
+
+    #[test]
+    fn per_sub_delay_term_tightens_with_count() {
+        let pubs = publishers();
+        // base 10ms + 10ms/sub; two 1-sub units each inducing 30 msg/s
+        // of *distinct* traffic: first fits (rate 30 <= 1/(0.02)=50),
+        // second would make union rate 60 > 1/(0.03)=33 → second bounces.
+        let b = BrokerSpec::new(BrokerId::new(1), "b1", LinearFn::new(0.01, 0.01), 1e9);
+        let mut packer = Packer::new(&[b], &pubs);
+        assert!(packer.place(unit(1, &(0..30).collect::<Vec<_>>(), &pubs)).is_ok());
+        assert!(packer.place(unit(2, &(30..60).collect::<Vec<_>>(), &pubs)).is_err());
+    }
+
+    #[test]
+    fn shared_traffic_does_not_double_count_input() {
+        let pubs = publishers();
+        // Two units with identical 40-slot profiles: union input stays
+        // 40 msg/s, so both fit on a broker whose cap is 50 msg/s.
+        let b = BrokerSpec::new(BrokerId::new(1), "b1", LinearFn::new(0.02, 0.0), 1e9);
+        let mut packer = Packer::new(&[b], &pubs);
+        let ids: Vec<u64> = (0..40).collect();
+        assert!(packer.place(unit(1, &ids, &pubs)).is_ok());
+        assert!(packer.place(unit(2, &ids, &pubs)).is_ok());
+        let alloc = packer.into_allocation();
+        assert_eq!(alloc.broker_count(), 1);
+        let load = &alloc.loads[0];
+        assert_eq!(load.sub_count(), 2);
+        assert!((load.in_rate - 40.0).abs() < 1e-9);
+        // output is per-copy: 2 × 40 kB/s
+        assert!((load.out_bw_used - 80_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_pool_errors() {
+        let pubs = publishers();
+        let mut packer = Packer::new(&[], &pubs);
+        assert_eq!(packer.place(unit(1, &[0], &pubs)), Err(AllocError::NoBrokers));
+    }
+
+    #[test]
+    fn pack_all_round_trip() {
+        let pubs = publishers();
+        let brokers = vec![broker(1, 1e6), broker(2, 1e6)];
+        let units: Vec<Unit> =
+            (0..5).map(|i| unit(i, &[i * 2, i * 2 + 1], &pubs)).collect();
+        let alloc = pack_all(&brokers, &pubs, units).unwrap();
+        assert_eq!(alloc.sub_count(), 5);
+        assert_eq!(alloc.broker_count(), 1, "everything fits on the first broker");
+    }
+}

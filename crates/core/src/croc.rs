@@ -1,0 +1,245 @@
+//! CROC planning: the end-to-end composition of Phases 2 and 3 plus
+//! GRAPE into a reconfiguration plan.
+//!
+//! This module is pure computation: it consumes the information gathered
+//! in Phase 1 (an [`AllocationInput`]) and produces a
+//! [`ReconfigurationPlan`] — the new broker tree, where every
+//! subscription must migrate, and where every publisher should connect.
+//! The messaging side of CROC (BIR/BIA gathering and plan execution)
+//! lives in `greenps-broker`.
+
+use crate::cram::{cram, CramConfig, CramStats};
+use crate::grape::{place_publishers, GrapeConfig, InterestTree};
+use crate::model::{AllocError, Allocation, AllocationInput};
+use crate::overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayError};
+use crate::sorting::{bin_packing, fbf};
+use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Full CROC configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Overlay construction settings; its allocator also drives Phase 2
+    /// so that the whole scheme stays consistent.
+    pub overlay: OverlayConfig,
+    /// GRAPE publisher-relocation settings.
+    pub grape: GrapeConfig,
+}
+
+impl PlanConfig {
+    /// The paper's recommended configuration: CRAM with a metric, all
+    /// optimizations, load-minimizing GRAPE.
+    pub fn cram(metric: greenps_profile::ClosenessMetric) -> Self {
+        Self {
+            overlay: OverlayConfig::new(AllocatorKind::Cram(CramConfig::with_metric(metric))),
+            grape: GrapeConfig::minimize_load(),
+        }
+    }
+
+    /// BIN PACKING without clustering.
+    pub fn bin_packing() -> Self {
+        Self {
+            overlay: OverlayConfig::new(AllocatorKind::BinPacking),
+            grape: GrapeConfig::minimize_load(),
+        }
+    }
+
+    /// FBF with a shuffle seed.
+    pub fn fbf(seed: u64) -> Self {
+        Self {
+            overlay: OverlayConfig::new(AllocatorKind::Fbf { seed }),
+            grape: GrapeConfig::minimize_load(),
+        }
+    }
+}
+
+/// The outcome of Phases 2–3 plus GRAPE.
+#[derive(Debug, Clone)]
+pub struct ReconfigurationPlan {
+    /// Phase-2 allocation (leaf layer).
+    pub allocation: Allocation,
+    /// Phase-3 broker tree.
+    pub overlay: Overlay,
+    /// Where each subscription must migrate.
+    pub subscription_homes: BTreeMap<SubId, BrokerId>,
+    /// Where each publisher should connect (GRAPE).
+    pub publisher_homes: BTreeMap<AdvId, BrokerId>,
+    /// CRAM statistics when CRAM was the allocator.
+    pub cram_stats: Option<CramStats>,
+}
+
+impl ReconfigurationPlan {
+    /// Number of brokers in the new deployment.
+    pub fn broker_count(&self) -> usize {
+        self.overlay.broker_count()
+    }
+}
+
+/// Errors from planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Phase-2 allocation failed.
+    Alloc(AllocError),
+    /// Phase-3 construction failed.
+    Overlay(OverlayError),
+    /// The subscription pool was empty — nothing to plan.
+    NoSubscriptions,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Alloc(e) => write!(f, "phase 2 failed: {e}"),
+            PlanError::Overlay(e) => write!(f, "phase 3 failed: {e}"),
+            PlanError::NoSubscriptions => f.write_str("subscription pool is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<AllocError> for PlanError {
+    fn from(e: AllocError) -> Self {
+        PlanError::Alloc(e)
+    }
+}
+
+impl From<OverlayError> for PlanError {
+    fn from(e: OverlayError) -> Self {
+        PlanError::Overlay(e)
+    }
+}
+
+/// Runs Phase 2 (allocation), Phase 3 (overlay construction) and GRAPE.
+///
+/// # Errors
+/// Propagates allocation/overlay failures; fails on an empty
+/// subscription pool.
+pub fn plan(input: &AllocationInput, config: &PlanConfig) -> Result<ReconfigurationPlan, PlanError> {
+    if input.subscriptions.is_empty() {
+        return Err(PlanError::NoSubscriptions);
+    }
+    let mut cram_stats = None;
+    let allocation = match &config.overlay.allocator {
+        AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
+        AllocatorKind::BinPacking => bin_packing(input)?,
+        AllocatorKind::Cram(cfg) => {
+            let (a, stats) = cram(input, *cfg)?;
+            cram_stats = Some(stats);
+            a
+        }
+    };
+    let overlay = build_overlay(input, &allocation, &config.overlay)?;
+    let subscription_homes = overlay.subscription_homes();
+    let tree = InterestTree::from_overlay(&overlay);
+    let publisher_homes = place_publishers(&tree, &input.publishers, config.grape);
+    Ok(ReconfigurationPlan {
+        allocation,
+        overlay,
+        subscription_homes,
+        publisher_homes,
+        cram_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BrokerSpec, LinearFn, SubscriptionEntry};
+    use greenps_profile::{
+        ClosenessMetric, PublisherProfile, PublisherTable, ShiftingBitVector,
+        SubscriptionProfile,
+    };
+    use greenps_pubsub::ids::MsgId;
+    use greenps_pubsub::Filter;
+
+    fn input() -> AllocationInput {
+        let publishers: PublisherTable = [
+            PublisherProfile::new(AdvId::new(1), 50.0, 50_000.0, MsgId::new(99)),
+            PublisherProfile::new(AdvId::new(2), 50.0, 50_000.0, MsgId::new(99)),
+        ]
+        .into_iter()
+        .collect();
+        let subscriptions = (0..10u64)
+            .map(|i| {
+                let adv = 1 + (i % 2);
+                let mut v = ShiftingBitVector::starting_at(100, 0);
+                for id in 0..30 {
+                    v.record(id);
+                }
+                let mut p = SubscriptionProfile::with_capacity(100);
+                p.insert_vector(AdvId::new(adv), v);
+                SubscriptionEntry::new(SubId::new(i), Filter::new(), p)
+            })
+            .collect();
+        let brokers = (0..12u64)
+            .map(|i| {
+                BrokerSpec::new(
+                    BrokerId::new(i),
+                    format!("b{i}"),
+                    LinearFn::new(0.0001, 0.0),
+                    50_000.0,
+                )
+            })
+            .collect();
+        AllocationInput { brokers, subscriptions, publishers }
+    }
+
+    #[test]
+    fn cram_plan_end_to_end() {
+        let inp = input();
+        let plan = plan(&inp, &PlanConfig::cram(ClosenessMetric::Ios)).unwrap();
+        assert_eq!(plan.subscription_homes.len(), 10);
+        assert_eq!(plan.publisher_homes.len(), 2);
+        assert!(plan.cram_stats.is_some());
+        plan.overlay.check_tree();
+        // Every home is a broker in the overlay.
+        for b in plan.subscription_homes.values() {
+            assert!(plan.overlay.node(*b).is_some());
+        }
+        for b in plan.publisher_homes.values() {
+            assert!(plan.overlay.node(*b).is_some());
+        }
+        assert!(plan.broker_count() <= inp.brokers.len());
+    }
+
+    #[test]
+    fn bin_packing_and_fbf_plans_work() {
+        let inp = input();
+        for cfg in [PlanConfig::bin_packing(), PlanConfig::fbf(7)] {
+            let plan = plan(&inp, &cfg).unwrap();
+            assert_eq!(plan.subscription_homes.len(), 10);
+            assert!(plan.cram_stats.is_none());
+        }
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        let mut inp = input();
+        inp.subscriptions.clear();
+        assert!(matches!(
+            plan(&inp, &PlanConfig::bin_packing()),
+            Err(PlanError::NoSubscriptions)
+        ));
+    }
+
+    #[test]
+    fn infeasible_input_propagates() {
+        let mut inp = input();
+        for b in &mut inp.brokers {
+            b.out_bandwidth = 10.0;
+        }
+        assert!(matches!(
+            plan(&inp, &PlanConfig::bin_packing()),
+            Err(PlanError::Alloc(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(PlanError::NoSubscriptions.to_string(), "subscription pool is empty");
+        let e = PlanError::Alloc(AllocError::NoBrokers);
+        assert_eq!(e.to_string(), "phase 2 failed: broker pool is empty");
+    }
+}

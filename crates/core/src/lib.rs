@@ -1,0 +1,66 @@
+//! # greenps-core
+//!
+//! The paper's primary contribution: green resource allocation for
+//! content-based publish/subscribe.
+//!
+//! * **Phase 2** subscription allocation — [`sorting::fbf`],
+//!   [`sorting::bin_packing`], and [`cram::cram`] with the four
+//!   closeness metrics and all three optimizations (GIF grouping, poset
+//!   search pruning, one-to-many CGS clustering);
+//! * the related-work baselines [`pairwise::pairwise_k`] /
+//!   [`pairwise::pairwise_n`];
+//! * **Phase 3** recursive overlay construction
+//!   ([`overlay::build_overlay`]) with pure-forwarder elimination,
+//!   children takeover and best-fit replacement;
+//! * **GRAPE** publisher relocation ([`grape::place_publishers`]);
+//! * and the composed planner [`croc::plan`].
+//!
+//! ## Example
+//!
+//! ```
+//! use greenps_core::croc::{plan, PlanConfig};
+//! use greenps_core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
+//! use greenps_profile::{ClosenessMetric, PublisherProfile, SubscriptionProfile};
+//! use greenps_pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
+//! use greenps_pubsub::Filter;
+//!
+//! let mut input = AllocationInput::new();
+//! for i in 0..8u64 {
+//!     input.brokers.push(BrokerSpec::new(
+//!         BrokerId::new(i), format!("tcp://b{i}"),
+//!         LinearFn::new(0.0001, 0.0), 100_000.0,
+//!     ));
+//! }
+//! input.publishers.insert(PublisherProfile::new(AdvId::new(1), 50.0, 50_000.0, MsgId::new(99)));
+//! for i in 0..20u64 {
+//!     let mut p = SubscriptionProfile::new();
+//!     for id in 0..40u64 { p.record(AdvId::new(1), MsgId::new(id)); }
+//!     input.subscriptions.push(SubscriptionEntry::new(SubId::new(i), Filter::new(), p));
+//! }
+//! let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios))?;
+//! assert!(plan.broker_count() < 8); // far fewer brokers than the pool
+//! # Ok::<(), greenps_core::croc::PlanError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod cram;
+pub mod croc;
+pub mod grape;
+pub mod model;
+pub mod overlay;
+pub mod pairwise;
+pub mod sorting;
+
+pub use capacity::{pack_all, Packer};
+pub use cram::{cram, CramConfig, CramStats};
+pub use croc::{plan, PlanConfig, PlanError, ReconfigurationPlan};
+pub use grape::{place_publishers, GrapeConfig, InterestTree};
+pub use model::{
+    AllocError, Allocation, AllocationInput, BrokerLoad, BrokerSpec, LinearFn,
+    SubscriptionEntry, Unit,
+};
+pub use overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayStats};
+pub use pairwise::{pairwise_k, pairwise_n, PairwiseResult};
+pub use sorting::{bin_packing, fbf};

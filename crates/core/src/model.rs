@@ -1,0 +1,368 @@
+//! The allocation data model shared by every Phase-2/Phase-3 algorithm.
+//!
+//! CROC's algorithms operate on three inputs gathered in Phase 1:
+//!
+//! * the **broker pool** — every broker that answered the BIR with its
+//!   linear matching-delay function and total output bandwidth;
+//! * the **subscription pool** — every subscription with its bit-vector
+//!   profile;
+//! * the **publisher table** — rates, bandwidths and message-id
+//!   counters of every publisher.
+//!
+//! The clustering unit of all algorithms is a [`Unit`]: one or more
+//! co-located subscriptions with an OR-aggregated profile. A unit's
+//! *output* bandwidth is the **sum** of its members' bandwidths (every
+//! subscriber receives its own copy) while its *input* requirement is
+//! the union profile's estimated rate (a publication is forwarded to the
+//! hosting broker once).
+
+use greenps_profile::{Load, PublisherTable, SubscriptionProfile};
+use greenps_pubsub::ids::{BrokerId, SubId};
+use greenps_pubsub::Filter;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Linear matching-delay model `d(n) = base + per_sub * n` seconds for a
+/// broker holding `n` subscriptions (paper §III-A: "a linear function
+/// that models the matching delay as a function of the number of
+/// subscriptions").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFn {
+    /// Fixed per-message overhead in seconds.
+    pub base: f64,
+    /// Additional seconds per stored subscription.
+    pub per_sub: f64,
+}
+
+impl LinearFn {
+    /// Creates a delay model.
+    pub fn new(base: f64, per_sub: f64) -> Self {
+        Self { base, per_sub }
+    }
+
+    /// Matching delay in seconds with `n` subscriptions stored.
+    pub fn delay(&self, n: usize) -> f64 {
+        self.base + self.per_sub * n as f64
+    }
+
+    /// Maximum sustainable matching rate (msg/s) with `n` subscriptions
+    /// — the inverse of the matching delay (paper §IV-A). Infinite when
+    /// the delay is zero.
+    pub fn max_rate(&self, n: usize) -> f64 {
+        let d = self.delay(n);
+        if d <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / d
+        }
+    }
+}
+
+/// A broker as reported in its BIA message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerSpec {
+    /// Broker identity.
+    pub id: BrokerId,
+    /// Connection URL (opaque to the algorithms; used to re-home
+    /// clients after reconfiguration).
+    pub url: String,
+    /// Linear matching-delay model.
+    pub matching_delay: LinearFn,
+    /// Total output bandwidth in bytes per second.
+    pub out_bandwidth: f64,
+}
+
+impl BrokerSpec {
+    /// Creates a broker spec.
+    pub fn new(
+        id: BrokerId,
+        url: impl Into<String>,
+        matching_delay: LinearFn,
+        out_bandwidth: f64,
+    ) -> Self {
+        Self { id, url: url.into(), matching_delay, out_bandwidth }
+    }
+}
+
+/// A subscription as reported in a BIA message: identity, filter and
+/// bit-vector profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriptionEntry {
+    /// Subscription identity.
+    pub id: SubId,
+    /// The content filter (never consulted by the algorithms — carried
+    /// so the reconfiguration plan can re-issue subscriptions).
+    pub filter: Filter,
+    /// Bit-vector profile recorded by the CBC.
+    pub profile: SubscriptionProfile,
+}
+
+impl SubscriptionEntry {
+    /// Creates a subscription entry.
+    pub fn new(id: SubId, filter: Filter, profile: SubscriptionProfile) -> Self {
+        Self { id, filter, profile }
+    }
+}
+
+/// Everything Phase 2 needs: broker pool, subscription pool, publisher
+/// table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AllocationInput {
+    /// The broker pool.
+    pub brokers: Vec<BrokerSpec>,
+    /// The subscription pool.
+    pub subscriptions: Vec<SubscriptionEntry>,
+    /// Publisher profiles keyed by advertisement.
+    pub publishers: PublisherTable,
+}
+
+impl AllocationInput {
+    /// Creates an empty input.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A clustering unit: one or more co-located subscriptions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Unit {
+    /// Member subscriptions.
+    pub subs: Vec<SubId>,
+    /// OR-aggregate of the members' profiles.
+    pub profile: SubscriptionProfile,
+    /// Sum of the members' individual output bandwidth requirements
+    /// (bytes/s) — each member receives its own copy of every matching
+    /// publication.
+    pub out_bandwidth: f64,
+}
+
+impl Unit {
+    /// Creates a singleton unit from one subscription, estimating its
+    /// bandwidth requirement from the publishers' profiles.
+    pub fn from_subscription(entry: &SubscriptionEntry, publishers: &PublisherTable) -> Self {
+        let load = entry.profile.estimate_load(publishers);
+        Self {
+            subs: vec![entry.id],
+            profile: entry.profile.clone(),
+            out_bandwidth: load.bandwidth,
+        }
+    }
+
+    /// Merges two units into a new co-located cluster (Figure 1):
+    /// profiles are OR'ed, bandwidths added.
+    #[must_use]
+    pub fn merge(&self, other: &Unit) -> Unit {
+        let mut subs = self.subs.clone();
+        subs.extend_from_slice(&other.subs);
+        Unit {
+            subs,
+            profile: self.profile.or(&other.profile),
+            out_bandwidth: self.out_bandwidth + other.out_bandwidth,
+        }
+    }
+
+    /// Number of member subscriptions.
+    pub fn sub_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// The input load the unit induces on its hosting broker (union
+    /// rate/bandwidth across members).
+    pub fn input_load(&self, publishers: &PublisherTable) -> Load {
+        self.profile.estimate_load(publishers)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unit[{} subs, {:.0} B/s out, {} bits]",
+            self.subs.len(),
+            self.out_bandwidth,
+            self.profile.count_ones()
+        )
+    }
+}
+
+/// The load placed on one allocated broker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerLoad {
+    /// Which broker.
+    pub broker: BrokerId,
+    /// The units allocated to it.
+    pub units: Vec<Unit>,
+    /// OR-aggregate of all unit profiles — this broker's interest, used
+    /// as its "virtual subscription" in Phase 3.
+    pub union_profile: SubscriptionProfile,
+    /// Output bandwidth consumed (bytes/s).
+    pub out_bw_used: f64,
+    /// Estimated incoming publication rate (msg/s).
+    pub in_rate: f64,
+    /// Estimated incoming bandwidth (bytes/s) — what a parent broker
+    /// must spend to feed this broker.
+    pub in_bandwidth: f64,
+}
+
+impl BrokerLoad {
+    /// Total member subscriptions hosted.
+    pub fn sub_count(&self) -> usize {
+        self.units.iter().map(Unit::sub_count).sum()
+    }
+
+    /// All member subscription ids.
+    pub fn sub_ids(&self) -> impl Iterator<Item = SubId> + '_ {
+        self.units.iter().flat_map(|u| u.subs.iter().copied())
+    }
+}
+
+/// The outcome of Phase 2: a set of non-connected brokers, some with
+/// subscriptions allocated to them.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Brokers that received at least one unit.
+    pub loads: Vec<BrokerLoad>,
+}
+
+impl Allocation {
+    /// Number of allocated brokers.
+    pub fn broker_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Total subscriptions across all brokers.
+    pub fn sub_count(&self) -> usize {
+        self.loads.iter().map(BrokerLoad::sub_count).sum()
+    }
+
+    /// Looks up the load of a specific broker.
+    pub fn load_of(&self, broker: BrokerId) -> Option<&BrokerLoad> {
+        self.loads.iter().find(|l| l.broker == broker)
+    }
+
+    /// Ids of the allocated brokers.
+    pub fn broker_ids(&self) -> impl Iterator<Item = BrokerId> + '_ {
+        self.loads.iter().map(|l| l.broker)
+    }
+}
+
+/// Errors produced by the allocation algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocError {
+    /// No broker can host this unit (insufficient pool resources).
+    Infeasible {
+        /// Ids of the subscriptions in the unplaceable unit.
+        subs: Vec<SubId>,
+    },
+    /// The broker pool is empty but subscriptions exist.
+    NoBrokers,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Infeasible { subs } => {
+                write!(f, "no broker can host a unit of {} subscription(s)", subs.len())
+            }
+            AllocError::NoBrokers => f.write_str("broker pool is empty"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenps_profile::{PublisherProfile, ShiftingBitVector};
+    use greenps_pubsub::ids::{AdvId, MsgId};
+
+    fn profile_with(ids: &[u64]) -> SubscriptionProfile {
+        let mut v = ShiftingBitVector::starting_at(100, 0);
+        for &id in ids {
+            v.record(id);
+        }
+        let mut p = SubscriptionProfile::with_capacity(100);
+        p.insert_vector(AdvId::new(1), v);
+        p
+    }
+
+    fn publishers() -> PublisherTable {
+        [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn linear_fn_delay_and_rate() {
+        let f = LinearFn::new(0.001, 0.000001);
+        assert!((f.delay(1000) - 0.002).abs() < 1e-12);
+        assert!((f.max_rate(1000) - 500.0).abs() < 1e-9);
+        assert_eq!(LinearFn::new(0.0, 0.0).max_rate(10), f64::INFINITY);
+    }
+
+    #[test]
+    fn unit_from_subscription_estimates_bandwidth() {
+        let entry = SubscriptionEntry::new(
+            SubId::new(1),
+            Filter::new(),
+            profile_with(&(0..10).collect::<Vec<_>>()),
+        );
+        let u = Unit::from_subscription(&entry, &publishers());
+        // 10 of 100 slots → 10% of 100 kB/s = 10 kB/s
+        assert!((u.out_bandwidth - 10_000.0).abs() < 1e-6);
+        assert_eq!(u.sub_count(), 1);
+        assert!((u.input_load(&publishers()).rate - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_bandwidth_but_unions_input() {
+        let p = publishers();
+        let a = Unit::from_subscription(
+            &SubscriptionEntry::new(SubId::new(1), Filter::new(), profile_with(&[0, 1, 2])),
+            &p,
+        );
+        let b = Unit::from_subscription(
+            &SubscriptionEntry::new(SubId::new(2), Filter::new(), profile_with(&[2, 3])),
+            &p,
+        );
+        let m = a.merge(&b);
+        assert_eq!(m.sub_count(), 2);
+        // output = sum of members: 3% + 2% of 100kB/s
+        assert!((m.out_bandwidth - 5_000.0).abs() < 1e-6);
+        // input = union {0,1,2,3} = 4% of 100 msg/s
+        assert!((m.input_load(&p).rate - 4.0).abs() < 1e-9);
+        assert_eq!(m.to_string(), "unit[2 subs, 5000 B/s out, 4 bits]");
+    }
+
+    #[test]
+    fn allocation_accessors() {
+        let load = BrokerLoad {
+            broker: BrokerId::new(7),
+            units: vec![Unit {
+                subs: vec![SubId::new(1), SubId::new(2)],
+                profile: profile_with(&[0]),
+                out_bandwidth: 1.0,
+            }],
+            union_profile: profile_with(&[0]),
+            out_bw_used: 1.0,
+            in_rate: 1.0,
+            in_bandwidth: 1000.0,
+        };
+        assert_eq!(load.sub_count(), 2);
+        assert_eq!(load.sub_ids().count(), 2);
+        let alloc = Allocation { loads: vec![load] };
+        assert_eq!(alloc.broker_count(), 1);
+        assert_eq!(alloc.sub_count(), 2);
+        assert!(alloc.load_of(BrokerId::new(7)).is_some());
+        assert!(alloc.load_of(BrokerId::new(8)).is_none());
+        assert_eq!(alloc.broker_ids().collect::<Vec<_>>(), vec![BrokerId::new(7)]);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = AllocError::Infeasible { subs: vec![SubId::new(1)] };
+        assert_eq!(e.to_string(), "no broker can host a unit of 1 subscription(s)");
+        assert_eq!(AllocError::NoBrokers.to_string(), "broker pool is empty");
+    }
+}

@@ -1,0 +1,514 @@
+//! Bounded, shifting bit vectors (paper §III-B).
+//!
+//! A bit vector records which publications of one publisher a
+//! subscription received. Bit `i` corresponds to the publication whose
+//! message id is `first_id + i`. The vector has a bounded capacity
+//! (default 1,280 bits); recording an id beyond the window shifts the
+//! window forward just enough to place the new id in the last bit,
+//! discarding the oldest bits — exactly the paper's example: capacity
+//! 10, `first_id` 100, incoming id 119 → shift by 10, set index 9,
+//! `first_id` becomes 110.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+const WORD_BITS: usize = 64;
+
+/// Default bit vector capacity from the paper.
+pub const DEFAULT_CAPACITY: usize = 1_280;
+
+/// A bounded bit vector over a shifting window of publication ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShiftingBitVector {
+    first_id: u64,
+    capacity: usize,
+    words: Vec<u64>,
+}
+
+impl Default for ShiftingBitVector {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl ShiftingBitVector {
+    /// Creates an empty vector with the given capacity in bits, starting
+    /// at id 0.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::starting_at(capacity, 0)
+    }
+
+    /// Creates an empty vector whose window starts at `first_id`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn starting_at(capacity: usize, first_id: u64) -> Self {
+        assert!(capacity > 0, "bit vector capacity must be positive");
+        let words = capacity.div_ceil(WORD_BITS);
+        Self { first_id, capacity, words: vec![0; words] }
+    }
+
+    /// Builds a vector from a window start and explicit bits, mirroring
+    /// the paper's figures (`bits[i]` set means id `first_id + i`
+    /// received).
+    ///
+    /// # Panics
+    /// Panics if `bits` is longer than `capacity` or `capacity` is zero.
+    pub fn from_bits(capacity: usize, first_id: u64, bits: &[bool]) -> Self {
+        assert!(bits.len() <= capacity, "more bits than capacity");
+        let mut v = Self::starting_at(capacity, first_id);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set_index(i);
+            }
+        }
+        v
+    }
+
+    /// Id corresponding to bit index 0 — the paper's per-vector counter.
+    pub fn first_id(&self) -> u64 {
+        self.first_id
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// One past the last id the window can currently hold.
+    pub fn window_end(&self) -> u64 {
+        self.first_id + self.capacity as u64
+    }
+
+    fn set_index(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Records receipt of publication `id`.
+    ///
+    /// Returns `false` when the id predates the window (too old to
+    /// record); the paper's protocol never needs those bits again.
+    pub fn record(&mut self, id: u64) -> bool {
+        if id < self.first_id {
+            return false;
+        }
+        if id >= self.window_end() {
+            let shift = id - self.window_end() + 1;
+            self.shift_forward(shift);
+        }
+        self.set_index((id - self.first_id) as usize);
+        true
+    }
+
+    /// Shifts the window forward by `shift` ids, discarding the oldest
+    /// bits (the paper's left-shift when the first bit is the MSB).
+    pub fn shift_forward(&mut self, shift: u64) {
+        if shift as usize >= self.capacity {
+            self.words.iter_mut().for_each(|w| *w = 0);
+        } else {
+            let shift = shift as usize;
+            let word_off = shift / WORD_BITS;
+            let bit_off = shift % WORD_BITS;
+            let n = self.words.len();
+            for i in 0..n {
+                let lo = self.words.get(i + word_off).copied().unwrap_or(0);
+                let hi = self.words.get(i + word_off + 1).copied().unwrap_or(0);
+                self.words[i] = if bit_off == 0 {
+                    lo
+                } else {
+                    (lo >> bit_off) | (hi << (WORD_BITS - bit_off))
+                };
+            }
+            self.mask_tail();
+        }
+        self.first_id += shift;
+    }
+
+    fn mask_tail(&mut self) {
+        let valid = self.capacity % WORD_BITS;
+        if valid != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << valid) - 1;
+        }
+    }
+
+    /// True when publication `id` is recorded.
+    pub fn contains(&self, id: u64) -> bool {
+        if id < self.first_id || id >= self.window_end() {
+            return false;
+        }
+        let i = (id - self.first_id) as usize;
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of set bits — `|S|` in the closeness formulas.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the recorded publication ids in ascending order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let first = self.first_id;
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(first + (wi * WORD_BITS + bit) as u64)
+            })
+        })
+    }
+
+    /// `|self ∩ other|` — ids recorded in both vectors.
+    pub fn and_count(&self, other: &Self) -> usize {
+        self.zip_count(other, |a, b| a & b)
+    }
+
+    /// `|self ∪ other|` — ids recorded in either vector.
+    pub fn or_count(&self, other: &Self) -> usize {
+        self.zip_count(other, |a, b| a | b)
+    }
+
+    /// `|self ⊕ other|` — ids recorded in exactly one vector.
+    pub fn xor_count(&self, other: &Self) -> usize {
+        self.zip_count(other, |a, b| a ^ b)
+    }
+
+    fn zip_count(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> usize {
+        if self.first_id == other.first_id {
+            // Fast path: aligned windows (the common case thanks to
+            // publisher message-id synchronization).
+            let n = self.words.len().max(other.words.len());
+            let mut count = 0;
+            for i in 0..n {
+                let a = self.words.get(i).copied().unwrap_or(0);
+                let b = other.words.get(i).copied().unwrap_or(0);
+                count += f(a, b).count_ones() as usize;
+            }
+            count
+        } else {
+            let (lo, hi_end) = combined_window(self, other);
+            let words = ((hi_end - lo) as usize).div_ceil(WORD_BITS);
+            let a = self.aligned_words(lo, words);
+            let b = other.aligned_words(lo, words);
+            a.iter().zip(&b).map(|(&x, &y)| f(x, y).count_ones() as usize).sum()
+        }
+    }
+
+    /// True when every id recorded here is also recorded in `other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        self.and_count(other) == self.count_ones()
+    }
+
+    /// Bitwise set equality (ignores window placement).
+    pub fn same_ids(&self, other: &Self) -> bool {
+        self.xor_count(other) == 0
+    }
+
+    /// Materializes this vector's bits inside an arbitrary window
+    /// `[first, first + words*64)`; bits outside this vector's own
+    /// window read as zero.
+    fn aligned_words(&self, first: u64, words: usize) -> Vec<u64> {
+        let mut out = vec![0u64; words];
+        for id in self.iter_ids() {
+            if id >= first {
+                let i = (id - first) as usize;
+                if i < words * WORD_BITS {
+                    out[i / WORD_BITS] |= 1 << (i % WORD_BITS);
+                }
+            }
+        }
+        out
+    }
+
+    /// Merges `other` into `self` with bitwise OR (clustering two
+    /// subscriptions, Figure 1 of the paper). The merged window covers
+    /// both inputs; if their union spans more than this vector's
+    /// capacity, the oldest bits are discarded.
+    pub fn or_assign(&mut self, other: &Self) {
+        // Fast path: identical windows (the common case — vectors of
+        // one experiment share first_id and capacity) is a pure
+        // word-level OR.
+        if self.first_id == other.first_id && self.capacity == other.capacity {
+            for (w, o) in self.words.iter_mut().zip(&other.words) {
+                *w |= o;
+            }
+            return;
+        }
+        let (lo, hi_end) = combined_window(self, other);
+        let span = hi_end - lo;
+        let first = if span > self.capacity as u64 {
+            hi_end - self.capacity as u64
+        } else {
+            lo
+        };
+        let words = self.capacity.div_ceil(WORD_BITS);
+        let mut merged = self.aligned_words(first, words);
+        for (m, o) in merged.iter_mut().zip(other.aligned_words(first, words)) {
+            *m |= o;
+        }
+        self.first_id = first;
+        self.words = merged;
+        self.mask_tail();
+    }
+
+    /// Returns the OR of two vectors as a new vector (capacity of
+    /// `self`).
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+}
+
+fn combined_window(a: &ShiftingBitVector, b: &ShiftingBitVector) -> (u64, u64) {
+    (a.first_id.min(b.first_id), a.window_end().max(b.window_end()))
+}
+
+impl PartialOrd for ShiftingBitVector {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ShiftingBitVector {
+    /// Lexicographic order over the recorded id sets (consistent with
+    /// the set-based equality).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter_ids().cmp(other.iter_ids())
+    }
+}
+
+impl PartialEq for ShiftingBitVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_ids(other)
+    }
+}
+
+impl Eq for ShiftingBitVector {}
+
+impl Hash for ShiftingBitVector {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for id in self.iter_ids() {
+            id.hash(state);
+        }
+    }
+}
+
+impl fmt::Display for ShiftingBitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}+", self.first_id)?;
+        let show = self.capacity.min(64);
+        for i in 0..show {
+            let set = self.contains(self.first_id + i as u64);
+            f.write_str(if set { "1" } else { "0" })?;
+        }
+        if self.capacity > show {
+            f.write_str("…")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn records_within_window() {
+        let mut v = ShiftingBitVector::starting_at(10, 100);
+        assert!(v.record(100));
+        assert!(v.record(105));
+        assert!(v.contains(100));
+        assert!(v.contains(105));
+        assert!(!v.contains(101));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn paper_shift_example() {
+        // "if the bit vector length is 10 while the counter representing
+        // the first bit is 100, and an incoming publication has a
+        // publication ID of 119, then shift the bit vector by 10 bits,
+        // set the bit at index 9, and update the counter to 110."
+        let mut v = ShiftingBitVector::starting_at(10, 100);
+        v.record(103);
+        v.record(119);
+        assert_eq!(v.first_id(), 110);
+        assert!(v.contains(119));
+        assert!(!v.contains(103), "old bit shifted out");
+        assert_eq!(v.count_ones(), 1);
+    }
+
+    #[test]
+    fn shift_preserves_recent_bits() {
+        let mut v = ShiftingBitVector::starting_at(10, 0);
+        for id in [5, 7, 9] {
+            v.record(id);
+        }
+        v.record(12); // shift by 3: window now [3, 13)
+        assert_eq!(v.first_id(), 3);
+        for id in [5, 7, 9, 12] {
+            assert!(v.contains(id), "id {id} lost");
+        }
+        assert_eq!(v.count_ones(), 4);
+    }
+
+    #[test]
+    fn too_old_ids_are_rejected() {
+        let mut v = ShiftingBitVector::starting_at(10, 100);
+        assert!(!v.record(99));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn giant_shift_clears_everything_old() {
+        let mut v = ShiftingBitVector::starting_at(128, 0);
+        for id in 0..128 {
+            v.record(id);
+        }
+        v.record(10_000);
+        assert_eq!(v.count_ones(), 1);
+        assert!(v.contains(10_000));
+        assert_eq!(v.first_id(), 10_000 - 127);
+    }
+
+    #[test]
+    fn figure_1_clustering_example() {
+        // S1: Adv1 bits 11100 at 75;       Adv2 bits 11111 at 144
+        // S2: Adv1 bits 00111 at 75;       Adv3 bits 00100 at 2
+        // S1+S2: Adv1 = 11111, Adv2 = 11111, Adv3 = 00100
+        let s1_adv1 =
+            ShiftingBitVector::from_bits(5, 75, &[true, true, true, false, false]);
+        let s2_adv1 =
+            ShiftingBitVector::from_bits(5, 75, &[false, false, true, true, true]);
+        let merged = s1_adv1.or(&s2_adv1);
+        assert_eq!(merged.count_ones(), 5);
+        assert_eq!(merged.iter_ids().collect::<Vec<_>>(), vec![75, 76, 77, 78, 79]);
+        // intersection of S1 and S2 on Adv1 is the single id 77
+        assert_eq!(s1_adv1.and_count(&s2_adv1), 1);
+        assert_eq!(s1_adv1.xor_count(&s2_adv1), 4);
+        assert_eq!(s1_adv1.or_count(&s2_adv1), 5);
+    }
+
+    #[test]
+    fn set_ops_with_misaligned_windows() {
+        let mut a = ShiftingBitVector::starting_at(16, 0);
+        let mut b = ShiftingBitVector::starting_at(16, 8);
+        for id in [4, 9, 10] {
+            a.record(id);
+        }
+        for id in [9, 10, 20] {
+            b.record(id);
+        }
+        assert_eq!(a.and_count(&b), 2); // 9, 10
+        assert_eq!(a.or_count(&b), 4); // 4, 9, 10, 20
+        assert_eq!(a.xor_count(&b), 2); // 4, 20
+        assert!(!a.is_subset_of(&b));
+        let sub = {
+            let mut s = ShiftingBitVector::starting_at(16, 6);
+            s.record(9);
+            s
+        };
+        assert!(sub.is_subset_of(&a));
+    }
+
+    #[test]
+    fn or_assign_keeps_most_recent_on_overflow() {
+        let mut a = ShiftingBitVector::starting_at(10, 0);
+        a.record(0);
+        a.record(5);
+        let mut b = ShiftingBitVector::starting_at(10, 12);
+        b.record(15);
+        a.or_assign(&b); // union window [0,22) spans 22 > 10 → keep [12,22)
+        assert_eq!(a.first_id(), 12);
+        assert!(a.contains(15));
+        assert!(!a.contains(5));
+        assert_eq!(a.count_ones(), 1);
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_window_placement() {
+        use std::collections::hash_map::DefaultHasher;
+        let mut a = ShiftingBitVector::starting_at(64, 0);
+        let mut b = ShiftingBitVector::starting_at(64, 3);
+        for id in [10, 20, 30] {
+            a.record(id);
+            b.record(id);
+        }
+        assert_eq!(a, b);
+        let hash = |v: &ShiftingBitVector| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        b.record(40);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn iter_ids_round_trips() {
+        let mut v = ShiftingBitVector::starting_at(200, 50);
+        let ids = [50u64, 63, 64, 65, 127, 128, 200, 249];
+        for &id in &ids {
+            v.record(id);
+        }
+        assert_eq!(v.iter_ids().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut v = ShiftingBitVector::starting_at(5, 75);
+        v.record(75);
+        v.record(77);
+        assert_eq!(v.to_string(), "[75+10100]");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ShiftingBitVector::new(0);
+    }
+
+    #[test]
+    fn model_based_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let cap = rng.gen_range(1..200usize);
+            let mut v = ShiftingBitVector::new(cap);
+            let mut model: BTreeSet<u64> = BTreeSet::new();
+            let mut id = 0u64;
+            for _ in 0..300 {
+                id += rng.gen_range(0..5);
+                if v.record(id) {
+                    model.insert(id);
+                }
+                // model: drop ids outside current window
+                let first = v.first_id();
+                model.retain(|&m| m >= first);
+            }
+            assert_eq!(
+                v.iter_ids().collect::<Vec<_>>(),
+                model.iter().copied().collect::<Vec<_>>()
+            );
+            assert_eq!(v.count_ones(), model.len());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Identifier newtypes used across the system.
+//!
+//! Every entity in the network — brokers, clients, advertisements,
+//! subscriptions and individual publications — carries a small `Copy`
+//! identifier. Newtypes keep them statically distinct (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Creates an identifier from a raw integer.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a broker in the overlay.
+    BrokerId,
+    "B"
+);
+id_type!(
+    /// Identifies a publish/subscribe client (publisher or subscriber).
+    ClientId,
+    "C"
+);
+id_type!(
+    /// Globally unique advertisement identifier.
+    ///
+    /// The paper uses the advertisement id embedded in every publication
+    /// to identify its publisher, so `AdvId` doubles as the publisher key
+    /// in subscription profiles.
+    AdvId,
+    "Adv"
+);
+id_type!(
+    /// Identifies a subscription.
+    SubId,
+    "S"
+);
+
+/// Per-publisher publication sequence number.
+///
+/// Each publisher appends a monotonically increasing message id to its
+/// publications; bit-vector profiles are indexed by this id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MsgId(pub u64);
+
+impl MsgId {
+    /// Creates a message id from a raw sequence number.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw sequence number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The message id following this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for MsgId {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(BrokerId::new(3).to_string(), "B3");
+        assert_eq!(ClientId::new(1).to_string(), "C1");
+        assert_eq!(AdvId::new(7).to_string(), "Adv7");
+        assert_eq!(SubId::new(9).to_string(), "S9");
+        assert_eq!(MsgId::new(75).to_string(), "#75");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let b: BrokerId = 42u64.into();
+        assert_eq!(u64::from(b), 42);
+        assert_eq!(b.raw(), 42);
+    }
+
+    #[test]
+    fn msg_id_next_increments() {
+        assert_eq!(MsgId::new(5).next(), MsgId::new(6));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(SubId::new(1) < SubId::new(2));
+        assert!(MsgId::new(10) > MsgId::new(9));
+    }
+}

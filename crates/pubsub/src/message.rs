@@ -1,0 +1,225 @@
+//! Message types exchanged in the publish/subscribe network.
+//!
+//! Publications carry attribute/value pairs plus the publisher's
+//! advertisement id and a per-publisher message id — the two fields the
+//! paper's bit-vector profiling framework relies on (Section III-B).
+
+use crate::filter::Filter;
+use crate::ids::{AdvId, MsgId, SubId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable publication message.
+///
+/// Publications are reference-counted so a broker can forward one
+/// message to many neighbors without copying the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Publication {
+    /// Advertisement id identifying the publisher (paper §III-B).
+    pub adv_id: AdvId,
+    /// Per-publisher sequence number appended by the publisher.
+    pub msg_id: MsgId,
+    attrs: Arc<Vec<(String, Value)>>,
+}
+
+impl Publication {
+    /// Starts building a publication for the given publisher identity.
+    pub fn builder(adv_id: AdvId, msg_id: MsgId) -> PublicationBuilder {
+        PublicationBuilder { adv_id, msg_id, attrs: Vec::new() }
+    }
+
+    /// Looks up the value of an attribute.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.attrs.iter().find(|(a, _)| a == attr).map(|(_, v)| v)
+    }
+
+    /// Iterates over `(attribute, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(a, v)| (a.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the publication carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Approximate serialized size in bytes, used for bandwidth
+    /// accounting in the simulator (ids + attribute payload).
+    pub fn wire_size(&self) -> usize {
+        16 + self
+            .attrs
+            .iter()
+            .map(|(a, v)| a.len() + 1 + v.wire_size())
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Publication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}:", self.adv_id, self.msg_id)?;
+        for (i, (a, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "[{a},{v}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Publication`].
+#[derive(Debug)]
+pub struct PublicationBuilder {
+    adv_id: AdvId,
+    msg_id: MsgId,
+    attrs: Vec<(String, Value)>,
+}
+
+impl PublicationBuilder {
+    /// Adds an attribute/value pair; setting an attribute twice
+    /// replaces the earlier value (publications are attribute maps).
+    #[must_use]
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        let name = name.into();
+        let value = value.into();
+        match self.attrs.iter_mut().find(|(a, _)| *a == name) {
+            Some(slot) => slot.1 = value,
+            None => self.attrs.push((name, value)),
+        }
+        self
+    }
+
+    /// Finalizes the publication.
+    pub fn build(self) -> Publication {
+        Publication {
+            adv_id: self.adv_id,
+            msg_id: self.msg_id,
+            attrs: Arc::new(self.attrs),
+        }
+    }
+}
+
+/// An advertisement: a publisher's declaration of the publications it
+/// will emit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Advertisement {
+    /// Globally unique advertisement id.
+    pub id: AdvId,
+    /// The filter describing future publications.
+    pub filter: Filter,
+}
+
+impl Advertisement {
+    /// Creates an advertisement.
+    pub fn new(id: AdvId, filter: Filter) -> Self {
+        Self { id, filter }
+    }
+}
+
+/// A subscription registered by a subscriber.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subscription {
+    /// Globally unique subscription id.
+    pub id: SubId,
+    /// The filter describing wanted publications.
+    pub filter: Filter,
+}
+
+impl Subscription {
+    /// Creates a subscription.
+    pub fn new(id: SubId, filter: Filter) -> Self {
+        Self { id, filter }
+    }
+}
+
+/// The messages a content-based broker routes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Data message flowing from publishers to matching subscribers.
+    Publication(Publication),
+    /// Advertisement flooded through the overlay.
+    Advertise(Advertisement),
+    /// Retract an advertisement.
+    Unadvertise(AdvId),
+    /// Subscription routed toward matching advertisements.
+    Subscribe(Subscription),
+    /// Retract a subscription.
+    Unsubscribe(SubId),
+}
+
+impl Message {
+    /// Approximate serialized size in bytes for bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Message::Publication(p) => p.wire_size(),
+            Message::Advertise(a) => 8 + a.filter.wire_size(),
+            Message::Subscribe(s) => 8 + s.filter.wire_size(),
+            Message::Unadvertise(_) | Message::Unsubscribe(_) => 8,
+        }
+    }
+
+    /// True for publication (data-plane) messages.
+    pub fn is_publication(&self) -> bool {
+        matches!(self, Message::Publication(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::stock_template;
+
+    #[test]
+    fn builder_preserves_attribute_order_and_lookup() {
+        let p = Publication::builder(AdvId::new(2), MsgId::new(144))
+            .attr("class", "STOCK")
+            .attr("close", 18.37)
+            .build();
+        assert_eq!(p.get("class"), Some(&Value::str("STOCK")));
+        assert_eq!(p.get("close"), Some(&Value::Float(18.37)));
+        assert_eq!(p.get("missing"), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn publication_display_includes_identity() {
+        let p = Publication::builder(AdvId::new(1), MsgId::new(75))
+            .attr("symbol", "YHOO")
+            .build();
+        assert_eq!(p.to_string(), "Adv1#75:[symbol,'YHOO']");
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let p = Publication::builder(AdvId::new(1), MsgId::new(1))
+            .attr("a", 1i64)
+            .build();
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.attrs, &q.attrs));
+    }
+
+    #[test]
+    fn wire_sizes_are_positive_and_ordered() {
+        let small = Message::Unsubscribe(SubId::new(1));
+        let sub = Message::Subscribe(Subscription::new(
+            SubId::new(1),
+            stock_template("YHOO"),
+        ));
+        assert!(small.wire_size() < sub.wire_size());
+        assert!(!small.is_publication());
+    }
+
+    #[test]
+    fn publication_is_data_plane() {
+        let p = Publication::builder(AdvId::new(1), MsgId::new(1)).build();
+        assert!(Message::Publication(p).is_publication());
+    }
+}

@@ -1,0 +1,319 @@
+//! Parser for the PADRES-style textual filter syntax.
+//!
+//! Subscriptions, advertisements and publications in PADRES are written
+//! as comma-separated bracketed triples:
+//!
+//! ```text
+//! [class,=,'STOCK'],[symbol,=,'YHOO'],[volume,>,1000]
+//! ```
+//!
+//! Publications use pairs instead: `[class,'STOCK'],[open,18.37]`.
+//! This module parses both forms, enabling text-driven tooling (PANDA
+//! topology files, REPLs, test fixtures).
+
+use crate::filter::Filter;
+use crate::ids::{AdvId, MsgId};
+use crate::message::Publication;
+use crate::predicate::{Op, Predicate};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFilterError {
+    /// Byte offset of the failure.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseFilterError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseFilterError {
+        ParseFilterError { position: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: char) -> Result<(), ParseFilterError> {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len_utf8();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{token}'")))
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+
+    /// Reads until one of `stops`, trimming whitespace.
+    fn until(&mut self, stops: &[char]) -> &'a str {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest.find(|c| stops.contains(&c)).unwrap_or(rest.len());
+        let token = rest[..end].trim_end();
+        self.pos += end;
+        token
+    }
+
+    fn quoted_or_bare(&mut self, stops: &[char]) -> Result<Value, ParseFilterError> {
+        self.skip_ws();
+        if self.rest().starts_with('\'') {
+            self.pos += 1;
+            let rest = self.rest();
+            let Some(end) = rest.find('\'') else {
+                return Err(self.error("unterminated string literal"));
+            };
+            let s = &rest[..end];
+            self.pos += end + 1;
+            return Ok(Value::str(s));
+        }
+        let token = self.until(stops);
+        if token.is_empty() {
+            return Err(self.error("expected a value"));
+        }
+        Ok(parse_bare_value(token))
+    }
+}
+
+fn parse_bare_value(token: &str) -> Value {
+    if let Ok(i) = token.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match token {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        other => Value::str(other),
+    }
+}
+
+fn parse_op(token: &str) -> Option<Op> {
+    Some(match token {
+        "=" | "eq" => Op::Eq,
+        "!=" | "neq" | "<>" => Op::Neq,
+        "<" | "lt" => Op::Lt,
+        "<=" | "le" => Op::Le,
+        ">" | "gt" => Op::Gt,
+        ">=" | "ge" => Op::Ge,
+        "str-prefix" => Op::Prefix,
+        "str-suffix" => Op::Suffix,
+        "str-contains" => Op::Contains,
+        "isPresent" | "is-present" => Op::Present,
+        _ => return None,
+    })
+}
+
+/// Parses a filter: one or more `[attr,op,value]` triples separated by
+/// commas.
+///
+/// # Errors
+/// Returns a [`ParseFilterError`] describing the first syntax problem.
+///
+/// # Examples
+/// ```
+/// use greenps_pubsub::parser::parse_filter;
+/// let f = parse_filter("[class,=,'STOCK'],[volume,>,1000]")?;
+/// assert_eq!(f.len(), 2);
+/// # Ok::<(), greenps_pubsub::parser::ParseFilterError>(())
+/// ```
+pub fn parse_filter(src: &str) -> Result<Filter, ParseFilterError> {
+    let mut cur = Cursor::new(src);
+    let mut filter = Filter::new();
+    loop {
+        cur.eat('[')?;
+        let attr = cur.until(&[',']).to_string();
+        if attr.is_empty() {
+            return Err(cur.error("expected an attribute name"));
+        }
+        cur.eat(',')?;
+        let op_token = cur.until(&[',', ']']);
+        let Some(op) = parse_op(op_token) else {
+            return Err(cur.error(format!("unknown operator '{op_token}'")));
+        };
+        let value = if op == Op::Present {
+            // isPresent may omit the value operand.
+            cur.skip_ws();
+            if cur.rest().starts_with(',') {
+                cur.eat(',')?;
+                cur.quoted_or_bare(&[']'])?
+            } else {
+                Value::Bool(true)
+            }
+        } else {
+            cur.eat(',')?;
+            cur.quoted_or_bare(&[']'])?
+        };
+        cur.eat(']')?;
+        filter = filter.and(Predicate { attr, op, value });
+        if cur.at_end() {
+            return Ok(filter);
+        }
+        cur.eat(',')?;
+    }
+}
+
+/// Parses a publication: `[attr,value]` pairs, with identity supplied by
+/// the caller.
+///
+/// # Errors
+/// Returns a [`ParseFilterError`] describing the first syntax problem.
+///
+/// # Examples
+/// ```
+/// use greenps_pubsub::ids::{AdvId, MsgId};
+/// use greenps_pubsub::parser::parse_publication;
+/// let p = parse_publication("[class,'STOCK'],[open,18.37]", AdvId::new(1), MsgId::new(7))?;
+/// assert_eq!(p.get("open"), Some(&18.37.into()));
+/// # Ok::<(), greenps_pubsub::parser::ParseFilterError>(())
+/// ```
+pub fn parse_publication(
+    src: &str,
+    adv: AdvId,
+    msg: MsgId,
+) -> Result<Publication, ParseFilterError> {
+    let mut cur = Cursor::new(src);
+    let mut builder = Publication::builder(adv, msg);
+    loop {
+        cur.eat('[')?;
+        let attr = cur.until(&[',']).to_string();
+        if attr.is_empty() {
+            return Err(cur.error("expected an attribute name"));
+        }
+        cur.eat(',')?;
+        let value = cur.quoted_or_bare(&[']'])?;
+        cur.eat(']')?;
+        builder = builder.attr(attr, value);
+        if cur.at_end() {
+            return Ok(builder.build());
+        }
+        cur.eat(',')?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_subscription() {
+        let f = parse_filter("[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,18.37]").unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(
+            f.to_string(),
+            "[class,=,'STOCK'],[symbol,=,'YHOO'],[low,<,18.37]"
+        );
+    }
+
+    #[test]
+    fn round_trips_display_form() {
+        for src in [
+            "[class,=,'STOCK']",
+            "[volume,>,1000]",
+            "[volume,>=,1000],[volume,<=,2000]",
+            "[name,str-prefix,'YH']",
+            "[x,!=,5]",
+        ] {
+            let f = parse_filter(src).unwrap();
+            assert_eq!(f.to_string(), src, "round trip {src}");
+            let again = parse_filter(&f.to_string()).unwrap();
+            assert_eq!(f, again);
+        }
+    }
+
+    #[test]
+    fn word_operators_and_whitespace() {
+        let f = parse_filter(" [ volume , gt , 1000 ] , [ class , eq , 'STOCK' ] ").unwrap();
+        assert_eq!(f.predicates()[0].op, Op::Gt);
+        assert_eq!(f.predicates()[0].value, Value::Int(1000));
+        assert_eq!(f.predicates()[1].value, Value::str("STOCK"));
+    }
+
+    #[test]
+    fn is_present_with_and_without_operand() {
+        let f = parse_filter("[open,isPresent]").unwrap();
+        assert_eq!(f.predicates()[0].op, Op::Present);
+        let f = parse_filter("[open,isPresent,true]").unwrap();
+        assert_eq!(f.predicates()[0].op, Op::Present);
+    }
+
+    #[test]
+    fn value_types_inferred() {
+        let f = parse_filter("[a,=,1],[b,=,1.5],[c,=,true],[d,=,'x'],[e,=,hello]").unwrap();
+        let vals: Vec<&Value> = f.predicates().iter().map(|p| &p.value).collect();
+        assert_eq!(vals[0], &Value::Int(1));
+        assert_eq!(vals[1], &Value::Float(1.5));
+        assert_eq!(vals[2], &Value::Bool(true));
+        assert_eq!(vals[3], &Value::str("x"));
+        assert_eq!(vals[4], &Value::str("hello"));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = parse_filter("[class=,'STOCK']").unwrap_err();
+        assert!(e.position > 0);
+        assert!(e.to_string().contains("parse error"));
+        assert!(parse_filter("").is_err());
+        assert!(parse_filter("[a,=,1],").is_err());
+        assert!(parse_filter("[a,??,1]").is_err());
+        assert!(parse_filter("[a,=,'unterminated]").is_err());
+        assert!(parse_filter("[,=,1]").is_err());
+    }
+
+    #[test]
+    fn parses_paper_publication() {
+        let p = parse_publication(
+            "[class,'STOCK'],[symbol,'YHOO'],[open,18.37],[volume,6200],\
+             [closeEqualsLow,'true'],[date,'5-Sep-96']",
+            AdvId::new(2),
+            MsgId::new(144),
+        )
+        .unwrap();
+        assert_eq!(p.adv_id, AdvId::new(2));
+        assert_eq!(p.msg_id, MsgId::new(144));
+        assert_eq!(p.get("symbol"), Some(&Value::str("YHOO")));
+        assert_eq!(p.get("volume"), Some(&Value::Int(6200)));
+        // quoted 'true' stays a string, like the paper's sample
+        assert_eq!(p.get("closeEqualsLow"), Some(&Value::str("true")));
+    }
+
+    #[test]
+    fn parsed_filter_matches_parsed_publication() {
+        let f = parse_filter("[class,=,'STOCK'],[volume,>,1000]").unwrap();
+        let p = parse_publication("[class,'STOCK'],[volume,6200]", AdvId::new(1), MsgId::new(0))
+            .unwrap();
+        assert!(f.matches(&p));
+        let q = parse_publication("[class,'STOCK'],[volume,500]", AdvId::new(1), MsgId::new(1))
+            .unwrap();
+        assert!(!f.matches(&q));
+    }
+}

@@ -1,0 +1,393 @@
+//! Advertisement-based content routing tables (PADRES-style).
+//!
+//! Filter-based content-based pub/sub routes in three steps:
+//!
+//! 1. **Advertisements flood** the overlay; every broker records each
+//!    advertisement together with the *last hop* it arrived from.
+//! 2. **Subscriptions** are forwarded hop-by-hop *toward* the last hops
+//!    of every advertisement they intersect, building the publication
+//!    routing table (PRT) along the reverse path.
+//! 3. **Publications** are matched against the PRT at each broker and
+//!    forwarded to the recorded destinations of matching subscriptions.
+//!
+//! The tables are generic over the hop type `H` — brokers instantiate it
+//! with an enum distinguishing neighbor brokers from local clients.
+
+use crate::filter::Filter;
+use crate::ids::{AdvId, SubId};
+use crate::matching::{BucketMatcher, Matcher};
+use crate::message::{Advertisement, Publication, Subscription};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Routing state of one broker: the advertisement table (SRT) and the
+/// publication routing table (PRT).
+#[derive(Debug, Clone)]
+pub struct RoutingTables<H> {
+    advertisements: HashMap<AdvId, (Advertisement, H)>,
+    subscriptions: HashMap<SubId, (Subscription, H)>,
+    matcher: BucketMatcher,
+}
+
+impl<H: Clone + Eq + Hash> Default for RoutingTables<H> {
+    fn default() -> Self {
+        Self {
+            advertisements: HashMap::new(),
+            subscriptions: HashMap::new(),
+            matcher: BucketMatcher::new(),
+        }
+    }
+}
+
+impl<H: Clone + Eq + Hash> RoutingTables<H> {
+    /// Creates empty routing tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an advertisement arriving from `last_hop`.
+    ///
+    /// Returns `true` when the advertisement is new (and should be
+    /// flooded onward); duplicates are ignored.
+    pub fn insert_advertisement(&mut self, adv: Advertisement, last_hop: H) -> bool {
+        match self.advertisements.contains_key(&adv.id) {
+            true => false,
+            false => {
+                self.advertisements.insert(adv.id, (adv, last_hop));
+                true
+            }
+        }
+    }
+
+    /// Removes an advertisement; returns `true` if it was present.
+    pub fn remove_advertisement(&mut self, id: AdvId) -> bool {
+        self.advertisements.remove(&id).is_some()
+    }
+
+    /// Records a subscription arriving from `last_hop` and returns the
+    /// set of hops it must be forwarded to: the distinct last hops of
+    /// every intersecting advertisement, excluding the hop it came from.
+    pub fn insert_subscription(&mut self, sub: Subscription, last_hop: H) -> Vec<H> {
+        let mut out: Vec<H> = Vec::new();
+        for (adv, adv_hop) in self.advertisements.values() {
+            if *adv_hop != last_hop
+                && sub.filter.intersects_advertisement(&adv.filter)
+                && !out.contains(adv_hop)
+            {
+                out.push(adv_hop.clone());
+            }
+        }
+        self.matcher.insert(sub.id, sub.filter.clone());
+        self.subscriptions.insert(sub.id, (sub, last_hop));
+        out
+    }
+
+    /// Removes a subscription; returns its last hop if it was present.
+    pub fn remove_subscription(&mut self, id: SubId) -> Option<H> {
+        self.matcher.remove(id);
+        self.subscriptions.remove(&id).map(|(_, hop)| hop)
+    }
+
+    /// Computes where to forward a subscription that is *already*
+    /// recorded, toward a newly arrived advertisement (used when an
+    /// advertisement arrives after subscriptions).
+    pub fn subscriptions_toward(&self, adv: &Advertisement, adv_hop: &H) -> Vec<SubId> {
+        self.subscriptions
+            .values()
+            .filter(|(sub, sub_hop)| {
+                sub_hop != adv_hop && sub.filter.intersects_advertisement(&adv.filter)
+            })
+            .map(|(sub, _)| sub.id)
+            .collect()
+    }
+
+    /// Routes a publication: returns the distinct last hops of matching
+    /// subscriptions, excluding the hop the publication arrived from.
+    pub fn route_publication(&self, publication: &Publication, from: Option<&H>) -> Vec<H> {
+        let mut out: Vec<H> = Vec::new();
+        for sub_id in self.matcher.matches(publication) {
+            if let Some((_, hop)) = self.subscriptions.get(&sub_id) {
+                if Some(hop) != from && !out.contains(hop) {
+                    out.push(hop.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`RoutingTables::route_publication`] but rebuilds the match
+    /// index in place when stale — the broker hot path.
+    pub fn route_publication_mut(
+        &mut self,
+        publication: &Publication,
+        from: Option<&H>,
+    ) -> Vec<H> {
+        self.matcher.ensure_built();
+        self.route_publication(publication, from)
+    }
+
+    /// The subscription ids matching a publication (for delivery
+    /// accounting at edge brokers).
+    pub fn matching_subscriptions(&self, publication: &Publication) -> Vec<SubId> {
+        self.matcher.matches(publication)
+    }
+
+    /// Like [`RoutingTables::matching_subscriptions`] but rebuilds the
+    /// match index in place when stale — the broker hot path.
+    pub fn matching_subscriptions_mut(&mut self, publication: &Publication) -> Vec<SubId> {
+        self.matcher.ensure_built();
+        self.matcher.matches(publication)
+    }
+
+    /// Looks up a stored subscription.
+    pub fn subscription(&self, id: SubId) -> Option<&Subscription> {
+        self.subscriptions.get(&id).map(|(s, _)| s)
+    }
+
+    /// Last hop of a stored subscription.
+    pub fn subscription_hop(&self, id: SubId) -> Option<&H> {
+        self.subscriptions.get(&id).map(|(_, h)| h)
+    }
+
+    /// Iterates over stored advertisements with their last hops.
+    pub fn advertisements(&self) -> impl Iterator<Item = (&Advertisement, &H)> {
+        self.advertisements.values().map(|(a, h)| (a, h))
+    }
+
+    /// Iterates over stored subscriptions with their last hops.
+    pub fn subscriptions(&self) -> impl Iterator<Item = (&Subscription, &H)> {
+        self.subscriptions.values().map(|(s, h)| (s, h))
+    }
+
+    /// Number of stored subscriptions — the `n` fed into the broker's
+    /// linear matching-delay function.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Number of stored advertisements.
+    pub fn advertisement_count(&self) -> usize {
+        self.advertisements.len()
+    }
+}
+
+/// Covering-aware subscription forwarder.
+///
+/// PADRES brokers avoid forwarding a subscription to a neighbor when an
+/// earlier subscription already forwarded in that direction covers it.
+/// This forwarder tracks, per target hop, the filters already sent.
+#[derive(Debug, Clone)]
+pub struct CoveringForwarder<H> {
+    sent: HashMap<H, Vec<(SubId, Filter)>>,
+}
+
+impl<H: Clone + Eq + Hash> Default for CoveringForwarder<H> {
+    fn default() -> Self {
+        Self { sent: HashMap::new() }
+    }
+}
+
+impl<H: Clone + Eq + Hash> CoveringForwarder<H> {
+    /// Creates an empty forwarder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decides whether `sub` still needs to be sent to `hop`; records it
+    /// as sent when the answer is yes.
+    pub fn should_forward(&mut self, sub: &Subscription, hop: &H) -> bool {
+        let sent = self.sent.entry(hop.clone()).or_default();
+        if sent.iter().any(|(_, f)| f.covers(&sub.filter)) {
+            return false;
+        }
+        sent.push((sub.id, sub.filter.clone()));
+        true
+    }
+
+    /// Forgets a subscription everywhere (on unsubscribe).
+    ///
+    /// Returns the hops the subscription had been forwarded to, which
+    /// must now be re-evaluated for uncovered siblings.
+    pub fn forget(&mut self, id: SubId) -> Vec<H> {
+        let mut hops = Vec::new();
+        for (hop, sent) in self.sent.iter_mut() {
+            let before = sent.len();
+            sent.retain(|(s, _)| *s != id);
+            if sent.len() != before {
+                hops.push(hop.clone());
+            }
+        }
+        hops
+    }
+
+    /// Total number of remembered (hop, filter) pairs — diagnostics.
+    pub fn sent_count(&self) -> usize {
+        self.sent.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{stock_advertisement, stock_template};
+    use crate::ids::{AdvId, MsgId};
+    use crate::message::Publication;
+    use crate::predicate::{Op, Predicate};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Hop {
+        Neighbor(u32),
+        Client(u32),
+    }
+
+    fn quote(symbol: &str, low: f64) -> Publication {
+        Publication::builder(AdvId::new(1), MsgId::new(1))
+            .attr("class", "STOCK")
+            .attr("symbol", symbol)
+            .attr("low", low)
+            .build()
+    }
+
+    #[test]
+    fn advertisement_flooding_dedups() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        let adv = Advertisement::new(AdvId::new(1), stock_advertisement("YHOO"));
+        assert!(rt.insert_advertisement(adv.clone(), Hop::Neighbor(1)));
+        assert!(!rt.insert_advertisement(adv, Hop::Neighbor(2)));
+        assert_eq!(rt.advertisement_count(), 1);
+    }
+
+    #[test]
+    fn subscription_routes_toward_matching_advertisement() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        rt.insert_advertisement(
+            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            Hop::Neighbor(1),
+        );
+        rt.insert_advertisement(
+            Advertisement::new(AdvId::new(2), stock_advertisement("GOOG")),
+            Hop::Neighbor(2),
+        );
+        let fwd = rt.insert_subscription(
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+            Hop::Client(7),
+        );
+        assert_eq!(fwd, vec![Hop::Neighbor(1)]);
+    }
+
+    #[test]
+    fn subscription_not_forwarded_back_to_its_origin() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        rt.insert_advertisement(
+            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            Hop::Neighbor(1),
+        );
+        let fwd = rt.insert_subscription(
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+            Hop::Neighbor(1),
+        );
+        assert!(fwd.is_empty());
+    }
+
+    #[test]
+    fn publication_routed_to_matching_hops_once() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        rt.insert_advertisement(
+            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            Hop::Neighbor(1),
+        );
+        rt.insert_subscription(
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+            Hop::Neighbor(3),
+        );
+        rt.insert_subscription(
+            Subscription::new(SubId::new(2), stock_template("YHOO")),
+            Hop::Neighbor(3),
+        );
+        rt.insert_subscription(
+            Subscription::new(SubId::new(3), stock_template("YHOO")),
+            Hop::Client(9),
+        );
+        let hops = rt.route_publication(&quote("YHOO", 17.0), Some(&Hop::Neighbor(1)));
+        assert_eq!(hops.len(), 2);
+        assert!(hops.contains(&Hop::Neighbor(3)));
+        assert!(hops.contains(&Hop::Client(9)));
+        // Not routed back to where it came from.
+        let hops = rt.route_publication(&quote("YHOO", 17.0), Some(&Hop::Neighbor(3)));
+        assert_eq!(hops, vec![Hop::Client(9)]);
+    }
+
+    #[test]
+    fn unsubscribe_stops_routing() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        rt.insert_advertisement(
+            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            Hop::Neighbor(1),
+        );
+        rt.insert_subscription(
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+            Hop::Client(9),
+        );
+        assert_eq!(rt.remove_subscription(SubId::new(1)), Some(Hop::Client(9)));
+        assert!(rt.route_publication(&quote("YHOO", 17.0), None).is_empty());
+        assert_eq!(rt.subscription_count(), 0);
+    }
+
+    #[test]
+    fn late_advertisement_finds_existing_subscriptions() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        rt.insert_subscription(
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+            Hop::Client(9),
+        );
+        let adv = Advertisement::new(AdvId::new(1), stock_advertisement("YHOO"));
+        rt.insert_advertisement(adv.clone(), Hop::Neighbor(1));
+        let subs = rt.subscriptions_toward(&adv, &Hop::Neighbor(1));
+        assert_eq!(subs, vec![SubId::new(1)]);
+        // A subscription that arrived FROM the advertisement's hop is skipped.
+        let subs = rt.subscriptions_toward(&adv, &Hop::Client(9));
+        assert!(subs.is_empty());
+    }
+
+    #[test]
+    fn covering_forwarder_suppresses_covered_subscriptions() {
+        let mut fwd: CoveringForwarder<Hop> = CoveringForwarder::new();
+        let broad = Subscription::new(SubId::new(1), stock_template("YHOO"));
+        let narrow = Subscription::new(
+            SubId::new(2),
+            stock_template("YHOO").and(Predicate::new("low", Op::Lt, 18.0)),
+        );
+        assert!(fwd.should_forward(&broad, &Hop::Neighbor(1)));
+        assert!(!fwd.should_forward(&narrow, &Hop::Neighbor(1)));
+        // Different hop is independent.
+        assert!(fwd.should_forward(&narrow, &Hop::Neighbor(2)));
+        assert_eq!(fwd.sent_count(), 2);
+    }
+
+    #[test]
+    fn covering_forwarder_forget_reports_hops() {
+        let mut fwd: CoveringForwarder<Hop> = CoveringForwarder::new();
+        let broad = Subscription::new(SubId::new(1), stock_template("YHOO"));
+        assert!(fwd.should_forward(&broad, &Hop::Neighbor(1)));
+        assert!(fwd.should_forward(&broad, &Hop::Neighbor(2)));
+        let mut hops = fwd.forget(SubId::new(1));
+        hops.sort_by_key(|h| format!("{h:?}"));
+        assert_eq!(hops, vec![Hop::Neighbor(1), Hop::Neighbor(2)]);
+        assert_eq!(fwd.sent_count(), 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut rt: RoutingTables<Hop> = RoutingTables::new();
+        rt.insert_subscription(
+            Subscription::new(SubId::new(1), stock_template("YHOO")),
+            Hop::Client(9),
+        );
+        assert!(rt.subscription(SubId::new(1)).is_some());
+        assert_eq!(rt.subscription_hop(SubId::new(1)), Some(&Hop::Client(9)));
+        assert_eq!(rt.subscriptions().count(), 1);
+        assert_eq!(rt.advertisements().count(), 0);
+        let p = quote("YHOO", 17.0);
+        assert_eq!(rt.matching_subscriptions(&p), vec![SubId::new(1)]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Attribute values of the content-based language.
+//!
+//! PADRES publications carry `[attribute, value]` pairs where values are
+//! numbers, strings or booleans. Stock quote publications, the paper's
+//! workload, mix all three (`[open,18.37]`, `[symbol,'YHOO']`,
+//! `[closeEqualsLow,'true']`).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute value in a publication or predicate.
+///
+/// Numeric comparisons treat integers and floats uniformly; strings and
+/// booleans only support equality-style operators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer, e.g. a trade volume.
+    Int(i64),
+    /// 64-bit float, e.g. a closing price.
+    Float(f64),
+    /// Interned string, e.g. a stock symbol.
+    Str(Arc<str>),
+    /// Boolean flag, e.g. `closeEqualsHigh`.
+    Bool(bool),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a boolean if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True when both values live in the same comparison domain
+    /// (numeric with numeric, string with string, bool with bool).
+    pub fn same_domain(&self, other: &Value) -> bool {
+        matches!(
+            (self, other),
+            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+                | (Value::Str(_), Value::Str(_))
+                | (Value::Bool(_), Value::Bool(_))
+        )
+    }
+
+    /// Total comparison across the same domain; `None` across domains.
+    ///
+    /// Numeric values compare by magnitude (so `Int(1) == Float(1.0)`),
+    /// strings lexicographically, booleans with `false < true`.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (a, b) if a.as_f64().is_some() && b.as_f64().is_some() => {
+                a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap())
+            }
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized size in bytes, used for bandwidth
+    /// accounting in the simulator.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bool(_) => 1,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.partial_cmp_value(other) == Some(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparison_crosses_int_and_float() {
+        assert_eq!(Value::Int(18), Value::Float(18.0));
+        assert_eq!(
+            Value::Float(18.37).partial_cmp_value(&Value::Int(19)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn cross_domain_comparison_is_none() {
+        assert_eq!(Value::str("YHOO").partial_cmp_value(&Value::Int(1)), None);
+        assert_ne!(Value::str("1"), Value::Int(1));
+        assert_eq!(Value::Bool(true).partial_cmp_value(&Value::str("true")), None);
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::str("GOOG").partial_cmp_value(&Value::str("YHOO")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::str("YHOO"), Value::str("YHOO"));
+    }
+
+    #[test]
+    fn display_quotes_strings_like_padres() {
+        assert_eq!(Value::str("STOCK").to_string(), "'STOCK'");
+        assert_eq!(Value::Float(18.37).to_string(), "18.37");
+        // Booleans print bare so the textual form parses back as a
+        // boolean (PADRES itself publishes booleans as quoted strings).
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn wire_size_reflects_content() {
+        assert_eq!(Value::Int(5).wire_size(), 8);
+        assert_eq!(Value::str("YHOO").wire_size(), 4);
+        assert_eq!(Value::Bool(false).wire_size(), 1);
+    }
+
+    #[test]
+    fn same_domain_checks() {
+        assert!(Value::Int(1).same_domain(&Value::Float(2.0)));
+        assert!(!Value::Int(1).same_domain(&Value::str("x")));
+        assert!(Value::Bool(true).same_domain(&Value::Bool(false)));
+    }
+}

@@ -1,0 +1,288 @@
+//! Measurement utilities: counters, rate meters and histograms.
+//!
+//! The experiment harness measures average broker message rate, hop
+//! counts and delivery delays over a simulated window; these types do
+//! the bookkeeping.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrafficCounters {
+    /// Messages received.
+    pub msgs_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+    /// Bytes received.
+    pub bytes_in: u64,
+    /// Bytes sent.
+    pub bytes_out: u64,
+}
+
+impl TrafficCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total messages in + out — the paper's "broker message rate"
+    /// numerator.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_in + self.msgs_out
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Message rate (in+out per second) over a window.
+    pub fn msg_rate(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.total_msgs() as f64 / window.as_secs_f64()
+    }
+}
+
+/// Online mean/min/max/count accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Fixed-bucket histogram for delivery delays (microsecond domain).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    summary: Summary,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds;
+    /// an implicit overflow bucket catches everything above the last.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Self { bounds, counts: vec![0; n + 1], summary: Summary::new() }
+    }
+
+    /// A default delay histogram: 1ms .. 60s, roughly logarithmic.
+    pub fn delay_default() -> Self {
+        Self::new(vec![
+            1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
+            10_000_000, 60_000_000,
+        ])
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.summary.record(value as f64);
+    }
+
+    /// Records a simulated duration in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros());
+    }
+
+    /// The aggregate summary of all recorded values.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Approximate value at a quantile in `[0, 1]`, using bucket upper
+    /// bounds. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.summary.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // overflow bucket: report the observed max
+                    self.summary.max().unwrap_or_default() as u64
+                });
+            }
+        }
+        None
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs; the final entry uses
+    /// `u64::MAX` as the overflow bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// A measurement window: counters become rates relative to its start.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    start: SimTime,
+}
+
+impl Window {
+    /// Opens a window at `start`.
+    pub fn starting(start: SimTime) -> Self {
+        Self { start }
+    }
+
+    /// Window start.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Elapsed span at instant `now`.
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_counters_rate() {
+        let mut t = TrafficCounters::new();
+        t.msgs_in = 30;
+        t.msgs_out = 70;
+        assert_eq!(t.total_msgs(), 100);
+        assert_eq!(t.msg_rate(SimDuration::from_secs(10)), 10.0);
+        assert_eq!(t.msg_rate(SimDuration::ZERO), 0.0);
+        t.reset();
+        assert_eq!(t.total_msgs(), 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for v in [2.0, 4.0, 6.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(6.0));
+
+        let mut t = Summary::new();
+        t.record(10.0);
+        s.merge(&t);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.max(), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [5, 9, 50, 500, 5000] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(10, 2), (100, 1), (1000, 1), (u64::MAX, 1)]);
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(1.0), Some(5000)); // overflow reports max
+        assert_eq!(h.summary().count(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_none() {
+        let h = Histogram::delay_default();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn window_elapsed() {
+        let w = Window::starting(SimTime::from_micros(1_000));
+        assert_eq!(
+            w.elapsed(SimTime::from_micros(3_000)),
+            SimDuration::from_micros(2_000)
+        );
+        assert_eq!(w.start(), SimTime::from_micros(1_000));
+    }
+}

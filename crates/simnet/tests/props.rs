@@ -1,0 +1,143 @@
+//! Property-based tests of the discrete-event network: causality, FIFO
+//! per link, bandwidth conservation and counter consistency.
+
+use greenps_simnet::{Context, LinkSpec, Network, NodeId, Payload, Process, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::any::Any;
+
+#[derive(Debug, Clone)]
+struct Tagged {
+    seq: u64,
+    size: usize,
+}
+
+impl Payload for Tagged {
+    fn wire_size(&self) -> usize {
+        self.size
+    }
+}
+
+/// Sends a scripted list of (delay_us, size) messages to one target.
+struct ScriptedSender {
+    target: NodeId,
+    script: Vec<(u64, usize)>,
+}
+
+impl Process<Tagged> for ScriptedSender {
+    fn on_start(&mut self, ctx: &mut Context<'_, Tagged>) {
+        for (i, &(delay, size)) in self.script.iter().enumerate() {
+            ctx.send_after(
+                SimDuration::from_micros(delay),
+                self.target,
+                Tagged { seq: i as u64, size },
+            );
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Tagged>, _: NodeId, _: Tagged) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Records every arrival with its time.
+#[derive(Default)]
+struct Recorder {
+    got: Vec<(SimTime, u64, usize)>,
+}
+
+impl Process<Tagged> for Recorder {
+    fn on_message(&mut self, ctx: &mut Context<'_, Tagged>, _: NodeId, msg: Tagged) {
+        self.got.push((ctx.now(), msg.seq, msg.size));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arrival time respects causality: at least send-delay + latency +
+    /// serialization after t=0; and messages sent with equal delays on
+    /// one FIFO link arrive in send order.
+    #[test]
+    fn causality_and_fifo(
+        script in proptest::collection::vec((0u64..10_000, 1usize..5_000), 1..30),
+        latency_us in 0u64..5_000,
+        bandwidth in 1_000.0..1_000_000.0f64,
+    ) {
+        let mut net: Network<Tagged> = Network::new();
+        let recorder = net.add_node(Recorder::default());
+        let sender = net.add_node(ScriptedSender {
+            target: recorder,
+            script: script.clone(),
+        });
+        net.connect(
+            sender,
+            recorder,
+            LinkSpec {
+                latency: SimDuration::from_micros(latency_us),
+                bandwidth: Some(bandwidth),
+            },
+        );
+        net.run_to_quiescence();
+        let rec: &Recorder = net.node_as(recorder).unwrap();
+        prop_assert_eq!(rec.got.len(), script.len());
+        for &(at, seq, size) in &rec.got {
+            let (delay, ssize) = script[seq as usize];
+            prop_assert_eq!(size, ssize);
+            let min_arrival = delay
+                + latency_us
+                + (ssize as f64 / bandwidth * 1e6) as u64;
+            prop_assert!(
+                at.as_micros() + 1 >= min_arrival,
+                "seq {} arrived at {} < minimum {}",
+                seq, at.as_micros(), min_arrival
+            );
+        }
+        // FIFO: arrivals are sorted by time, and the link never
+        // reorders two messages that left in a fixed order.
+        for w in rec.got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "arrival times sorted");
+        }
+        // Conservation: counters match the script.
+        let total_bytes: u64 = script.iter().map(|&(_, s)| s as u64).sum();
+        prop_assert_eq!(net.counters(sender).msgs_out, script.len() as u64);
+        prop_assert_eq!(net.counters(sender).bytes_out, total_bytes);
+        prop_assert_eq!(net.counters(recorder).msgs_in, script.len() as u64);
+        prop_assert_eq!(net.delivered(), script.len() as u64);
+    }
+
+    /// A node output capacity spreads a burst: n messages of size s at
+    /// capacity c finish no earlier than n*s/c seconds.
+    #[test]
+    fn output_capacity_bounds_throughput(
+        n in 1usize..40,
+        size in 100usize..2_000,
+        capacity in 1_000.0..100_000.0f64,
+    ) {
+        let script: Vec<(u64, usize)> = (0..n).map(|_| (0, size)).collect();
+        let mut net: Network<Tagged> = Network::new();
+        let recorder = net.add_node(Recorder::default());
+        let sender = net.add_node_with_capacity(
+            ScriptedSender { target: recorder, script },
+            Some(capacity),
+        );
+        net.connect(sender, recorder, LinkSpec::with_latency(SimDuration::ZERO));
+        net.run_to_quiescence();
+        let rec: &Recorder = net.node_as(recorder).unwrap();
+        let last = rec.got.iter().map(|&(t, _, _)| t).max().unwrap();
+        let lower = (n * size) as f64 / capacity;
+        prop_assert!(
+            last.as_secs_f64() + 1e-4 >= lower,
+            "burst finished at {} < {}",
+            last.as_secs_f64(), lower
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # greenps-workload
+//!
+//! The evaluation workload and experiment harness: synthetic stockquote
+//! series (the paper's Yahoo! Finance substitute), the 40%/60%
+//! subscription template workload, the homogeneous / heterogeneous /
+//! SciNet scenarios, the MANUAL and AUTOMATIC baseline topologies, and
+//! the end-to-end runner that deploys, profiles, reconfigures and
+//! measures each approach.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod stock;
+pub mod subs;
+pub mod topology;
+
+pub use runner::{run_approach, Approach, Outcome, RunConfig};
+pub use scenario::{
+    every_broker_subscribes, heterogeneous, homogeneous, scinet, scinet_custom, Scenario,
+};
+pub use stock::{symbols, StockSeries};
+pub use topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};

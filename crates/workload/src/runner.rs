@@ -1,0 +1,344 @@
+//! The end-to-end experiment runner: deploy MANUAL, profile, gather,
+//! plan with an approach, redeploy, measure — the pipeline behind every
+//! figure in the evaluation.
+
+use crate::scenario::Scenario;
+use crate::topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};
+use greenps_broker::{Deployment, RunMetrics};
+use greenps_core::cram::{cram, CramConfig, CramStats};
+use greenps_core::croc::{plan, PlanConfig};
+use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
+use greenps_core::model::AllocationInput;
+use greenps_core::overlay::OverlayStats;
+use greenps_core::pairwise::{pairwise_k, pairwise_n};
+use greenps_profile::{ClosenessMetric, SubscriptionProfile};
+use greenps_pubsub::ids::AdvId;
+use greenps_simnet::SimDuration;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// The approaches compared in the evaluation (paper §VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Baseline: fan-out-2 tree, capacity-aware manual placement.
+    Manual,
+    /// Baseline: random tree, random placement.
+    Automatic,
+    /// Related work: pairwise clustering, K = CRAM-XOR's cluster count.
+    PairwiseK,
+    /// Related work: pairwise clustering, one cluster per broker.
+    PairwiseN,
+    /// Fastest Broker First.
+    Fbf,
+    /// BIN PACKING.
+    BinPacking,
+    /// CRAM with a closeness metric.
+    Cram(ClosenessMetric),
+    /// Publisher relocation only (GRAPE on the MANUAL topology) — the
+    /// §II-B limitation experiment.
+    GrapeOnly,
+}
+
+impl Approach {
+    /// Every approach in the paper's comparison, in presentation order.
+    pub const ALL_PAPER: [Approach; 10] = [
+        Approach::Manual,
+        Approach::Automatic,
+        Approach::PairwiseK,
+        Approach::PairwiseN,
+        Approach::Fbf,
+        Approach::BinPacking,
+        Approach::Cram(ClosenessMetric::Intersect),
+        Approach::Cram(ClosenessMetric::Xor),
+        Approach::Cram(ClosenessMetric::Ios),
+        Approach::Cram(ClosenessMetric::Iou),
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        match self {
+            Approach::Manual => "MANUAL".into(),
+            Approach::Automatic => "AUTOMATIC".into(),
+            Approach::PairwiseK => "PAIRWISE-K".into(),
+            Approach::PairwiseN => "PAIRWISE-N".into(),
+            Approach::Fbf => "FBF".into(),
+            Approach::BinPacking => "BINPACKING".into(),
+            Approach::Cram(m) => format!("CRAM-{m}"),
+            Approach::GrapeOnly => "GRAPE-ONLY".into(),
+        }
+    }
+}
+
+/// Timing knobs of one run (simulated durations).
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Warm-up before profiling (advertisements/subscriptions settle).
+    pub warmup: SimDuration,
+    /// Profiling window (fills bit vectors).
+    pub profile: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// Seed for placements and FBF order.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            warmup: SimDuration::from_secs(5),
+            profile: SimDuration::from_secs(120),
+            measure: SimDuration::from_secs(120),
+            seed: 1,
+        }
+    }
+}
+
+/// The outcome of running one approach on one scenario.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Which approach.
+    pub approach: String,
+    /// Scenario label.
+    pub scenario: String,
+    /// Total subscriptions.
+    pub subscriptions: usize,
+    /// Brokers deployed after reconfiguration (pool size for the
+    /// baselines).
+    pub allocated_brokers: usize,
+    /// Measured deployment metrics.
+    pub metrics: RunMetrics,
+    /// Wall-clock time spent computing the allocation + overlay.
+    pub plan_time: Duration,
+    /// CRAM counters, when CRAM ran.
+    pub cram_stats: Option<CramStats>,
+    /// Overlay-construction counters, when Phase 3 ran.
+    pub overlay_stats: Option<OverlayStats>,
+}
+
+/// Runs Phase 1 against a fresh MANUAL deployment of the scenario and
+/// returns the gathered input (the starting point of every
+/// reconfiguring approach).
+pub fn profile_and_gather(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+) -> (Placement, AllocationInput) {
+    let placement = manual(scenario, cfg.seed);
+    let mut d = deploy(scenario, &placement);
+    d.run_for(cfg.warmup);
+    d.run_for(cfg.profile);
+    // The aggregated BIA grows with the subscription count (~200 B per
+    // subscription) and is serialized through each broker's output
+    // limiter like any other message, so large gathers take minutes of
+    // *simulated* time — cheap to simulate, fatal to time out on.
+    let infos = d
+        .gather(SimDuration::from_secs(1800))
+        .expect("phase 1 gather completed");
+    (placement, Deployment::allocation_input(infos))
+}
+
+/// Deploys a placement and measures it; the pool average is
+/// renormalized to the scenario's full broker pool.
+fn deploy_and_measure(scenario: &Scenario, placement: &Placement, cfg: &RunConfig) -> RunMetrics {
+    let mut d = deploy(scenario, placement);
+    d.run_for(cfg.warmup);
+    let mut m = d.measure(cfg.measure);
+    m.rescale_to_pool(scenario.broker_count());
+    m
+}
+
+/// Runs a fully custom plan configuration end to end (profiling on the
+/// MANUAL topology, then plan, redeploy, measure) — used by ablations
+/// such as the GRAPE priority sweep.
+///
+/// # Panics
+/// Panics when planning fails or Phase 1 does not complete.
+pub fn run_custom_plan(
+    scenario: &Scenario,
+    label: &str,
+    plan_config: &PlanConfig,
+    cfg: &RunConfig,
+) -> Outcome {
+    let (_, input) = profile_and_gather(scenario, cfg);
+    let t0 = Instant::now();
+    let p = plan(&input, plan_config).expect("planning succeeded");
+    let plan_time = t0.elapsed();
+    let placement = from_plan(scenario, &p);
+    let metrics = deploy_and_measure(scenario, &placement, cfg);
+    Outcome {
+        approach: label.to_string(),
+        scenario: scenario.name.clone(),
+        subscriptions: scenario.sub_count(),
+        allocated_brokers: p.broker_count(),
+        metrics,
+        plan_time,
+        cram_stats: p.cram_stats,
+        overlay_stats: Some(p.overlay.stats),
+    }
+}
+
+/// Runs one approach end to end.
+///
+/// # Panics
+/// Panics when planning fails (the scenario's broker pool cannot host
+/// the workload) or Phase 1 does not complete.
+pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) -> Outcome {
+    let mut outcome = Outcome {
+        approach: approach.label(),
+        scenario: scenario.name.clone(),
+        subscriptions: scenario.sub_count(),
+        allocated_brokers: scenario.broker_count(),
+        metrics: RunMetrics::default(),
+        plan_time: Duration::ZERO,
+        cram_stats: None,
+        overlay_stats: None,
+    };
+    match approach {
+        Approach::Manual => {
+            let placement = manual(scenario, cfg.seed);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+        }
+        Approach::Automatic => {
+            let placement = automatic(scenario, cfg.seed);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+        }
+        Approach::GrapeOnly => {
+            let (mut placement, input) = profile_and_gather(scenario, cfg);
+            let t0 = Instant::now();
+            // Build the interest tree of the *existing* MANUAL topology
+            // from the gathered profiles and relocate publishers only.
+            let mut locals: BTreeMap<_, SubscriptionProfile> = placement
+                .spec
+                .brokers
+                .iter()
+                .map(|b| (b.id, SubscriptionProfile::new()))
+                .collect();
+            for (i, sub) in scenario.subs.iter().enumerate() {
+                if let Some(entry) =
+                    input.subscriptions.iter().find(|e| e.id == sub.id)
+                {
+                    locals
+                        .get_mut(&placement.subscriber_homes[i])
+                        .expect("home broker")
+                        .or_assign(&entry.profile);
+                }
+            }
+            let tree = InterestTree::new(
+                locals.into_iter().collect(),
+                &placement.spec.edges,
+            );
+            let homes =
+                place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load());
+            for (i, home) in placement.publisher_homes.iter_mut().enumerate() {
+                if let Some(b) = homes.get(&AdvId::new(i as u64 + 1)) {
+                    *home = *b;
+                }
+            }
+            outcome.plan_time = t0.elapsed();
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+        }
+        Approach::PairwiseK | Approach::PairwiseN => {
+            let (_, input) = profile_and_gather(scenario, cfg);
+            let t0 = Instant::now();
+            let result = if approach == Approach::PairwiseK {
+                let (_, stats) = cram(&input, CramConfig::with_metric(ClosenessMetric::Xor))
+                    .expect("CRAM-XOR for K");
+                pairwise_k(&input, stats.final_units, cfg.seed)
+            } else {
+                pairwise_n(&input, cfg.seed)
+            };
+            outcome.plan_time = t0.elapsed();
+            outcome.allocated_brokers = result.allocation.broker_count();
+            let placement = from_allocation(scenario, &result.allocation, cfg.seed);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+        }
+        Approach::Fbf | Approach::BinPacking | Approach::Cram(_) => {
+            let (_, input) = profile_and_gather(scenario, cfg);
+            let plan_config = match approach {
+                Approach::Fbf => PlanConfig::fbf(cfg.seed),
+                Approach::BinPacking => PlanConfig::bin_packing(),
+                Approach::Cram(m) => PlanConfig::cram(m),
+                _ => unreachable!(),
+            };
+            let t0 = Instant::now();
+            let p = plan(&input, &plan_config).expect("planning succeeded");
+            outcome.plan_time = t0.elapsed();
+            outcome.allocated_brokers = p.broker_count();
+            outcome.cram_stats = p.cram_stats;
+            outcome.overlay_stats = Some(p.overlay.stats);
+            let placement = from_plan(scenario, &p);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::homogeneous;
+
+    fn small() -> (Scenario, RunConfig) {
+        let mut s = homogeneous(120, 7);
+        s.brokers.truncate(16);
+        let cfg = RunConfig {
+            warmup: SimDuration::from_secs(3),
+            profile: SimDuration::from_secs(60),
+            measure: SimDuration::from_secs(60),
+            seed: 7,
+        };
+        (s, cfg)
+    }
+
+    #[test]
+    fn manual_baseline_runs() {
+        let (s, cfg) = small();
+        let o = run_approach(&s, Approach::Manual, &cfg);
+        assert_eq!(o.approach, "MANUAL");
+        assert_eq!(o.allocated_brokers, 16);
+        assert!(o.metrics.deliveries > 0);
+    }
+
+    #[test]
+    fn cram_reduces_brokers_and_message_rate_vs_manual() {
+        let (s, cfg) = small();
+        let base = run_approach(&s, Approach::Manual, &cfg);
+        let cram = run_approach(&s, Approach::Cram(ClosenessMetric::Ios), &cfg);
+        assert!(cram.allocated_brokers < base.allocated_brokers);
+        assert!(
+            cram.metrics.avg_broker_msg_rate < base.metrics.avg_broker_msg_rate,
+            "cram {} vs manual {}",
+            cram.metrics.avg_broker_msg_rate,
+            base.metrics.avg_broker_msg_rate
+        );
+        assert!(cram.cram_stats.is_some());
+        // Deliveries are preserved (same workload, same windows; allow
+        // small edge effects).
+        let ratio = cram.metrics.deliveries as f64 / base.metrics.deliveries as f64;
+        assert!((0.8..1.25).contains(&ratio), "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn bin_packing_and_fbf_run() {
+        let (s, cfg) = small();
+        let bp = run_approach(&s, Approach::BinPacking, &cfg);
+        let fbf = run_approach(&s, Approach::Fbf, &cfg);
+        assert!(bp.allocated_brokers <= fbf.allocated_brokers);
+        assert!(bp.metrics.deliveries > 0 && fbf.metrics.deliveries > 0);
+    }
+
+    #[test]
+    fn pairwise_baselines_run() {
+        let (s, cfg) = small();
+        let pk = run_approach(&s, Approach::PairwiseK, &cfg);
+        let pn = run_approach(&s, Approach::PairwiseN, &cfg);
+        assert!(pk.metrics.deliveries > 0);
+        assert!(pn.metrics.deliveries > 0);
+        assert!(pn.allocated_brokers <= 16);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Approach::Cram(ClosenessMetric::Iou).label(), "CRAM-IOU");
+        assert_eq!(Approach::ALL_PAPER.len(), 10);
+    }
+}

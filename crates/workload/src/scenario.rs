@@ -1,0 +1,247 @@
+//! Experiment scenarios (paper §VI-A).
+//!
+//! * **Homogeneous cluster**: 80 brokers of equal capacity, 40
+//!   publishers at 70 msg/min, 2,000–8,000 subscriptions total.
+//! * **Heterogeneous cluster**: 15 brokers at 100% network capacity, 25
+//!   at 50%, 40 at 25%; the i-th publisher has `Ns / i` subscriptions,
+//!   `Ns ∈ {50, 100, 150, 200}`.
+//! * **SciNet**: 400 brokers / 72 publishers and 1,000 brokers / 100
+//!   publishers with 225 subscriptions per publisher, publisher counts
+//!   chosen to initially saturate the MANUAL deployment.
+
+use crate::stock::{symbols, StockSeries};
+use crate::subs::{generate, GeneratedSub};
+use greenps_broker::BrokerConfig;
+use greenps_core::model::LinearFn;
+use greenps_pubsub::ids::BrokerId;
+use greenps_simnet::SimDuration;
+
+/// Full broker network capacity in the cluster experiments (bytes/s of
+/// output bandwidth). Chosen so that ~2,000 subscriptions pack into a
+/// handful of brokers while the 80-broker MANUAL deployment runs near
+/// its comfortable load — the paper's 1 Gbps testbed scaled to the
+/// workload the same way its bandwidth limiter scales broker capacity.
+pub const FULL_BANDWIDTH: f64 = 48_000.0;
+
+/// The paper's publication rate: 70 messages per minute.
+pub const PUBLISH_PERIOD_US: u64 = 60_000_000 / 70;
+
+/// Matching-delay model used by every broker: 0.2 ms base plus 50 ns
+/// per stored subscription.
+pub fn default_matching_delay() -> LinearFn {
+    LinearFn::new(0.0002, 5e-8)
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario label (used in reports).
+    pub name: String,
+    /// Broker pool with capacities.
+    pub brokers: Vec<BrokerConfig>,
+    /// One stock series per publisher; publisher `i` publishes stock
+    /// `stocks[i]` under advertisement id `i + 1`.
+    pub stocks: Vec<StockSeries>,
+    /// Publication period (common to all publishers).
+    pub publish_period: SimDuration,
+    /// The subscription workload.
+    pub subs: Vec<GeneratedSub>,
+    /// Master seed for placements.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Total subscriptions.
+    pub fn sub_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Number of publishers.
+    pub fn publisher_count(&self) -> usize {
+        self.stocks.len()
+    }
+
+    /// Number of brokers in the pool.
+    pub fn broker_count(&self) -> usize {
+        self.brokers.len()
+    }
+}
+
+fn broker(id: u64, bandwidth: f64) -> BrokerConfig {
+    BrokerConfig::new(BrokerId::new(id), default_matching_delay(), bandwidth)
+}
+
+fn stocks_for(publishers: usize, seed: u64) -> Vec<StockSeries> {
+    symbols(publishers)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| StockSeries::generate(s, seed.wrapping_add(i as u64), 252))
+        .collect()
+}
+
+/// The homogeneous cluster scenario: 80 equal brokers, 40 publishers,
+/// `total_subs` subscriptions split evenly.
+pub fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    let publishers = 40;
+    let stocks = stocks_for(publishers, seed);
+    let per = total_subs / publishers;
+    let mut counts = vec![per; publishers];
+    for slot in counts.iter_mut().take(total_subs - per * publishers) {
+        *slot += 1;
+    }
+    let subs = generate(&stocks, &counts, seed ^ 0x50b5);
+    Scenario {
+        name: format!("homogeneous-{total_subs}"),
+        brokers: (0..80).map(|i| broker(i, FULL_BANDWIDTH)).collect(),
+        stocks,
+        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+        subs,
+        seed,
+    }
+}
+
+/// The heterogeneous cluster scenario: 15 full / 25 half / 40 quarter
+/// capacity brokers; subscriber counts ramp down linearly from `ns` for
+/// the first publisher to `ns / 40` for the last — which reproduces the
+/// paper's worked numbers exactly ("with Ns set to 200, the total
+/// number of subscriptions is 4,100, and the lowest and highest number
+/// of subscribers for a publisher are 5 and 200").
+pub fn heterogeneous(ns: usize, seed: u64) -> Scenario {
+    let publishers = 40;
+    let stocks = stocks_for(publishers, seed);
+    let top = ns as f64;
+    let bottom = ns as f64 / publishers as f64;
+    let step = (top - bottom) / (publishers - 1) as f64;
+    let counts: Vec<usize> = (0..publishers)
+        .map(|i| ((top - step * i as f64).round() as usize).max(1))
+        .collect();
+    let subs = generate(&stocks, &counts, seed ^ 0xbe7);
+    let mut brokers = Vec::with_capacity(80);
+    for i in 0..15 {
+        brokers.push(broker(i, FULL_BANDWIDTH));
+    }
+    for i in 15..40 {
+        brokers.push(broker(i, FULL_BANDWIDTH * 0.5));
+    }
+    for i in 40..80 {
+        brokers.push(broker(i, FULL_BANDWIDTH * 0.25));
+    }
+    Scenario {
+        name: format!("heterogeneous-Ns{ns}"),
+        brokers,
+        stocks,
+        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+        subs,
+        seed,
+    }
+}
+
+/// The SciNet large-scale scenario: `brokers` ∈ {400, 1000} with 72 or
+/// 100 publishers respectively and 225 subscriptions per publisher.
+pub fn scinet(brokers: usize, seed: u64) -> Scenario {
+    let publishers = if brokers >= 1000 { 100 } else { 72 };
+    scinet_custom(brokers, publishers, 225, seed)
+}
+
+/// SciNet with explicit publisher and per-publisher subscription counts
+/// (reduced scales for quick runs).
+pub fn scinet_custom(
+    brokers: usize,
+    publishers: usize,
+    subs_per_publisher: usize,
+    seed: u64,
+) -> Scenario {
+    let stocks = stocks_for(publishers, seed);
+    let counts = vec![subs_per_publisher; publishers];
+    let subs = generate(&stocks, &counts, seed ^ 0x5c1e);
+    Scenario {
+        name: format!("scinet-{brokers}"),
+        brokers: (0..brokers as u64).map(|i| broker(i, FULL_BANDWIDTH)).collect(),
+        stocks,
+        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+        subs,
+        seed,
+    }
+}
+
+/// The adversarial scenario of §II-B / experiment E6: every broker
+/// hosts at least one subscriber with the *same* subscription, so
+/// relocating publishers alone cannot reduce the message rate.
+pub fn every_broker_subscribes(brokers: usize, seed: u64) -> Scenario {
+    let stocks = stocks_for(1, seed);
+    // One template subscription per broker (identical interests).
+    let counts = vec![brokers];
+    let mut subs = generate(&stocks, &counts, seed);
+    for s in &mut subs {
+        s.filter = greenps_pubsub::filter::stock_template(&stocks[0].symbol);
+    }
+    Scenario {
+        name: format!("every-broker-subscribes-{brokers}"),
+        brokers: (0..brokers as u64).map(|i| broker(i, FULL_BANDWIDTH)).collect(),
+        stocks,
+        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+        subs,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_matches_paper_parameters() {
+        let s = homogeneous(2000, 1);
+        assert_eq!(s.broker_count(), 80);
+        assert_eq!(s.publisher_count(), 40);
+        assert_eq!(s.sub_count(), 2000);
+        assert!(s.brokers.iter().all(|b| b.out_bandwidth == FULL_BANDWIDTH));
+        // 70 msg/min
+        assert_eq!(s.publish_period.as_micros(), 857_142);
+    }
+
+    #[test]
+    fn heterogeneous_capacity_tiers() {
+        let s = heterogeneous(200, 2);
+        assert_eq!(s.broker_count(), 80);
+        let full =
+            s.brokers.iter().filter(|b| b.out_bandwidth == FULL_BANDWIDTH).count();
+        let half = s
+            .brokers
+            .iter()
+            .filter(|b| b.out_bandwidth == FULL_BANDWIDTH * 0.5)
+            .count();
+        let quarter = s
+            .brokers
+            .iter()
+            .filter(|b| b.out_bandwidth == FULL_BANDWIDTH * 0.25)
+            .count();
+        assert_eq!((full, half, quarter), (15, 25, 40));
+        // "with Ns set to 200, the total number of subscriptions is
+        // 4,100, and the lowest and highest number of subscribers for a
+        // publisher are 5 and 200"
+        assert_eq!(s.sub_count(), 4_100);
+        let first = s.subs.iter().filter(|x| x.publisher_index == 0).count();
+        let last = s.subs.iter().filter(|x| x.publisher_index == 39).count();
+        assert_eq!(first, 200);
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn scinet_parameters() {
+        let s = scinet(400, 3);
+        assert_eq!(s.broker_count(), 400);
+        assert_eq!(s.publisher_count(), 72);
+        assert_eq!(s.sub_count(), 72 * 225);
+        let s = scinet(1000, 3);
+        assert_eq!(s.publisher_count(), 100);
+    }
+
+    #[test]
+    fn adversarial_scenario_has_identical_subs() {
+        let s = every_broker_subscribes(10, 4);
+        assert_eq!(s.sub_count(), 10);
+        let first = s.subs[0].filter.canonical_key();
+        assert!(s.subs.iter().all(|x| x.filter.canonical_key() == first));
+    }
+}

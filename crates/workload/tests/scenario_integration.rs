@@ -1,0 +1,56 @@
+//! Cross-module workload integration: heterogeneous deployments flow
+//! traffic, the adversarial scenario behaves as §II-B predicts at the
+//! planning level, and pairwise placements deploy cleanly.
+
+use greenps_core::cram::{cram, CramConfig};
+use greenps_core::pairwise::pairwise_n;
+use greenps_profile::ClosenessMetric;
+use greenps_simnet::SimDuration;
+use greenps_workload::runner::{profile_and_gather, RunConfig};
+use greenps_workload::{
+    deploy, every_broker_subscribes, from_allocation, heterogeneous, manual,
+};
+
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        warmup: SimDuration::from_secs(4),
+        profile: SimDuration::from_secs(60),
+        measure: SimDuration::from_secs(60),
+        seed,
+    }
+}
+
+#[test]
+fn heterogeneous_manual_deployment_flows() {
+    let scenario = heterogeneous(30, 81);
+    let placement = manual(&scenario, 81);
+    let mut d = deploy(&scenario, &placement);
+    d.run_for(SimDuration::from_secs(5));
+    let m = d.measure(SimDuration::from_secs(60));
+    assert!(m.deliveries > 100, "deliveries {}", m.deliveries);
+    assert!(m.mean_hops >= 1.0);
+}
+
+#[test]
+fn adversarial_scenario_gathers_identical_profiles() {
+    let scenario = every_broker_subscribes(10, 82);
+    let (_, input) = profile_and_gather(&scenario, &cfg(82));
+    assert_eq!(input.subscriptions.len(), 10);
+    // All subscriptions sink the identical publication set: one GIF.
+    let (_, stats) =
+        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    assert_eq!(stats.initial_gifs, 1, "identical interests form one GIF");
+}
+
+#[test]
+fn pairwise_allocation_deploys_and_delivers() {
+    let mut scenario = greenps_workload::homogeneous(80, 83);
+    scenario.brokers.truncate(10);
+    let (_, input) = profile_and_gather(&scenario, &cfg(83));
+    let result = pairwise_n(&input, 83);
+    let placement = from_allocation(&scenario, &result.allocation, 83);
+    let mut d = deploy(&scenario, &placement);
+    d.run_for(SimDuration::from_secs(4));
+    let m = d.measure(SimDuration::from_secs(60));
+    assert!(m.deliveries > 50, "deliveries {}", m.deliveries);
+}

@@ -1,0 +1,83 @@
+//! Quickstart: allocate subscriptions onto a minimal set of brokers and
+//! build the overlay tree, all from hand-made profiles.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use greenps::core::croc::{plan, PlanConfig};
+use greenps::core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
+use greenps::profile::{ClosenessMetric, PublisherProfile, SubscriptionProfile};
+use greenps::pubsub::filter::stock_template;
+use greenps::pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut input = AllocationInput::new();
+
+    // A pool of ten brokers, each with 100 kB/s of output bandwidth and
+    // a linear matching-delay model.
+    for i in 0..10u64 {
+        input.brokers.push(BrokerSpec::new(
+            BrokerId::new(i),
+            format!("tcp://broker-{i}:1099"),
+            LinearFn::new(0.0002, 5e-8),
+            100_000.0,
+        ));
+    }
+
+    // Two publishers: YHOO at 50 msg/s, GOOG at 25 msg/s.
+    input.publishers.insert(PublisherProfile::new(
+        AdvId::new(1),
+        50.0,
+        50_000.0,
+        MsgId::new(199),
+    ));
+    input.publishers.insert(PublisherProfile::new(
+        AdvId::new(2),
+        25.0,
+        25_000.0,
+        MsgId::new(199),
+    ));
+
+    // Forty subscriptions; even ids follow YHOO, odd ids follow GOOG.
+    // Each bit-vector profile records which of the last 200 publications
+    // the subscription sank — here a simple selectivity ramp.
+    for i in 0..40u64 {
+        let adv = AdvId::new(1 + i % 2);
+        let symbol = if i % 2 == 0 { "YHOO" } else { "GOOG" };
+        let mut profile = SubscriptionProfile::new();
+        let every = 1 + (i / 2) % 4; // sink every 1st..4th publication
+        for m in (0..200u64).step_by(every as usize) {
+            profile.record(adv, MsgId::new(m));
+        }
+        input.subscriptions.push(SubscriptionEntry::new(
+            SubId::new(i),
+            stock_template(symbol),
+            profile,
+        ));
+    }
+
+    // Phases 2 + 3 + GRAPE with CRAM and the IOS closeness metric.
+    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios))?;
+
+    println!(
+        "allocated {} of {} brokers for {} subscriptions",
+        plan.broker_count(),
+        input.brokers.len(),
+        input.subscriptions.len()
+    );
+    if let Some(stats) = &plan.cram_stats {
+        println!(
+            "CRAM: {} GIFs from {} subscriptions, {} merges, {} closeness computations",
+            stats.initial_gifs,
+            stats.subscriptions,
+            stats.merges,
+            stats.closeness_computations
+        );
+    }
+    println!("\noverlay tree (root first):\n{}", plan.overlay);
+    for (adv, broker) in &plan.publisher_homes {
+        println!("publisher {adv} connects to {broker}");
+    }
+    Ok(())
+}

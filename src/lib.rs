@@ -1,0 +1,14 @@
+//! # greenps
+//!
+//! Facade crate for the Green Resource Allocation reproduction
+//! (Cheung & Jacobsen, ICDCS 2011). Re-exports all workspace crates.
+//!
+//! See the README for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use greenps_broker as broker;
+pub use greenps_core as core;
+pub use greenps_profile as profile;
+pub use greenps_pubsub as pubsub;
+pub use greenps_simnet as simnet;
+pub use greenps_workload as workload;

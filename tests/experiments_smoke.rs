@@ -1,0 +1,108 @@
+//! Smoke tests of the experiment harness pieces at tiny scale: every
+//! experiment's computational core runs and produces sane shapes.
+
+use greenps::core::cram::{cram, CramConfig};
+use greenps::core::croc::{plan, PlanConfig};
+use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
+use greenps::core::pairwise::{pairwise_k, pairwise_n};
+use greenps::core::sorting::{bin_packing, fbf};
+use greenps::profile::ClosenessMetric;
+use greenps_bench::{check_input, ideal_input};
+use greenps_workload::{heterogeneous, homogeneous, scinet_custom};
+
+#[test]
+fn e1_core_all_algorithms_allocate_same_subscriptions() {
+    let mut scenario = homogeneous(200, 71);
+    scenario.brokers.truncate(20);
+    let input = ideal_input(&scenario);
+    check_input(&input);
+
+    let manual_brokers = scenario.broker_count();
+    let fbf_alloc = fbf(&input, 71).unwrap();
+    let bp = bin_packing(&input).unwrap();
+    assert!(bp.broker_count() <= fbf_alloc.broker_count());
+    for metric in ClosenessMetric::ALL {
+        let (alloc, stats) = cram(&input, CramConfig::with_metric(metric)).unwrap();
+        assert_eq!(alloc.sub_count(), 200, "{metric}");
+        assert!(alloc.broker_count() <= bp.broker_count(), "{metric}");
+        assert!(alloc.broker_count() < manual_brokers, "{metric}");
+        assert!(stats.initial_gifs < stats.subscriptions, "{metric}: GIFs group");
+    }
+    let pk = pairwise_k(&input, 10, 71);
+    assert_eq!(pk.allocation.sub_count(), 200);
+    let pn = pairwise_n(&input, 71);
+    assert_eq!(pn.allocation.sub_count(), 200);
+    assert!(pn.clusters <= 20);
+}
+
+#[test]
+fn e4_core_heterogeneous_prefers_big_brokers() {
+    let scenario = heterogeneous(40, 72);
+    let input = ideal_input(&scenario);
+    let (alloc, _) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    // The most resourceful brokers absorb the heaviest loads: the
+    // busiest allocated broker must be a full-capacity one.
+    let busiest = alloc
+        .loads
+        .iter()
+        .max_by(|a, b| a.out_bw_used.total_cmp(&b.out_bw_used))
+        .unwrap();
+    let spec = input.brokers.iter().find(|b| b.id == busiest.broker).unwrap();
+    let max_bw = input.brokers.iter().map(|b| b.out_bandwidth).fold(0.0, f64::max);
+    assert_eq!(spec.out_bandwidth, max_bw, "heaviest load on a full broker");
+}
+
+#[test]
+fn e5_core_scales_to_hundreds_of_brokers() {
+    let scenario = scinet_custom(120, 10, 20, 73);
+    let input = ideal_input(&scenario);
+    let p = plan(&input, &PlanConfig::cram(ClosenessMetric::Iou)).unwrap();
+    assert!(p.broker_count() < 120 / 2, "collapses the pool: {}", p.broker_count());
+    p.overlay.check_tree();
+}
+
+#[test]
+fn e8_core_pruning_cuts_computations_at_scale() {
+    let mut scenario = homogeneous(320, 74);
+    scenario.brokers.truncate(30);
+    let input = ideal_input(&scenario);
+    let pruned = cram(
+        &input,
+        CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: true },
+    )
+    .unwrap()
+    .1;
+    let full = cram(
+        &input,
+        CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: false },
+    )
+    .unwrap()
+    .1;
+    assert!(
+        pruned.closeness_computations * 2 < full.closeness_computations,
+        "pruning cuts computations by half or more: {} vs {}",
+        pruned.closeness_computations,
+        full.closeness_computations
+    );
+}
+
+#[test]
+fn e9_core_overlay_opts_monotone() {
+    let mut scenario = homogeneous(240, 75);
+    scenario.brokers.truncate(24);
+    let input = ideal_input(&scenario);
+    let (leaf, _) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    let all_on = build_overlay(
+        &input,
+        &leaf,
+        &OverlayConfig::new(AllocatorKind::BinPacking),
+    )
+    .unwrap();
+    let mut cfg = OverlayConfig::new(AllocatorKind::BinPacking);
+    cfg.eliminate_pure_forwarders = false;
+    cfg.takeover_children = false;
+    cfg.best_fit_replacement = false;
+    let all_off = build_overlay(&input, &leaf, &cfg).unwrap();
+    assert!(all_on.broker_count() <= all_off.broker_count());
+    assert!(all_on.depth() <= all_off.depth() + 1);
+}

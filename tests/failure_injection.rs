@@ -1,0 +1,79 @@
+//! Failure injection: broker death partitions the tree (downstream
+//! subscribers starve), and Phase-1 gathering degrades gracefully
+//! instead of hanging.
+
+use greenps::broker::{Deployment, SubscriberClient};
+use greenps::pubsub::ids::ClientId;
+use greenps::simnet::SimDuration;
+use greenps::workload::{deploy, homogeneous, manual};
+
+#[test]
+fn broker_death_starves_its_subtree_only() {
+    let mut scenario = homogeneous(60, 91);
+    scenario.brokers.truncate(8);
+    let placement = manual(&scenario, 91);
+    let mut d: Deployment = deploy(&scenario, &placement);
+    d.run_for(SimDuration::from_secs(10));
+
+    // Kill a mid-tree broker (sorted fan-out-2: broker at position 1).
+    let victim = placement.spec.brokers[1].id;
+    let victim_node = d.brokers[&victim];
+    d.net.kill_node(victim_node);
+
+    // Subscribers homed at the victim stop receiving; others continue.
+    let victims: Vec<ClientId> = scenario
+        .subs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| placement.subscriber_homes[*i] == victim)
+        .map(|(_, s)| ClientId::new(2_000_000 + s.id.raw()))
+        .collect();
+    let survivors: Vec<ClientId> = scenario
+        .subs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| placement.subscriber_homes[*i] != victim)
+        .map(|(_, s)| ClientId::new(2_000_000 + s.id.raw()))
+        .collect();
+    assert!(!victims.is_empty() && !survivors.is_empty());
+
+    let count = |d: &Deployment, ids: &[ClientId]| -> u64 {
+        ids.iter()
+            .map(|c| d.net.node_as::<SubscriberClient>(d.subscribers[c]).unwrap().deliveries())
+            .sum()
+    };
+    let victims_before = count(&d, &victims);
+    d.run_for(SimDuration::from_secs(20));
+    let victims_after = count(&d, &victims);
+    assert!(
+        victims_after <= victims_before + victims.len() as u64,
+        "victim subtree keeps receiving: {victims_before} -> {victims_after}"
+    );
+    // The rest of the tree keeps flowing (publications dropped at the
+    // dead node, everything else routed normally) — at least some
+    // survivor traffic continues.
+    let survivors_mid = count(&d, &survivors);
+    d.run_for(SimDuration::from_secs(20));
+    let survivors_after = count(&d, &survivors);
+    assert!(
+        survivors_after > survivors_mid,
+        "survivors stalled: {survivors_mid} -> {survivors_after}"
+    );
+    assert!(d.net.dropped() > 0, "messages to the dead broker are dropped");
+}
+
+#[test]
+fn gather_times_out_gracefully_with_a_dead_branch() {
+    let mut scenario = homogeneous(30, 92);
+    scenario.brokers.truncate(8);
+    let placement = manual(&scenario, 92);
+    let mut d: Deployment = deploy(&scenario, &placement);
+    d.run_for(SimDuration::from_secs(5));
+
+    // Kill a leaf broker: the BIR flood waits for an answer that never
+    // comes; gather must return None, not hang.
+    let victim = placement.spec.brokers[7].id;
+    d.net.kill_node(d.brokers[&victim]);
+    let result = d.gather(SimDuration::from_secs(10));
+    assert!(result.is_none(), "gather must time out with a dead broker");
+}

@@ -1,0 +1,61 @@
+//! A CROC plan executed on the live threaded runtime: the overlay the
+//! planner designed must deliver real publications across OS threads.
+
+use greenps::broker::live::LiveNet;
+use greenps::core::croc::{plan, PlanConfig};
+use greenps::profile::ClosenessMetric;
+use greenps::pubsub::filter::stock_advertisement;
+use greenps::pubsub::ids::{AdvId, MsgId};
+use greenps::pubsub::message::{Advertisement, Subscription};
+use greenps_bench::ideal_input;
+use greenps_workload::homogeneous;
+use std::time::Duration;
+
+#[test]
+fn plan_runs_on_live_threads() {
+    let mut scenario = homogeneous(120, 51);
+    scenario.brokers.truncate(12);
+    let input = ideal_input(&scenario);
+    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+
+    let brokers: Vec<_> = plan.overlay.nodes().map(|n| n.broker).collect();
+    let edges: Vec<_> = plan.overlay.edges().collect();
+    let mut net = LiveNet::start(&brokers, &edges);
+    std::thread::sleep(Duration::from_millis(30));
+
+    // One publisher (the first stock) at its GRAPE home.
+    let stock = &scenario.stocks[0];
+    let adv = AdvId::new(1);
+    let home = plan.publisher_homes.get(&adv).copied().unwrap_or(plan.overlay.root());
+    let publisher =
+        net.publisher(home, Advertisement::new(adv, stock_advertisement(&stock.symbol)));
+    std::thread::sleep(Duration::from_millis(30));
+
+    // Subscribers that follow stock 0, at their planned homes.
+    let mut inboxes = Vec::new();
+    let mut expected = Vec::new();
+    for sub in scenario.subs.iter().filter(|s| s.publisher_index == 0) {
+        let home = plan.subscription_homes[&sub.id];
+        inboxes.push(net.subscriber(home, Subscription::new(sub.id, sub.filter.clone())));
+        expected.push(sub.filter.clone());
+    }
+    assert!(!inboxes.is_empty());
+    std::thread::sleep(Duration::from_millis(80));
+
+    // Publish 30 quotes and compare against the oracle per subscriber.
+    let pubs: Vec<_> = (0..30).map(|m| stock.publication(adv, MsgId::new(m))).collect();
+    for p in &pubs {
+        publisher.publish(p.clone());
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    for (inbox, filter) in inboxes.iter().zip(&expected) {
+        let oracle = pubs.iter().filter(|p| filter.matches(p)).count();
+        let mut got = 0;
+        while inbox.try_recv().is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, oracle, "live deliveries for {filter}");
+    }
+    net.shutdown();
+}
