@@ -1,0 +1,202 @@
+//! Panic-freedom allowlist (DESIGN.md §9).
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! <repo-relative-path> <kind> <substring-or-*> -- <justification>
+//! ```
+//!
+//! `kind` is one of `unwrap`, `expect`, `index`, `panic`. The third
+//! field must occur on the flagged source line (`*` matches any line in
+//! the file). The justification after ` -- ` is mandatory: an entry is
+//! a documented invariant, not an opt-out. Blank lines and `#` comments
+//! are ignored.
+
+use crate::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Repo-relative path the entry applies to.
+    pub path: String,
+    /// Finding kind: `unwrap`, `expect`, `index`, or `panic`.
+    pub kind: String,
+    /// Substring that must appear on the flagged line; `*` matches all.
+    pub pattern: String,
+    /// Why the panic source is acceptable.
+    pub justification: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+/// Parsed allowlist plus any syntax errors found while reading it.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Valid entries in file order.
+    pub entries: Vec<Entry>,
+    /// Findings for malformed lines.
+    pub errors: Vec<Finding>,
+}
+
+/// The largest number of entries the allowlist may carry. Growth means
+/// panic sources are accumulating faster than they are remediated, so
+/// the lint fails rather than letting the file absorb them.
+pub const MAX_ENTRIES: usize = 15;
+
+impl Allowlist {
+    /// Parses allowlist text; `path` is used in error findings.
+    pub fn parse(path: &str, text: &str) -> Self {
+        let mut out = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((head, justification)) = line.split_once(" -- ") else {
+                out.errors.push(Finding {
+                    lint: "panic-freedom",
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: "allowlist entry missing ` -- <justification>`".to_string(),
+                });
+                continue;
+            };
+            let fields: Vec<&str> = head.split_whitespace().collect();
+            if fields.len() != 3 {
+                out.errors.push(Finding {
+                    lint: "panic-freedom",
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "allowlist entry needs `<path> <kind> <pattern>`, got {} fields",
+                        fields.len()
+                    ),
+                });
+                continue;
+            }
+            let kind = fields[1];
+            if !matches!(kind, "unwrap" | "expect" | "index" | "panic") {
+                out.errors.push(Finding {
+                    lint: "panic-freedom",
+                    path: path.to_string(),
+                    line: idx + 1,
+                    message: format!("unknown allowlist kind `{kind}`"),
+                });
+                continue;
+            }
+            out.entries.push(Entry {
+                path: fields[0].to_string(),
+                kind: kind.to_string(),
+                pattern: fields[2].to_string(),
+                justification: justification.trim().to_string(),
+                line: idx + 1,
+            });
+        }
+        if out.entries.len() > MAX_ENTRIES {
+            out.errors.push(Finding {
+                lint: "panic-freedom",
+                path: path.to_string(),
+                line: 0,
+                message: format!(
+                    "allowlist has {} entries; the budget is {MAX_ENTRIES} — remediate instead of allowlisting",
+                    out.entries.len()
+                ),
+            });
+        }
+        out
+    }
+
+    /// True when some entry covers a finding of `kind` at `path` whose
+    /// source line text is `line_text`. Matching entries are marked used.
+    pub fn covers(&self, used: &mut [bool], path: &str, kind: &str, line_text: &str) -> bool {
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.path == path
+                && e.kind == kind
+                && (e.pattern == "*" || line_text.contains(&e.pattern))
+            {
+                used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Findings for entries that matched nothing (stale entries keep
+    /// the budget hostage, so they are errors too).
+    pub fn unused(&self, used: &[bool], allowlist_path: &str) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .zip(used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| Finding {
+                lint: "panic-freedom",
+                path: allowlist_path.to_string(),
+                line: e.line,
+                message: format!(
+                    "stale allowlist entry: `{} {} {}` matched no finding",
+                    e.path, e.kind, e.pattern
+                ),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_rejects_malformed() {
+        let text = "\
+# comment
+crates/core/src/overlay.rs expect layer-not-empty -- layers built non-empty by construction
+
+crates/profile/src/bitvec.rs index * -- word index bounded by len()/64
+crates/core/src/cram.rs badkind x -- nope
+missing-justification unwrap x
+";
+        let al = Allowlist::parse("analysis/panic-allowlist.txt", text);
+        assert_eq!(al.entries.len(), 2);
+        assert_eq!(al.errors.len(), 2);
+        assert_eq!(al.entries[0].kind, "expect");
+        assert_eq!(al.entries[1].pattern, "*");
+    }
+
+    #[test]
+    fn covers_by_path_kind_and_pattern() {
+        let al = Allowlist::parse(
+            "a.txt",
+            "crates/x/src/a.rs unwrap frob -- invariant\ncrates/x/src/b.rs index * -- bounded",
+        );
+        let mut used = vec![false; al.entries.len()];
+        assert!(al.covers(
+            &mut used,
+            "crates/x/src/a.rs",
+            "unwrap",
+            "let y = frob().unwrap();"
+        ));
+        assert!(!al.covers(
+            &mut used,
+            "crates/x/src/a.rs",
+            "unwrap",
+            "let y = other().unwrap();"
+        ));
+        assert!(!al.covers(&mut used, "crates/x/src/a.rs", "expect", "frob"));
+        assert!(al.covers(&mut used, "crates/x/src/b.rs", "index", "v[i] += 1;"));
+        assert!(al.unused(&used, "a.txt").is_empty());
+    }
+
+    #[test]
+    fn flags_stale_entries_and_budget() {
+        let al = Allowlist::parse("a.txt", "crates/x/src/a.rs unwrap never -- unused");
+        let used = vec![false; al.entries.len()];
+        let stale = al.unused(&used, "a.txt");
+        assert_eq!(stale.len(), 1);
+
+        let many: String = (0..16)
+            .map(|i| format!("crates/x/src/f{i}.rs unwrap * -- e{i}\n"))
+            .collect();
+        let al = Allowlist::parse("a.txt", &many);
+        assert!(al.errors.iter().any(|f| f.message.contains("budget")));
+    }
+}

@@ -1,0 +1,163 @@
+//! Workspace static-analysis engine (DESIGN.md §9).
+//!
+//! Four std-only lints run over the workspace source tree:
+//!
+//! - [`panic_freedom`] — forbids `unwrap`/`expect`/panicking macros and
+//!   `[idx]` indexing in non-test library code of the runtime crates,
+//!   modulo a justified allowlist.
+//! - [`layering`] — enforces the DESIGN.md §3 crate dependency DAG
+//!   from both `Cargo.toml` declarations and `use greenps_*` imports.
+//! - [`lock_hygiene`] — forbids `std::sync::Mutex`/`RwLock` (the
+//!   workspace standardizes on `parking_lot`) and flags lock guards
+//!   held across crossbeam channel `send`/`recv` in the broker crate.
+//! - [`attributes`] — requires `#![forbid(unsafe_code)]` and
+//!   `#![deny(missing_docs)]` on every first-party crate root.
+//!
+//! Everything operates on `(path, content)` pairs so each lint is unit
+//! testable with synthetic snippets; the binary in `main.rs` wires them
+//! to the real tree.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod attributes;
+pub mod layering;
+pub mod lock_hygiene;
+pub mod panic_freedom;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint violation, pointing at a repo-relative path and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint produced this finding (e.g. `panic-freedom`).
+    pub lint: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.lint, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.lint, self.message
+            )
+        }
+    }
+}
+
+/// A source file loaded for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Raw file contents.
+    pub content: String,
+}
+
+impl SourceFile {
+    /// Convenience constructor for tests and synthetic snippets.
+    pub fn new(path: &str, content: &str) -> Self {
+        SourceFile {
+            path: path.to_string(),
+            content: content.to_string(),
+        }
+    }
+
+    /// The crate short name (`core` for `crates/core/src/x.rs`), if the
+    /// file lives under `crates/`.
+    pub fn crate_name(&self) -> Option<&str> {
+        let rest = self.path.strip_prefix("crates/")?;
+        rest.split('/').next()
+    }
+
+    /// True when the file is library code: under `src/` and not under a
+    /// `tests/`, `benches/`, `examples/` or `src/bin/` directory.
+    pub fn is_library_code(&self) -> bool {
+        self.path.contains("/src/")
+            && !self.path.contains("/tests/")
+            && !self.path.contains("/benches/")
+            && !self.path.contains("/examples/")
+            && !self.path.contains("/src/bin/")
+    }
+}
+
+/// Locates the workspace root: walks up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Loads every `.rs` file under `root/<sub>` (recursively) as
+/// repo-relative [`SourceFile`]s, sorted by path for stable output.
+pub fn load_sources(root: &Path, sub: &str) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let base = root.join(sub);
+    if base.exists() {
+        walk(root, &base, &mut out)?;
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            // target/ can appear under crate dirs when building in-tree.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                path: rel,
+                content: fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Maps a byte offset in `text` to a 1-based line number.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Returns the full text of the line containing byte `offset`.
+pub fn line_text(text: &str, offset: usize) -> &str {
+    let offset = offset.min(text.len());
+    let start = text[..offset].rfind('\n').map_or(0, |i| i + 1);
+    let end = text[offset..].find('\n').map_or(text.len(), |i| offset + i);
+    &text[start..end]
+}

@@ -1,0 +1,124 @@
+//! CLI for the workspace static-analysis engine.
+//!
+//! ```text
+//! cargo run -p greenps-analysis -- <panic-freedom|layering|lock-hygiene|attributes|all>
+//! ```
+//!
+//! Prints findings as `path:line: [lint] message` and exits non-zero
+//! when any lint fires.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use greenps_analysis::allowlist::Allowlist;
+use greenps_analysis::{
+    attributes, layering, load_sources, lock_hygiene, panic_freedom, workspace_root, Finding,
+    SourceFile,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const ALLOWLIST_PATH: &str = "analysis/panic-allowlist.txt";
+const USAGE: &str = "usage: cargo run -p greenps-analysis -- <check>\n\nchecks:\n  panic-freedom  unwrap/expect/panic!/indexing in runtime library code\n  layering       DESIGN.md \u{a7}3 crate dependency DAG\n  lock-hygiene   std::sync locks; guards held across channel ops\n  attributes     forbid(unsafe_code) + deny(missing_docs) on crate roots\n  all            every check above";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = match args.as_slice() {
+        [one] => one.clone(),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = workspace_root(&start) else {
+        eprintln!(
+            "error: could not locate the workspace root from {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    match run_checks(&root, &check) {
+        Ok(findings) if findings.is_empty() => {
+            println!("analysis: `{check}` clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("analysis: `{check}` found {} violation(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_checks(root: &Path, check: &str) -> Result<Vec<Finding>, String> {
+    let mut sources = load_sources(root, "crates").map_err(|e| e.to_string())?;
+    sources.extend(load_sources(root, "src").map_err(|e| e.to_string())?);
+    sources.extend(load_sources(root, "vendor").map_err(|e| e.to_string())?);
+
+    let mut findings = Vec::new();
+    let mut known = false;
+
+    if matches!(check, "panic-freedom" | "all") {
+        known = true;
+        let allowlist_file = root.join(ALLOWLIST_PATH);
+        let text = fs::read_to_string(&allowlist_file).unwrap_or_default();
+        let allowlist = Allowlist::parse(ALLOWLIST_PATH, &text);
+        findings.extend(panic_freedom::run(&sources, &allowlist, ALLOWLIST_PATH));
+    }
+    if matches!(check, "layering" | "all") {
+        known = true;
+        findings.extend(layering::check_sources(&sources));
+        findings.extend(check_manifests(root)?);
+    }
+    if matches!(check, "lock-hygiene" | "all") {
+        known = true;
+        let first_party: Vec<SourceFile> = sources
+            .iter()
+            .filter(|f| f.path.starts_with("crates/"))
+            .cloned()
+            .collect();
+        findings.extend(lock_hygiene::check_std_sync(&first_party));
+        findings.extend(lock_hygiene::check_guard_across_channel(&first_party));
+    }
+    if matches!(check, "attributes" | "all") {
+        known = true;
+        findings.extend(attributes::run(&sources));
+    }
+
+    if !known {
+        return Err(format!("unknown check `{check}`\n{USAGE}"));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup();
+    Ok(findings)
+}
+
+fn check_manifests(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir).map_err(|e| e.to_string())?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let manifest = entry.path().join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let krate = entry.file_name().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+        let rel = format!("crates/{krate}/Cargo.toml");
+        findings.extend(layering::check_manifest(&krate, &rel, &text));
+    }
+    Ok(findings)
+}

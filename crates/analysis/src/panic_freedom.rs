@@ -1,0 +1,177 @@
+//! Lint 1: panic-freedom in runtime library code.
+//!
+//! The runtime crates (`pubsub`, `profile`, `core`, `broker`, `simnet`)
+//! must not contain `unwrap()`, `expect()`, panicking macros, or `[..]`
+//! indexing in non-`#[cfg(test)]` library code, except where a
+//! justified allowlist entry documents the invariant that makes the
+//! panic unreachable.
+
+use crate::allowlist::Allowlist;
+use crate::source::{in_regions, mask, test_regions};
+use crate::{line_of, line_text, Finding, SourceFile};
+
+/// Crates whose library code must be panic-free.
+pub const CHECKED_CRATES: [&str; 5] = ["pubsub", "profile", "core", "broker", "simnet"];
+
+const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Raw (pre-allowlist) panic sources in one file: `(kind, offset)`.
+fn scan(masked: &str) -> Vec<(&'static str, usize)> {
+    let bytes = masked.as_bytes();
+    let mut hits = Vec::new();
+
+    for (kind, needle) in [("unwrap", ".unwrap"), ("expect", ".expect")] {
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find(needle) {
+            let at = from + rel;
+            let after = at + needle.len();
+            // Reject `.unwrap_or`, `.expect_err`, etc.: the method name
+            // must end exactly here and be called.
+            let boundary = bytes.get(after).copied().is_none_or(|b| !is_ident_byte(b));
+            let called = bytes.get(after) == Some(&b'(');
+            if boundary && called {
+                hits.push((kind, at));
+            }
+            from = after;
+        }
+    }
+
+    for needle in PANIC_MACROS {
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find(needle) {
+            let at = from + rel;
+            // Must start an identifier (`assert_eq!` contains no panic
+            // needle; `my_panic!` must not match).
+            let starts_ident = at == 0 || !is_ident_byte(bytes[at - 1]);
+            if starts_ident {
+                hits.push(("panic", at));
+            }
+            from = at + needle.len();
+        }
+    }
+
+    // Indexing: `[` directly after an identifier byte, `)`, `]` or `?`
+    // is an index/slice expression. Array types (`[u8; 4]`), slice
+    // patterns, attributes and `vec![` all start after other bytes.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'[' && i > 0 {
+            let prev = bytes[i - 1];
+            if is_ident_byte(prev) || prev == b')' || prev == b']' || prev == b'?' {
+                hits.push(("index", i));
+            }
+        }
+    }
+
+    hits.sort_by_key(|&(_, at)| at);
+    hits
+}
+
+/// Runs the lint over `files` with the given allowlist.
+///
+/// `allowlist_path` labels stale-entry findings. Only library code of
+/// [`CHECKED_CRATES`] is scanned; other files pass through untouched.
+pub fn run(files: &[SourceFile], allowlist: &Allowlist, allowlist_path: &str) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = allowlist.errors.clone();
+    let mut used = vec![false; allowlist.entries.len()];
+
+    for file in files {
+        let in_scope = file
+            .crate_name()
+            .is_some_and(|c| CHECKED_CRATES.contains(&c))
+            && file.is_library_code();
+        if !in_scope {
+            continue;
+        }
+        let masked = mask(&file.content);
+        let regions = test_regions(&masked);
+        for (kind, at) in scan(&masked) {
+            if in_regions(at, &regions) {
+                continue;
+            }
+            let text = line_text(&file.content, at);
+            if allowlist.covers(&mut used, &file.path, kind, text) {
+                continue;
+            }
+            let what = match kind {
+                "unwrap" => "`.unwrap()` can panic",
+                "expect" => "`.expect()` can panic",
+                "index" => "`[..]` indexing can panic",
+                _ => "panicking macro",
+            };
+            findings.push(Finding {
+                lint: "panic-freedom",
+                path: file.path.clone(),
+                line: line_of(&file.content, at),
+                message: format!("{what} in library code — return a typed error or allowlist with a justification"),
+            });
+        }
+    }
+
+    findings.extend(allowlist.unused(&used, allowlist_path));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str, allow: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new(path, src)];
+        let al = Allowlist::parse("allow.txt", allow);
+        run(&files, &al, "allow.txt")
+    }
+
+    #[test]
+    fn fires_on_unwrap_expect_panic_index() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    let a = v.first().unwrap();\n    let b: u32 = \"7\".parse().expect(\"digit\");\n    if i > 9 { panic!(\"too big\") }\n    a + b + v[i]\n}\n";
+        let got = lint("crates/core/src/x.rs", src, "");
+        let kinds: Vec<&str> = got
+            .iter()
+            .map(|f| f.message.split_whitespace().next().unwrap_or(""))
+            .collect();
+        assert_eq!(got.len(), 4, "{got:?}");
+        assert_eq!(got[0].line, 2);
+        assert_eq!(got[1].line, 3);
+        assert_eq!(got[2].line, 4);
+        assert_eq!(got[3].line, 5);
+        assert!(kinds[0].contains("unwrap"));
+    }
+
+    #[test]
+    fn ignores_test_code_comments_and_non_panicking_cousins() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // x.unwrap() in a comment\n    let s = \"panic!\";\n    x.unwrap_or(0)\n}\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let got = lint("crates/core/src/x.rs", src, "");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        let src = "fn f() { None::<u32>.unwrap(); }";
+        assert!(lint("crates/workload/src/x.rs", src, "").is_empty());
+        assert!(lint("crates/core/tests/x.rs", src, "").is_empty());
+        assert!(lint("crates/core/src/bin/x.rs", src, "").is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_reports_stale() {
+        let src = "fn f(v: &[u32]) -> u32 { v[0] }\n";
+        let got = lint(
+            "crates/profile/src/x.rs",
+            src,
+            "crates/profile/src/x.rs index * -- caller checks non-empty\ncrates/profile/src/x.rs unwrap * -- stale",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn array_types_and_macros_do_not_fire_index() {
+        let src = "fn f() -> [u8; 4] {\n    let v: Vec<[u8; 4]> = vec![[0; 4]];\n    #[allow(dead_code)]\n    let [a, b] = (1, 2).into();\n    v.first().copied().unwrap_or([0; 4])\n}\n";
+        let got = lint("crates/simnet/src/x.rs", src, "");
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

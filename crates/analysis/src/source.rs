@@ -1,0 +1,257 @@
+//! Lexical preprocessing shared by the lints.
+//!
+//! [`mask`] blanks out comments and string/char literal bodies so later
+//! substring scans cannot be fooled by `"panic!"` inside a doc string;
+//! [`test_regions`] finds `#[cfg(test)]` item bodies so test-only code
+//! is exempt from the panic-freedom policy.
+
+/// Replaces comments and string/char-literal contents with spaces.
+///
+/// Newlines are preserved (line numbers stay valid) and the masked text
+/// has the same byte length as the input. String delimiters themselves
+/// are masked too, so a `[` or `.unwrap()` inside a literal can never
+/// match a code pattern.
+pub fn mask(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Pushes `n` bytes of masked output, keeping newlines.
+    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize) {
+        for &b in &bytes[from..to] {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    }
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+                blank(&mut out, bytes, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested block comments.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, bytes, i, j);
+                i = j;
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let (hashes, body_start) = raw_string_open(bytes, i);
+                let end = raw_string_end(bytes, body_start, hashes);
+                blank(&mut out, bytes, i, end);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(bytes, i + 1);
+                blank(&mut out, bytes, i, end);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut out, bytes, i, end);
+                    i = end;
+                } else {
+                    // A lifetime like 'a — keep as-is.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"`, `r#"`, `br"` handled via the `r`; reject identifiers ending
+    // in r (e.g. `var"`, impossible) by checking the previous byte.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1) // skip the opening quote
+}
+
+fn raw_string_end(bytes: &[u8], mut j: usize, hashes: usize) -> usize {
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+fn string_end(bytes: &[u8], mut j: usize) -> usize {
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Distinguishes a char literal from a lifetime. Returns the end offset
+/// of the literal, or `None` for a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut k = j + 2;
+        while k < bytes.len() && bytes[k] != b'\'' {
+            k += 1;
+        }
+        return Some((k + 1).min(bytes.len()));
+    }
+    // `'a` followed by `'` is a char literal; otherwise a lifetime.
+    if is_ident_byte(bytes[j]) {
+        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+            return Some(j + 2);
+        }
+        return None;
+    }
+    // Punctuation char literal like '(' .
+    if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+        return Some(j + 2);
+    }
+    None
+}
+
+/// Byte ranges of `#[cfg(test)]` item bodies in **masked** source.
+///
+/// Each range covers from the start of the attribute to the matching
+/// close brace of the item that follows it (typically `mod tests`).
+pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
+    const ATTR: &str = "#[cfg(test)]";
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut search_from = 0;
+    while let Some(found) = masked[search_from..].find(ATTR) {
+        let start = search_from + found;
+        let after = start + ATTR.len();
+        // Find the opening brace of the annotated item.
+        if let Some(open_rel) = masked[after..].find('{') {
+            let open = after + open_rel;
+            let end = match_brace(masked.as_bytes(), open);
+            regions.push((start, end));
+            search_from = end;
+        } else {
+            search_from = after;
+        }
+    }
+    regions
+}
+
+/// Offset one past the brace matching the `{` at `open` (or EOF).
+pub fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len()
+}
+
+/// True when `offset` falls inside any of `regions`.
+pub fn in_regions(offset: usize, regions: &[(usize, usize)]) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let a = \"unwrap()\"; // .unwrap()\nlet b = x.unwrap();";
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches(".unwrap").count(), 1);
+        assert!(m.contains("let b = x.unwrap();"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let s = r#\"a [0] \"quote\" \"#; let c = '['; let lt: &'static str = x;";
+        let m = mask(src);
+        assert!(!m.contains('['), "brackets in literals must be masked: {m}");
+        assert!(m.contains("'static"), "lifetimes must survive masking");
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still */ x.expect(\"m\")";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert_eq!(m.matches(".expect").count(), 1);
+    }
+
+    #[test]
+    fn finds_cfg_test_regions() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn tail() {}";
+        let m = mask(src);
+        let regions = test_regions(&m);
+        assert_eq!(regions.len(), 1);
+        let lib_pos = m.find("x.unwrap").expect("lib code present");
+        let test_pos = m.find("y.unwrap").expect("test code present");
+        assert!(!in_regions(lib_pos, &regions));
+        assert!(in_regions(test_pos, &regions));
+        let tail = m.find("fn tail").expect("tail present");
+        assert!(!in_regions(tail, &regions));
+    }
+}

@@ -42,8 +42,7 @@ fn bench_cram(c: &mut Criterion) {
             &metric,
             |b, &metric| {
                 b.iter(|| {
-                    let (alloc, _) =
-                        cram(&input, CramConfig::with_metric(metric)).unwrap();
+                    let (alloc, _) = cram(&input, CramConfig::with_metric(metric)).unwrap();
                     black_box(alloc.broker_count())
                 });
             },

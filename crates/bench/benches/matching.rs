@@ -19,11 +19,9 @@ fn bench_matchers(c: &mut Criterion) {
             counting.insert(sub.id, sub.filter.clone());
             naive.insert(sub.id, sub.filter.clone());
         }
-        group.bench_with_input(
-            BenchmarkId::new("counting", n),
-            &counting,
-            |b, m| b.iter(|| black_box(m.matches(&publication).len())),
-        );
+        group.bench_with_input(BenchmarkId::new("counting", n), &counting, |b, m| {
+            b.iter(|| black_box(m.matches(&publication).len()))
+        });
         group.bench_with_input(BenchmarkId::new("naive", n), &naive, |b, m| {
             b.iter(|| black_box(m.matches(&publication).len()))
         });

@@ -20,8 +20,9 @@ fn bench_overlay(c: &mut Criterion) {
         b.iter(|| black_box(build_overlay(&input, &leaf, &cfg).unwrap().broker_count()));
     });
     group.bench_function("build_cram", |b| {
-        let cfg =
-            OverlayConfig::new(AllocatorKind::Cram(CramConfig::with_metric(ClosenessMetric::Ios)));
+        let cfg = OverlayConfig::new(AllocatorKind::Cram(CramConfig::with_metric(
+            ClosenessMetric::Ios,
+        )));
         b.iter(|| black_box(build_overlay(&input, &leaf, &cfg).unwrap().broker_count()));
     });
     group.finish();
@@ -41,8 +42,7 @@ fn bench_grape(c: &mut Criterion) {
     c.bench_function("grape/place_all_publishers", |b| {
         b.iter(|| {
             black_box(
-                place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load())
-                    .len(),
+                place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load()).len(),
             )
         });
     });

@@ -32,7 +32,10 @@ struct Opts {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = Opts { quick: false, csv: None };
+    let mut opts = Opts {
+        quick: false,
+        csv: None,
+    };
     let mut which = Vec::new();
     while let Some(a) = args.first().cloned() {
         args.remove(0);
@@ -81,7 +84,9 @@ fn emit(opts: &Opts, name: &str, title: &str, table: &Table) {
     println!("\n=== {name}: {title} ===");
     print!("{}", table.render());
     if let Some(dir) = &opts.csv {
-        table.write_csv(&dir.join(format!("{name}.csv"))).expect("write csv");
+        table
+            .write_csv(&dir.join(format!("{name}.csv")))
+            .expect("write csv");
     }
 }
 
@@ -117,8 +122,11 @@ fn grid_outcomes(scenarios: &[Scenario], approaches: &[Approach]) -> Vec<Outcome
 /// E1–E3: homogeneous cluster — message rate, allocated brokers, hops
 /// and delay vs number of subscriptions, for all ten approaches.
 fn e1_e2_e3(opts: &Opts) {
-    let sizes: &[usize] =
-        if opts.quick { &[400, 800] } else { &[2000, 4000, 6000, 8000] };
+    let sizes: &[usize] = if opts.quick {
+        &[400, 800]
+    } else {
+        &[2000, 4000, 6000, 8000]
+    };
     let scenarios: Vec<Scenario> = sizes
         .iter()
         .map(|&n| {
@@ -130,7 +138,12 @@ fn e1_e2_e3(opts: &Opts) {
         })
         .collect();
     let outcomes = grid_outcomes(&scenarios, &Approach::ALL_PAPER);
-    emit(opts, "e1", "homogeneous cluster, all approaches", &outcome_table(&outcomes));
+    emit(
+        opts,
+        "e1",
+        "homogeneous cluster, all approaches",
+        &outcome_table(&outcomes),
+    );
 
     // Headline reductions vs MANUAL (the paper's 92% / 91% claims).
     let mut head = Table::new(&[
@@ -160,15 +173,17 @@ fn e1_e2_e3(opts: &Opts) {
                 ),
                 format!(
                     "{:.1}",
-                    reduction_pct(
-                        base.allocated_brokers as f64,
-                        o.allocated_brokers as f64
-                    )
+                    reduction_pct(base.allocated_brokers as f64, o.allocated_brokers as f64)
                 ),
             ]);
         }
     }
-    emit(opts, "e2", "reductions vs MANUAL (headline: up to 92% / 91%)", &head);
+    emit(
+        opts,
+        "e2",
+        "reductions vs MANUAL (headline: up to 92% / 91%)",
+        &head,
+    );
 
     let mut hops = Table::new(&["subs", "approach", "mean hops", "mean delay (ms)"]);
     for o in &outcomes {
@@ -184,7 +199,11 @@ fn e1_e2_e3(opts: &Opts) {
 
 /// E4: heterogeneous cluster (15×100% / 25×50% / 40×25% capacity).
 fn e4(opts: &Opts) {
-    let ns: &[usize] = if opts.quick { &[50] } else { &[50, 100, 150, 200] };
+    let ns: &[usize] = if opts.quick {
+        &[50]
+    } else {
+        &[50, 100, 150, 200]
+    };
     let scenarios: Vec<Scenario> = ns.iter().map(|&n| heterogeneous(n, 2)).collect();
     let approaches: &[Approach] = if opts.quick {
         &[
@@ -196,7 +215,12 @@ fn e4(opts: &Opts) {
         &Approach::ALL_PAPER
     };
     let outcomes = grid_outcomes(&scenarios, approaches);
-    emit(opts, "e4", "heterogeneous cluster", &outcome_table(&outcomes));
+    emit(
+        opts,
+        "e4",
+        "heterogeneous cluster",
+        &outcome_table(&outcomes),
+    );
 }
 
 /// E5: SciNet large-scale deployments.
@@ -207,7 +231,10 @@ fn e5(opts: &Opts) {
         // Reduced per-publisher subscription counts keep the full-grid
         // run in minutes while preserving the saturation shape; see
         // EXPERIMENTS.md.
-        vec![scinet_custom(400, 72, 100, 3), scinet_custom(1000, 100, 100, 3)]
+        vec![
+            scinet_custom(400, 72, 100, 3),
+            scinet_custom(1000, 100, 100, 3),
+        ]
     };
     let approaches = [
         Approach::Manual,
@@ -224,8 +251,11 @@ fn e5(opts: &Opts) {
 fn e6(opts: &Opts) {
     let brokers = if opts.quick { 16 } else { 80 };
     let s = every_broker_subscribes(brokers, 4);
-    let approaches =
-        [Approach::Manual, Approach::GrapeOnly, Approach::Cram(ClosenessMetric::Ios)];
+    let approaches = [
+        Approach::Manual,
+        Approach::GrapeOnly,
+        Approach::Cram(ClosenessMetric::Ios),
+    ];
     let outcomes = grid_outcomes(&[s], &approaches);
     let mut t = Table::new(&["approach", "brokers", "avg msg rate", "vs MANUAL (%)"]);
     let base = outcomes[0].metrics.avg_broker_msg_rate;
@@ -248,7 +278,12 @@ fn e6(opts: &Opts) {
         }
         s
     };
-    let mut t = Table::new(&["GRAPE priority P", "brokers", "avg msg rate", "mean delay (ms)"]);
+    let mut t = Table::new(&[
+        "GRAPE priority P",
+        "brokers",
+        "avg msg rate",
+        "mean delay (ms)",
+    ]);
     for priority in [0.0, 0.5, 1.0] {
         let mut plan_cfg = PlanConfig::cram(ClosenessMetric::Ios);
         plan_cfg.grape = greenps_core::grape::GrapeConfig { priority };
@@ -270,8 +305,11 @@ fn e6(opts: &Opts) {
 
 /// E7: allocation algorithm computation time (no simulation).
 fn e7(opts: &Opts) {
-    let sizes: &[usize] =
-        if opts.quick { &[500, 1000] } else { &[2000, 4000, 6000, 8000] };
+    let sizes: &[usize] = if opts.quick {
+        &[500, 1000]
+    } else {
+        &[2000, 4000, 6000, 8000]
+    };
     let mut t = Table::new(&["subs", "algorithm", "time (ms)", "allocated brokers"]);
     let mut xor_vs_ios: Vec<(f64, f64)> = Vec::new();
     for &n in sizes {
@@ -283,10 +321,19 @@ fn e7(opts: &Opts) {
             (t0.elapsed().as_secs_f64() * 1e3, brokers)
         };
         let (ms, b) = timed(&|| fbf(&input, 5).map(|a| a.broker_count()).unwrap_or(0));
-        t.row(vec![n.to_string(), "FBF".into(), format!("{ms:.1}"), b.to_string()]);
-        let (ms, b) =
-            timed(&|| bin_packing(&input).map(|a| a.broker_count()).unwrap_or(0));
-        t.row(vec![n.to_string(), "BINPACKING".into(), format!("{ms:.1}"), b.to_string()]);
+        t.row(vec![
+            n.to_string(),
+            "FBF".into(),
+            format!("{ms:.1}"),
+            b.to_string(),
+        ]);
+        let (ms, b) = timed(&|| bin_packing(&input).map(|a| a.broker_count()).unwrap_or(0));
+        t.row(vec![
+            n.to_string(),
+            "BINPACKING".into(),
+            format!("{ms:.1}"),
+            b.to_string(),
+        ]);
         let mut times = std::collections::BTreeMap::new();
         for metric in ClosenessMetric::ALL {
             let (ms, b) = timed(&|| {
@@ -304,7 +351,12 @@ fn e7(opts: &Opts) {
         }
         xor_vs_ios.push((times["XOR"], times["IOS"]));
     }
-    emit(opts, "e7", "allocation computation time (XOR ≥75% slower claim)", &t);
+    emit(
+        opts,
+        "e7",
+        "allocation computation time (XOR ≥75% slower claim)",
+        &t,
+    );
     for (x, i) in xor_vs_ios {
         println!("  XOR/IOS time ratio: {:.2}x", x / i.max(1e-9));
     }
@@ -395,8 +447,7 @@ fn e9(opts: &Opts) {
     emit(opts, "e9", "one-to-many clustering ablation", &t);
 
     // Overlay optimization ablation over a fixed leaf allocation.
-    let (leaf, _) =
-        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf");
+    let (leaf, _) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf");
     let mut t = Table::new(&[
         "overlay variant",
         "total brokers",
@@ -427,7 +478,12 @@ fn e9(opts: &Opts) {
             overlay.stats.best_fit_swaps.to_string(),
         ]);
     }
-    emit(opts, "e9b", "overlay construction optimization ablation", &t);
+    emit(
+        opts,
+        "e9b",
+        "overlay construction optimization ablation",
+        &t,
+    );
 }
 
 /// E10: bit-vector load-estimation accuracy — estimated subscription
@@ -458,7 +514,10 @@ fn e10(opts: &Opts) {
     errors.sort_by(f64::total_cmp);
     for q in [0.5, 0.9, 0.99] {
         let idx = ((errors.len() as f64 * q) as usize).min(errors.len() - 1);
-        t.row(vec![format!("p{:.0}", q * 100.0), format!("{:.1}", errors[idx])]);
+        t.row(vec![
+            format!("p{:.0}", q * 100.0),
+            format!("{:.1}", errors[idx]),
+        ]);
     }
     let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
     t.row(vec!["mean".into(), format!("{mean:.1}")]);
@@ -497,6 +556,11 @@ fn e10(opts: &Opts) {
         let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
         t.row(vec![bits.to_string(), format!("{mean:.1}")]);
     }
-    emit(opts, "e10b", "bit-vector capacity vs estimation accuracy", &t);
+    emit(
+        opts,
+        "e10b",
+        "bit-vector capacity vs estimation accuracy",
+        &t,
+    );
     let _ = AllocationInput::new();
 }

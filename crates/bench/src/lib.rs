@@ -4,7 +4,8 @@
 //! `experiments` binary that regenerates every figure/table of the
 //! paper (see DESIGN.md §4 for the experiment index E1–E10).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use greenps_core::model::{AllocationInput, SubscriptionEntry};
 use greenps_profile::{PublisherProfile, PublisherTable, SubscriptionProfile};

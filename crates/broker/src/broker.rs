@@ -141,9 +141,9 @@ impl Broker {
             .sub_profiles
             .iter()
             .filter_map(|(&id, profile)| {
-                self.routing.subscription(id).map(|s| {
-                    SubscriptionEntry::new(id, s.filter.clone(), profile.clone())
-                })
+                self.routing
+                    .subscription(id)
+                    .map(|s| SubscriptionEntry::new(id, s.filter.clone(), profile.clone()))
             })
             .collect();
         let publishers = self
@@ -206,7 +206,9 @@ impl Broker {
         let matching = self.routing.matching_subscriptions_mut(&env.publication);
         let mut hops: Vec<NodeId> = Vec::new();
         for &sub in &matching {
-            let Some(&hop) = self.routing.subscription_hop(sub) else { continue };
+            let Some(&hop) = self.routing.subscription_hop(sub) else {
+                continue;
+            };
             if hop == from {
                 continue;
             }
@@ -232,7 +234,13 @@ impl Broker {
         if !self.seen_bir.insert(request) {
             // Duplicate (possible only in non-tree overlays): answer
             // empty so the sender is not left waiting.
-            ctx.send(from, BrokerMsg::Bia { request, infos: Vec::new() });
+            ctx.send(
+                from,
+                BrokerMsg::Bia {
+                    request,
+                    infos: Vec::new(),
+                },
+            );
             return;
         }
         let targets: Vec<NodeId> = self
@@ -271,12 +279,15 @@ impl Broker {
         };
         pending.waiting.remove(&from);
         pending.collected.extend(infos);
-        if pending.waiting.is_empty() {
-            let pending = self.pending_bir.remove(&request).unwrap();
-            let mut infos = pending.collected;
-            infos.push(self.own_info(ctx.now()));
-            ctx.send(pending.parent, BrokerMsg::Bia { request, infos });
+        if !pending.waiting.is_empty() {
+            return;
         }
+        let Some(pending) = self.pending_bir.remove(&request) else {
+            return;
+        };
+        let mut infos = pending.collected;
+        infos.push(self.own_info(ctx.now()));
+        ctx.send(pending.parent, BrokerMsg::Bia { request, infos });
     }
 }
 
@@ -341,9 +352,7 @@ impl Process<BrokerMsg> for Broker {
             }
             BrokerMsg::Publication(env) => self.handle_publication(ctx, from, env),
             BrokerMsg::Bir { request } => self.handle_bir(ctx, from, request),
-            BrokerMsg::Bia { request, infos } => {
-                self.handle_bia(ctx, from, request, infos)
-            }
+            BrokerMsg::Bia { request, infos } => self.handle_bia(ctx, from, request, infos),
         }
     }
 
@@ -401,13 +410,21 @@ mod tests {
                     .build()
             }),
         ));
-        net.connect(publisher, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            publisher,
+            b0,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
         let subscriber = net.add_node(SubscriberClient::new(
             ClientId::new(2),
             b2,
             vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
         ));
-        net.connect(subscriber, b2, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            subscriber,
+            b2,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
 
         net.run_for(SimDuration::from_secs(1));
         let sub = net.node_as::<SubscriberClient>(subscriber).unwrap();
@@ -415,7 +432,10 @@ mod tests {
         assert_eq!(sub.mean_hops(), Some(3.0));
         let delay = sub.mean_delay().unwrap();
         // ≥ 3 links × 1ms + client link... ≥ 3ms and < 10ms
-        assert!(delay.as_secs_f64() > 0.003 && delay.as_secs_f64() < 0.01, "{delay}");
+        assert!(
+            delay.as_secs_f64() > 0.003 && delay.as_secs_f64() < 0.01,
+            "{delay}"
+        );
         // No deliveries to the wrong place; broker b1 forwarded all.
         assert_eq!(net.node_as::<Broker>(b1).unwrap().delivered_count, 0);
         assert!(net.node_as::<Broker>(b2).unwrap().delivered_count >= 9);
@@ -439,16 +459,26 @@ mod tests {
                     .build()
             }),
         ));
-        net.connect(publisher, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            publisher,
+            b0,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
         let subscriber = net.add_node(SubscriberClient::new(
             ClientId::new(2),
             b0,
             vec![Subscription::new(SubId::new(1), stock_template("GOOG"))],
         ));
-        net.connect(subscriber, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            subscriber,
+            b0,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
         net.run_for(SimDuration::from_secs(1));
         assert_eq!(
-            net.node_as::<SubscriberClient>(subscriber).unwrap().deliveries(),
+            net.node_as::<SubscriberClient>(subscriber)
+                .unwrap()
+                .deliveries(),
             0
         );
     }
@@ -479,19 +509,31 @@ mod tests {
                     .build()
             }),
         ));
-        net.connect(publisher, b1, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            publisher,
+            b1,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
         let subscriber = net.add_node(SubscriberClient::new(
             ClientId::new(2),
             b2,
             vec![Subscription::new(SubId::new(9), stock_template("YHOO"))],
         ));
-        net.connect(subscriber, b2, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            subscriber,
+            b2,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
 
         net.run_for(SimDuration::from_secs(2));
 
         // CROC attaches to b0 and gathers.
         let croc = net.add_node(CrocClient::new(b0));
-        net.connect(croc, b0, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.connect(
+            croc,
+            b0,
+            LinkSpec::with_latency(SimDuration::from_millis(1)),
+        );
         net.node_as_mut::<Broker>(b0).unwrap(); // b0 treats croc as client on hello
         net.run_for(SimDuration::from_millis(10));
         net.inject(croc, croc, BrokerMsg::Bir { request: 0 });
@@ -508,13 +550,19 @@ mod tests {
             .next()
             .unwrap();
         assert_eq!(entry.id, SubId::new(9));
-        assert!(entry.profile.count_ones() >= 15, "profile recorded deliveries");
+        assert!(
+            entry.profile.count_ones() >= 15,
+            "profile recorded deliveries"
+        );
         // Publisher profile came from b1.
-        let pubs: Vec<&PublisherProfile> =
-            infos.iter().flat_map(|i| i.publishers.iter()).collect();
+        let pubs: Vec<&PublisherProfile> = infos.iter().flat_map(|i| i.publishers.iter()).collect();
         assert_eq!(pubs.len(), 1);
         assert_eq!(pubs[0].adv_id, AdvId::new(7));
-        assert!(pubs[0].rate > 5.0, "≈10 msg/s observed, got {}", pubs[0].rate);
+        assert!(
+            pubs[0].rate > 5.0,
+            "≈10 msg/s observed, got {}",
+            pubs[0].rate
+        );
     }
 
     /// Matching delay queues publications: with service time 10 ms and
@@ -535,10 +583,8 @@ mod tests {
         net.connect(subscriber, b0, LinkSpec::with_latency(SimDuration::ZERO));
         net.run_for(SimDuration::from_millis(1));
 
-        let adv = greenps_pubsub::message::Advertisement::new(
-            AdvId::new(1),
-            stock_advertisement("YHOO"),
-        );
+        let adv =
+            greenps_pubsub::message::Advertisement::new(AdvId::new(1), stock_advertisement("YHOO"));
         net.call_node(subscriber, b0, BrokerMsg::Advertise(adv));
         let mk = |id: u64| {
             BrokerMsg::Publication(PubEnvelope::new(

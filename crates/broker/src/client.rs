@@ -60,13 +60,15 @@ impl PublisherClient {
 
 impl Process<BrokerMsg> for PublisherClient {
     fn on_start(&mut self, ctx: &mut Context<'_, BrokerMsg>) {
-        ctx.send(self.broker, BrokerMsg::ClientHello { client: self.client });
         ctx.send(
             self.broker,
-            BrokerMsg::Advertise(Advertisement::new(
-                self.adv_id,
-                self.advertisement.clone(),
-            )),
+            BrokerMsg::ClientHello {
+                client: self.client,
+            },
+        );
+        ctx.send(
+            self.broker,
+            BrokerMsg::Advertise(Advertisement::new(self.adv_id, self.advertisement.clone())),
         );
         ctx.set_timer(self.period, 0);
     }
@@ -133,8 +135,7 @@ impl SubscriberClient {
 
     /// Mean end-to-end delivery delay.
     pub fn mean_delay(&self) -> Option<SimDuration> {
-        (self.deliveries > 0)
-            .then(|| SimDuration::from_micros(self.delay_sum_us / self.deliveries))
+        (self.deliveries > 0).then(|| SimDuration::from_micros(self.delay_sum_us / self.deliveries))
     }
 
     /// Every observed delivery delay, in arrival order.
@@ -158,7 +159,12 @@ impl SubscriberClient {
 
 impl Process<BrokerMsg> for SubscriberClient {
     fn on_start(&mut self, ctx: &mut Context<'_, BrokerMsg>) {
-        ctx.send(self.broker, BrokerMsg::ClientHello { client: self.client });
+        ctx.send(
+            self.broker,
+            BrokerMsg::ClientHello {
+                client: self.client,
+            },
+        );
         for s in &self.subscriptions {
             ctx.send(self.broker, BrokerMsg::Subscribe(s.clone()));
         }
@@ -198,7 +204,11 @@ pub struct CrocClient {
 impl CrocClient {
     /// Creates a CROC client attached to `broker`.
     pub fn new(broker: NodeId) -> Self {
-        Self { broker, current_request: None, result: None }
+        Self {
+            broker,
+            current_request: None,
+            result: None,
+        }
     }
 
     /// The gathered broker information, once complete.
@@ -214,7 +224,12 @@ impl CrocClient {
 
 impl Process<BrokerMsg> for CrocClient {
     fn on_start(&mut self, ctx: &mut Context<'_, BrokerMsg>) {
-        ctx.send(self.broker, BrokerMsg::ClientHello { client: ClientId::new(u64::MAX) });
+        ctx.send(
+            self.broker,
+            BrokerMsg::ClientHello {
+                client: ClientId::new(u64::MAX),
+            },
+        );
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, BrokerMsg>, from: NodeId, msg: BrokerMsg) {

@@ -63,17 +63,20 @@ impl Deployment {
         let mut brokers = BTreeMap::new();
         for cfg in &spec.brokers {
             let id = cfg.id;
-            let node = net.add_node_with_capacity(
-                Broker::new(cfg.clone()),
-                Some(cfg.out_bandwidth),
-            );
+            let node =
+                net.add_node_with_capacity(Broker::new(cfg.clone()), Some(cfg.out_bandwidth));
             brokers.insert(id, node);
         }
         for &(a, b) in &spec.edges {
-            let (na, nb) = (brokers[&a], brokers[&b]);
+            let na = *brokers.get(&a).expect("unknown broker id in topology edge");
+            let nb = *brokers.get(&b).expect("unknown broker id in topology edge");
             net.connect(na, nb, spec.link);
-            net.node_as_mut::<Broker>(na).unwrap().add_broker_neighbor(nb);
-            net.node_as_mut::<Broker>(nb).unwrap().add_broker_neighbor(na);
+            if let Some(broker) = net.node_as_mut::<Broker>(na) {
+                broker.add_broker_neighbor(nb);
+            }
+            if let Some(broker) = net.node_as_mut::<Broker>(nb) {
+                broker.add_broker_neighbor(na);
+            }
         }
         Self {
             net,
@@ -99,7 +102,7 @@ impl Deployment {
         broker: BrokerId,
         generate: PublicationGen,
     ) -> NodeId {
-        let broker_node = self.brokers[&broker];
+        let broker_node = *self.brokers.get(&broker).expect("unknown broker id");
         let node = self.net.add_node(PublisherClient::new(
             client,
             adv,
@@ -123,9 +126,10 @@ impl Deployment {
         broker: BrokerId,
         subscriptions: Vec<Subscription>,
     ) -> NodeId {
-        let broker_node = self.brokers[&broker];
-        let node =
-            self.net.add_node(SubscriberClient::new(client, broker_node, subscriptions));
+        let broker_node = *self.brokers.get(&broker).expect("unknown broker id");
+        let node = self
+            .net
+            .add_node(SubscriberClient::new(client, broker_node, subscriptions));
         self.net.connect(node, broker_node, self.link);
         self.subscribers.insert(client, node);
         node
@@ -144,7 +148,7 @@ impl Deployment {
         let croc = match self.croc {
             Some(c) => c,
             None => {
-                let first = *self.brokers.values().next().expect("no brokers");
+                let first = *self.brokers.values().next()?;
                 let node = self.net.add_node(CrocClient::new(first));
                 self.net.connect(node, first, self.link);
                 self.net.run_for(SimDuration::from_millis(1));
@@ -166,7 +170,9 @@ impl Deployment {
                 break;
             }
         }
-        self.net.node_as_mut::<CrocClient>(croc).and_then(CrocClient::take_result)
+        self.net
+            .node_as_mut::<CrocClient>(croc)
+            .and_then(CrocClient::take_result)
     }
 
     /// Converts gathered BIAs into the Phase-2 input.
@@ -196,7 +202,10 @@ impl Deployment {
         }
         self.net.run_for(window);
 
-        let mut metrics = RunMetrics { window, ..RunMetrics::default() };
+        let mut metrics = RunMetrics {
+            window,
+            ..RunMetrics::default()
+        };
         for (&id, &node) in &self.brokers {
             let c = self.net.counters(node);
             let rate = c.msg_rate(window);
@@ -204,12 +213,9 @@ impl Deployment {
             metrics.broker_msg_rates.push((id, rate));
         }
         if !metrics.broker_msg_rates.is_empty() {
-            metrics.avg_active_broker_msg_rate = metrics
-                .broker_msg_rates
-                .iter()
-                .map(|(_, r)| r)
-                .sum::<f64>()
-                / metrics.broker_msg_rates.len() as f64;
+            metrics.avg_active_broker_msg_rate =
+                metrics.broker_msg_rates.iter().map(|(_, r)| r).sum::<f64>()
+                    / metrics.broker_msg_rates.len() as f64;
             metrics.avg_broker_msg_rate = metrics.avg_active_broker_msg_rate;
         }
         let mut hops_sum = 0.0;
@@ -271,11 +277,11 @@ mod tests {
     fn spec(n: u64) -> TopologySpec {
         TopologySpec {
             brokers: (0..n)
-                .map(|i| {
-                    BrokerConfig::new(BrokerId::new(i), LinearFn::new(0.0001, 0.0), 1e9)
-                })
+                .map(|i| BrokerConfig::new(BrokerId::new(i), LinearFn::new(0.0001, 0.0), 1e9))
                 .collect(),
-            edges: (1..n).map(|i| (BrokerId::new((i - 1) / 2), BrokerId::new(i))).collect(),
+            edges: (1..n)
+                .map(|i| (BrokerId::new((i - 1) / 2), BrokerId::new(i)))
+                .collect(),
             link: LinkSpec::with_latency(SimDuration::from_millis(1)),
         }
     }

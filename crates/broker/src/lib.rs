@@ -10,8 +10,10 @@
 //! evaluation uses: build a topology, attach publishers/subscribers,
 //! warm up, gather, and measure.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+pub mod audit;
 pub mod broker;
 pub mod client;
 pub mod deploy;

@@ -7,17 +7,63 @@
 //! links are channel pairs. The harness uses this runtime to demonstrate
 //! that a `ReconfigurationPlan` is executable against live processes,
 //! not only inside the simulator.
+//!
+//! Every public operation returns `Result<_, LiveError>` rather than
+//! panicking: an unknown broker id or a broker thread that has already
+//! exited surfaces as a typed error the deployer can react to. Shared
+//! runtime state (the per-broker statistics snapshot) sits behind an
+//! [`audit::TrackedRwLock`] so the concurrency audit observes the live
+//! path, and the `concurrency-audit` cargo feature arms a watchdog
+//! thread that files stall reports when brokers have queued input but
+//! stop making progress (see DESIGN.md §9).
 
+use crate::audit::TrackedRwLock;
 use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
 use greenps_pubsub::message::{Advertisement, Publication, Subscription};
 use greenps_pubsub::routing::RoutingTables;
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// Global endpoint id: brokers and clients share one namespace.
 type EndpointId = u64;
+
+/// Errors surfaced by the live deployment runtime.
+#[derive(Debug)]
+pub enum LiveError {
+    /// An operation referenced a broker id not present in the overlay.
+    UnknownBroker(BrokerId),
+    /// A broker's message loop has already exited, so its channel is
+    /// disconnected.
+    Disconnected(BrokerId),
+    /// The OS refused to spawn a broker thread.
+    Spawn(std::io::Error),
+    /// A broker thread panicked; its statistics are lost.
+    BrokerPanicked(BrokerId),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::UnknownBroker(b) => write!(f, "unknown broker {b} in live overlay"),
+            LiveError::Disconnected(b) => write!(f, "live broker {b} is no longer running"),
+            LiveError::Spawn(e) => write!(f, "failed to spawn broker thread: {e}"),
+            LiveError::BrokerPanicked(b) => write!(f, "live broker {b} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Spawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Messages flowing between live endpoints.
 enum LiveMsg {
@@ -46,11 +92,24 @@ pub struct LiveBrokerStats {
     pub delivered: u64,
 }
 
-fn broker_main(my_id: EndpointId, rx: Receiver<Envelope>) -> LiveBrokerStats {
+/// Shared, audited view of every live broker's statistics, refreshed by
+/// the broker threads as they run.
+type StatsBoard = Arc<TrackedRwLock<BTreeMap<BrokerId, LiveBrokerStats>>>;
+
+/// How many messages a broker processes between snapshot refreshes.
+const STATS_REFRESH_EVERY: u64 = 32;
+
+fn broker_main(
+    broker: BrokerId,
+    my_id: EndpointId,
+    rx: Receiver<Envelope>,
+    board: StatsBoard,
+) -> LiveBrokerStats {
     let mut routing: RoutingTables<EndpointId> = RoutingTables::new();
     let mut peers: HashMap<EndpointId, Sender<Envelope>> = HashMap::new();
     let mut clients: HashMap<EndpointId, Sender<Publication>> = HashMap::new();
     let mut stats = LiveBrokerStats::default();
+    let mut since_refresh = 0u64;
     while let Ok(Envelope { from, msg }) = rx.recv() {
         stats.msgs_in += 1;
         match msg {
@@ -127,23 +186,51 @@ fn broker_main(my_id: EndpointId, rx: Receiver<Envelope>) -> LiveBrokerStats {
             }
             LiveMsg::Shutdown => break,
         }
+        since_refresh += 1;
+        if since_refresh >= STATS_REFRESH_EVERY {
+            since_refresh = 0;
+            board.write().insert(broker, stats);
+        }
     }
+    board.write().insert(broker, stats);
     stats
 }
 
 /// A live, threaded broker overlay.
+///
+/// Debug output lists the broker ids only; channels and join handles
+/// are opaque.
 pub struct LiveNet {
     handles: BTreeMap<BrokerId, JoinHandle<LiveBrokerStats>>,
     senders: BTreeMap<BrokerId, Sender<Envelope>>,
+    stats: StatsBoard,
     next_endpoint: EndpointId,
+    #[cfg(feature = "concurrency-audit")]
+    watchdog: Option<watchdog::Watchdog>,
+}
+
+impl fmt::Debug for LiveNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LiveNet")
+            .field("brokers", &self.senders.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
 }
 
 impl LiveNet {
     /// Spawns one thread per broker and wires the overlay edges.
     ///
-    /// # Panics
-    /// Panics if an edge references an unknown broker.
-    pub fn start(brokers: &[BrokerId], edges: &[(BrokerId, BrokerId)]) -> Self {
+    /// Fails with [`LiveError::UnknownBroker`] if an edge references a
+    /// broker not in `brokers`, or [`LiveError::Spawn`] if the OS
+    /// refuses a thread.
+    pub fn start(brokers: &[BrokerId], edges: &[(BrokerId, BrokerId)]) -> Result<Self, LiveError> {
+        let stats: StatsBoard = Arc::new(TrackedRwLock::new(
+            "live-stats-board",
+            brokers
+                .iter()
+                .map(|&b| (b, LiveBrokerStats::default()))
+                .collect(),
+        ));
         let mut senders = BTreeMap::new();
         let mut receivers = BTreeMap::new();
         for &b in brokers {
@@ -152,35 +239,53 @@ impl LiveNet {
             receivers.insert(b, rx);
         }
         let mut handles = BTreeMap::new();
-        for &b in brokers {
-            let rx = receivers.remove(&b).unwrap();
+        for (b, rx) in receivers {
             let my_id = endpoint_of(b);
+            let board = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name(format!("broker-{b}"))
-                .spawn(move || broker_main(my_id, rx))
-                .expect("spawn broker thread");
+                .spawn(move || broker_main(b, my_id, rx, board))
+                .map_err(LiveError::Spawn)?;
             handles.insert(b, handle);
         }
-        let net = Self { handles, senders, next_endpoint: 1 << 32 };
+        #[cfg(feature = "concurrency-audit")]
+        let watchdog = watchdog::Watchdog::start(&senders, Arc::clone(&stats))
+            .map_err(LiveError::Spawn)
+            .map(Some)?;
+        let net = Self {
+            handles,
+            senders,
+            stats,
+            next_endpoint: 1 << 32,
+            #[cfg(feature = "concurrency-audit")]
+            watchdog,
+        };
         for &(a, b) in edges {
-            net.wire(a, b);
+            net.wire(a, b)?;
         }
-        net
+        Ok(net)
     }
 
-    fn wire(&self, a: BrokerId, b: BrokerId) {
-        let ta = self.senders[&a].clone();
-        let tb = self.senders[&b].clone();
+    fn sender(&self, broker: BrokerId) -> Result<&Sender<Envelope>, LiveError> {
+        self.senders
+            .get(&broker)
+            .ok_or(LiveError::UnknownBroker(broker))
+    }
+
+    fn wire(&self, a: BrokerId, b: BrokerId) -> Result<(), LiveError> {
+        let ta = self.sender(a)?.clone();
+        let tb = self.sender(b)?.clone();
         ta.send(Envelope {
             from: endpoint_of(b),
             msg: LiveMsg::AttachBroker(endpoint_of(b), tb.clone()),
         })
-        .unwrap();
+        .map_err(|_| LiveError::Disconnected(a))?;
         tb.send(Envelope {
             from: endpoint_of(a),
             msg: LiveMsg::AttachBroker(endpoint_of(a), ta),
         })
-        .unwrap();
+        .map_err(|_| LiveError::Disconnected(b))?;
+        Ok(())
     }
 
     fn fresh_endpoint(&mut self) -> EndpointId {
@@ -191,55 +296,86 @@ impl LiveNet {
 
     /// Registers a publisher at a broker; returns a handle for
     /// publishing.
-    ///
-    /// # Panics
-    /// Panics on an unknown broker.
-    pub fn publisher(&mut self, broker: BrokerId, adv: Advertisement) -> LivePublisher {
+    pub fn publisher(
+        &mut self,
+        broker: BrokerId,
+        adv: Advertisement,
+    ) -> Result<LivePublisher, LiveError> {
         let endpoint = self.fresh_endpoint();
-        let tx = self.senders[&broker].clone();
-        tx.send(Envelope { from: endpoint, msg: LiveMsg::Advertise(adv.clone()) })
-            .unwrap();
-        LivePublisher { endpoint, tx, adv_id: adv.id }
+        let tx = self.sender(broker)?.clone();
+        tx.send(Envelope {
+            from: endpoint,
+            msg: LiveMsg::Advertise(adv.clone()),
+        })
+        .map_err(|_| LiveError::Disconnected(broker))?;
+        Ok(LivePublisher {
+            endpoint,
+            tx,
+            adv_id: adv.id,
+        })
     }
 
     /// Registers a subscriber at a broker; returns the delivery channel.
-    ///
-    /// # Panics
-    /// Panics on an unknown broker.
     pub fn subscriber(
         &mut self,
         broker: BrokerId,
         subscription: Subscription,
-    ) -> Receiver<Publication> {
+    ) -> Result<Receiver<Publication>, LiveError> {
         let endpoint = self.fresh_endpoint();
         let (dtx, drx) = unbounded();
-        let tx = &self.senders[&broker];
-        tx.send(Envelope { from: endpoint, msg: LiveMsg::AttachClient(endpoint, dtx) })
-            .unwrap();
-        tx.send(Envelope { from: endpoint, msg: LiveMsg::Subscribe(subscription) })
-            .unwrap();
-        drx
+        let tx = self.sender(broker)?;
+        tx.send(Envelope {
+            from: endpoint,
+            msg: LiveMsg::AttachClient(endpoint, dtx),
+        })
+        .map_err(|_| LiveError::Disconnected(broker))?;
+        tx.send(Envelope {
+            from: endpoint,
+            msg: LiveMsg::Subscribe(subscription),
+        })
+        .map_err(|_| LiveError::Disconnected(broker))?;
+        Ok(drx)
     }
 
     /// Retracts a subscription previously registered at `broker`.
-    ///
-    /// # Panics
-    /// Panics on an unknown broker.
-    pub fn unsubscribe(&self, broker: BrokerId, id: SubId) {
-        self.senders[&broker]
-            .send(Envelope { from: endpoint_of(broker), msg: LiveMsg::Unsubscribe(id) })
-            .unwrap();
+    pub fn unsubscribe(&self, broker: BrokerId, id: SubId) -> Result<(), LiveError> {
+        self.sender(broker)?
+            .send(Envelope {
+                from: endpoint_of(broker),
+                msg: LiveMsg::Unsubscribe(id),
+            })
+            .map_err(|_| LiveError::Disconnected(broker))
     }
 
-    /// Stops every broker and returns their statistics.
-    pub fn shutdown(self) -> BTreeMap<BrokerId, LiveBrokerStats> {
-        for (b, tx) in &self.senders {
-            let _ = tx.send(Envelope { from: endpoint_of(*b), msg: LiveMsg::Shutdown });
+    /// A point-in-time copy of every broker's statistics, as last
+    /// refreshed by the broker threads. Reads through the audited
+    /// RwLock; counts lag live traffic by up to
+    /// [`STATS_REFRESH_EVERY`] messages per broker.
+    pub fn stats_snapshot(&self) -> BTreeMap<BrokerId, LiveBrokerStats> {
+        self.stats.read().clone()
+    }
+
+    /// Stops every broker and returns their final statistics.
+    ///
+    /// Fails with [`LiveError::BrokerPanicked`] naming the first broker
+    /// whose thread panicked instead of returning stats.
+    pub fn shutdown(self) -> Result<BTreeMap<BrokerId, LiveBrokerStats>, LiveError> {
+        #[cfg(feature = "concurrency-audit")]
+        if let Some(w) = self.watchdog {
+            w.stop();
         }
-        self.handles
-            .into_iter()
-            .map(|(b, h)| (b, h.join().expect("broker thread panicked")))
-            .collect()
+        for (b, tx) in &self.senders {
+            let _ = tx.send(Envelope {
+                from: endpoint_of(*b),
+                msg: LiveMsg::Shutdown,
+            });
+        }
+        let mut out = BTreeMap::new();
+        for (b, h) in self.handles {
+            let stats = h.join().map_err(|_| LiveError::BrokerPanicked(b))?;
+            out.insert(b, stats);
+        }
+        Ok(out)
     }
 
     /// Number of live brokers.
@@ -256,8 +392,19 @@ pub struct LivePublisher {
     pub adv_id: AdvId,
 }
 
+impl fmt::Debug for LivePublisher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LivePublisher")
+            .field("endpoint", &self.endpoint)
+            .field("adv_id", &self.adv_id)
+            .finish_non_exhaustive()
+    }
+}
+
 impl LivePublisher {
-    /// Publishes one message.
+    /// Publishes one message. Delivery is best-effort: a message sent
+    /// to a broker that has already shut down is silently dropped, like
+    /// a datagram on a closed socket.
     pub fn publish(&self, publication: Publication) {
         let _ = self.tx.send(Envelope {
             from: self.endpoint,
@@ -268,6 +415,97 @@ impl LivePublisher {
 
 fn endpoint_of(b: BrokerId) -> EndpointId {
     b.raw()
+}
+
+#[cfg(feature = "concurrency-audit")]
+mod watchdog {
+    //! Deadlock watchdog for the live deployer: a sampling thread that
+    //! compares per-broker progress (messages in) against queued input.
+    //! A broker with pending envelopes whose counters do not move
+    //! between two consecutive samples is suspected stalled, and a
+    //! report is filed through [`audit::report`].
+
+    use super::{BrokerId, Envelope, LiveBrokerStats, Sender, StatsBoard};
+    use crate::audit;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+    use std::time::Duration;
+
+    /// Sampling period of the watchdog thread.
+    const SAMPLE_EVERY: Duration = Duration::from_millis(100);
+
+    pub(super) struct Watchdog {
+        stop: Arc<AtomicBool>,
+        handle: Option<JoinHandle<()>>,
+    }
+
+    impl Watchdog {
+        pub(super) fn start(
+            senders: &BTreeMap<BrokerId, Sender<Envelope>>,
+            board: StatsBoard,
+        ) -> std::io::Result<Self> {
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = Arc::clone(&stop);
+            let senders: BTreeMap<BrokerId, Sender<Envelope>> =
+                senders.iter().map(|(&b, tx)| (b, tx.clone())).collect();
+            let handle = std::thread::Builder::new()
+                .name("live-watchdog".to_string())
+                .spawn(move || run(&senders, &board, &stop2))?;
+            Ok(Watchdog {
+                stop,
+                handle: Some(handle),
+            })
+        }
+
+        pub(super) fn stop(mut self) {
+            self.halt();
+        }
+
+        fn halt(&mut self) {
+            self.stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    impl Drop for Watchdog {
+        // Covers error paths in `LiveNet::start` where the net (and its
+        // watchdog) is dropped before an explicit `stop`.
+        fn drop(&mut self) {
+            self.halt();
+        }
+    }
+
+    fn run(senders: &BTreeMap<BrokerId, Sender<Envelope>>, board: &StatsBoard, stop: &AtomicBool) {
+        let mut last: BTreeMap<BrokerId, LiveBrokerStats> = BTreeMap::new();
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(SAMPLE_EVERY);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let now = board.read().clone();
+            for (&b, tx) in senders {
+                let queued = tx.len();
+                if queued == 0 {
+                    continue;
+                }
+                let (prev, cur) = match (last.get(&b), now.get(&b)) {
+                    (Some(p), Some(c)) => (*p, *c),
+                    _ => continue,
+                };
+                if cur.msgs_in == prev.msgs_in {
+                    audit::report(format!(
+                        "watchdog: live broker {b} has {queued} queued envelope(s) \
+                         but made no progress over {SAMPLE_EVERY:?} — possible deadlock"
+                    ));
+                }
+            }
+            last = now;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -284,19 +522,23 @@ mod tests {
             (BrokerId::new(0), BrokerId::new(1)),
             (BrokerId::new(1), BrokerId::new(2)),
         ];
-        let mut net = LiveNet::start(&brokers, &edges);
+        let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
         assert_eq!(net.broker_count(), 3);
         // Give wiring a moment to land before advertising.
         std::thread::sleep(Duration::from_millis(20));
-        let publisher = net.publisher(
-            BrokerId::new(0),
-            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
-        );
+        let publisher = net
+            .publisher(
+                BrokerId::new(0),
+                Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            )
+            .expect("attach publisher");
         std::thread::sleep(Duration::from_millis(20));
-        let inbox = net.subscriber(
-            BrokerId::new(2),
-            Subscription::new(SubId::new(1), stock_template("YHOO")),
-        );
+        let inbox = net
+            .subscriber(
+                BrokerId::new(2),
+                Subscription::new(SubId::new(1), stock_template("YHOO")),
+            )
+            .expect("attach subscriber");
         std::thread::sleep(Duration::from_millis(50));
         for i in 0..10u64 {
             publisher.publish(
@@ -315,8 +557,16 @@ mod tests {
             }
         }
         assert_eq!(got, 10);
-        let stats = net.shutdown();
-        assert!(stats[&BrokerId::new(1)].msgs_out >= 10, "middle broker forwarded");
+        let snapshot = net.stats_snapshot();
+        assert!(
+            snapshot.contains_key(&BrokerId::new(0)),
+            "snapshot covers all brokers"
+        );
+        let stats = net.shutdown().expect("clean shutdown");
+        assert!(
+            stats[&BrokerId::new(1)].msgs_out >= 10,
+            "middle broker forwarded"
+        );
         assert_eq!(stats[&BrokerId::new(2)].delivered, 10);
     }
 
@@ -324,17 +574,21 @@ mod tests {
     fn live_non_matching_subscription_silent() {
         let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
         let edges = vec![(BrokerId::new(0), BrokerId::new(1))];
-        let mut net = LiveNet::start(&brokers, &edges);
+        let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
         std::thread::sleep(Duration::from_millis(20));
-        let publisher = net.publisher(
-            BrokerId::new(0),
-            Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
-        );
+        let publisher = net
+            .publisher(
+                BrokerId::new(0),
+                Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            )
+            .expect("attach publisher");
         std::thread::sleep(Duration::from_millis(20));
-        let inbox = net.subscriber(
-            BrokerId::new(1),
-            Subscription::new(SubId::new(1), stock_template("GOOG")),
-        );
+        let inbox = net
+            .subscriber(
+                BrokerId::new(1),
+                Subscription::new(SubId::new(1), stock_template("GOOG")),
+            )
+            .expect("attach subscriber");
         std::thread::sleep(Duration::from_millis(50));
         publisher.publish(
             Publication::builder(AdvId::new(1), MsgId::new(0))
@@ -343,6 +597,33 @@ mod tests {
                 .build(),
         );
         assert!(inbox.recv_timeout(Duration::from_millis(300)).is_err());
-        net.shutdown();
+        net.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn unknown_broker_is_a_typed_error() {
+        let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
+        let mut net = LiveNet::start(&brokers, &[]).expect("start live net");
+        let missing = BrokerId::new(99);
+        let err = net
+            .publisher(
+                missing,
+                Advertisement::new(AdvId::new(1), stock_advertisement("YHOO")),
+            )
+            .expect_err("publisher at unknown broker must fail");
+        assert!(matches!(err, LiveError::UnknownBroker(b) if b == missing));
+        let err = net
+            .unsubscribe(missing, SubId::new(1))
+            .expect_err("unknown broker");
+        assert!(matches!(err, LiveError::UnknownBroker(_)));
+        net.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn start_rejects_edges_to_unknown_brokers() {
+        let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
+        let edges = vec![(BrokerId::new(0), BrokerId::new(7))];
+        let err = LiveNet::start(&brokers, &edges).expect_err("bad edge must fail");
+        assert!(matches!(err, LiveError::UnknownBroker(b) if b == BrokerId::new(7)));
     }
 }

@@ -20,7 +20,11 @@ pub struct PubEnvelope {
 impl PubEnvelope {
     /// Wraps a fresh publication.
     pub fn new(publication: Publication, published_at: SimTime) -> Self {
-        Self { publication, hops: 0, published_at }
+        Self {
+            publication,
+            hops: 0,
+            published_at,
+        }
     }
 
     /// The envelope after one more broker hop.
@@ -89,9 +93,7 @@ impl Payload for BrokerMsg {
             BrokerMsg::Bia { infos, .. } => {
                 16 + infos
                     .iter()
-                    .map(|i| {
-                        64 + i.subscriptions.len() * 192 + i.publishers.len() * 32
-                    })
+                    .map(|i| 64 + i.subscriptions.len() * 192 + i.publishers.len() * 32)
                     .sum::<usize>()
             }
         }
@@ -118,12 +120,12 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_content() {
-        let sub = BrokerMsg::Subscribe(Subscription::new(
-            SubId::new(1),
-            stock_template("YHOO"),
-        ));
+        let sub = BrokerMsg::Subscribe(Subscription::new(SubId::new(1), stock_template("YHOO")));
         assert!(sub.wire_size() > BrokerMsg::Bir { request: 1 }.wire_size());
-        let bia = BrokerMsg::Bia { request: 1, infos: vec![] };
+        let bia = BrokerMsg::Bia {
+            request: 1,
+            infos: vec![],
+        };
         assert_eq!(bia.wire_size(), 16);
     }
 }

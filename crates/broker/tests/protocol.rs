@@ -15,7 +15,9 @@ fn spec(n: u64) -> TopologySpec {
         brokers: (0..n)
             .map(|i| BrokerConfig::new(BrokerId::new(i), LinearFn::new(0.0001, 0.0), 1e9))
             .collect(),
-        edges: (1..n).map(|i| (BrokerId::new((i - 1) / 2), BrokerId::new(i))).collect(),
+        edges: (1..n)
+            .map(|i| (BrokerId::new((i - 1) / 2), BrokerId::new(i)))
+            .collect(),
         link: LinkSpec::with_latency(SimDuration::from_millis(1)),
     }
 }
@@ -47,16 +49,29 @@ fn unsubscribe_stops_delivery_network_wide() {
         vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
     );
     d.run_for(SimDuration::from_secs(2));
-    let before = d.net.node_as::<SubscriberClient>(sub_node).unwrap().deliveries();
+    let before = d
+        .net
+        .node_as::<SubscriberClient>(sub_node)
+        .unwrap()
+        .deliveries();
     assert!(before > 10);
 
     // The subscriber's broker receives an Unsubscribe from the client.
     let broker_node = d.brokers[&BrokerId::new(6)];
-    d.net.inject(sub_node, broker_node, BrokerMsg::Unsubscribe(SubId::new(1)));
+    d.net
+        .inject(sub_node, broker_node, BrokerMsg::Unsubscribe(SubId::new(1)));
     d.run_for(SimDuration::from_secs(1)); // let it propagate
-    let settled = d.net.node_as::<SubscriberClient>(sub_node).unwrap().deliveries();
+    let settled = d
+        .net
+        .node_as::<SubscriberClient>(sub_node)
+        .unwrap()
+        .deliveries();
     d.run_for(SimDuration::from_secs(3));
-    let after = d.net.node_as::<SubscriberClient>(sub_node).unwrap().deliveries();
+    let after = d
+        .net
+        .node_as::<SubscriberClient>(sub_node)
+        .unwrap()
+        .deliveries();
     assert!(
         after <= settled + 1,
         "deliveries kept arriving after unsubscribe: {settled} -> {after}"
@@ -123,8 +138,11 @@ fn reset_profiles_supports_reprofiling_rounds() {
     );
     d.run_for(SimDuration::from_secs(5));
     let infos1 = d.gather(SimDuration::from_secs(10)).expect("gather 1");
-    let ones1: usize =
-        infos1.iter().flat_map(|i| &i.subscriptions).map(|s| s.profile.count_ones()).sum();
+    let ones1: usize = infos1
+        .iter()
+        .flat_map(|i| &i.subscriptions)
+        .map(|s| s.profile.count_ones())
+        .sum();
     assert!(ones1 >= 40);
 
     // Reset CBC state everywhere and re-profile a shorter window.
@@ -134,9 +152,15 @@ fn reset_profiles_supports_reprofiling_rounds() {
     }
     d.run_for(SimDuration::from_secs(2));
     let infos2 = d.gather(SimDuration::from_secs(10)).expect("gather 2");
-    let ones2: usize =
-        infos2.iter().flat_map(|i| &i.subscriptions).map(|s| s.profile.count_ones()).sum();
-    assert!(ones2 > 0 && ones2 < ones1, "fresh window is shorter: {ones2} vs {ones1}");
+    let ones2: usize = infos2
+        .iter()
+        .flat_map(|i| &i.subscriptions)
+        .map(|s| s.profile.count_ones())
+        .sum();
+    assert!(
+        ones2 > 0 && ones2 < ones1,
+        "fresh window is shorter: {ones2} vs {ones1}"
+    );
 }
 
 #[test]
@@ -160,5 +184,9 @@ fn wide_tree_floods_advertisements_everywhere() {
     );
     d.run_for(SimDuration::from_secs(5));
     let s = d.net.node_as::<SubscriberClient>(sub_node).unwrap();
-    assert!(s.deliveries() >= 20, "late subscriber receives: {}", s.deliveries());
+    assert!(
+        s.deliveries() >= 20,
+        "late subscriber receives: {}",
+        s.deliveries()
+    );
 }

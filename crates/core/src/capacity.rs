@@ -47,8 +47,14 @@ impl BrokerState {
         }
         // Incoming publication rate must not exceed the maximum
         // matching rate at the new subscription count.
-        let in_rate = self.union.estimate_union_load(&unit.profile, publishers).rate;
-        let max_rate = self.spec.matching_delay.max_rate(self.subs + unit.sub_count());
+        let in_rate = self
+            .union
+            .estimate_union_load(&unit.profile, publishers)
+            .rate;
+        let max_rate = self
+            .spec
+            .matching_delay
+            .max_rate(self.subs + unit.sub_count());
         in_rate <= max_rate
     }
 
@@ -79,7 +85,10 @@ impl<'p> Packer<'p> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.id.cmp(&b.id))
         });
-        Self { states: specs.into_iter().map(BrokerState::new).collect(), publishers }
+        Self {
+            states: specs.into_iter().map(BrokerState::new).collect(),
+            publishers,
+        }
     }
 
     /// Number of brokers in the pool.
@@ -109,7 +118,9 @@ impl<'p> Packer<'p> {
     /// True when at least one broker could accept the unit, without
     /// placing it.
     pub fn fits(&self, unit: &Unit) -> bool {
-        self.states.iter().any(|s| s.can_accept(unit, self.publishers))
+        self.states
+            .iter()
+            .any(|s| s.can_accept(unit, self.publishers))
     }
 
     /// Finalizes into an [`Allocation`] containing only brokers that
@@ -214,8 +225,10 @@ impl<'u> RefPacker<'u> {
                 // can change the union rate.
                 let delta = state.union.estimate_rate_delta(&unit.profile, publishers);
                 let in_rate = state.in_rate + delta;
-                let max_rate =
-                    state.spec.matching_delay.max_rate(state.subs + unit.sub_count());
+                let max_rate = state
+                    .spec
+                    .matching_delay
+                    .max_rate(state.subs + unit.sub_count());
                 if in_rate > max_rate {
                     continue;
                 }
@@ -226,7 +239,9 @@ impl<'u> RefPacker<'u> {
                 state.units.push(unit);
                 continue 'units;
             }
-            return Err(AllocError::Infeasible { subs: unit.subs.clone() });
+            return Err(AllocError::Infeasible {
+                subs: unit.subs.clone(),
+            });
         }
         Ok(())
     }
@@ -284,9 +299,14 @@ mod tests {
     use greenps_pubsub::ids::{AdvId, MsgId, SubId};
 
     fn publishers() -> PublisherTable {
-        [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
-            .into_iter()
-            .collect()
+        [PublisherProfile::new(
+            AdvId::new(1),
+            100.0,
+            100_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect()
     }
 
     fn unit(sub: u64, ids: &[u64], publishers: &PublisherTable) -> Unit {
@@ -297,11 +317,20 @@ mod tests {
         let mut p = SubscriptionProfile::with_capacity(100);
         p.insert_vector(AdvId::new(1), v);
         let load = p.estimate_load(publishers);
-        Unit { subs: vec![SubId::new(sub)], profile: p, out_bandwidth: load.bandwidth }
+        Unit {
+            subs: vec![SubId::new(sub)],
+            profile: p,
+            out_bandwidth: load.bandwidth,
+        }
     }
 
     fn broker(id: u64, bw: f64) -> BrokerSpec {
-        BrokerSpec::new(BrokerId::new(id), format!("b{id}"), LinearFn::new(0.0001, 0.0), bw)
+        BrokerSpec::new(
+            BrokerId::new(id),
+            format!("b{id}"),
+            LinearFn::new(0.0001, 0.0),
+            bw,
+        )
     }
 
     #[test]
@@ -335,8 +364,12 @@ mod tests {
         let brokers = vec![broker(1, 12_000.0), broker(2, 12_000.0)];
         let mut packer = Packer::new(&brokers, &pubs);
         // each unit needs 10kB/s; first goes to b1, second to b2.
-        let a = packer.place(unit(1, &(0..10).collect::<Vec<_>>(), &pubs)).unwrap();
-        let b = packer.place(unit(2, &(10..20).collect::<Vec<_>>(), &pubs)).unwrap();
+        let a = packer
+            .place(unit(1, &(0..10).collect::<Vec<_>>(), &pubs))
+            .unwrap();
+        let b = packer
+            .place(unit(2, &(10..20).collect::<Vec<_>>(), &pubs))
+            .unwrap();
         assert_ne!(a, b);
         let alloc = packer.into_allocation();
         assert_eq!(alloc.broker_count(), 2);
@@ -347,21 +380,23 @@ mod tests {
         let pubs = publishers();
         // 25 ms per message with one sub: max rate = 40 msg/s; a unit
         // inducing 50 msg/s (50 of 100 slots) cannot be hosted.
-        let slow = BrokerSpec::new(
-            BrokerId::new(1),
-            "b1",
-            LinearFn::new(0.025, 0.0),
-            1e9,
-        );
+        let slow = BrokerSpec::new(BrokerId::new(1), "b1", LinearFn::new(0.025, 0.0), 1e9);
         let u = unit(1, &(0..50).collect::<Vec<_>>(), &pubs);
         let mut packer = Packer::new(&[slow], &pubs);
         assert!(packer.place(u).is_err());
         // 10 msg/s unit is fine.
         let mut packer = Packer::new(
-            &[BrokerSpec::new(BrokerId::new(1), "b1", LinearFn::new(0.025, 0.0), 1e9)],
+            &[BrokerSpec::new(
+                BrokerId::new(1),
+                "b1",
+                LinearFn::new(0.025, 0.0),
+                1e9,
+            )],
             &pubs,
         );
-        assert!(packer.place(unit(2, &(0..10).collect::<Vec<_>>(), &pubs)).is_ok());
+        assert!(packer
+            .place(unit(2, &(0..10).collect::<Vec<_>>(), &pubs))
+            .is_ok());
     }
 
     #[test]
@@ -372,8 +407,12 @@ mod tests {
         // second would make union rate 60 > 1/(0.03)=33 → second bounces.
         let b = BrokerSpec::new(BrokerId::new(1), "b1", LinearFn::new(0.01, 0.01), 1e9);
         let mut packer = Packer::new(&[b], &pubs);
-        assert!(packer.place(unit(1, &(0..30).collect::<Vec<_>>(), &pubs)).is_ok());
-        assert!(packer.place(unit(2, &(30..60).collect::<Vec<_>>(), &pubs)).is_err());
+        assert!(packer
+            .place(unit(1, &(0..30).collect::<Vec<_>>(), &pubs))
+            .is_ok());
+        assert!(packer
+            .place(unit(2, &(30..60).collect::<Vec<_>>(), &pubs))
+            .is_err());
     }
 
     #[test]
@@ -399,17 +438,25 @@ mod tests {
     fn empty_pool_errors() {
         let pubs = publishers();
         let mut packer = Packer::new(&[], &pubs);
-        assert_eq!(packer.place(unit(1, &[0], &pubs)), Err(AllocError::NoBrokers));
+        assert_eq!(
+            packer.place(unit(1, &[0], &pubs)),
+            Err(AllocError::NoBrokers)
+        );
     }
 
     #[test]
     fn pack_all_round_trip() {
         let pubs = publishers();
         let brokers = vec![broker(1, 1e6), broker(2, 1e6)];
-        let units: Vec<Unit> =
-            (0..5).map(|i| unit(i, &[i * 2, i * 2 + 1], &pubs)).collect();
+        let units: Vec<Unit> = (0..5)
+            .map(|i| unit(i, &[i * 2, i * 2 + 1], &pubs))
+            .collect();
         let alloc = pack_all(&brokers, &pubs, units).unwrap();
         assert_eq!(alloc.sub_count(), 5);
-        assert_eq!(alloc.broker_count(), 1, "everything fits on the first broker");
+        assert_eq!(
+            alloc.broker_count(),
+            1,
+            "everything fits on the first broker"
+        );
     }
 }

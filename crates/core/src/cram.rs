@@ -50,7 +50,11 @@ impl CramConfig {
     /// The paper's default configuration for a metric: all optimizations
     /// on.
     pub fn with_metric(metric: ClosenessMetric) -> Self {
-        Self { metric, one_to_many: true, poset_pruning: true }
+        Self {
+            metric,
+            one_to_many: true,
+            poset_pruning: true,
+        }
     }
 }
 
@@ -128,13 +132,21 @@ impl Pool {
                 let gk = self.next_gif;
                 self.next_gif += 1;
                 self.by_profile.insert(unit.profile.clone(), gk);
-                self.gifs
-                    .insert(gk, Gif { profile: unit.profile.clone(), units: Vec::new() });
+                self.gifs.insert(
+                    gk,
+                    Gif {
+                        profile: unit.profile.clone(),
+                        units: Vec::new(),
+                    },
+                );
                 self.poset.insert(gk, unit.profile.clone());
                 gk
             }
         };
-        let gif = self.gifs.get_mut(&gk).unwrap();
+        let gif = self
+            .gifs
+            .get_mut(&gk)
+            .expect("gif inserted above or found via by_profile");
         let pos = gif
             .units
             .binary_search_by(|k| {
@@ -156,7 +168,7 @@ impl Pool {
         let gif = self.gifs.get_mut(&gk).expect("unknown gif");
         gif.units.retain(|&k| k != uk);
         if gif.units.is_empty() {
-            let gif = self.gifs.remove(&gk).unwrap();
+            let gif = self.gifs.remove(&gk).expect("gif fetched above");
             self.by_profile.remove(&gif.profile);
             self.poset.remove(gk);
             (unit, true)
@@ -169,7 +181,6 @@ impl Pool {
     fn lightest(&self, gk: GifKey) -> UnitKey {
         self.gifs[&gk].units[0]
     }
-
 }
 
 /// Runs CRAM over an allocation input.
@@ -193,7 +204,13 @@ pub fn cram_units(
     units: Vec<Unit>,
     config: CramConfig,
 ) -> Result<(Allocation, CramStats), AllocError> {
-    cram_units_custom(input, units, &config.metric, config.one_to_many, config.poset_pruning)
+    cram_units_custom(
+        input,
+        units,
+        &config.metric,
+        config.one_to_many,
+        config.poset_pruning,
+    )
 }
 
 /// Runs CRAM with a user-supplied [`Closeness`] measure — the plug-in
@@ -215,8 +232,7 @@ pub fn cram_units_custom(
     };
 
     // Initialization: allocate without clustering; abort on failure.
-    let baseline =
-        bin_packing_units(&input.brokers, &input.publishers, units.clone())?;
+    let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone())?;
 
     let pool = Pool::build(units);
     stats.initial_gifs = pool.gifs.len();
@@ -348,8 +364,7 @@ impl Engine<'_> {
         if self.poset_pruning && metric.supports_empty_pruning() {
             // BFS from the roots; prune empty subtrees and stop
             // descending once closeness decreases.
-            let mut frontier: Vec<(GifKey, f64)> =
-                pool.poset.roots().map(|r| (r, 0.0)).collect();
+            let mut frontier: Vec<(GifKey, f64)> = pool.poset.roots().map(|r| (r, 0.0)).collect();
             let mut visited: BTreeSet<GifKey> = BTreeSet::new();
             let mut i = 0;
             while i < frontier.len() {
@@ -448,9 +463,7 @@ impl Engine<'_> {
             Relation::Superset => self.attempt_covering(g, h),
             Relation::Subset => self.attempt_covering(h, g),
             Relation::Intersect => {
-                if self.one_to_many
-                    && (self.attempt_cgs(g, h) || self.attempt_cgs(h, g))
-                {
+                if self.one_to_many && (self.attempt_cgs(g, h) || self.attempt_cgs(h, g)) {
                     self.stats.one_to_many_merges += 1;
                     return true;
                 }
@@ -469,7 +482,7 @@ impl Engine<'_> {
         }
         let merged_of = |pool: &Pool, k: usize| -> Unit {
             let mut it = units[..k].iter();
-            let first = pool.units[it.next().unwrap()].clone();
+            let first = pool.units[it.next().expect("attempt_equal requires >= 2 units")].clone();
             it.fold(first, |acc, uk| acc.merge(&pool.units[uk]))
         };
         let feasible = |engine: &mut Self, k: usize| -> bool {
@@ -482,7 +495,7 @@ impl Engine<'_> {
         }
         let (mut lo, mut hi) = (2usize, units.len());
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if feasible(self, mid) {
                 lo = mid;
             } else {
@@ -493,8 +506,7 @@ impl Engine<'_> {
         let k = lo;
         assert!(feasible(self, k));
         let merged = merged_of(&self.pool, k);
-        let removals: Vec<(GifKey, UnitKey)> =
-            units[..k].iter().map(|&uk| (g, uk)).collect();
+        let removals: Vec<(GifKey, UnitKey)> = units[..k].iter().map(|&uk| (g, uk)).collect();
         self.commit(removals, merged);
         true
     }
@@ -508,11 +520,12 @@ impl Engine<'_> {
         let merged_of = |pool: &Pool, m: usize| -> Unit {
             covered_units[..m]
                 .iter()
-                .fold(pool.units[&cover_unit].clone(), |acc, uk| acc.merge(&pool.units[uk]))
+                .fold(pool.units[&cover_unit].clone(), |acc, uk| {
+                    acc.merge(&pool.units[uk])
+                })
         };
         let feasible = |engine: &mut Self, m: usize| -> bool {
-            let mut removed: BTreeSet<UnitKey> =
-                covered_units[..m].iter().copied().collect();
+            let mut removed: BTreeSet<UnitKey> = covered_units[..m].iter().copied().collect();
             removed.insert(cover_unit);
             let u = merged_of(&engine.pool, m);
             engine.test_and_record(&removed, &u)
@@ -522,7 +535,7 @@ impl Engine<'_> {
         }
         let (mut lo, mut hi) = (1usize, covered_units.len());
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if feasible(self, mid) {
                 lo = mid;
             } else {
@@ -644,9 +657,14 @@ mod tests {
     use greenps_pubsub::Filter;
 
     fn publishers() -> PublisherTable {
-        [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
-            .into_iter()
-            .collect()
+        [PublisherProfile::new(
+            AdvId::new(1),
+            100.0,
+            100_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect()
     }
 
     fn entry(id: u64, ids: &[u64]) -> SubscriptionEntry {
@@ -679,8 +697,9 @@ mod tests {
     /// 12 identical subscriptions cluster down to a handful of brokers.
     #[test]
     fn equal_subscriptions_collapse() {
-        let subs: Vec<SubscriptionEntry> =
-            (0..12).map(|i| entry(i, &(0..20).collect::<Vec<_>>())).collect();
+        let subs: Vec<SubscriptionEntry> = (0..12)
+            .map(|i| entry(i, &(0..20).collect::<Vec<_>>()))
+            .collect();
         // Each sub needs 20 kB/s; brokers hold 100 kB/s → ≥3 brokers
         // minimum (12×20/100 = 2.4 → but strict inequality → 3).
         let input = AllocationInput {
@@ -819,12 +838,20 @@ mod tests {
         };
         let (_, pruned) = cram(
             &input,
-            CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: true },
+            CramConfig {
+                metric: ClosenessMetric::Ios,
+                one_to_many: true,
+                poset_pruning: true,
+            },
         )
         .unwrap();
         let (_, full) = cram(
             &input,
-            CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: false },
+            CramConfig {
+                metric: ClosenessMetric::Ios,
+                one_to_many: true,
+                poset_pruning: false,
+            },
         )
         .unwrap();
         assert!(
@@ -852,12 +879,10 @@ mod tests {
             let (alloc, _) = run(&input, metric);
             assert_eq!(alloc.sub_count(), 25, "{metric}");
             for load in &alloc.loads {
-                let spec =
-                    input.brokers.iter().find(|b| b.id == load.broker).unwrap();
+                let spec = input.brokers.iter().find(|b| b.id == load.broker).unwrap();
                 assert!(load.out_bw_used < spec.out_bandwidth, "{metric}");
                 assert!(
-                    load.in_rate
-                        <= spec.matching_delay.max_rate(load.sub_count()) + 1e-9,
+                    load.in_rate <= spec.matching_delay.max_rate(load.sub_count()) + 1e-9,
                     "{metric}"
                 );
             }
@@ -870,11 +895,7 @@ mod tests {
         // still terminates and produces a feasible allocation.
         struct EqualOnly;
         impl greenps_profile::Closeness for EqualOnly {
-            fn closeness(
-                &self,
-                a: &SubscriptionProfile,
-                b: &SubscriptionProfile,
-            ) -> f64 {
+            fn closeness(&self, a: &SubscriptionProfile, b: &SubscriptionProfile) -> f64 {
                 if a == b {
                     1.0
                 } else {
@@ -938,7 +959,7 @@ mod tests {
         let mut subs = Vec::new();
         subs.push(entry(0, &(0..36).collect::<Vec<_>>())); // S1 broad
         subs.push(entry(1, &(28..52).collect::<Vec<_>>())); // S2 intersecting
-        // covered 4-bit blocks of S1
+                                                            // covered 4-bit blocks of S1
         for (i, base) in [0u64, 8, 16].iter().enumerate() {
             subs.push(entry(2 + i as u64, &(*base..base + 4).collect::<Vec<_>>()));
         }
@@ -953,7 +974,11 @@ mod tests {
         };
         let (_, with) = cram(
             &input,
-            CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: true },
+            CramConfig {
+                metric: ClosenessMetric::Ios,
+                one_to_many: true,
+                poset_pruning: true,
+            },
         )
         .unwrap();
         assert!(with.one_to_many_merges > 0, "stats: {with:?}");

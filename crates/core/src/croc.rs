@@ -116,7 +116,10 @@ impl From<OverlayError> for PlanError {
 /// # Errors
 /// Propagates allocation/overlay failures; fails on an empty
 /// subscription pool.
-pub fn plan(input: &AllocationInput, config: &PlanConfig) -> Result<ReconfigurationPlan, PlanError> {
+pub fn plan(
+    input: &AllocationInput,
+    config: &PlanConfig,
+) -> Result<ReconfigurationPlan, PlanError> {
     if input.subscriptions.is_empty() {
         return Err(PlanError::NoSubscriptions);
     }
@@ -148,8 +151,7 @@ mod tests {
     use super::*;
     use crate::model::{BrokerSpec, LinearFn, SubscriptionEntry};
     use greenps_profile::{
-        ClosenessMetric, PublisherProfile, PublisherTable, ShiftingBitVector,
-        SubscriptionProfile,
+        ClosenessMetric, PublisherProfile, PublisherTable, ShiftingBitVector, SubscriptionProfile,
     };
     use greenps_pubsub::ids::MsgId;
     use greenps_pubsub::Filter;
@@ -183,7 +185,11 @@ mod tests {
                 )
             })
             .collect();
-        AllocationInput { brokers, subscriptions, publishers }
+        AllocationInput {
+            brokers,
+            subscriptions,
+            publishers,
+        }
     }
 
     #[test]
@@ -238,7 +244,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(PlanError::NoSubscriptions.to_string(), "subscription pool is empty");
+        assert_eq!(
+            PlanError::NoSubscriptions.to_string(),
+            "subscription pool is empty"
+        );
         let e = PlanError::Alloc(AllocError::NoBrokers);
         assert_eq!(e.to_string(), "phase 2 failed: broker pool is empty");
     }

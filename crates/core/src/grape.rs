@@ -74,7 +74,11 @@ impl InterestTree {
             adjacency[j].push(i);
         }
         let local = brokers.into_iter().map(|(_, p)| p).collect();
-        Self { brokers: ids, adjacency, local }
+        Self {
+            brokers: ids,
+            adjacency,
+            local,
+        }
     }
 
     /// Builds the interest tree of an overlay (locals = hosted units).
@@ -106,7 +110,10 @@ impl InterestTree {
     /// Per-broker interest fraction for one publisher: the share of the
     /// publisher's publications the broker's local subscriptions sink.
     fn fractions(&self, adv: AdvId, publishers: &PublisherTable) -> Vec<f64> {
-        let last = publishers.get(adv).map(|p| p.last_msg_id).unwrap_or_default();
+        let last = publishers
+            .get(adv)
+            .map(|p| p.last_msg_id)
+            .unwrap_or_default();
         self.local
             .iter()
             .map(|p| p.vector(adv).map(|v| fraction_of(v, last)).unwrap_or(0.0))
@@ -118,7 +125,10 @@ impl InterestTree {
     /// fraction of publications any broker beyond it sinks (union of the
     /// subtree's bit vectors).
     fn load_cost(&self, adv: AdvId, root_idx: usize, publishers: &PublisherTable) -> f64 {
-        let last = publishers.get(adv).map(|p| p.last_msg_id).unwrap_or_default();
+        let last = publishers
+            .get(adv)
+            .map(|p| p.last_msg_id)
+            .unwrap_or_default();
         // Post-order union of subtree vectors, rooted at root_idx.
         fn rec(
             tree: &InterestTree,
@@ -190,16 +200,20 @@ pub fn place_publisher(
         return None;
     }
     let fractions = tree.fractions(adv, publishers);
-    let loads: Vec<f64> =
-        (0..tree.len()).map(|i| tree.load_cost(adv, i, publishers)).collect();
-    let delays: Vec<f64> = (0..tree.len()).map(|i| tree.delay_cost(&fractions, i)).collect();
+    let loads: Vec<f64> = (0..tree.len())
+        .map(|i| tree.load_cost(adv, i, publishers))
+        .collect();
+    let delays: Vec<f64> = (0..tree.len())
+        .map(|i| tree.delay_cost(&fractions, i))
+        .collect();
     let max_load = loads.iter().copied().fold(0.0f64, f64::max).max(1e-12);
     let max_delay = delays.iter().copied().fold(0.0f64, f64::max).max(1e-12);
     let p = config.priority.clamp(0.0, 1.0);
     let best = (0..tree.len()).min_by(|&i, &j| {
         let si = p * loads[i] / max_load + (1.0 - p) * delays[i] / max_delay;
         let sj = p * loads[j] / max_load + (1.0 - p) * delays[j] / max_delay;
-        si.total_cmp(&sj).then(tree.brokers[i].cmp(&tree.brokers[j]))
+        si.total_cmp(&sj)
+            .then(tree.brokers[i].cmp(&tree.brokers[j]))
     })?;
     Some(tree.brokers[best])
 }
@@ -212,9 +226,7 @@ pub fn place_publishers(
 ) -> BTreeMap<AdvId, BrokerId> {
     publishers
         .iter()
-        .filter_map(|p| {
-            place_publisher(tree, p.adv_id, publishers, config).map(|b| (p.adv_id, b))
-        })
+        .filter_map(|p| place_publisher(tree, p.adv_id, publishers, config).map(|b| (p.adv_id, b)))
         .collect()
 }
 
@@ -235,9 +247,14 @@ mod tests {
     }
 
     fn publishers() -> PublisherTable {
-        [PublisherProfile::new(AdvId::new(1), 10.0, 10_000.0, MsgId::new(99))]
-            .into_iter()
-            .collect()
+        [PublisherProfile::new(
+            AdvId::new(1),
+            10.0,
+            10_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect()
     }
 
     /// Chain B0 - B1 - B2 with all interest at B2: GRAPE moves the
@@ -284,13 +301,21 @@ mod tests {
                 (BrokerId::new(1), BrokerId::new(3)),
             ],
         );
-        let by_delay =
-            place_publisher(&tree, AdvId::new(1), &publishers(), GrapeConfig::minimize_delay())
-                .unwrap();
+        let by_delay = place_publisher(
+            &tree,
+            AdvId::new(1),
+            &publishers(),
+            GrapeConfig::minimize_delay(),
+        )
+        .unwrap();
         assert_eq!(by_delay, BrokerId::new(1), "hub minimizes mean hops");
-        let by_load =
-            place_publisher(&tree, AdvId::new(1), &publishers(), GrapeConfig::minimize_load())
-                .unwrap();
+        let by_load = place_publisher(
+            &tree,
+            AdvId::new(1),
+            &publishers(),
+            GrapeConfig::minimize_load(),
+        )
+        .unwrap();
         assert_eq!(by_load, BrokerId::new(0), "flat load ties break by id");
     }
 
@@ -312,8 +337,9 @@ mod tests {
             ],
         );
         let pubs = publishers();
-        let loads: Vec<f64> =
-            (0..3).map(|i| tree.load_cost(AdvId::new(1), i, &pubs)).collect();
+        let loads: Vec<f64> = (0..3)
+            .map(|i| tree.load_cost(AdvId::new(1), i, &pubs))
+            .collect();
         // Every edge always carries the traffic: cost 2×fraction for
         // every candidate.
         for l in &loads {
@@ -351,7 +377,10 @@ mod tests {
     fn place_publishers_covers_all_advs() {
         let ids: Vec<u64> = (0..10).collect();
         let tree = InterestTree::new(
-            vec![(BrokerId::new(0), profile(1, &ids)), (BrokerId::new(1), profile(2, &ids))],
+            vec![
+                (BrokerId::new(0), profile(1, &ids)),
+                (BrokerId::new(1), profile(2, &ids)),
+            ],
             &[(BrokerId::new(0), BrokerId::new(1))],
         );
         let pubs: PublisherTable = [

@@ -42,7 +42,8 @@
 //! # Ok::<(), greenps_core::croc::PlanError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod capacity;
 pub mod cram;
@@ -58,8 +59,8 @@ pub use cram::{cram, CramConfig, CramStats};
 pub use croc::{plan, PlanConfig, PlanError, ReconfigurationPlan};
 pub use grape::{place_publishers, GrapeConfig, InterestTree};
 pub use model::{
-    AllocError, Allocation, AllocationInput, BrokerLoad, BrokerSpec, LinearFn,
-    SubscriptionEntry, Unit,
+    AllocError, Allocation, AllocationInput, BrokerLoad, BrokerSpec, LinearFn, SubscriptionEntry,
+    Unit,
 };
 pub use overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayStats};
 pub use pairwise::{pairwise_k, pairwise_n, PairwiseResult};

@@ -80,7 +80,12 @@ impl BrokerSpec {
         matching_delay: LinearFn,
         out_bandwidth: f64,
     ) -> Self {
-        Self { id, url: url.into(), matching_delay, out_bandwidth }
+        Self {
+            id,
+            url: url.into(),
+            matching_delay,
+            out_bandwidth,
+        }
     }
 }
 
@@ -100,7 +105,11 @@ pub struct SubscriptionEntry {
 impl SubscriptionEntry {
     /// Creates a subscription entry.
     pub fn new(id: SubId, filter: Filter, profile: SubscriptionProfile) -> Self {
-        Self { id, filter, profile }
+        Self {
+            id,
+            filter,
+            profile,
+        }
     }
 }
 
@@ -262,7 +271,11 @@ impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::Infeasible { subs } => {
-                write!(f, "no broker can host a unit of {} subscription(s)", subs.len())
+                write!(
+                    f,
+                    "no broker can host a unit of {} subscription(s)",
+                    subs.len()
+                )
             }
             AllocError::NoBrokers => f.write_str("broker pool is empty"),
         }
@@ -288,9 +301,14 @@ mod tests {
     }
 
     fn publishers() -> PublisherTable {
-        [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
-            .into_iter()
-            .collect()
+        [PublisherProfile::new(
+            AdvId::new(1),
+            100.0,
+            100_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -356,13 +374,21 @@ mod tests {
         assert_eq!(alloc.sub_count(), 2);
         assert!(alloc.load_of(BrokerId::new(7)).is_some());
         assert!(alloc.load_of(BrokerId::new(8)).is_none());
-        assert_eq!(alloc.broker_ids().collect::<Vec<_>>(), vec![BrokerId::new(7)]);
+        assert_eq!(
+            alloc.broker_ids().collect::<Vec<_>>(),
+            vec![BrokerId::new(7)]
+        );
     }
 
     #[test]
     fn errors_display() {
-        let e = AllocError::Infeasible { subs: vec![SubId::new(1)] };
-        assert_eq!(e.to_string(), "no broker can host a unit of 1 subscription(s)");
+        let e = AllocError::Infeasible {
+            subs: vec![SubId::new(1)],
+        };
+        assert_eq!(
+            e.to_string(),
+            "no broker can host a unit of 1 subscription(s)"
+        );
         assert_eq!(AllocError::NoBrokers.to_string(), "broker pool is empty");
     }
 }

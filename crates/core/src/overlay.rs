@@ -17,9 +17,7 @@
 //!    for the smallest-capacity pool broker that still fits its load.
 
 use crate::cram::{cram_units, CramConfig};
-use crate::model::{
-    AllocError, Allocation, AllocationInput, BrokerSpec, Unit,
-};
+use crate::model::{AllocError, Allocation, AllocationInput, BrokerSpec, Unit};
 use crate::sorting::bin_packing_units;
 use greenps_profile::{PublisherTable, SubscriptionProfile};
 use greenps_pubsub::ids::{BrokerId, SubId};
@@ -197,14 +195,23 @@ impl Overlay {
     /// a publication entering at the root).
     pub fn depth(&self) -> usize {
         fn rec(o: &Overlay, b: BrokerId) -> usize {
-            1 + o.nodes[&b].children.iter().map(|&c| rec(o, c)).max().unwrap_or(0)
+            1 + o.nodes[&b]
+                .children
+                .iter()
+                .map(|&c| rec(o, c))
+                .max()
+                .unwrap_or(0)
         }
         rec(self, self.root)
     }
 
     /// Largest number of children on any broker.
     pub fn max_fanout(&self) -> usize {
-        self.nodes.values().map(|n| n.children.len()).max().unwrap_or(0)
+        self.nodes
+            .values()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total output bandwidth responsibility across all brokers
@@ -227,7 +234,11 @@ impl Overlay {
                 n.broker,
                 n.local_sub_count(),
                 n.out_bw_used,
-                if n.broker == self.root { ", shape=doublecircle" } else { "" }
+                if n.broker == self.root {
+                    ", shape=doublecircle"
+                } else {
+                    ""
+                }
             );
         }
         for (a, b) in self.edges() {
@@ -256,12 +267,7 @@ impl Overlay {
 
 impl fmt::Display for Overlay {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn rec(
-            o: &Overlay,
-            b: BrokerId,
-            depth: usize,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn rec(o: &Overlay, b: BrokerId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let n = &o.nodes[&b];
             writeln!(
                 f,
@@ -332,8 +338,7 @@ pub fn build_overlay(
     }
     let mut stats = OverlayStats::default();
     let mut nodes: BTreeMap<BrokerId, OverlayNode> = BTreeMap::new();
-    let specs: BTreeMap<BrokerId, &BrokerSpec> =
-        input.brokers.iter().map(|b| (b.id, b)).collect();
+    let specs: BTreeMap<BrokerId, &BrokerSpec> = input.brokers.iter().map(|b| (b.id, b)).collect();
 
     // Leaf layer from the Phase-2 allocation.
     let mut layer: Vec<BrokerId> = Vec::new();
@@ -381,18 +386,27 @@ pub fn build_overlay(
         let alloc = if pool.is_empty() {
             None
         } else {
-            config.allocator.allocate_units(&pool, &input.publishers, units).ok()
+            config
+                .allocator
+                .allocate_units(&pool, &input.publishers, units)
+                .ok()
         };
 
-        let reduced = alloc
-            .as_ref()
-            .map(|a| a.broker_count() < layer.len())
-            .unwrap_or(false);
-        if !reduced {
-            force_root(&mut nodes, &mut layer, &specs, &input.publishers, &mut stats);
-            break;
-        }
-        let alloc = alloc.unwrap();
+        let alloc = match alloc {
+            Some(a) if a.broker_count() < layer.len() => a,
+            _ => {
+                // Allocation failed or did not shrink the layer: close
+                // the overlay with a single forced root.
+                force_root(
+                    &mut nodes,
+                    &mut layer,
+                    &specs,
+                    &input.publishers,
+                    &mut stats,
+                );
+                break;
+            }
+        };
 
         // Materialize parents.
         let mut next_layer: Vec<BrokerId> = Vec::new();
@@ -471,7 +485,9 @@ fn force_root(
         extra_bw += nodes[&c].in_bandwidth;
     }
     let input_load = profile.estimate_load(publishers);
-    let node = nodes.get_mut(&root).unwrap();
+    let node = nodes
+        .get_mut(&root)
+        .expect("root chosen from layer, present in nodes");
     node.children.extend(children.iter().copied());
     node.profile = profile;
     node.in_bandwidth = input_load.bandwidth;
@@ -502,24 +518,23 @@ fn takeover_children(
             for c in kids {
                 let child = &nodes[&c];
                 let new_out = parent.out_bw_used - child.in_bandwidth + child.out_bw_used;
-                let new_entries =
-                    parent.route_entries - 1 + child.route_entries;
-                let rate_ok =
-                    parent.in_rate <= spec.matching_delay.max_rate(new_entries);
+                let new_entries = parent.route_entries - 1 + child.route_entries;
+                let rate_ok = parent.in_rate <= spec.matching_delay.max_rate(new_entries);
                 if new_out < spec.out_bandwidth && rate_ok {
                     absorbed = Some((c, new_out));
                     break;
                 }
             }
             let Some((c, new_out)) = absorbed else { break };
-            let child = nodes.remove(&c).unwrap();
-            let parent = nodes.get_mut(&p).unwrap();
+            let child = nodes.remove(&c).expect("absorbed child present in nodes");
+            let parent = nodes
+                .get_mut(&p)
+                .expect("absorbing parent present in nodes");
             parent.children.retain(|&x| x != c);
             parent.children.extend(child.children.iter().copied());
             parent.units.extend(child.units);
             parent.out_bw_used = new_out;
-            parent.route_entries =
-                parent.route_entries - 1 + child.route_entries;
+            parent.route_entries = parent.route_entries - 1 + child.route_entries;
             // Interest profile unchanged: the parent already forwarded
             // everything the child's subtree wanted.
             pool.push(specs[&c].clone());
@@ -554,7 +569,7 @@ fn best_fit_swap(
         let Some(new_id) = candidate else { continue };
         // Swap: the new broker takes over the node; the old broker
         // returns to the pool.
-        let mut node = nodes.remove(&b).unwrap();
+        let mut node = nodes.remove(&b).expect("swap candidate present in nodes");
         node.broker = new_id;
         nodes.insert(new_id, node);
         pool.retain(|s| s.id != new_id);
@@ -580,7 +595,14 @@ pub fn single_broker_overlay(load: &crate::model::BrokerLoad) -> Overlay {
             route_entries: load.sub_count(),
         },
     );
-    Overlay { nodes, root: load.broker, stats: OverlayStats { layers: 1, ..Default::default() } }
+    Overlay {
+        nodes,
+        root: load.broker,
+        stats: OverlayStats {
+            layers: 1,
+            ..Default::default()
+        },
+    }
 }
 
 /// Used by `LinearFn` in doc headers; re-export for convenience.
@@ -631,7 +653,11 @@ mod tests {
                 )
             })
             .collect();
-        AllocationInput { brokers, subscriptions, publishers: publishers() }
+        AllocationInput {
+            brokers,
+            subscriptions,
+            publishers: publishers(),
+        }
     }
 
     #[test]
@@ -676,7 +702,11 @@ mod tests {
         let input = scenario();
         let empty = Allocation::default();
         assert!(matches!(
-            build_overlay(&input, &empty, &OverlayConfig::new(AllocatorKind::BinPacking)),
+            build_overlay(
+                &input,
+                &empty,
+                &OverlayConfig::new(AllocatorKind::BinPacking)
+            ),
             Err(OverlayError::EmptyAllocation)
         ));
     }
@@ -726,8 +756,7 @@ mod tests {
     #[test]
     fn cram_driven_overlay_works() {
         let input = scenario();
-        let (leaf, _) =
-            crate::cram::cram(&input, CramConfig::default()).unwrap();
+        let (leaf, _) = crate::cram::cram(&input, CramConfig::default()).unwrap();
         let overlay = build_overlay(
             &input,
             &leaf,

@@ -84,7 +84,10 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
         else {
             break;
         };
-        let merged = clusters[i].as_ref().unwrap().merge(clusters[j].as_ref().unwrap());
+        let (Some(ci), Some(cj)) = (clusters[i].as_ref(), clusters[j].as_ref()) else {
+            break;
+        };
+        let merged = ci.merge(cj);
         clusters[i] = Some(merged);
         clusters[j] = None;
         partner[j] = None;
@@ -181,10 +184,14 @@ mod tests {
     use greenps_pubsub::Filter;
 
     fn input(groups: u64, per_group: u64, brokers: u64) -> AllocationInput {
-        let publishers: PublisherTable =
-            [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
-                .into_iter()
-                .collect();
+        let publishers: PublisherTable = [PublisherProfile::new(
+            AdvId::new(1),
+            100.0,
+            100_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect();
         let subscriptions = (0..groups * per_group)
             .map(|i| {
                 let g = i % groups;
@@ -271,10 +278,14 @@ mod tests {
     fn xor_merges_most_similar_groups_first() {
         // Two groups overlapping heavily (ids 0..8 vs 2..10) and one far
         // group (50..58): with k=2, the overlapping groups merge.
-        let publishers: PublisherTable =
-            [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
-                .into_iter()
-                .collect();
+        let publishers: PublisherTable = [PublisherProfile::new(
+            AdvId::new(1),
+            100.0,
+            100_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect();
         let mk = |id: u64, range: std::ops::Range<u64>| {
             let mut v = ShiftingBitVector::starting_at(100, 0);
             for x in range {

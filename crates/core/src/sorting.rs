@@ -80,10 +80,14 @@ mod tests {
     /// Builds an input with `n` subscriptions of varying bandwidth on
     /// `b` identical brokers.
     fn input(n: u64, b: u64, broker_bw: f64) -> AllocationInput {
-        let publishers: PublisherTable =
-            [PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99))]
-                .into_iter()
-                .collect();
+        let publishers: PublisherTable = [PublisherProfile::new(
+            AdvId::new(1),
+            100.0,
+            100_000.0,
+            MsgId::new(99),
+        )]
+        .into_iter()
+        .collect();
         let subscriptions = (0..n)
             .map(|i| {
                 let mut v = ShiftingBitVector::starting_at(100, 0);
@@ -106,7 +110,11 @@ mod tests {
                 )
             })
             .collect();
-        AllocationInput { brokers, subscriptions, publishers }
+        AllocationInput {
+            brokers,
+            subscriptions,
+            publishers,
+        }
     }
 
     #[test]

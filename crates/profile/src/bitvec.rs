@@ -49,7 +49,11 @@ impl ShiftingBitVector {
     pub fn starting_at(capacity: usize, first_id: u64) -> Self {
         assert!(capacity > 0, "bit vector capacity must be positive");
         let words = capacity.div_ceil(WORD_BITS);
-        Self { first_id, capacity, words: vec![0; words] }
+        Self {
+            first_id,
+            capacity,
+            words: vec![0; words],
+        }
     }
 
     /// Builds a vector from a window start and explicit bits, mirroring
@@ -204,7 +208,10 @@ impl ShiftingBitVector {
             let words = ((hi_end - lo) as usize).div_ceil(WORD_BITS);
             let a = self.aligned_words(lo, words);
             let b = other.aligned_words(lo, words);
-            a.iter().zip(&b).map(|(&x, &y)| f(x, y).count_ones() as usize).sum()
+            a.iter()
+                .zip(&b)
+                .map(|(&x, &y)| f(x, y).count_ones() as usize)
+                .sum()
         }
     }
 
@@ -276,7 +283,10 @@ impl ShiftingBitVector {
 }
 
 fn combined_window(a: &ShiftingBitVector, b: &ShiftingBitVector) -> (u64, u64) {
-    (a.first_id.min(b.first_id), a.window_end().max(b.window_end()))
+    (
+        a.first_id.min(b.first_id),
+        a.window_end().max(b.window_end()),
+    )
 }
 
 impl PartialOrd for ShiftingBitVector {
@@ -393,13 +403,14 @@ mod tests {
         // S1: Adv1 bits 11100 at 75;       Adv2 bits 11111 at 144
         // S2: Adv1 bits 00111 at 75;       Adv3 bits 00100 at 2
         // S1+S2: Adv1 = 11111, Adv2 = 11111, Adv3 = 00100
-        let s1_adv1 =
-            ShiftingBitVector::from_bits(5, 75, &[true, true, true, false, false]);
-        let s2_adv1 =
-            ShiftingBitVector::from_bits(5, 75, &[false, false, true, true, true]);
+        let s1_adv1 = ShiftingBitVector::from_bits(5, 75, &[true, true, true, false, false]);
+        let s2_adv1 = ShiftingBitVector::from_bits(5, 75, &[false, false, true, true, true]);
         let merged = s1_adv1.or(&s2_adv1);
         assert_eq!(merged.count_ones(), 5);
-        assert_eq!(merged.iter_ids().collect::<Vec<_>>(), vec![75, 76, 77, 78, 79]);
+        assert_eq!(
+            merged.iter_ids().collect::<Vec<_>>(),
+            vec![75, 76, 77, 78, 79]
+        );
         // intersection of S1 and S2 on Adv1 is the single id 77
         assert_eq!(s1_adv1.and_count(&s2_adv1), 1);
         assert_eq!(s1_adv1.xor_count(&s2_adv1), 4);

@@ -223,7 +223,11 @@ mod tests {
     fn ios_iou_zero_on_empty_relation() {
         let a = profile(32, 0, 4);
         let b = profile(32, 10, 4);
-        for m in [ClosenessMetric::Intersect, ClosenessMetric::Ios, ClosenessMetric::Iou] {
+        for m in [
+            ClosenessMetric::Intersect,
+            ClosenessMetric::Ios,
+            ClosenessMetric::Iou,
+        ] {
             assert_eq!(m.closeness(&a, &b), 0.0, "{m}");
             assert!(m.supports_empty_pruning());
         }
@@ -249,7 +253,11 @@ mod tests {
     #[test]
     fn empty_profiles_yield_zero_not_nan() {
         let e = SubscriptionProfile::new();
-        for m in [ClosenessMetric::Intersect, ClosenessMetric::Ios, ClosenessMetric::Iou] {
+        for m in [
+            ClosenessMetric::Intersect,
+            ClosenessMetric::Ios,
+            ClosenessMetric::Iou,
+        ] {
             let v = m.closeness(&e, &e);
             assert_eq!(v, 0.0, "{m}");
         }
@@ -281,8 +289,7 @@ mod tests {
 
     #[test]
     fn display_names() {
-        let names: Vec<String> =
-            ClosenessMetric::ALL.iter().map(|m| m.to_string()).collect();
+        let names: Vec<String> = ClosenessMetric::ALL.iter().map(|m| m.to_string()).collect();
         assert_eq!(names, vec!["INTERSECT", "XOR", "IOS", "IOU"]);
     }
 }

@@ -36,7 +36,8 @@
 //! assert!((load.rate - 25.0).abs() < 1e-9); // half the publications
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod bitvec;
 pub mod closeness;

@@ -42,7 +42,11 @@ impl<K: Copy + Ord + Eq + Hash> Default for Poset<K> {
 impl<K: Copy + Ord + Eq + Hash> Poset<K> {
     /// Creates an empty poset.
     pub fn new() -> Self {
-        Self { nodes: BTreeMap::new(), roots: BTreeSet::new(), relation_ops: 0 }
+        Self {
+            nodes: BTreeMap::new(),
+            roots: BTreeSet::new(),
+            relation_ops: 0,
+        }
     }
 
     /// Number of nodes.
@@ -72,12 +76,18 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
 
     /// Children of `k` (covered profiles one level down).
     pub fn children(&self, k: K) -> impl Iterator<Item = K> + '_ {
-        self.nodes.get(&k).into_iter().flat_map(|n| n.children.iter().copied())
+        self.nodes
+            .get(&k)
+            .into_iter()
+            .flat_map(|n| n.children.iter().copied())
     }
 
     /// Parents of `k` (covering profiles one level up).
     pub fn parents(&self, k: K) -> impl Iterator<Item = K> + '_ {
-        self.nodes.get(&k).into_iter().flat_map(|n| n.parents.iter().copied())
+        self.nodes
+            .get(&k)
+            .into_iter()
+            .flat_map(|n| n.parents.iter().copied())
     }
 
     /// All keys, in key order.
@@ -90,7 +100,6 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
     pub fn relation_ops(&self) -> u64 {
         self.relation_ops
     }
-
 
     /// Inserts a profile under key `k`, wiring it between its tightest
     /// covering nodes and the maximal nodes it covers.
@@ -110,16 +119,32 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
         for &p in &parents {
             for &c in &children {
                 if self.nodes[&p].children.contains(&c) {
-                    self.nodes.get_mut(&p).unwrap().children.remove(&c);
-                    self.nodes.get_mut(&c).unwrap().parents.remove(&p);
+                    self.nodes
+                        .get_mut(&p)
+                        .expect("parent key from find_parents")
+                        .children
+                        .remove(&c);
+                    self.nodes
+                        .get_mut(&c)
+                        .expect("child key from find_children")
+                        .parents
+                        .remove(&p);
                 }
             }
         }
         for &p in &parents {
-            self.nodes.get_mut(&p).unwrap().children.insert(k);
+            self.nodes
+                .get_mut(&p)
+                .expect("parent key from find_parents")
+                .children
+                .insert(k);
         }
         for &c in &children {
-            self.nodes.get_mut(&c).unwrap().parents.insert(k);
+            self.nodes
+                .get_mut(&c)
+                .expect("child key from find_children")
+                .parents
+                .insert(k);
             if self.nodes[&c].parents.len() == 1 {
                 self.roots.remove(&c);
             }
@@ -215,8 +240,7 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
             for &d in &candidates {
                 if c != d {
                     ops += 1;
-                    let rel =
-                        self.nodes[&d].profile.relationship(&self.nodes[&c].profile);
+                    let rel = self.nodes[&d].profile.relationship(&self.nodes[&c].profile);
                     if rel == Relation::Superset && !maximal.contains(&c) {
                         // c is dominated by d — but only drop when d is
                         // itself (transitively) kept; since domination is
@@ -238,17 +262,33 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
         let node = self.nodes.remove(&k)?;
         self.roots.remove(&k);
         for &p in &node.parents {
-            self.nodes.get_mut(&p).unwrap().children.remove(&k);
+            self.nodes
+                .get_mut(&p)
+                .expect("edges are symmetric: parent exists")
+                .children
+                .remove(&k);
         }
         for &c in &node.children {
-            self.nodes.get_mut(&c).unwrap().parents.remove(&k);
+            self.nodes
+                .get_mut(&c)
+                .expect("edges are symmetric: child exists")
+                .parents
+                .remove(&k);
         }
         // Reconnect: every parent adopts every child (edges remain
         // containment-consistent by transitivity).
         for &p in &node.parents {
             for &c in &node.children {
-                self.nodes.get_mut(&p).unwrap().children.insert(c);
-                self.nodes.get_mut(&c).unwrap().parents.insert(p);
+                self.nodes
+                    .get_mut(&p)
+                    .expect("edges are symmetric: parent exists")
+                    .children
+                    .insert(c);
+                self.nodes
+                    .get_mut(&c)
+                    .expect("edges are symmetric: child exists")
+                    .parents
+                    .insert(p);
             }
         }
         for &c in &node.children {
@@ -284,7 +324,11 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
                     "parent does not cover child"
                 );
             }
-            assert_eq!(n.parents.is_empty(), self.roots.contains(k), "root set wrong");
+            assert_eq!(
+                n.parents.is_empty(),
+                self.roots.contains(k),
+                "root set wrong"
+            );
         }
         // Acyclicity via BFS count (every node reachable exactly once
         // from roots and no node revisited means no cycle among
@@ -382,15 +426,20 @@ mod tests {
                 poset.insert(*k, p.clone());
             }
             poset.check_invariants();
-            let shape: Vec<(u32, Vec<u32>)> =
-                poset.keys().map(|k| (k, poset.children(k).collect())).collect();
+            let shape: Vec<(u32, Vec<u32>)> = poset
+                .keys()
+                .map(|k| (k, poset.children(k).collect()))
+                .collect();
             shapes.push(shape);
         }
         for s in &shapes[1..] {
             assert_eq!(s, &shapes[0]);
         }
         // expected: 1 → {2, 3}, 2 → {4}
-        assert_eq!(shapes[0], vec![(1, vec![2, 3]), (2, vec![4]), (3, vec![]), (4, vec![])]);
+        assert_eq!(
+            shapes[0],
+            vec![(1, vec![2, 3]), (2, vec![4]), (3, vec![]), (4, vec![])]
+        );
     }
 
     #[test]
@@ -492,8 +541,9 @@ mod tests {
         let mut next = 0u32;
         for _ in 0..200 {
             if live.is_empty() || rng.gen_bool(0.65) {
-                let ids: Vec<u64> =
-                    (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..24)).collect();
+                let ids: Vec<u64> = (0..rng.gen_range(1..6))
+                    .map(|_| rng.gen_range(0..24))
+                    .collect();
                 poset.insert(next, prof(&ids));
                 live.push(next);
                 next += 1;

@@ -14,9 +14,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Publications sinked by one subscription, per publisher.
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SubscriptionProfile {
     vectors: BTreeMap<AdvId, ShiftingBitVector>,
     #[serde(default = "default_capacity")]
@@ -31,12 +29,15 @@ impl SubscriptionProfile {
     /// Creates an empty profile with the paper's default bit-vector
     /// capacity (1,280 bits).
     pub fn new() -> Self {
-        Self::with_capacity(DEFAULT_CAPACITY)
+        Self::with_capacity(default_capacity())
     }
 
     /// Creates an empty profile whose bit vectors hold `capacity` bits.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { vectors: BTreeMap::new(), capacity }
+        Self {
+            vectors: BTreeMap::new(),
+            capacity,
+        }
     }
 
     /// Records receipt of a publication identified by `(adv, msg_id)`.
@@ -76,7 +77,10 @@ impl SubscriptionProfile {
 
     /// Total set bits across all publishers — `|S|`.
     pub fn count_ones(&self) -> usize {
-        self.vectors.values().map(ShiftingBitVector::count_ones).sum()
+        self.vectors
+            .values()
+            .map(ShiftingBitVector::count_ones)
+            .sum()
     }
 
     /// True when no publication was recorded.
@@ -160,7 +164,9 @@ impl SubscriptionProfile {
     pub fn estimate_load(&self, publishers: &PublisherTable) -> Load {
         let mut load = Load::ZERO;
         for (adv, v) in &self.vectors {
-            let Some(p) = publishers.get(*adv) else { continue };
+            let Some(p) = publishers.get(*adv) else {
+                continue;
+            };
             let fraction = fraction_of(v, p.last_msg_id);
             load.rate += fraction * p.rate;
             load.bandwidth += fraction * p.bandwidth;
@@ -176,7 +182,9 @@ impl SubscriptionProfile {
     pub fn estimate_rate_delta(&self, other: &Self, publishers: &PublisherTable) -> f64 {
         let mut delta = 0.0;
         for (adv, o) in &other.vectors {
-            let Some(p) = publishers.get(*adv) else { continue };
+            let Some(p) = publishers.get(*adv) else {
+                continue;
+            };
             let ones_new = o.count_ones();
             if ones_new == 0 {
                 continue;
@@ -316,7 +324,12 @@ pub struct PublisherProfile {
 impl PublisherProfile {
     /// Creates a publisher profile.
     pub fn new(adv_id: AdvId, rate: f64, bandwidth: f64, last_msg_id: MsgId) -> Self {
-        Self { adv_id, rate, bandwidth, last_msg_id }
+        Self {
+            adv_id,
+            rate,
+            bandwidth,
+            last_msg_id,
+        }
     }
 
     /// Mean publication size in bytes.
@@ -405,7 +418,10 @@ pub struct Load {
 
 impl Load {
     /// Zero load.
-    pub const ZERO: Load = Load { rate: 0.0, bandwidth: 0.0 };
+    pub const ZERO: Load = Load {
+        rate: 0.0,
+        bandwidth: 0.0,
+    };
 
     /// Creates a load.
     pub fn new(rate: f64, bandwidth: f64) -> Self {
@@ -415,13 +431,19 @@ impl Load {
     /// Component-wise sum.
     #[must_use]
     pub fn plus(self, other: Load) -> Load {
-        Load { rate: self.rate + other.rate, bandwidth: self.bandwidth + other.bandwidth }
+        Load {
+            rate: self.rate + other.rate,
+            bandwidth: self.bandwidth + other.bandwidth,
+        }
     }
 
     /// Scales both components.
     #[must_use]
     pub fn scaled(self, k: f64) -> Load {
-        Load { rate: self.rate * k, bandwidth: self.bandwidth * k }
+        Load {
+            rate: self.rate * k,
+            bandwidth: self.bandwidth * k,
+        }
     }
 }
 

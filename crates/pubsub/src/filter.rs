@@ -30,7 +30,9 @@ impl Filter {
 
     /// Creates a filter from predicates.
     pub fn from_predicates(predicates: impl IntoIterator<Item = Predicate>) -> Self {
-        Self { predicates: predicates.into_iter().collect() }
+        Self {
+            predicates: predicates.into_iter().collect(),
+        }
     }
 
     /// Appends a predicate (builder style).
@@ -59,9 +61,9 @@ impl Filter {
     /// be satisfied by the publication's value for its attribute, and
     /// the attribute must be present.
     pub fn matches(&self, publication: &Publication) -> bool {
-        self.predicates.iter().all(|p| {
-            publication.get(&p.attr).is_some_and(|v| p.eval(v))
-        })
+        self.predicates
+            .iter()
+            .all(|p| publication.get(&p.attr).is_some_and(|v| p.eval(v)))
     }
 
     /// True when every publication matching `other` also matches `self`
@@ -70,9 +72,9 @@ impl Filter {
     /// A filter covers another when each of its predicates is implied by
     /// some predicate of the other filter on the same attribute.
     pub fn covers(&self, other: &Filter) -> bool {
-        self.predicates.iter().all(|p1| {
-            other.predicates.iter().any(|p2| p1.covers(p2))
-        })
+        self.predicates
+            .iter()
+            .all(|p1| other.predicates.iter().any(|p2| p1.covers(p2)))
     }
 
     /// True when some publication can match both filters (conservative —
@@ -130,8 +132,7 @@ impl Filter {
 
     /// A canonical string form usable as a hash/equality key.
     pub fn canonical_key(&self) -> String {
-        let mut parts: Vec<String> =
-            self.predicates.iter().map(|p| p.to_string()).collect();
+        let mut parts: Vec<String> = self.predicates.iter().map(|p| p.to_string()).collect();
         parts.sort();
         parts.join(",")
     }

@@ -38,7 +38,8 @@
 //! assert_eq!(rt.route_publication(&quote, Some(&0)), vec![1]);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod filter;
 pub mod ids;

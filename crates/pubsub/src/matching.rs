@@ -115,7 +115,10 @@ impl CountingMatcher {
 
     /// Number of distinct shared predicates (diagnostic).
     pub fn shared_predicate_count(&self) -> usize {
-        self.predicates.iter().filter(|p| !p.subscribers.is_empty()).count()
+        self.predicates
+            .iter()
+            .filter(|p| !p.subscribers.is_empty())
+            .count()
     }
 }
 
@@ -139,10 +142,7 @@ impl Matcher for CountingMatcher {
                             subscribers: Vec::new(),
                         });
                         self.by_key.insert(key, pid);
-                        self.by_attr
-                            .entry(pred.attr.clone())
-                            .or_default()
-                            .push(pid);
+                        self.by_attr.entry(pred.attr.clone()).or_default().push(pid);
                         pid
                     }
                 };
@@ -237,7 +237,9 @@ impl BucketMatcher {
         for f in self.filters.values() {
             for p in f.predicates() {
                 if p.op == crate::predicate::Op::Eq {
-                    *freq.entry((p.attr.clone(), p.value.to_string())).or_insert(0) += 1;
+                    *freq
+                        .entry((p.attr.clone(), p.value.to_string()))
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -295,8 +297,7 @@ impl Matcher for BucketMatcher {
         }
         let mut out: Vec<SubId> = Vec::new();
         for (attr, value) in publication.iter() {
-            if let Some(bucket) = self.buckets.get(&(attr.to_string(), value.to_string()))
-            {
+            if let Some(bucket) = self.buckets.get(&(attr.to_string(), value.to_string())) {
                 for &id in bucket {
                     if self.filters[&id].matches(publication) {
                         out.push(id);
@@ -359,11 +360,7 @@ mod tests {
         (NaiveMatcher::new(), CountingMatcher::new())
     }
 
-    fn both_match(
-        naive: &NaiveMatcher,
-        counting: &CountingMatcher,
-        p: &Publication,
-    ) -> Vec<SubId> {
+    fn both_match(naive: &NaiveMatcher, counting: &CountingMatcher, p: &Publication) -> Vec<SubId> {
         let a = naive.matches(p);
         let b = counting.matches(p);
         assert_eq!(a, b, "engines disagree on {p}");

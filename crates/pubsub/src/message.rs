@@ -27,7 +27,11 @@ pub struct Publication {
 impl Publication {
     /// Starts building a publication for the given publisher identity.
     pub fn builder(adv_id: AdvId, msg_id: MsgId) -> PublicationBuilder {
-        PublicationBuilder { adv_id, msg_id, attrs: Vec::new() }
+        PublicationBuilder {
+            adv_id,
+            msg_id,
+            attrs: Vec::new(),
+        }
     }
 
     /// Looks up the value of an attribute.
@@ -209,10 +213,7 @@ mod tests {
     #[test]
     fn wire_sizes_are_positive_and_ordered() {
         let small = Message::Unsubscribe(SubId::new(1));
-        let sub = Message::Subscribe(Subscription::new(
-            SubId::new(1),
-            stock_template("YHOO"),
-        ));
+        let sub = Message::Subscribe(Subscription::new(SubId::new(1), stock_template("YHOO")));
         assert!(small.wire_size() < sub.wire_size());
         assert!(!small.is_publication());
     }

@@ -46,11 +46,14 @@ impl<'a> Cursor<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseFilterError {
-        ParseFilterError { position: self.pos, message: message.into() }
+        ParseFilterError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
-        &self.src[self.pos..]
+        self.src.get(self.pos..).unwrap_or("")
     }
 
     fn skip_ws(&mut self) {
@@ -78,7 +81,7 @@ impl<'a> Cursor<'a> {
         self.skip_ws();
         let rest = self.rest();
         let end = rest.find(|c| stops.contains(&c)).unwrap_or(rest.len());
-        let token = rest[..end].trim_end();
+        let token = rest.get(..end).unwrap_or(rest).trim_end();
         self.pos += end;
         token
     }
@@ -91,7 +94,7 @@ impl<'a> Cursor<'a> {
             let Some(end) = rest.find('\'') else {
                 return Err(self.error("unterminated string literal"));
             };
-            let s = &rest[..end];
+            let s = rest.get(..end).unwrap_or("");
             self.pos += end + 1;
             return Ok(Value::str(s));
         }
@@ -309,8 +312,12 @@ mod tests {
     #[test]
     fn parsed_filter_matches_parsed_publication() {
         let f = parse_filter("[class,=,'STOCK'],[volume,>,1000]").unwrap();
-        let p = parse_publication("[class,'STOCK'],[volume,6200]", AdvId::new(1), MsgId::new(0))
-            .unwrap();
+        let p = parse_publication(
+            "[class,'STOCK'],[volume,6200]",
+            AdvId::new(1),
+            MsgId::new(0),
+        )
+        .unwrap();
         assert!(f.matches(&p));
         let q = parse_publication("[class,'STOCK'],[volume,500]", AdvId::new(1), MsgId::new(1))
             .unwrap();

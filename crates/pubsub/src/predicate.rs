@@ -72,7 +72,11 @@ pub struct Predicate {
 impl Predicate {
     /// Creates a predicate.
     pub fn new(attr: impl Into<String>, op: Op, value: impl Into<Value>) -> Self {
-        Self { attr: attr.into(), op, value: value.into() }
+        Self {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Shorthand for an equality predicate.
@@ -92,21 +96,16 @@ impl Predicate {
         match self.op {
             Op::Present => true,
             Op::Eq => published == &self.value,
-            Op::Neq => {
-                published.same_domain(&self.value) && published != &self.value
-            }
-            Op::Lt | Op::Le | Op::Gt | Op::Ge => {
-                match published.partial_cmp_value(&self.value) {
-                    Some(ord) => match self.op {
-                        Op::Lt => ord == Ordering::Less,
-                        Op::Le => ord != Ordering::Greater,
-                        Op::Gt => ord == Ordering::Greater,
-                        Op::Ge => ord != Ordering::Less,
-                        _ => unreachable!(),
-                    },
-                    None => false,
-                }
-            }
+            Op::Neq => published.same_domain(&self.value) && published != &self.value,
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => match published.partial_cmp_value(&self.value) {
+                Some(ord) => match self.op {
+                    Op::Lt => ord == Ordering::Less,
+                    Op::Le => ord != Ordering::Greater,
+                    Op::Gt => ord == Ordering::Greater,
+                    _ => ord != Ordering::Less,
+                },
+                None => false,
+            },
             Op::Prefix => match (published.as_str(), self.value.as_str()) {
                 (Some(p), Some(v)) => p.starts_with(v),
                 _ => false,
@@ -151,9 +150,7 @@ impl Predicate {
             (Gt, Eq) => gt(&other.value, &self.value),
             (Ge, Eq) => ge(&other.value, &self.value),
             (Neq, Neq) => self.value == other.value,
-            (Neq, Eq) => {
-                self.value.same_domain(&other.value) && self.value != other.value
-            }
+            (Neq, Eq) => self.value.same_domain(&other.value) && self.value != other.value,
             (Neq, Lt) | (Neq, Gt) => {
                 // x != a covers x < b if a >= b; covers x > b if a <= b
                 match self.op {
@@ -236,13 +233,19 @@ fn lt(a: &Value, b: &Value) -> bool {
     a.partial_cmp_value(b) == Some(Ordering::Less)
 }
 fn le(a: &Value, b: &Value) -> bool {
-    matches!(a.partial_cmp_value(b), Some(Ordering::Less | Ordering::Equal))
+    matches!(
+        a.partial_cmp_value(b),
+        Some(Ordering::Less | Ordering::Equal)
+    )
 }
 fn gt(a: &Value, b: &Value) -> bool {
     a.partial_cmp_value(b) == Some(Ordering::Greater)
 }
 fn ge(a: &Value, b: &Value) -> bool {
-    matches!(a.partial_cmp_value(b), Some(Ordering::Greater | Ordering::Equal))
+    matches!(
+        a.partial_cmp_value(b),
+        Some(Ordering::Greater | Ordering::Equal)
+    )
 }
 
 impl fmt::Display for Predicate {
@@ -277,7 +280,10 @@ mod tests {
         assert!(!vol.eval(&Value::str("big")));
         let neq = p("symbol", Op::Neq, "YHOO");
         assert!(neq.eval(&Value::str("GOOG")));
-        assert!(!neq.eval(&Value::Int(5)), "!= across domains is not a match");
+        assert!(
+            !neq.eval(&Value::Int(5)),
+            "!= across domains is not a match"
+        );
     }
 
     #[test]
@@ -372,10 +378,7 @@ mod tests {
 
     #[test]
     fn display_matches_padres_syntax() {
-        assert_eq!(
-            p("volume", Op::Gt, 1000i64).to_string(),
-            "[volume,>,1000]"
-        );
+        assert_eq!(p("volume", Op::Gt, 1000i64).to_string(), "[volume,>,1000]");
         assert_eq!(
             Predicate::eq("symbol", "YHOO").to_string(),
             "[symbol,=,'YHOO']"

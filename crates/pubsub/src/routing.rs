@@ -117,11 +117,7 @@ impl<H: Clone + Eq + Hash> RoutingTables<H> {
 
     /// Like [`RoutingTables::route_publication`] but rebuilds the match
     /// index in place when stale — the broker hot path.
-    pub fn route_publication_mut(
-        &mut self,
-        publication: &Publication,
-        from: Option<&H>,
-    ) -> Vec<H> {
+    pub fn route_publication_mut(&mut self, publication: &Publication, from: Option<&H>) -> Vec<H> {
         self.matcher.ensure_built();
         self.route_publication(publication, from)
     }
@@ -183,7 +179,9 @@ pub struct CoveringForwarder<H> {
 
 impl<H: Clone + Eq + Hash> Default for CoveringForwarder<H> {
     fn default() -> Self {
-        Self { sent: HashMap::new() }
+        Self {
+            sent: HashMap::new(),
+        }
     }
 }
 

@@ -62,8 +62,10 @@ impl Value {
     pub fn same_domain(&self, other: &Value) -> bool {
         matches!(
             (self, other),
-            (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-                | (Value::Str(_), Value::Str(_))
+            (
+                Value::Int(_) | Value::Float(_),
+                Value::Int(_) | Value::Float(_)
+            ) | (Value::Str(_), Value::Str(_))
                 | (Value::Bool(_), Value::Bool(_))
         )
     }
@@ -75,12 +77,12 @@ impl Value {
     pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
-            (a, b) if a.as_f64().is_some() && b.as_f64().is_some() => {
-                a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap())
-            }
             (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
-            _ => None,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
         }
     }
 
@@ -159,7 +161,10 @@ mod tests {
     fn cross_domain_comparison_is_none() {
         assert_eq!(Value::str("YHOO").partial_cmp_value(&Value::Int(1)), None);
         assert_ne!(Value::str("1"), Value::Int(1));
-        assert_eq!(Value::Bool(true).partial_cmp_value(&Value::str("true")), None);
+        assert_eq!(
+            Value::Bool(true).partial_cmp_value(&Value::str("true")),
+            None
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
         ]),
         arb_value(),
     )
-        .prop_map(|(attr, op, value)| Predicate { attr: attr.to_string(), op, value })
+        .prop_map(|(attr, op, value)| Predicate {
+            attr: attr.to_string(),
+            op,
+            value,
+        })
 }
 
 fn arb_filter() -> impl Strategy<Value = Filter> {
@@ -45,14 +49,17 @@ fn arb_filter() -> impl Strategy<Value = Filter> {
 }
 
 fn arb_publication() -> impl Strategy<Value = Publication> {
-    proptest::collection::vec((proptest::sample::select(ATTRS.to_vec()), arb_value()), 0..5)
-        .prop_map(|attrs| {
-            let mut b = Publication::builder(AdvId::new(1), MsgId::new(0));
-            for (a, v) in attrs {
-                b = b.attr(a, v);
-            }
-            b.build()
-        })
+    proptest::collection::vec(
+        (proptest::sample::select(ATTRS.to_vec()), arb_value()),
+        0..5,
+    )
+    .prop_map(|attrs| {
+        let mut b = Publication::builder(AdvId::new(1), MsgId::new(0));
+        for (a, v) in attrs {
+            b = b.attr(a, v);
+        }
+        b.build()
+    })
 }
 
 proptest! {

@@ -43,7 +43,8 @@
 //! assert_eq!(net.counters(b).msgs_out, 1);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod metrics;
 pub mod network;

@@ -57,7 +57,12 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.
@@ -125,25 +130,31 @@ impl Histogram {
     pub fn new(bounds: Vec<u64>) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bound");
         assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
+            bounds.windows(2).all(|w| matches!(w, &[a, b] if a < b)),
             "histogram bounds must be strictly ascending"
         );
         let n = bounds.len();
-        Self { bounds, counts: vec![0; n + 1], summary: Summary::new() }
+        Self {
+            bounds,
+            counts: vec![0; n + 1],
+            summary: Summary::new(),
+        }
     }
 
     /// A default delay histogram: 1ms .. 60s, roughly logarithmic.
     pub fn delay_default() -> Self {
         Self::new(vec![
-            1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000,
-            10_000_000, 60_000_000,
+            1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+            60_000_000,
         ])
     }
 
     /// Records an observation.
     pub fn record(&mut self, value: u64) {
         let idx = self.bounds.partition_point(|&b| b < value);
-        self.counts[idx] += 1;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
         self.summary.record(value as f64);
     }
 
@@ -169,12 +180,14 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i < self.bounds.len() {
-                    self.bounds[i]
-                } else {
-                    // overflow bucket: report the observed max
-                    self.summary.max().unwrap_or_default() as u64
-                });
+                // Past the last bound is the overflow bucket: report
+                // the observed max instead of a bound.
+                return Some(
+                    self.bounds
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| self.summary.max().unwrap_or_default() as u64),
+                );
             }
         }
         None

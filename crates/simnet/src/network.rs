@@ -78,7 +78,10 @@ impl LinkSpec {
 
     /// A latency-only link with unlimited bandwidth.
     pub fn with_latency(latency: SimDuration) -> Self {
-        Self { latency, bandwidth: None }
+        Self {
+            latency,
+            bandwidth: None,
+        }
     }
 }
 
@@ -231,12 +234,20 @@ impl<M: Payload> Context<'_, M> {
     /// Schedules `on_timer(key)` on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, key: u64) {
         let at = self.inner.now + delay;
-        self.inner.push(at, EventKind::Timer { node: self.node, key });
+        self.inner.push(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                key,
+            },
+        );
     }
 
     /// True when a link to `to` exists.
     pub fn has_link(&self, to: NodeId) -> bool {
-        self.inner.links.contains_key(&Inner::<M>::link_key(self.node, to))
+        self.inner
+            .links
+            .contains_key(&Inner::<M>::link_key(self.node, to))
     }
 }
 
@@ -289,7 +300,8 @@ impl<M: Payload + 'static> Network<M> {
             counters: TrafficCounters::new(),
             alive: true,
         });
-        self.inner.push(self.inner.now, EventKind::Start { node: id });
+        self.inner
+            .push(self.inner.now, EventKind::Start { node: id });
         id
     }
 
@@ -315,7 +327,10 @@ impl<M: Payload + 'static> Network<M> {
     /// Removes the link between two nodes; returns `true` if it existed.
     /// In-flight messages on the link are still delivered.
     pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> bool {
-        self.inner.links.remove(&Inner::<M>::link_key(a, b)).is_some()
+        self.inner
+            .links
+            .remove(&Inner::<M>::link_key(a, b))
+            .is_some()
     }
 
     /// Marks a node dead: future deliveries and timers for it are
@@ -330,7 +345,8 @@ impl<M: Payload + 'static> Network<M> {
     /// time, bypassing links (used by the experiment harness to bootstrap
     /// protocols; `from` is reported to the handler as the sender).
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.inner.push(self.inner.now, EventKind::Deliver { from, to, msg });
+        self.inner
+            .push(self.inner.now, EventKind::Deliver { from, to, msg });
     }
 
     /// Current simulated time.
@@ -373,7 +389,9 @@ impl<M: Payload + 'static> Network<M> {
 
     /// Downcasts a node's process to a concrete type.
     pub fn node_as<P: Process<M>>(&self, id: NodeId) -> Option<&P> {
-        self.processes[id.0].as_deref().and_then(|p| p.as_any().downcast_ref())
+        self.processes[id.0]
+            .as_deref()
+            .and_then(|p| p.as_any().downcast_ref())
     }
 
     /// Mutable downcast of a node's process.
@@ -416,7 +434,10 @@ impl<M: Payload + 'static> Network<M> {
             return;
         };
         {
-            let mut ctx = Context { inner: &mut self.inner, node };
+            let mut ctx = Context {
+                inner: &mut self.inner,
+                node,
+            };
             match kind {
                 EventKind::Deliver { from, msg, .. } => {
                     let size = msg.wire_size() as u64;
@@ -486,7 +507,12 @@ mod tests {
 
     impl Echo {
         fn new(delay: SimDuration) -> Self {
-            Self { delay, arrivals: Vec::new(), timers: Vec::new(), started: false }
+            Self {
+                delay,
+                arrivals: Vec::new(),
+                timers: Vec::new(),
+                started: false,
+            }
         }
     }
 
@@ -534,19 +560,27 @@ mod tests {
         let b = net.add_node(Echo::new(SimDuration::ZERO));
         net.connect(a, b, LinkSpec::with_latency(SimDuration::from_millis(5)));
         net.inject(a, b, Ping(100)); // arrives at b at t=0
-        // b echoes to a (5ms), a echoes back (10ms), forever; run 21ms
+                                     // b echoes to a (5ms), a echoes back (10ms), forever; run 21ms
         net.run_until(SimTime::from_micros(21_000));
         let a_echo: &Echo = net.node_as(a).unwrap();
         let b_echo: &Echo = net.node_as(b).unwrap();
         assert!(a_echo.started && b_echo.started);
         // a receives at 5, 15 ms
         assert_eq!(
-            a_echo.arrivals.iter().map(|(t, _)| t.as_micros()).collect::<Vec<_>>(),
+            a_echo
+                .arrivals
+                .iter()
+                .map(|(t, _)| t.as_micros())
+                .collect::<Vec<_>>(),
             vec![5_000, 15_000]
         );
         // b receives at 0, 10, 20 ms
         assert_eq!(
-            b_echo.arrivals.iter().map(|(t, _)| t.as_micros()).collect::<Vec<_>>(),
+            b_echo
+                .arrivals
+                .iter()
+                .map(|(t, _)| t.as_micros())
+                .collect::<Vec<_>>(),
             vec![0, 10_000, 20_000]
         );
     }
@@ -575,18 +609,27 @@ mod tests {
         net.connect(
             a,
             b,
-            LinkSpec { latency: SimDuration::ZERO, bandwidth: Some(1000.0) },
+            LinkSpec {
+                latency: SimDuration::ZERO,
+                bandwidth: Some(1000.0),
+            },
         );
         net.disconnect(b, a);
         net.connect(
             a,
             b,
-            LinkSpec { latency: SimDuration::ZERO, bandwidth: Some(1000.0) },
+            LinkSpec {
+                latency: SimDuration::ZERO,
+                bandwidth: Some(1000.0),
+            },
         );
         net.run_to_quiescence();
         let echo: &Echo = net.node_as(b).unwrap();
         assert_eq!(
-            echo.arrivals.iter().map(|(t, _)| t.as_micros()).collect::<Vec<_>>(),
+            echo.arrivals
+                .iter()
+                .map(|(t, _)| t.as_micros())
+                .collect::<Vec<_>>(),
             vec![500_000, 1_000_000]
         );
     }

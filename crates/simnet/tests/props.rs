@@ -29,7 +29,10 @@ impl Process<Tagged> for ScriptedSender {
             ctx.send_after(
                 SimDuration::from_micros(delay),
                 self.target,
-                Tagged { seq: i as u64, size },
+                Tagged {
+                    seq: i as u64,
+                    size,
+                },
             );
         }
     }

@@ -7,7 +7,8 @@
 //! the end-to-end runner that deploys, profiles, reconfigures and
 //! measures each approach.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod report;
 pub mod runner;

@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given header.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -78,7 +81,14 @@ impl Table {
                 c.to_string()
             }
         };
-        s.push_str(&self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        s.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         s.push('\n');
         for row in &self.rows {
             s.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -140,7 +150,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("long-header"));
-        assert_eq!(lines[1].chars().filter(|&c| c == '-').count(), lines[1].len());
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
     }

@@ -118,10 +118,7 @@ pub struct Outcome {
 /// Runs Phase 1 against a fresh MANUAL deployment of the scenario and
 /// returns the gathered input (the starting point of every
 /// reconfiguring approach).
-pub fn profile_and_gather(
-    scenario: &Scenario,
-    cfg: &RunConfig,
-) -> (Placement, AllocationInput) {
+pub fn profile_and_gather(scenario: &Scenario, cfg: &RunConfig) -> (Placement, AllocationInput) {
     let placement = manual(scenario, cfg.seed);
     let mut d = deploy(scenario, &placement);
     d.run_for(cfg.warmup);
@@ -213,21 +210,15 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
                 .map(|b| (b.id, SubscriptionProfile::new()))
                 .collect();
             for (i, sub) in scenario.subs.iter().enumerate() {
-                if let Some(entry) =
-                    input.subscriptions.iter().find(|e| e.id == sub.id)
-                {
+                if let Some(entry) = input.subscriptions.iter().find(|e| e.id == sub.id) {
                     locals
                         .get_mut(&placement.subscriber_homes[i])
                         .expect("home broker")
                         .or_assign(&entry.profile);
                 }
             }
-            let tree = InterestTree::new(
-                locals.into_iter().collect(),
-                &placement.spec.edges,
-            );
-            let homes =
-                place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load());
+            let tree = InterestTree::new(locals.into_iter().collect(), &placement.spec.edges);
+            let homes = place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load());
             for (i, home) in placement.publisher_homes.iter_mut().enumerate() {
                 if let Some(b) = homes.get(&AdvId::new(i as u64 + 1)) {
                     *home = *b;

@@ -156,7 +156,9 @@ pub fn scinet_custom(
     let subs = generate(&stocks, &counts, seed ^ 0x5c1e);
     Scenario {
         name: format!("scinet-{brokers}"),
-        brokers: (0..brokers as u64).map(|i| broker(i, FULL_BANDWIDTH)).collect(),
+        brokers: (0..brokers as u64)
+            .map(|i| broker(i, FULL_BANDWIDTH))
+            .collect(),
         stocks,
         publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
         subs,
@@ -177,7 +179,9 @@ pub fn every_broker_subscribes(brokers: usize, seed: u64) -> Scenario {
     }
     Scenario {
         name: format!("every-broker-subscribes-{brokers}"),
-        brokers: (0..brokers as u64).map(|i| broker(i, FULL_BANDWIDTH)).collect(),
+        brokers: (0..brokers as u64)
+            .map(|i| broker(i, FULL_BANDWIDTH))
+            .collect(),
         stocks,
         publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
         subs,
@@ -204,8 +208,11 @@ mod tests {
     fn heterogeneous_capacity_tiers() {
         let s = heterogeneous(200, 2);
         assert_eq!(s.broker_count(), 80);
-        let full =
-            s.brokers.iter().filter(|b| b.out_bandwidth == FULL_BANDWIDTH).count();
+        let full = s
+            .brokers
+            .iter()
+            .filter(|b| b.out_bandwidth == FULL_BANDWIDTH)
+            .count();
         let half = s
             .brokers
             .iter()

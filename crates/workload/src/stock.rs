@@ -79,8 +79,7 @@ impl StockSeries {
             let low = (open.min(close) - spread * rng.gen_range(0.0..1.0)).max(0.01);
             // Volume bursts on big moves.
             let burst = 1.0 + 8.0 * ((close - open).abs() / open);
-            let volume =
-                ((base_volume as f64) * burst * rng.gen_range(0.5..2.0)) as i64;
+            let volume = ((base_volume as f64) * burst * rng.gen_range(0.5..2.0)) as i64;
             let year = 96 + (d / 252) % 30;
             let date = format!("{}-{}-{}", 1 + d % 28, MONTHS[(d / 28) % 12], year);
             out.push(DailyQuote {
@@ -163,9 +162,9 @@ fn round3(x: f64) -> f64 {
 /// A default symbol universe (real tickers, synthetic data).
 pub fn symbols(n: usize) -> Vec<String> {
     const BASE: [&str; 24] = [
-        "YHOO", "GOOG", "MSFT", "IBM", "AAPL", "ORCL", "INTC", "CSCO", "DELL", "HPQ",
-        "SUNW", "AMZN", "EBAY", "TXN", "AMD", "NVDA", "QCOM", "MOT", "NOK", "SAP",
-        "ADBE", "EMC", "JNPR", "RHAT",
+        "YHOO", "GOOG", "MSFT", "IBM", "AAPL", "ORCL", "INTC", "CSCO", "DELL", "HPQ", "SUNW",
+        "AMZN", "EBAY", "TXN", "AMD", "NVDA", "QCOM", "MOT", "NOK", "SAP", "ADBE", "EMC", "JNPR",
+        "RHAT",
     ];
     (0..n)
         .map(|i| {

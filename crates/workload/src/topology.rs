@@ -27,7 +27,10 @@ pub struct Placement {
 
 /// LAN link used in all cluster deployments.
 pub fn cluster_link() -> LinkSpec {
-    LinkSpec { latency: SimDuration::from_micros(500), bandwidth: None }
+    LinkSpec {
+        latency: SimDuration::from_micros(500),
+        bandwidth: None,
+    }
 }
 
 /// The MANUAL baseline: fan-out-2 tree over the full broker pool.
@@ -41,7 +44,9 @@ pub fn manual(scenario: &Scenario, seed: u64) -> Placement {
     // homogeneous pool this is the identity order).
     let mut brokers: Vec<BrokerConfig> = scenario.brokers.clone();
     brokers.sort_by(|a, b| {
-        b.out_bandwidth.total_cmp(&a.out_bandwidth).then(a.id.cmp(&b.id))
+        b.out_bandwidth
+            .total_cmp(&a.out_bandwidth)
+            .then(a.id.cmp(&b.id))
     });
     let edges: Vec<(BrokerId, BrokerId)> = (1..brokers.len())
         .map(|i| (brokers[(i - 1) / 2].id, brokers[i].id))
@@ -77,7 +82,11 @@ pub fn manual(scenario: &Scenario, seed: u64) -> Placement {
     };
 
     Placement {
-        spec: TopologySpec { brokers, edges, link: cluster_link() },
+        spec: TopologySpec {
+            brokers,
+            edges,
+            link: cluster_link(),
+        },
         publisher_homes,
         subscriber_homes,
     }
@@ -98,7 +107,11 @@ pub fn automatic(scenario: &Scenario, seed: u64) -> Placement {
         .map(|_| brokers[rng.gen_range(0..brokers.len())].id)
         .collect();
     Placement {
-        spec: TopologySpec { brokers, edges, link: cluster_link() },
+        spec: TopologySpec {
+            brokers,
+            edges,
+            link: cluster_link(),
+        },
         publisher_homes,
         subscriber_homes,
     }
@@ -112,8 +125,11 @@ pub fn automatic(scenario: &Scenario, seed: u64) -> Placement {
 pub fn from_plan(scenario: &Scenario, plan: &ReconfigurationPlan) -> Placement {
     let by_id: BTreeMap<BrokerId, &BrokerConfig> =
         scenario.brokers.iter().map(|b| (b.id, b)).collect();
-    let brokers: Vec<BrokerConfig> =
-        plan.overlay.nodes().map(|n| by_id[&n.broker].clone()).collect();
+    let brokers: Vec<BrokerConfig> = plan
+        .overlay
+        .nodes()
+        .map(|n| by_id[&n.broker].clone())
+        .collect();
     let edges: Vec<(BrokerId, BrokerId)> = plan.overlay.edges().collect();
     let publisher_homes: Vec<BrokerId> = (0..scenario.publisher_count())
         .map(|i| {
@@ -130,7 +146,11 @@ pub fn from_plan(scenario: &Scenario, plan: &ReconfigurationPlan) -> Placement {
         .map(|s| plan.subscription_homes[&s.id])
         .collect();
     Placement {
-        spec: TopologySpec { brokers, edges, link: cluster_link() },
+        spec: TopologySpec {
+            brokers,
+            edges,
+            link: cluster_link(),
+        },
         publisher_homes,
         subscriber_homes,
     }
@@ -143,8 +163,11 @@ pub fn from_allocation(scenario: &Scenario, alloc: &Allocation, seed: u64) -> Pl
     let mut rng = StdRng::seed_from_u64(seed);
     let by_id: BTreeMap<BrokerId, &BrokerConfig> =
         scenario.brokers.iter().map(|b| (b.id, b)).collect();
-    let brokers: Vec<BrokerConfig> =
-        alloc.loads.iter().map(|l| by_id[&l.broker].clone()).collect();
+    let brokers: Vec<BrokerConfig> = alloc
+        .loads
+        .iter()
+        .map(|l| by_id[&l.broker].clone())
+        .collect();
     let edges: Vec<(BrokerId, BrokerId)> = (1..brokers.len())
         .map(|i| (brokers[rng.gen_range(0..i)].id, brokers[i].id))
         .collect();
@@ -158,7 +181,11 @@ pub fn from_allocation(scenario: &Scenario, alloc: &Allocation, seed: u64) -> Pl
         }
     }
     Placement {
-        spec: TopologySpec { brokers, edges, link: cluster_link() },
+        spec: TopologySpec {
+            brokers,
+            edges,
+            link: cluster_link(),
+        },
         publisher_homes,
         subscriber_homes,
     }

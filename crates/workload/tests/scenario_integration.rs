@@ -7,9 +7,7 @@ use greenps_core::pairwise::pairwise_n;
 use greenps_profile::ClosenessMetric;
 use greenps_simnet::SimDuration;
 use greenps_workload::runner::{profile_and_gather, RunConfig};
-use greenps_workload::{
-    deploy, every_broker_subscribes, from_allocation, heterogeneous, manual,
-};
+use greenps_workload::{deploy, every_broker_subscribes, from_allocation, heterogeneous, manual};
 
 fn cfg(seed: u64) -> RunConfig {
     RunConfig {
@@ -37,8 +35,7 @@ fn adversarial_scenario_gathers_identical_profiles() {
     let (_, input) = profile_and_gather(&scenario, &cfg(82));
     assert_eq!(input.subscriptions.len(), 10);
     // All subscriptions sink the identical publication set: one GIF.
-    let (_, stats) =
-        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    let (_, stats) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
     assert_eq!(stats.initial_gifs, 1, "identical interests form one GIF");
 }
 

@@ -26,7 +26,10 @@ fn main() {
     };
 
     // Baseline: MANUAL fan-out-2 tree.
-    println!("deploying MANUAL baseline ({} brokers)…", scenario.broker_count());
+    println!(
+        "deploying MANUAL baseline ({} brokers)…",
+        scenario.broker_count()
+    );
     let placement = manual(&scenario, cfg.seed);
     let mut baseline = deploy(&scenario, &placement);
     baseline.run_for(cfg.warmup);
@@ -43,7 +46,11 @@ fn main() {
         input.publishers.len()
     );
     let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
-    println!("CRAM allocated {} brokers; overlay:\n{}", plan.broker_count(), plan.overlay);
+    println!(
+        "CRAM allocated {} brokers; overlay:\n{}",
+        plan.broker_count(),
+        plan.overlay
+    );
 
     // Redeploy per the plan and measure again.
     let placement = from_plan(&scenario, &plan);

@@ -8,9 +8,9 @@
 
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
+use greenps::workload::heterogeneous;
 use greenps::workload::report::outcome_table;
 use greenps::workload::runner::{run_approach, Approach, RunConfig};
-use greenps::workload::heterogeneous;
 
 fn main() {
     let scenario = heterogeneous(50, 7);

@@ -32,10 +32,16 @@ fn main() {
     };
     let manual = run_approach(&scenario, Approach::Manual, &cfg);
     let cram = run_approach(&scenario, Approach::Cram(ClosenessMetric::Ios), &cfg);
-    print!("{}", outcome_table(&[manual.clone(), cram.clone()]).render());
+    print!(
+        "{}",
+        outcome_table(&[manual.clone(), cram.clone()]).render()
+    );
     println!(
         "\nbroker reduction: {:.1}%   message-rate reduction: {:.1}%",
-        reduction_pct(manual.allocated_brokers as f64, cram.allocated_brokers as f64),
+        reduction_pct(
+            manual.allocated_brokers as f64,
+            cram.allocated_brokers as f64
+        ),
         reduction_pct(
             manual.metrics.avg_broker_msg_rate,
             cram.metrics.avg_broker_msg_rate

@@ -32,7 +32,7 @@ fn main() {
     // Spawn the overlay live.
     let brokers: Vec<_> = plan.overlay.nodes().map(|n| n.broker).collect();
     let edges: Vec<_> = plan.overlay.edges().collect();
-    let mut net = LiveNet::start(&brokers, &edges);
+    let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
     std::thread::sleep(Duration::from_millis(50));
 
     // Publishers at their GRAPE homes; subscribers at their allocated
@@ -40,9 +40,17 @@ fn main() {
     let mut publishers = Vec::new();
     for (i, stock) in scenario.stocks.iter().enumerate() {
         let adv = AdvId::new(i as u64 + 1);
-        let home = plan.publisher_homes.get(&adv).copied().unwrap_or(plan.overlay.root());
+        let home = plan
+            .publisher_homes
+            .get(&adv)
+            .copied()
+            .unwrap_or(plan.overlay.root());
         publishers.push((
-            net.publisher(home, Advertisement::new(adv, stock_advertisement(&stock.symbol))),
+            net.publisher(
+                home,
+                Advertisement::new(adv, stock_advertisement(&stock.symbol)),
+            )
+            .expect("attach publisher"),
             stock.clone(),
         ));
     }
@@ -50,7 +58,10 @@ fn main() {
     let mut inboxes = Vec::new();
     for sub in scenario.subs.iter().take(50) {
         let home = plan.subscription_homes[&sub.id];
-        inboxes.push(net.subscriber(home, Subscription::new(sub.id, sub.filter.clone())));
+        inboxes.push(
+            net.subscriber(home, Subscription::new(sub.id, sub.filter.clone()))
+                .expect("attach subscriber"),
+        );
     }
     std::thread::sleep(Duration::from_millis(100));
 
@@ -68,7 +79,7 @@ fn main() {
             delivered += 1;
         }
     }
-    let stats = net.shutdown();
+    let stats = net.shutdown().expect("clean shutdown");
     let forwarded: u64 = stats.values().map(|s| s.msgs_out).sum();
     println!(
         "delivered {delivered} publications to 50 live subscribers \

@@ -69,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(stats) = &plan.cram_stats {
         println!(
             "CRAM: {} GIFs from {} subscriptions, {} merges, {} closeness computations",
-            stats.initial_gifs,
-            stats.subscriptions,
-            stats.merges,
-            stats.closeness_computations
+            stats.initial_gifs, stats.subscriptions, stats.merges, stats.closeness_computations
         );
     }
     println!("\noverlay tree (root first):\n{}", plan.overlay);

@@ -6,6 +6,9 @@
 //! See the README for a quickstart and `DESIGN.md` for the system
 //! inventory.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use greenps_broker as broker;
 pub use greenps_core as core;
 pub use greenps_profile as profile;

@@ -3,14 +3,10 @@
 //! random workloads.
 
 use greenps::core::cram::{cram, CramConfig};
-use greenps::core::model::{
-    AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry,
-};
+use greenps::core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
 use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps::core::sorting::{bin_packing, fbf};
-use greenps::profile::{
-    ClosenessMetric, PublisherProfile, PublisherTable, SubscriptionProfile,
-};
+use greenps::profile::{ClosenessMetric, PublisherProfile, PublisherTable, SubscriptionProfile};
 use greenps::pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
 use greenps::pubsub::Filter;
 use proptest::prelude::*;
@@ -20,7 +16,10 @@ const WINDOW: u64 = 128;
 fn arb_profile() -> impl Strategy<Value = SubscriptionProfile> {
     // 1–2 publishers, each with a random subset of the window.
     proptest::collection::vec(
-        (1u64..=3, proptest::collection::btree_set(0u64..WINDOW, 1..64)),
+        (
+            1u64..=3,
+            proptest::collection::btree_set(0u64..WINDOW, 1..64),
+        ),
         1..3,
     )
     .prop_map(|vecs| {
@@ -43,12 +42,7 @@ fn arb_input() -> impl Strategy<Value = AllocationInput> {
         .prop_map(|(profiles, brokers, bw)| {
             let publishers: PublisherTable = (1..=3)
                 .map(|a| {
-                    PublisherProfile::new(
-                        AdvId::new(a),
-                        30.0,
-                        30_000.0,
-                        MsgId::new(WINDOW - 1),
-                    )
+                    PublisherProfile::new(AdvId::new(a), 30.0, 30_000.0, MsgId::new(WINDOW - 1))
                 })
                 .collect();
             AllocationInput {
@@ -65,9 +59,7 @@ fn arb_input() -> impl Strategy<Value = AllocationInput> {
                 subscriptions: profiles
                     .into_iter()
                     .enumerate()
-                    .map(|(i, p)| {
-                        SubscriptionEntry::new(SubId::new(i as u64), Filter::new(), p)
-                    })
+                    .map(|(i, p)| SubscriptionEntry::new(SubId::new(i as u64), Filter::new(), p))
                     .collect(),
                 publishers,
             }

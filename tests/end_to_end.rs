@@ -40,7 +40,11 @@ fn three_phase_pipeline_preserves_traffic_and_reduces_brokers() {
 
     // Phases 2–3 + GRAPE.
     let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
-    assert!(plan.broker_count() < 20, "brokers reduced: {}", plan.broker_count());
+    assert!(
+        plan.broker_count() < 20,
+        "brokers reduced: {}",
+        plan.broker_count()
+    );
     assert_eq!(plan.subscription_homes.len(), 160);
 
     // Redeploy and verify traffic still flows at the same delivery rate.

@@ -26,7 +26,10 @@ fn e1_core_all_algorithms_allocate_same_subscriptions() {
         assert_eq!(alloc.sub_count(), 200, "{metric}");
         assert!(alloc.broker_count() <= bp.broker_count(), "{metric}");
         assert!(alloc.broker_count() < manual_brokers, "{metric}");
-        assert!(stats.initial_gifs < stats.subscriptions, "{metric}: GIFs group");
+        assert!(
+            stats.initial_gifs < stats.subscriptions,
+            "{metric}: GIFs group"
+        );
     }
     let pk = pairwise_k(&input, 10, 71);
     assert_eq!(pk.allocation.sub_count(), 200);
@@ -47,8 +50,16 @@ fn e4_core_heterogeneous_prefers_big_brokers() {
         .iter()
         .max_by(|a, b| a.out_bw_used.total_cmp(&b.out_bw_used))
         .unwrap();
-    let spec = input.brokers.iter().find(|b| b.id == busiest.broker).unwrap();
-    let max_bw = input.brokers.iter().map(|b| b.out_bandwidth).fold(0.0, f64::max);
+    let spec = input
+        .brokers
+        .iter()
+        .find(|b| b.id == busiest.broker)
+        .unwrap();
+    let max_bw = input
+        .brokers
+        .iter()
+        .map(|b| b.out_bandwidth)
+        .fold(0.0, f64::max);
     assert_eq!(spec.out_bandwidth, max_bw, "heaviest load on a full broker");
 }
 
@@ -57,7 +68,11 @@ fn e5_core_scales_to_hundreds_of_brokers() {
     let scenario = scinet_custom(120, 10, 20, 73);
     let input = ideal_input(&scenario);
     let p = plan(&input, &PlanConfig::cram(ClosenessMetric::Iou)).unwrap();
-    assert!(p.broker_count() < 120 / 2, "collapses the pool: {}", p.broker_count());
+    assert!(
+        p.broker_count() < 120 / 2,
+        "collapses the pool: {}",
+        p.broker_count()
+    );
     p.overlay.check_tree();
 }
 
@@ -68,13 +83,21 @@ fn e8_core_pruning_cuts_computations_at_scale() {
     let input = ideal_input(&scenario);
     let pruned = cram(
         &input,
-        CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: true },
+        CramConfig {
+            metric: ClosenessMetric::Ios,
+            one_to_many: true,
+            poset_pruning: true,
+        },
     )
     .unwrap()
     .1;
     let full = cram(
         &input,
-        CramConfig { metric: ClosenessMetric::Ios, one_to_many: true, poset_pruning: false },
+        CramConfig {
+            metric: ClosenessMetric::Ios,
+            one_to_many: true,
+            poset_pruning: false,
+        },
     )
     .unwrap()
     .1;

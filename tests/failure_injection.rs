@@ -39,7 +39,12 @@ fn broker_death_starves_its_subtree_only() {
 
     let count = |d: &Deployment, ids: &[ClientId]| -> u64 {
         ids.iter()
-            .map(|c| d.net.node_as::<SubscriberClient>(d.subscribers[c]).unwrap().deliveries())
+            .map(|c| {
+                d.net
+                    .node_as::<SubscriberClient>(d.subscribers[c])
+                    .unwrap()
+                    .deliveries()
+            })
             .sum()
     };
     let victims_before = count(&d, &victims);
@@ -59,7 +64,10 @@ fn broker_death_starves_its_subtree_only() {
         survivors_after > survivors_mid,
         "survivors stalled: {survivors_mid} -> {survivors_after}"
     );
-    assert!(d.net.dropped() > 0, "messages to the dead broker are dropped");
+    assert!(
+        d.net.dropped() > 0,
+        "messages to the dead broker are dropped"
+    );
 }
 
 #[test]

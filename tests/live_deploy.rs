@@ -20,15 +20,23 @@ fn plan_runs_on_live_threads() {
 
     let brokers: Vec<_> = plan.overlay.nodes().map(|n| n.broker).collect();
     let edges: Vec<_> = plan.overlay.edges().collect();
-    let mut net = LiveNet::start(&brokers, &edges);
+    let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
     std::thread::sleep(Duration::from_millis(30));
 
     // One publisher (the first stock) at its GRAPE home.
     let stock = &scenario.stocks[0];
     let adv = AdvId::new(1);
-    let home = plan.publisher_homes.get(&adv).copied().unwrap_or(plan.overlay.root());
-    let publisher =
-        net.publisher(home, Advertisement::new(adv, stock_advertisement(&stock.symbol)));
+    let home = plan
+        .publisher_homes
+        .get(&adv)
+        .copied()
+        .unwrap_or(plan.overlay.root());
+    let publisher = net
+        .publisher(
+            home,
+            Advertisement::new(adv, stock_advertisement(&stock.symbol)),
+        )
+        .expect("attach publisher");
     std::thread::sleep(Duration::from_millis(30));
 
     // Subscribers that follow stock 0, at their planned homes.
@@ -36,14 +44,19 @@ fn plan_runs_on_live_threads() {
     let mut expected = Vec::new();
     for sub in scenario.subs.iter().filter(|s| s.publisher_index == 0) {
         let home = plan.subscription_homes[&sub.id];
-        inboxes.push(net.subscriber(home, Subscription::new(sub.id, sub.filter.clone())));
+        inboxes.push(
+            net.subscriber(home, Subscription::new(sub.id, sub.filter.clone()))
+                .expect("attach subscriber"),
+        );
         expected.push(sub.filter.clone());
     }
     assert!(!inboxes.is_empty());
     std::thread::sleep(Duration::from_millis(80));
 
     // Publish 30 quotes and compare against the oracle per subscriber.
-    let pubs: Vec<_> = (0..30).map(|m| stock.publication(adv, MsgId::new(m))).collect();
+    let pubs: Vec<_> = (0..30)
+        .map(|m| stock.publication(adv, MsgId::new(m)))
+        .collect();
     for p in &pubs {
         publisher.publish(p.clone());
     }
@@ -57,5 +70,5 @@ fn plan_runs_on_live_threads() {
         }
         assert_eq!(got, oracle, "live deliveries for {filter}");
     }
-    net.shutdown();
+    net.shutdown().expect("clean shutdown");
 }

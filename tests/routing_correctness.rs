@@ -33,10 +33,12 @@ fn deliveries_match_offline_oracle() {
         let matching = (0..published[sub.publisher_index])
             .filter(|&m| sub.filter.matches(&stock.publication(adv, MsgId::new(m))))
             .count() as i64;
-        let node = d.subscribers[&greenps::pubsub::ids::ClientId::new(
-            2_000_000 + sub.id.raw(),
-        )];
-        let got = d.net.node_as::<SubscriberClient>(node).unwrap().deliveries() as i64;
+        let node = d.subscribers[&greenps::pubsub::ids::ClientId::new(2_000_000 + sub.id.raw())];
+        let got = d
+            .net
+            .node_as::<SubscriberClient>(node)
+            .unwrap()
+            .deliveries() as i64;
         assert!(
             (matching - got) <= 3 && got <= matching,
             "sub {i} ({}): delivered {got}, oracle {matching}",

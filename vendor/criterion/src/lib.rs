@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset used by `crates/bench`: each benchmark
+//! closure is run for a small, fixed number of timed iterations and a
+//! mean wall-clock time is printed. There is no statistical analysis,
+//! warm-up calibration, or HTML report — the goal is that `cargo bench`
+//! compiles, runs every benchmark body, and emits comparable numbers,
+//! entirely without network access. Swap this vendor crate for upstream
+//! criterion to get real measurements; call sites will not change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `fbf/100`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Builds `<function>/<parameter>`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            repr: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / iters as u32
+    };
+    println!("bench {label:<48} {per_iter:>12.2?}/iter ({iters} iters)");
+}
+
+/// Entry point passed to every `criterion_group!` function.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.iters, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.iters, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut calls = 0u64;
+        let mut c = Criterion::default();
+        c.bench_function("t", |b| b.iter(|| calls += 1));
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut seen = Vec::new();
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+            seen.push(x);
+        });
+        g.finish();
+        assert_eq!(seen, vec![7]);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("fbf", 100).to_string(), "fbf/100");
+        assert_eq!(BenchmarkId::from_parameter("island").to_string(), "island");
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty impls of the stub `serde::Serialize` /
+//! `serde::Deserialize` marker traits. Handles plain structs/enums and
+//! simple generic parameter lists; `#[serde(...)]` attributes are
+//! accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item: its name plus generic pieces.
+struct Item {
+    name: String,
+    /// Full generic parameter list with bounds, e.g. `K: Ord, V`.
+    impl_generics: String,
+    /// Parameter names only, e.g. `K, V`.
+    ty_generics: String,
+}
+
+fn parse_item(input: TokenStream) -> Option<Item> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility until `struct`/`enum`/`union`.
+    loop {
+        match iter.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+                // `pub`, `pub(crate)` group is consumed on its own.
+            }
+            _ => {}
+        }
+    }
+    let name = match iter.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+
+    // Optional generic parameter list.
+    let mut impl_generics = String::new();
+    let mut ty_generics = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut tokens: Vec<TokenTree> = Vec::new();
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            tokens.push(tt);
+        }
+        impl_generics = tokens
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        ty_generics = type_parameter_names(&tokens).join(", ");
+    }
+    Some(Item {
+        name,
+        impl_generics,
+        ty_generics,
+    })
+}
+
+/// Extracts just the parameter names (lifetimes, types, consts) from a
+/// generic parameter token list.
+fn type_parameter_names(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    let mut at_param_start = true;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => at_param_start = true,
+                '\'' if depth == 0 && at_param_start => {
+                    if let Some(TokenTree::Ident(id)) = tokens.get(i + 1) {
+                        names.push(format!("'{id}"));
+                        at_param_start = false;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 && at_param_start => {
+                let s = id.to_string();
+                if s == "const" {
+                    // `const N: usize` — the next ident is the name.
+                    if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                        names.push(n.to_string());
+                        i += 1;
+                    }
+                } else {
+                    names.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    names
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let Some(item) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let mut impl_params = String::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push_str(lt);
+    }
+    if !item.impl_generics.is_empty() {
+        if !impl_params.is_empty() {
+            impl_params.push_str(", ");
+        }
+        impl_params.push_str(&item.impl_generics);
+    }
+    let for_ty = if item.ty_generics.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, item.ty_generics)
+    };
+    let code = if impl_params.is_empty() {
+        format!("impl {trait_path} for {for_ty} {{}}")
+    } else {
+        format!("impl<{impl_params}> {trait_path} for {for_ty} {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize", None)
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
+
+// Silence an unused warning for Delimiter, kept for future use in
+// attribute filtering.
+#[allow(dead_code)]
+fn _unused(d: Delimiter) -> Delimiter {
+    d
+}
