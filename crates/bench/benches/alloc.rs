@@ -4,16 +4,25 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use greenps_bench::ideal_input;
-use greenps_core::cram::{cram, CramConfig};
+use greenps_core::cram::CramBuilder;
 use greenps_core::model::AllocationInput;
 use greenps_core::sorting::{bin_packing, fbf};
 use greenps_profile::ClosenessMetric;
-use greenps_workload::homogeneous;
+use greenps_workload::{ScenarioBuilder, Topology};
+
+fn homogeneous_input(total_subs: usize, seed: u64) -> AllocationInput {
+    ideal_input(
+        &ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(total_subs)
+            .seed(seed)
+            .build(),
+    )
+}
 
 fn inputs() -> Vec<(usize, AllocationInput)> {
     [500usize, 1000]
         .iter()
-        .map(|&n| (n, ideal_input(&homogeneous(n, 14))))
+        .map(|&n| (n, homogeneous_input(n, 14)))
         .collect()
 }
 
@@ -33,7 +42,7 @@ fn bench_sorting(c: &mut Criterion) {
 }
 
 fn bench_cram(c: &mut Criterion) {
-    let input = ideal_input(&homogeneous(500, 15));
+    let input = homogeneous_input(500, 15);
     let mut group = c.benchmark_group("alloc/cram");
     group.sample_size(10);
     for metric in [ClosenessMetric::Ios, ClosenessMetric::Xor] {
@@ -42,7 +51,7 @@ fn bench_cram(c: &mut Criterion) {
             &metric,
             |b, &metric| {
                 b.iter(|| {
-                    let (alloc, _) = cram(&input, CramConfig::with_metric(metric)).unwrap();
+                    let (alloc, _) = CramBuilder::new(metric).run(&input).unwrap();
                     black_box(alloc.broker_count())
                 });
             },

@@ -1,13 +1,21 @@
 //! Benchmarks of the four closeness metrics over realistic profiles
-//! (the hot loop of CRAM's partner search).
+//! (the hot loop of CRAM's partner search), plus the shared
+//! `pair_cardinalities` popcount kernel that all four route through.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use greenps_bench::ideal_input;
 use greenps_profile::ClosenessMetric;
-use greenps_workload::homogeneous;
+use greenps_workload::{Scenario, ScenarioBuilder, Topology};
+
+fn homogeneous_scenario(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 fn bench_metrics(c: &mut Criterion) {
-    let mut scenario = homogeneous(400, 11);
+    let mut scenario = homogeneous_scenario(400, 11);
     scenario.brokers.truncate(8);
     let input = ideal_input(&scenario);
     let profiles: Vec<_> = input.subscriptions.iter().map(|s| &s.profile).collect();
@@ -30,8 +38,38 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel(c: &mut Criterion) {
+    let mut scenario = homogeneous_scenario(400, 11);
+    scenario.brokers.truncate(8);
+    let input = ideal_input(&scenario);
+    let profiles: Vec<_> = input.subscriptions.iter().map(|s| &s.profile).collect();
+    // One batch popcount pass yields all four cardinalities; compare
+    // against four separate metric evaluations of the same pair.
+    let mut group = c.benchmark_group("closeness/kernel");
+    group.bench_function("pair_cardinalities", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = profiles[i % profiles.len()];
+            let z = profiles[(i * 31 + 7) % profiles.len()];
+            i += 1;
+            black_box(a.pair_cardinalities(z))
+        });
+    });
+    group.bench_function("all_metrics_from_kernel", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = profiles[i % profiles.len()];
+            let z = profiles[(i * 31 + 7) % profiles.len()];
+            i += 1;
+            let total: f64 = ClosenessMetric::ALL.iter().map(|m| m.closeness(a, z)).sum();
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
 fn bench_relationship(c: &mut Criterion) {
-    let mut scenario = homogeneous(400, 12);
+    let mut scenario = homogeneous_scenario(400, 12);
     scenario.brokers.truncate(8);
     let input = ideal_input(&scenario);
     let profiles: Vec<_> = input.subscriptions.iter().map(|s| &s.profile).collect();
@@ -46,5 +84,5 @@ fn bench_relationship(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_metrics, bench_relationship);
+criterion_group!(benches, bench_metrics, bench_kernel, bench_relationship);
 criterion_main!(benches);

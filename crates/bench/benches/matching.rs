@@ -4,10 +4,17 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use greenps_pubsub::ids::{AdvId, MsgId, SubId};
 use greenps_pubsub::matching::{CountingMatcher, Matcher, NaiveMatcher};
-use greenps_workload::{homogeneous, StockSeries};
+use greenps_workload::{Scenario, ScenarioBuilder, StockSeries, Topology};
+
+fn homogeneous_scenario(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 fn bench_matchers(c: &mut Criterion) {
-    let scenario = homogeneous(4000, 16);
+    let scenario = homogeneous_scenario(4000, 16);
     let stock: &StockSeries = &scenario.stocks[0];
     let publication = stock.publication(AdvId::new(1), MsgId::new(17));
 
@@ -30,7 +37,7 @@ fn bench_matchers(c: &mut Criterion) {
 }
 
 fn bench_insert_remove(c: &mut Criterion) {
-    let scenario = homogeneous(2000, 17);
+    let scenario = homogeneous_scenario(2000, 17);
     c.bench_function("matching/insert_remove", |b| {
         let mut m = CountingMatcher::new();
         for sub in &scenario.subs {

@@ -3,16 +3,24 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use greenps_bench::ideal_input;
-use greenps_core::cram::{cram, CramConfig};
+use greenps_core::cram::{CramBuilder, CramConfig};
 use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
 use greenps_core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps_profile::ClosenessMetric;
-use greenps_workload::homogeneous;
+use greenps_workload::{ScenarioBuilder, Topology};
+
+fn homogeneous_scenario(total_subs: usize, seed: u64) -> greenps_workload::Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 fn bench_overlay(c: &mut Criterion) {
-    let input = ideal_input(&homogeneous(1000, 18));
-    let (leaf, _) =
-        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf alloc");
+    let input = ideal_input(&homogeneous_scenario(1000, 18));
+    let (leaf, _) = CramBuilder::new(ClosenessMetric::Ios)
+        .run(&input)
+        .expect("leaf alloc");
     let mut group = c.benchmark_group("overlay");
     group.sample_size(10);
     group.bench_function("build_binpacking", |b| {
@@ -29,9 +37,10 @@ fn bench_overlay(c: &mut Criterion) {
 }
 
 fn bench_grape(c: &mut Criterion) {
-    let input = ideal_input(&homogeneous(1000, 19));
-    let (leaf, _) =
-        cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf alloc");
+    let input = ideal_input(&homogeneous_scenario(1000, 19));
+    let (leaf, _) = CramBuilder::new(ClosenessMetric::Ios)
+        .run(&input)
+        .expect("leaf alloc");
     let overlay = build_overlay(
         &input,
         &leaf,

@@ -4,11 +4,14 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use greenps_bench::ideal_input;
 use greenps_profile::{Poset, SubscriptionProfile};
-use greenps_workload::homogeneous;
+use greenps_workload::{ScenarioBuilder, Topology};
 use std::collections::BTreeSet;
 
 fn unique_profiles(subs: usize) -> Vec<SubscriptionProfile> {
-    let mut scenario = homogeneous(subs, 13);
+    let mut scenario = ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(subs)
+        .seed(13)
+        .build();
     scenario.brokers.truncate(8);
     let input = ideal_input(&scenario);
     let set: BTreeSet<SubscriptionProfile> =

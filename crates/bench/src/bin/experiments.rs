@@ -1,28 +1,63 @@
 //! Regenerates every figure/table of the evaluation (DESIGN.md §4).
 //!
 //! ```text
-//! experiments [--quick] [--csv <dir>] <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all>
+//! experiments [--quick] [--csv <dir>] <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>
 //! ```
 //!
 //! `--quick` shrinks the grids so the whole suite finishes in a couple
 //! of minutes; the default parameters follow the paper (80 brokers, 40
 //! publishers at 70 msg/min, 2,000–8,000 subscriptions, heterogeneous
-//! tiers, SciNet scales).
+//! tiers, SciNet scales). `bench-report` times sequential vs parallel
+//! CRAM and writes `BENCH_cram.json`.
 
 use greenps_bench::ideal_input;
-use greenps_core::cram::{cram, CramConfig};
+use greenps_core::cram::{CramBuilder, CramConfig};
 use greenps_core::croc::{plan, PlanConfig};
+use greenps_core::engine::available_threads;
 use greenps_core::model::AllocationInput;
 use greenps_core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps_core::sorting::{bin_packing, fbf};
 use greenps_profile::{ClosenessMetric, Poset};
 use greenps_workload::report::{outcome_table, reduction_pct, Table};
 use greenps_workload::runner::{run_approach, Approach, Outcome, RunConfig};
-use greenps_workload::scenario::{
-    every_broker_subscribes, heterogeneous, homogeneous, scinet_custom, Scenario,
-};
+use greenps_workload::scenario::{Scenario, ScenarioBuilder, Topology};
 use std::path::PathBuf;
 use std::time::Instant;
+
+fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
+
+fn heterogeneous(ns: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Heterogeneous)
+        .ns(ns)
+        .seed(seed)
+        .build()
+}
+
+fn scinet_custom(
+    brokers: usize,
+    publishers: usize,
+    subs_per_publisher: usize,
+    seed: u64,
+) -> Scenario {
+    ScenarioBuilder::new(Topology::Scinet)
+        .brokers(brokers)
+        .publishers(publishers)
+        .subs_per_publisher(subs_per_publisher)
+        .seed(seed)
+        .build()
+}
+
+fn every_broker_subscribes(brokers: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
+        .brokers(brokers)
+        .seed(seed)
+        .build()
+}
 
 #[derive(Clone)]
 struct Opts {
@@ -46,6 +81,23 @@ fn main() {
                 args.remove(0);
                 opts.csv = Some(PathBuf::from(dir));
             }
+            "--help" | "-h" | "help" => {
+                println!(
+                    "usage: experiments [--quick] [--csv <dir>] \
+                     <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>\n\
+                     \n\
+                     e1-e3   homogeneous cluster: msg rate, brokers, hops/delay\n\
+                     e4      heterogeneous cluster (15/25/40 capacity tiers)\n\
+                     e5      SciNet large-scale deployments\n\
+                     e6      publisher-relocation limitation + GRAPE sweep\n\
+                     e7      allocation computation time per algorithm\n\
+                     e8      CRAM search-pruning ablation, poset timing\n\
+                     e9      one-to-many + overlay optimization ablations\n\
+                     e10     bit-vector load-estimation accuracy\n\
+                     bench-report  sequential vs parallel CRAM -> BENCH_cram.json"
+                );
+                return;
+            }
             other => which.push(other.to_string()),
         }
     }
@@ -65,6 +117,7 @@ fn main() {
             "e8" => e8(&opts),
             "e9" => e9(&opts),
             "e10" => e10(&opts),
+            "bench-report" => bench_report(&opts),
             "all" => {
                 e1_e2_e3(&opts);
                 e4(&opts);
@@ -337,7 +390,8 @@ fn e7(opts: &Opts) {
         let mut times = std::collections::BTreeMap::new();
         for metric in ClosenessMetric::ALL {
             let (ms, b) = timed(&|| {
-                cram(&input, CramConfig::with_metric(metric))
+                CramBuilder::new(metric)
+                    .run(&input)
                     .map(|(a, _)| a.broker_count())
                     .unwrap_or(0)
             });
@@ -376,13 +430,11 @@ fn e8(opts: &Opts) {
         "time (ms)",
     ]);
     for (label, pruning) in [("poset-pruned", true), ("exhaustive", false)] {
-        let cfg = CramConfig {
-            metric: ClosenessMetric::Ios,
-            one_to_many: true,
-            poset_pruning: pruning,
-        };
         let t0 = Instant::now();
-        let (alloc, stats) = cram(&input, cfg).expect("cram");
+        let (alloc, stats) = CramBuilder::new(ClosenessMetric::Ios)
+            .poset_pruning(pruning)
+            .run(&input)
+            .expect("cram");
         t.row(vec![
             label.into(),
             stats.closeness_computations.to_string(),
@@ -431,12 +483,10 @@ fn e9(opts: &Opts) {
 
     let mut t = Table::new(&["variant", "merges", "one-to-many merges", "brokers"]);
     for (label, otm) in [("with one-to-many", true), ("pairwise only", false)] {
-        let cfg = CramConfig {
-            metric: ClosenessMetric::Ios,
-            one_to_many: otm,
-            poset_pruning: true,
-        };
-        let (alloc, stats) = cram(&input, cfg).expect("cram");
+        let (alloc, stats) = CramBuilder::new(ClosenessMetric::Ios)
+            .one_to_many(otm)
+            .run(&input)
+            .expect("cram");
         t.row(vec![
             label.into(),
             stats.merges.to_string(),
@@ -447,7 +497,9 @@ fn e9(opts: &Opts) {
     emit(opts, "e9", "one-to-many clustering ablation", &t);
 
     // Overlay optimization ablation over a fixed leaf allocation.
-    let (leaf, _) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).expect("leaf");
+    let (leaf, _) = CramBuilder::new(ClosenessMetric::Ios)
+        .run(&input)
+        .expect("leaf");
     let mut t = Table::new(&[
         "overlay variant",
         "total brokers",
@@ -563,4 +615,75 @@ fn e10(opts: &Opts) {
         &t,
     );
     let _ = AllocationInput::new();
+}
+
+/// `bench-report`: sequential vs parallel CRAM-INTERSECT wall time at
+/// increasing subscription counts, with the bit-identity check. Writes
+/// `BENCH_cram.json` (into `--csv <dir>` when given, else the cwd).
+fn bench_report(opts: &Opts) {
+    let sizes: &[usize] = if opts.quick {
+        &[300, 600]
+    } else {
+        &[1000, 4000, 16000]
+    };
+    // At least 4 workers so the report always exercises the sharded
+    // path; on a machine with fewer cores the parallel timing degrades
+    // toward parity and the recorded `available_parallelism` says why.
+    let threads = available_threads().clamp(4, 8);
+    let mut runs = Vec::new();
+    for &n in sizes {
+        // Larger clusters keep the bin-packing feasibility baseline
+        // satisfiable at 16k subscriptions.
+        let scenario = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(n)
+            .brokers((n / 50).max(80))
+            .seed(9)
+            .build();
+        let input = ideal_input(&scenario);
+        let t0 = Instant::now();
+        let (seq_alloc, seq_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .run(&input)
+            .expect("sequential CRAM");
+        let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let (par_alloc, par_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .threads(threads)
+            .run(&input)
+            .expect("parallel CRAM");
+        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            seq_alloc, par_alloc,
+            "parallel CRAM must produce a bit-identical allocation"
+        );
+        assert_eq!(seq_stats, par_stats, "parallel CRAM stats must match");
+        let speedup = sequential_ms / parallel_ms.max(1e-9);
+        println!(
+            "bench-report: {n} subs / {} brokers -> sequential {sequential_ms:.1} ms, \
+             parallel(x{threads}) {parallel_ms:.1} ms ({speedup:.2}x), identical allocation",
+            scenario.brokers.len()
+        );
+        runs.push(format!(
+            "    {{\"subscriptions\": {n}, \"brokers\": {}, \"threads\": {threads}, \
+             \"sequential_ms\": {sequential_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
+             \"speedup\": {speedup:.3}, \"allocated_brokers\": {}, \"merges\": {}, \
+             \"closeness_computations\": {}, \"identical\": true}}",
+            scenario.brokers.len(),
+            seq_alloc.broker_count(),
+            seq_stats.merges,
+            seq_stats.closeness_computations,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"metric\": \"INTERSECT\",\n  \"quick\": {},\n  \
+         \"available_parallelism\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        opts.quick,
+        available_threads(),
+        runs.join(",\n")
+    );
+    let path = match &opts.csv {
+        Some(dir) => dir.join("BENCH_cram.json"),
+        None => PathBuf::from("BENCH_cram.json"),
+    };
+    std::fs::write(&path, json).expect("write BENCH_cram.json");
+    println!("bench-report: wrote {}", path.display());
 }

@@ -88,11 +88,14 @@ pub fn check_input(input: &AllocationInput) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use greenps_workload::homogeneous;
+    use greenps_workload::{ScenarioBuilder, Topology};
 
     #[test]
     fn ideal_input_profiles_match_selectivity() {
-        let mut s = homogeneous(200, 3);
+        let mut s = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(200)
+            .seed(3)
+            .build();
         s.brokers.truncate(10);
         let input = ideal_input(&s);
         check_input(&input);

@@ -21,14 +21,28 @@
 //! 3. **One-to-many clustering** — before pairwise-merging two
 //!    intersecting GIFs, try clustering each GIF with a greedy
 //!    set-cover selection of its covered GIFs (the CGS).
+//!
+//! The closest-pair search — CRAM's hot loop — runs on the parallel
+//! closeness engine ([`crate::engine`]): stale GIFs are sharded across
+//! a scoped worker pool ([`CramBuilder::threads`]) that scans a frozen
+//! snapshot of the pool and pair-closeness cache, so the allocation
+//! (and every stat) is bit-identical to the sequential run for any
+//! thread count. Pair closenesses are memoized in a
+//! [`crate::engine::PairCache`] keyed by GIF-key pairs; entries are
+//! invalidated only for pairs touching a merged-away GIF — blacklisted
+//! pairs keep their entries because the underlying profiles never
+//! changed.
+//!
+//! Entry point: [`CramBuilder`].
 
 use crate::capacity::RefPacker;
+use crate::engine::{shard_map, PairCache};
 use crate::model::{AllocError, Allocation, AllocationInput, Unit};
 use crate::sorting::{bin_packing_units, units_from_input};
 use greenps_profile::{
     Closeness, ClosenessMetric, Poset, PublisherTable, Relation, SubscriptionProfile,
 };
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Key of a GIF inside the CRAM pool.
 pub(crate) type GifKey = u64;
@@ -44,16 +58,20 @@ pub struct CramConfig {
     pub one_to_many: bool,
     /// Optimization 2: poset search pruning (when the metric allows).
     pub poset_pruning: bool,
+    /// Worker threads for the closest-pair search (1 = sequential).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl CramConfig {
     /// The paper's default configuration for a metric: all optimizations
-    /// on.
+    /// on, sequential search.
     pub fn with_metric(metric: ClosenessMetric) -> Self {
         Self {
             metric,
             one_to_many: true,
             poset_pruning: true,
+            threads: 1,
         }
     }
 }
@@ -101,7 +119,11 @@ struct Gif {
 struct Pool {
     units: BTreeMap<UnitKey, Unit>,
     gifs: BTreeMap<GifKey, Gif>,
-    by_profile: HashMap<SubscriptionProfile, GifKey>,
+    /// Profile → GIF lookup. A `BTreeMap` (not `HashMap`) so that no
+    /// iteration over this table — present or future — can depend on
+    /// hash order; CRAM's determinism contract forbids hash-ordered
+    /// decisions anywhere in the merge loop.
+    by_profile: BTreeMap<SubscriptionProfile, GifKey>,
     poset: Poset<GifKey>,
     next_unit: UnitKey,
     next_gif: GifKey,
@@ -112,7 +134,7 @@ impl Pool {
         let mut pool = Pool {
             units: BTreeMap::new(),
             gifs: BTreeMap::new(),
-            by_profile: HashMap::new(),
+            by_profile: BTreeMap::new(),
             poset: Poset::new(),
             next_unit: 0,
             next_gif: 0,
@@ -183,77 +205,152 @@ impl Pool {
     }
 }
 
-/// Runs CRAM over an allocation input.
-///
-/// # Errors
-/// Fails when even the unclustered BIN PACKING allocation is
-/// infeasible, mirroring the paper's initialization step.
-pub fn cram(
-    input: &AllocationInput,
-    config: CramConfig,
-) -> Result<(Allocation, CramStats), AllocError> {
-    cram_units(input, units_from_input(input), config)
+/// The closeness measure a [`CramBuilder`] clusters with: one of the
+/// paper's metrics, or a borrowed user-supplied measure.
+enum MeasureRef<'a> {
+    Metric(ClosenessMetric),
+    Custom(&'a dyn Closeness),
 }
 
-/// Runs CRAM over prebuilt units (used recursively by Phase 3).
+/// Builder-style entry point for CRAM — the one way to run it.
 ///
-/// # Errors
-/// Fails when the initial unclustered allocation is infeasible.
-pub fn cram_units(
-    input: &AllocationInput,
-    units: Vec<Unit>,
-    config: CramConfig,
-) -> Result<(Allocation, CramStats), AllocError> {
-    cram_units_custom(
-        input,
-        units,
-        &config.metric,
-        config.one_to_many,
-        config.poset_pruning,
-    )
-}
-
-/// Runs CRAM with a user-supplied [`Closeness`] measure — the plug-in
-/// point for custom clustering heuristics. `one_to_many` and
-/// `poset_pruning` correspond to the paper's optimizations 3 and 2.
+/// Covers everything the former `cram` / `cram_units` /
+/// `cram_units_custom` trio did: a paper metric ([`CramBuilder::new`])
+/// or a custom [`Closeness`] measure ([`CramBuilder::custom`]), the
+/// O2/O3 optimization toggles, and the parallel closest-pair search
+/// ([`CramBuilder::threads`]).
 ///
-/// # Errors
-/// Fails when the initial unclustered allocation is infeasible.
-pub fn cram_units_custom(
-    input: &AllocationInput,
-    units: Vec<Unit>,
-    metric: &dyn Closeness,
+/// ```
+/// use greenps_core::cram::CramBuilder;
+/// use greenps_core::model::AllocationInput;
+/// use greenps_profile::ClosenessMetric;
+///
+/// let input = AllocationInput::new();
+/// let (alloc, stats) = CramBuilder::new(ClosenessMetric::Ios)
+///     .threads(4)
+///     .run(&input)?;
+/// assert_eq!(alloc.broker_count(), 0);
+/// assert_eq!(stats.initial_gifs, 0);
+/// # Ok::<(), greenps_core::model::AllocError>(())
+/// ```
+pub struct CramBuilder<'a> {
+    measure: MeasureRef<'a>,
     one_to_many: bool,
     poset_pruning: bool,
-) -> Result<(Allocation, CramStats), AllocError> {
-    let mut stats = CramStats {
-        subscriptions: units.iter().map(Unit::sub_count).sum(),
-        ..CramStats::default()
-    };
+    threads: usize,
+}
 
-    // Initialization: allocate without clustering; abort on failure.
-    let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone())?;
+impl<'a> CramBuilder<'a> {
+    /// CRAM with a paper metric, all optimizations on, sequential
+    /// search.
+    pub fn new(metric: ClosenessMetric) -> Self {
+        CramBuilder {
+            measure: MeasureRef::Metric(metric),
+            one_to_many: true,
+            poset_pruning: true,
+            threads: 1,
+        }
+    }
 
-    let pool = Pool::build(units);
-    stats.initial_gifs = pool.gifs.len();
-    let mut engine = Engine {
-        pool,
-        metric,
-        one_to_many,
-        poset_pruning,
-        publishers: &input.publishers,
-        brokers: &input.brokers,
-        partners: BTreeMap::new(),
-        stale: BTreeSet::new(),
-        blacklist: BTreeSet::new(),
-        stats,
-        best: baseline,
-    };
-    engine.stale.extend(engine.pool.gifs.keys().copied());
-    engine.run();
-    engine.stats.poset_relation_ops = engine.pool.poset.relation_ops();
-    engine.stats.final_units = engine.pool.units.len();
-    Ok((engine.best, engine.stats))
+    /// CRAM with a user-supplied [`Closeness`] measure — the plug-in
+    /// point for custom clustering heuristics.
+    pub fn custom(measure: &'a dyn Closeness) -> Self {
+        CramBuilder {
+            measure: MeasureRef::Custom(measure),
+            one_to_many: true,
+            poset_pruning: true,
+            threads: 1,
+        }
+    }
+
+    /// Builder from a [`CramConfig`] (the form the ablation experiments
+    /// and [`crate::overlay::AllocatorKind::Cram`] carry around).
+    pub fn from_config(config: CramConfig) -> Self {
+        CramBuilder {
+            measure: MeasureRef::Metric(config.metric),
+            one_to_many: config.one_to_many,
+            poset_pruning: config.poset_pruning,
+            threads: config.threads,
+        }
+    }
+
+    /// Toggles optimization 3 (one-to-many CGS clustering).
+    #[must_use]
+    pub fn one_to_many(mut self, on: bool) -> Self {
+        self.one_to_many = on;
+        self
+    }
+
+    /// Toggles optimization 2 (poset search pruning; only effective
+    /// when the measure supports empty-relationship pruning).
+    #[must_use]
+    pub fn poset_pruning(mut self, on: bool) -> Self {
+        self.poset_pruning = on;
+        self
+    }
+
+    /// Worker threads for the closest-pair search. The allocation and
+    /// stats are bit-identical for every value; `1` (the default) runs
+    /// fully sequentially.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Runs CRAM over an allocation input.
+    ///
+    /// # Errors
+    /// Fails when even the unclustered BIN PACKING allocation is
+    /// infeasible, mirroring the paper's initialization step.
+    pub fn run(&self, input: &AllocationInput) -> Result<(Allocation, CramStats), AllocError> {
+        self.run_units(input, units_from_input(input))
+    }
+
+    /// Runs CRAM over prebuilt units (used recursively by Phase 3).
+    ///
+    /// # Errors
+    /// Fails when the initial unclustered allocation is infeasible.
+    pub fn run_units(
+        &self,
+        input: &AllocationInput,
+        units: Vec<Unit>,
+    ) -> Result<(Allocation, CramStats), AllocError> {
+        let metric: &dyn Closeness = match &self.measure {
+            MeasureRef::Metric(m) => m,
+            MeasureRef::Custom(c) => *c,
+        };
+        let mut stats = CramStats {
+            subscriptions: units.iter().map(Unit::sub_count).sum(),
+            ..CramStats::default()
+        };
+
+        // Initialization: allocate without clustering; abort on failure.
+        let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone())?;
+
+        let pool = Pool::build(units);
+        stats.initial_gifs = pool.gifs.len();
+        let mut engine = Engine {
+            pool,
+            metric,
+            one_to_many: self.one_to_many,
+            poset_pruning: self.poset_pruning,
+            threads: self.threads,
+            publishers: &input.publishers,
+            brokers: &input.brokers,
+            partners: BTreeMap::new(),
+            stale: BTreeSet::new(),
+            blacklist: BTreeSet::new(),
+            cache: PairCache::new(),
+            stats,
+            best: baseline,
+        };
+        engine.stale.extend(engine.pool.gifs.keys().copied());
+        engine.run();
+        engine.stats.poset_relation_ops = engine.pool.poset.relation_ops();
+        engine.stats.final_units = engine.pool.units.len();
+        Ok((engine.best, engine.stats))
+    }
 }
 
 struct Engine<'a> {
@@ -261,6 +358,8 @@ struct Engine<'a> {
     metric: &'a dyn Closeness,
     one_to_many: bool,
     poset_pruning: bool,
+    /// Worker threads for the sharded partner refresh.
+    threads: usize,
     publishers: &'a PublisherTable,
     brokers: &'a [crate::model::BrokerSpec],
     /// Cached closest partner per GIF.
@@ -268,12 +367,103 @@ struct Engine<'a> {
     /// GIFs whose cached partner must be recomputed.
     stale: BTreeSet<GifKey>,
     blacklist: BTreeSet<(GifKey, GifKey)>,
+    /// Memoized pair closenesses; invalidated only for merged-away
+    /// GIFs (blacklisting leaves profiles — and hence entries — valid).
+    cache: PairCache<GifKey>,
     stats: CramStats,
     best: Allocation,
 }
 
 fn pair_key(a: GifKey, b: GifKey) -> (GifKey, GifKey) {
     (a.min(b), a.max(b))
+}
+
+/// What one partner scan produced: the best partner, the pair
+/// closenesses it had to compute (cache misses, to be merged into the
+/// shared cache afterwards), and how many measure evaluations it cost.
+struct ScanOutcome {
+    partner: Option<(GifKey, f64)>,
+    computed: Vec<(GifKey, f64)>,
+    computations: u64,
+}
+
+/// Finds the closest non-blacklisted partner of `g` against a frozen
+/// snapshot of the pool and pair cache (optimization 2 when the
+/// measure allows). A free function over shared references so
+/// [`shard_map`] workers can run it concurrently; because every worker
+/// sees the same snapshot — never another worker's fresh results — the
+/// outcome is independent of sharding, which is what makes parallel
+/// CRAM bit-identical to sequential.
+///
+/// Ties break to the lowest candidate key, matching the sequential
+/// scan order over the `BTreeMap` pool.
+fn scan_partner(
+    pool: &Pool,
+    metric: &dyn Closeness,
+    poset_pruning: bool,
+    blacklist: &BTreeSet<(GifKey, GifKey)>,
+    cache: &PairCache<GifKey>,
+    g: GifKey,
+) -> ScanOutcome {
+    let g_profile = &pool.gifs[&g].profile;
+    let mut computed: Vec<(GifKey, f64)> = Vec::new();
+    let mut computations = 0u64;
+    let mut eval = |cand: GifKey, profile: &SubscriptionProfile| -> f64 {
+        if let Some(c) = cache.get(g, cand) {
+            return c;
+        }
+        computations += 1;
+        let c = metric.closeness(g_profile, profile);
+        computed.push((cand, c));
+        c
+    };
+    let mut best: Option<(GifKey, f64)> = None;
+    let mut consider = |cand: GifKey, c: f64| {
+        if c <= 0.0 || blacklist.contains(&pair_key(g, cand)) {
+            return;
+        }
+        if cand == g && pool.gifs[&g].units.len() < 2 {
+            return;
+        }
+        match best {
+            Some((bk, bc)) if bc > c || (bc == c && bk <= cand) => {}
+            _ => best = Some((cand, c)),
+        }
+    };
+
+    if poset_pruning && metric.supports_empty_pruning() {
+        // BFS from the roots; prune empty subtrees and stop
+        // descending once closeness decreases.
+        let mut frontier: Vec<(GifKey, f64)> = pool.poset.roots().map(|r| (r, 0.0)).collect();
+        let mut visited: BTreeSet<GifKey> = BTreeSet::new();
+        let mut i = 0;
+        while i < frontier.len() {
+            let (n, parent_c) = frontier[i];
+            i += 1;
+            if !visited.insert(n) {
+                continue;
+            }
+            let n_profile = pool.poset.profile(n).expect("poset node");
+            let c = eval(n, n_profile);
+            if c == 0.0 {
+                continue; // empty relationship: prune subtree
+            }
+            consider(n, c);
+            if c >= parent_c {
+                frontier.extend(pool.poset.children(n).map(|ch| (ch, c)));
+            }
+        }
+    } else {
+        for (&cand, gif) in &pool.gifs {
+            let c = eval(cand, &gif.profile);
+            consider(cand, c);
+        }
+    }
+    ScanOutcome {
+        partner: best,
+        computed,
+        computations,
+    }
 }
 
 impl Engine<'_> {
@@ -296,16 +486,65 @@ impl Engine<'_> {
         }
     }
 
+    /// Recomputes the cached partner of every stale GIF, sharding the
+    /// scans across the worker pool. All scans read the same frozen
+    /// snapshot of pool, blacklist, and cache (snapshot semantics);
+    /// results and cache updates are merged afterwards in stale-key
+    /// order, so the outcome is identical for any thread count —
+    /// including 1, which takes the same path sequentially.
     fn refresh_partners(&mut self) {
-        let stale: Vec<GifKey> = std::mem::take(&mut self.stale).into_iter().collect();
-        for g in stale {
+        let mut stale: Vec<GifKey> = Vec::new();
+        for g in std::mem::take(&mut self.stale) {
             if self.pool.gifs.contains_key(&g) {
-                let p = self.find_partner(g);
-                self.partners.insert(g, p);
+                stale.push(g);
             } else {
                 self.partners.remove(&g);
             }
         }
+        if stale.is_empty() {
+            return;
+        }
+        let pool = &self.pool;
+        let metric = self.metric;
+        let pruning = self.poset_pruning;
+        let blacklist = &self.blacklist;
+        let cache = &self.cache;
+        // Tiny refresh batches (every post-merge revalidation) go
+        // sequential; only the large scans fan out. Same results either
+        // way per the shard_map determinism contract.
+        let threads = if stale.len() < crate::engine::MIN_PARALLEL_BATCH {
+            1
+        } else {
+            self.threads
+        };
+        let outcomes = shard_map(&stale, threads, |&g| {
+            scan_partner(pool, metric, pruning, blacklist, cache, g)
+        });
+        for (&g, out) in stale.iter().zip(outcomes) {
+            self.partners.insert(g, out.partner);
+            for (cand, c) in out.computed {
+                self.cache.insert(g, cand, c);
+            }
+            self.stats.closeness_computations += out.computations;
+        }
+    }
+
+    /// Sequential single-GIF variant of [`Engine::refresh_partners`],
+    /// used by [`Engine::global_best`] to revalidate one stale entry.
+    fn refresh_one(&mut self, g: GifKey) -> Option<(GifKey, f64)> {
+        let out = scan_partner(
+            &self.pool,
+            self.metric,
+            self.poset_pruning,
+            &self.blacklist,
+            &self.cache,
+            g,
+        );
+        for (cand, c) in out.computed {
+            self.cache.insert(g, cand, c);
+        }
+        self.stats.closeness_computations += out.computations;
+        out.partner
     }
 
     fn global_best(&mut self) -> Option<(GifKey, GifKey, f64)> {
@@ -324,7 +563,7 @@ impl Engine<'_> {
             if valid {
                 return Some(best);
             }
-            let p = self.find_partner(g);
+            let p = self.refresh_one(g);
             self.partners.insert(g, p);
             if self.partners[&g].is_none() {
                 self.partners.remove(&g);
@@ -340,59 +579,17 @@ impl Engine<'_> {
         self.metric.closeness(a, b)
     }
 
-    /// Finds the closest non-blacklisted partner of `g` (optimization 2).
-    fn find_partner(&mut self, g: GifKey) -> Option<(GifKey, f64)> {
-        let mut computations = 0u64;
-        let metric = self.metric;
-        let pool = &self.pool;
-        let blacklist = &self.blacklist;
-        let g_profile = &pool.gifs[&g].profile;
-        let mut best: Option<(GifKey, f64)> = None;
-        let mut consider = |cand: GifKey, c: f64| {
-            if c <= 0.0 || blacklist.contains(&pair_key(g, cand)) {
-                return;
-            }
-            if cand == g && pool.gifs[&g].units.len() < 2 {
-                return;
-            }
-            match best {
-                Some((bk, bc)) if bc > c || (bc == c && bk <= cand) => {}
-                _ => best = Some((cand, c)),
-            }
-        };
-
-        if self.poset_pruning && metric.supports_empty_pruning() {
-            // BFS from the roots; prune empty subtrees and stop
-            // descending once closeness decreases.
-            let mut frontier: Vec<(GifKey, f64)> = pool.poset.roots().map(|r| (r, 0.0)).collect();
-            let mut visited: BTreeSet<GifKey> = BTreeSet::new();
-            let mut i = 0;
-            while i < frontier.len() {
-                let (n, parent_c) = frontier[i];
-                i += 1;
-                if !visited.insert(n) {
-                    continue;
-                }
-                let n_profile = pool.poset.profile(n).expect("poset node");
-                computations += 1;
-                let c = metric.closeness(g_profile, n_profile);
-                if c == 0.0 {
-                    continue; // empty relationship: prune subtree
-                }
-                consider(n, c);
-                if c >= parent_c {
-                    frontier.extend(pool.poset.children(n).map(|ch| (ch, c)));
-                }
-            }
-        } else {
-            for (&cand, gif) in &pool.gifs {
-                computations += 1;
-                let c = metric.closeness(g_profile, &gif.profile);
-                consider(cand, c);
-            }
+    /// Cache-aware closeness between two live GIFs' profiles.
+    fn pair_closeness(&mut self, g: GifKey, h: GifKey) -> f64 {
+        if let Some(c) = self.cache.get(g, h) {
+            return c;
         }
-        self.stats.closeness_computations += computations;
-        best
+        self.stats.closeness_computations += 1;
+        let c = self
+            .metric
+            .closeness(&self.pool.gifs[&g].profile, &self.pool.gifs[&h].profile);
+        self.cache.insert(g, h, c);
+        c
     }
 
     /// Tests whether the pool with `removed` units replaced by `merged`
@@ -422,13 +619,17 @@ impl Engine<'_> {
     }
 
     /// Commits a merge: removes `removals` (gif, unit) pairs, inserts
-    /// the merged unit, and invalidates affected partner caches.
+    /// the merged unit, and invalidates affected partner and
+    /// pair-closeness caches. Only GIFs merged away (deleted) lose
+    /// their cache entries — a surviving GIF's profile is unchanged by
+    /// losing a unit, so its cached closenesses remain exact.
     fn commit(&mut self, removals: Vec<(GifKey, UnitKey)>, merged: Unit) {
         let mut touched: BTreeSet<GifKey> = BTreeSet::new();
         for (gk, uk) in removals {
             let (_unit, gif_deleted) = self.pool.remove_unit(gk, uk);
             if gif_deleted {
                 self.partners.remove(&gk);
+                self.cache.invalidate(gk);
                 // Any GIF whose cached partner was gk must recompute.
                 let dependents: Vec<GifKey> = self
                     .partners
@@ -622,10 +823,11 @@ impl Engine<'_> {
         }
 
         // The CGS is valid only when its closeness with the parent GIF
-        // beats the original pair's closeness.
+        // beats the original pair's closeness. The (g, h) value is a
+        // GIF pair, so it is served from (and fills) the pair cache;
+        // the CGS union is an ad-hoc profile and is measured directly.
         let g_profile = self.pool.gifs[&g].profile.clone();
-        let h_profile = self.pool.gifs[&h].profile.clone();
-        let pair_c = self.closeness(&g_profile, &h_profile);
+        let pair_c = self.pair_closeness(g, h);
         let cgs_c = self.closeness(&g_profile, &cgs_union);
         if cgs_c <= pair_c {
             return false;
@@ -691,7 +893,7 @@ mod tests {
     }
 
     fn run(input: &AllocationInput, metric: ClosenessMetric) -> (Allocation, CramStats) {
-        cram(input, CramConfig::with_metric(metric)).unwrap()
+        CramBuilder::new(metric).run(input).unwrap()
     }
 
     /// 12 identical subscriptions cluster down to a handful of brokers.
@@ -785,7 +987,9 @@ mod tests {
             subscriptions: vec![entry(0, &(0..50).collect::<Vec<_>>())],
             publishers: publishers(),
         };
-        assert!(cram(&input, CramConfig::default()).is_err());
+        assert!(CramBuilder::from_config(CramConfig::default())
+            .run(&input)
+            .is_err());
     }
 
     #[test]
@@ -795,7 +999,7 @@ mod tests {
             subscriptions: vec![],
             publishers: publishers(),
         };
-        let (alloc, stats) = cram(&input, CramConfig::default()).unwrap();
+        let (alloc, stats) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
         assert_eq!(alloc.broker_count(), 0);
         assert_eq!(stats.initial_gifs, 0);
     }
@@ -836,24 +1040,11 @@ mod tests {
             subscriptions: subs,
             publishers: publishers(),
         };
-        let (_, pruned) = cram(
-            &input,
-            CramConfig {
-                metric: ClosenessMetric::Ios,
-                one_to_many: true,
-                poset_pruning: true,
-            },
-        )
-        .unwrap();
-        let (_, full) = cram(
-            &input,
-            CramConfig {
-                metric: ClosenessMetric::Ios,
-                one_to_many: true,
-                poset_pruning: false,
-            },
-        )
-        .unwrap();
+        let (_, pruned) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
+        let (_, full) = CramBuilder::new(ClosenessMetric::Ios)
+            .poset_pruning(false)
+            .run(&input)
+            .unwrap();
         assert!(
             pruned.closeness_computations < full.closeness_computations,
             "pruned {} vs full {}",
@@ -915,8 +1106,9 @@ mod tests {
             publishers: publishers(),
         };
         let units = crate::sorting::units_from_input(&input);
-        let (alloc, stats) =
-            crate::cram::cram_units_custom(&input, units, &EqualOnly, true, true).unwrap();
+        let (alloc, stats) = CramBuilder::custom(&EqualOnly)
+            .run_units(&input, units)
+            .unwrap();
         assert_eq!(alloc.sub_count(), 10);
         assert!(stats.merges > 0, "equal groups merged");
         // Only equal-profile merges happened: every unit's members share
@@ -944,8 +1136,9 @@ mod tests {
             subscriptions: subs,
             publishers: publishers(),
         };
-        let (alloc, stats) =
-            cram(&input, CramConfig::with_metric(ClosenessMetric::Intersect)).unwrap();
+        let (alloc, stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .run(&input)
+            .unwrap();
         assert_eq!(alloc.sub_count(), 8);
         assert!(stats.failed_merges > 0, "some merges must fail: {stats:?}");
         assert!(stats.iterations < 1000, "terminates promptly");
@@ -972,15 +1165,137 @@ mod tests {
             subscriptions: subs,
             publishers: publishers(),
         };
-        let (_, with) = cram(
-            &input,
-            CramConfig {
-                metric: ClosenessMetric::Ios,
-                one_to_many: true,
-                poset_pruning: true,
-            },
-        )
-        .unwrap();
+        let (_, with) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
         assert!(with.one_to_many_merges > 0, "stats: {with:?}");
+    }
+
+    /// Builds a ready-to-run [`Engine`] the way `run_units` does, for
+    /// tests that need to poke at engine internals.
+    fn engine_for<'a>(
+        input: &'a AllocationInput,
+        metric: &'a dyn greenps_profile::Closeness,
+    ) -> Engine<'a> {
+        let units = crate::sorting::units_from_input(input);
+        let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone()).unwrap();
+        let pool = Pool::build(units);
+        let mut engine = Engine {
+            pool,
+            metric,
+            one_to_many: true,
+            poset_pruning: true,
+            threads: 1,
+            publishers: &input.publishers,
+            brokers: &input.brokers,
+            partners: BTreeMap::new(),
+            stale: BTreeSet::new(),
+            blacklist: BTreeSet::new(),
+            cache: PairCache::new(),
+            stats: CramStats::default(),
+            best: baseline,
+        };
+        engine.stale.extend(engine.pool.gifs.keys().copied());
+        engine
+    }
+
+    /// Merging a GIF away must drop every cached closeness touching it
+    /// — a stale entry served later would reflect the pre-merge
+    /// profile.
+    #[test]
+    fn cache_invalidated_for_merged_gifs() {
+        // Two intersecting singleton GIFs; merging them deletes both.
+        let input = AllocationInput {
+            brokers: brokers(4, 100_000.0),
+            subscriptions: vec![
+                entry(0, &(0..10).collect::<Vec<_>>()),
+                entry(1, &(5..15).collect::<Vec<_>>()),
+            ],
+            publishers: publishers(),
+        };
+        let metric = ClosenessMetric::Ios;
+        let mut engine = engine_for(&input, &metric);
+        engine.refresh_partners();
+        let (g, h, _) = engine.global_best().unwrap();
+        assert!(g != h);
+        assert!(
+            engine.cache.get(g, h).is_some(),
+            "refresh populated the pair cache"
+        );
+        assert!(engine.attempt(g, h), "merge must succeed");
+        // Both source GIFs were merged away: nothing cached may touch
+        // them any more, in either key order.
+        assert!(!engine.cache.touches(g));
+        assert!(!engine.cache.touches(h));
+        assert_eq!(engine.cache.get(g, h), None);
+        assert_eq!(engine.cache.get(h, g), None);
+    }
+
+    /// A GIF that survives a merge (loses a unit but keeps its profile)
+    /// must keep its cache entries — only merged-away GIFs invalidate.
+    #[test]
+    fn cache_kept_for_surviving_gifs() {
+        // GIF A holds two equal units; GIF B intersects A. Pairwise-
+        // merging A and B consumes one of A's units, so A survives.
+        let wide: Vec<u64> = (0..10).collect();
+        let input = AllocationInput {
+            brokers: brokers(5, 100_000.0),
+            subscriptions: vec![
+                entry(0, &wide),
+                entry(1, &wide),
+                entry(2, &(5..15).collect::<Vec<_>>()),
+            ],
+            publishers: publishers(),
+        };
+        let metric = ClosenessMetric::Ios;
+        let mut engine = engine_for(&input, &metric);
+        engine.refresh_partners();
+        let a = engine
+            .pool
+            .by_profile
+            .values()
+            .copied()
+            .find(|gk| engine.pool.gifs[gk].units.len() == 2)
+            .unwrap();
+        let b = engine.pool.gifs.keys().copied().find(|&k| k != a).unwrap();
+        assert!(engine.cache.get(a, b).is_some());
+        assert!(engine.attempt_pairwise(a, b), "pairwise merge succeeds");
+        assert!(
+            engine.pool.gifs.contains_key(&a),
+            "A keeps its second unit and survives"
+        );
+        // B was merged away; A survived with an unchanged profile.
+        assert!(!engine.cache.touches(b));
+        assert!(
+            engine.cache.touches(a),
+            "surviving GIF keeps cached closenesses to live partners"
+        );
+        assert_eq!(engine.cache.get(a, b), None);
+    }
+
+    /// The parallel search must return exactly the sequential result —
+    /// allocation and stats — for every thread count.
+    #[test]
+    fn parallel_threads_match_sequential() {
+        let subs: Vec<SubscriptionEntry> = (0..30)
+            .map(|i| {
+                let ids: Vec<u64> = (i..i + 12).map(|x| (x * 7) % 90).collect();
+                entry(i, &ids)
+            })
+            .collect();
+        let input = AllocationInput {
+            brokers: brokers(10, 200_000.0),
+            subscriptions: subs,
+            publishers: publishers(),
+        };
+        for metric in ClosenessMetric::ALL {
+            let (seq_alloc, seq_stats) = CramBuilder::new(metric).run(&input).unwrap();
+            for threads in [2usize, 4, 8] {
+                let (par_alloc, par_stats) = CramBuilder::new(metric)
+                    .threads(threads)
+                    .run(&input)
+                    .unwrap();
+                assert_eq!(par_alloc.loads, seq_alloc.loads, "{metric} t={threads}");
+                assert_eq!(par_stats, seq_stats, "{metric} t={threads}");
+            }
+        }
     }
 }

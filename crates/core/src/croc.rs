@@ -8,7 +8,7 @@
 //! The messaging side of CROC (BIR/BIA gathering and plan execution)
 //! lives in `greenps-broker`.
 
-use crate::cram::{cram, CramConfig, CramStats};
+use crate::cram::{CramBuilder, CramConfig, CramStats};
 use crate::grape::{place_publishers, GrapeConfig, InterestTree};
 use crate::model::{AllocError, Allocation, AllocationInput};
 use crate::overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayError};
@@ -128,7 +128,7 @@ pub fn plan(
         AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
         AllocatorKind::BinPacking => bin_packing(input)?,
         AllocatorKind::Cram(cfg) => {
-            let (a, stats) = cram(input, *cfg)?;
+            let (a, stats) = CramBuilder::from_config(*cfg).run(input)?;
             cram_stats = Some(stats);
             a
         }

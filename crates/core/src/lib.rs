@@ -4,9 +4,10 @@
 //! content-based publish/subscribe.
 //!
 //! * **Phase 2** subscription allocation — [`sorting::fbf`],
-//!   [`sorting::bin_packing`], and [`cram::cram`] with the four
-//!   closeness metrics and all three optimizations (GIF grouping, poset
-//!   search pruning, one-to-many CGS clustering);
+//!   [`sorting::bin_packing`], and CRAM via [`cram::CramBuilder`] with
+//!   the four closeness metrics, all three optimizations (GIF grouping,
+//!   poset search pruning, one-to-many CGS clustering), and a parallel
+//!   closest-pair search ([`engine`]);
 //! * the related-work baselines [`pairwise::pairwise_k`] /
 //!   [`pairwise::pairwise_n`];
 //! * **Phase 3** recursive overlay construction
@@ -48,6 +49,7 @@
 pub mod capacity;
 pub mod cram;
 pub mod croc;
+pub mod engine;
 pub mod grape;
 pub mod model;
 pub mod overlay;
@@ -55,8 +57,9 @@ pub mod pairwise;
 pub mod sorting;
 
 pub use capacity::{pack_all, Packer};
-pub use cram::{cram, CramConfig, CramStats};
+pub use cram::{CramBuilder, CramConfig, CramStats};
 pub use croc::{plan, PlanConfig, PlanError, ReconfigurationPlan};
+pub use engine::{shard_map, PairCache};
 pub use grape::{place_publishers, GrapeConfig, InterestTree};
 pub use model::{
     AllocError, Allocation, AllocationInput, BrokerLoad, BrokerSpec, LinearFn, SubscriptionEntry,

@@ -195,7 +195,7 @@ impl fmt::Display for Unit {
 }
 
 /// The load placed on one allocated broker.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BrokerLoad {
     /// Which broker.
     pub broker: BrokerId,
@@ -227,7 +227,7 @@ impl BrokerLoad {
 
 /// The outcome of Phase 2: a set of non-connected brokers, some with
 /// subscriptions allocated to them.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Allocation {
     /// Brokers that received at least one unit.
     pub loads: Vec<BrokerLoad>,

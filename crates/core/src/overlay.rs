@@ -16,7 +16,7 @@
 //! 3. **Best-fit broker replacement** — each allocated broker is swapped
 //!    for the smallest-capacity pool broker that still fits its load.
 
-use crate::cram::{cram_units, CramConfig};
+use crate::cram::{CramBuilder, CramConfig};
 use crate::model::{AllocError, Allocation, AllocationInput, BrokerSpec, Unit};
 use crate::sorting::bin_packing_units;
 use greenps_profile::{PublisherTable, SubscriptionProfile};
@@ -64,7 +64,9 @@ impl AllocatorKind {
                     subscriptions: Vec::new(),
                     publishers: publishers.clone(),
                 };
-                cram_units(&input, units, *cfg).map(|(a, _)| a)
+                CramBuilder::from_config(*cfg)
+                    .run_units(&input, units)
+                    .map(|(a, _)| a)
             }
         }
     }
@@ -756,7 +758,9 @@ mod tests {
     #[test]
     fn cram_driven_overlay_works() {
         let input = scenario();
-        let (leaf, _) = crate::cram::cram(&input, CramConfig::default()).unwrap();
+        let (leaf, _) = CramBuilder::from_config(CramConfig::default())
+            .run(&input)
+            .unwrap();
         let overlay = build_overlay(
             &input,
             &leaf,

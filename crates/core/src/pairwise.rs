@@ -15,7 +15,15 @@
 //!
 //! Assignments ignore capacity on purpose: the baselines have no notion
 //! of resource awareness, and the evaluation shows what that costs.
+//!
+//! The quadratic initial partner scan runs on the parallel closeness
+//! engine ([`crate::engine`]): slots are sharded across worker threads
+//! against a frozen snapshot, and the agglomeration loop serves repeat
+//! pair closenesses from a [`PairCache`] keyed by slot index. Results
+//! are bit-identical to the sequential scan for any worker count, so
+//! the thread count is chosen automatically.
 
+use crate::engine::{available_threads, shard_map, PairCache};
 use crate::model::{Allocation, AllocationInput, BrokerLoad, Unit};
 use crate::sorting::units_from_input;
 use greenps_profile::{ClosenessMetric, PublisherTable};
@@ -52,27 +60,53 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
     }
 
     let metric = ClosenessMetric::Xor;
-    // Closest-partner bookkeeping, recomputed on merge.
+    // Closest-partner bookkeeping, recomputed on merge. The scan reads
+    // a frozen cache snapshot and reports what it had to compute, so
+    // the initial sharded pass is order-independent (see crate::engine).
     let mut live = clusters.iter().filter(|c| c.is_some()).count();
     let mut partner: Vec<Option<(usize, f64)>> = vec![None; clusters.len()];
-    let find = |clusters: &Vec<Option<Unit>>, i: usize| -> Option<(usize, f64)> {
-        let me = clusters[i].as_ref()?;
-        let mut best: Option<(usize, f64)> = None;
+    let mut cache: PairCache<usize> = PairCache::new();
+    struct Scan {
+        best: Option<(usize, f64)>,
+        computed: Vec<(usize, f64)>,
+    }
+    let scan = |clusters: &[Option<Unit>], cache: &PairCache<usize>, i: usize| -> Scan {
+        let mut out = Scan {
+            best: None,
+            computed: Vec::new(),
+        };
+        let Some(me) = clusters.get(i).and_then(Option::as_ref) else {
+            return out;
+        };
         for (j, c) in clusters.iter().enumerate() {
             if i == j {
                 continue;
             }
             let Some(c) = c else { continue };
-            let cl = metric.closeness(&me.profile, &c.profile);
-            match best {
+            let cl = match cache.get(i, j) {
+                Some(cl) => cl,
+                None => {
+                    let cl = metric.closeness(&me.profile, &c.profile);
+                    out.computed.push((j, cl));
+                    cl
+                }
+            };
+            match out.best {
                 Some((_, bc)) if bc >= cl => {}
-                _ => best = Some((j, cl)),
+                _ => out.best = Some((j, cl)),
             }
         }
-        best
+        out
     };
-    for (i, slot) in partner.iter_mut().enumerate() {
-        *slot = find(&clusters, i);
+    let idx: Vec<usize> = (0..clusters.len()).collect();
+    let outcomes = shard_map(&idx, available_threads().min(8), |&i| {
+        scan(&clusters, &cache, i)
+    });
+    for (i, s) in outcomes.into_iter().enumerate() {
+        partner[i] = s.best;
+        for (j, cl) in s.computed {
+            cache.insert(i, j, cl);
+        }
     }
     while live > k {
         let Some((i, j, _)) = partner
@@ -92,7 +126,12 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
         clusters[j] = None;
         partner[j] = None;
         live -= 1;
-        // Refresh partners pointing at i or j, and i itself.
+        // Slot i's profile changed and slot j is gone: every cached
+        // closeness touching either is stale.
+        cache.invalidate(i);
+        cache.invalidate(j);
+        // Refresh partners pointing at i or j, and i itself; untouched
+        // pairs are served from the cache.
         for idx in 0..clusters.len() {
             if clusters[idx].is_none() {
                 continue;
@@ -101,7 +140,11 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
                 || matches!(partner[idx], Some((p, _)) if p == i || p == j)
                 || partner[idx].is_none();
             if needs {
-                partner[idx] = find(&clusters, idx);
+                let s = scan(&clusters, &cache, idx);
+                partner[idx] = s.best;
+                for (p, cl) in s.computed {
+                    cache.insert(idx, p, cl);
+                }
             }
         }
     }

@@ -176,6 +176,41 @@ impl ShiftingBitVector {
         })
     }
 
+    /// All pairwise cardinalities (`|∩|`, `|∪|`, `|self|`, `|other|`)
+    /// gathered in a **single** word-level pass — the batch popcount
+    /// kernel every closeness metric routes through. `|⊕|` is derived
+    /// (`|∪| − |∩|`), so one pass serves all four metrics where the
+    /// separate `and_count`/`or_count`/`xor_count` calls would walk the
+    /// words up to three times.
+    pub fn pair_cardinalities(&self, other: &Self) -> PairCardinalities {
+        let mut out = PairCardinalities::default();
+        let mut accum = |a: u64, b: u64| {
+            out.and += (a & b).count_ones() as usize;
+            out.or += (a | b).count_ones() as usize;
+            out.left += a.count_ones() as usize;
+            out.right += b.count_ones() as usize;
+        };
+        if self.first_id == other.first_id {
+            // Fast path: aligned windows (the common case thanks to
+            // publisher message-id synchronization).
+            let n = self.words.len().max(other.words.len());
+            for i in 0..n {
+                let a = self.words.get(i).copied().unwrap_or(0);
+                let b = other.words.get(i).copied().unwrap_or(0);
+                accum(a, b);
+            }
+        } else {
+            let (lo, hi_end) = combined_window(self, other);
+            let words = ((hi_end - lo) as usize).div_ceil(WORD_BITS);
+            let a = self.aligned_words(lo, words);
+            let b = other.aligned_words(lo, words);
+            for (&x, &y) in a.iter().zip(&b) {
+                accum(x, y);
+            }
+        }
+        out
+    }
+
     /// `|self ∩ other|` — ids recorded in both vectors.
     pub fn and_count(&self, other: &Self) -> usize {
         self.zip_count(other, |a, b| a & b)
@@ -279,6 +314,60 @@ impl ShiftingBitVector {
         let mut out = self.clone();
         out.or_assign(other);
         out
+    }
+}
+
+/// Result of the batch popcount kernel: every cardinality the four
+/// closeness metrics need, computed from one pass over a vector pair
+/// (see [`ShiftingBitVector::pair_cardinalities`]). Component-wise sums
+/// accumulate per-publisher pairs into profile-level totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairCardinalities {
+    /// `|A ∩ B|`.
+    pub and: usize,
+    /// `|A ∪ B|`.
+    pub or: usize,
+    /// `|A|`.
+    pub left: usize,
+    /// `|B|`.
+    pub right: usize,
+}
+
+impl PairCardinalities {
+    /// `|A ⊕ B|`, derived as `|∪| − |∩|`.
+    pub fn xor(self) -> usize {
+        self.or - self.and
+    }
+
+    /// Component-wise sum (accumulation across publishers).
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            and: self.and + other.and,
+            or: self.or + other.or,
+            left: self.left + other.left,
+            right: self.right + other.right,
+        }
+    }
+
+    /// Cardinalities of a pair whose right side is empty (`B = ∅`).
+    pub fn left_only(count: usize) -> Self {
+        Self {
+            and: 0,
+            or: count,
+            left: count,
+            right: 0,
+        }
+    }
+
+    /// Cardinalities of a pair whose left side is empty (`A = ∅`).
+    pub fn right_only(count: usize) -> Self {
+        Self {
+            and: 0,
+            or: count,
+            left: 0,
+            right: count,
+        }
     }
 }
 
@@ -495,6 +584,59 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ShiftingBitVector::new(0);
+    }
+
+    #[test]
+    fn pair_cardinalities_match_individual_counts() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..60 {
+            let cap = rng.gen_range(1..300usize);
+            // Mix aligned and misaligned windows.
+            let first_a = rng.gen_range(0..50u64);
+            let first_b = if case % 2 == 0 {
+                first_a
+            } else {
+                rng.gen_range(0..50u64)
+            };
+            let mut a = ShiftingBitVector::starting_at(cap, first_a);
+            let mut b = ShiftingBitVector::starting_at(cap, first_b);
+            for _ in 0..rng.gen_range(0..80) {
+                a.record(first_a + rng.gen_range(0..cap as u64));
+            }
+            for _ in 0..rng.gen_range(0..80) {
+                b.record(first_b + rng.gen_range(0..cap as u64));
+            }
+            let c = a.pair_cardinalities(&b);
+            assert_eq!(c.and, a.and_count(&b));
+            assert_eq!(c.or, a.or_count(&b));
+            assert_eq!(c.xor(), a.xor_count(&b));
+            assert_eq!(c.left, a.count_ones());
+            assert_eq!(c.right, b.count_ones());
+            // Symmetry of the kernel.
+            let r = b.pair_cardinalities(&a);
+            assert_eq!(
+                (r.and, r.or, r.left, r.right),
+                (c.and, c.or, c.right, c.left)
+            );
+        }
+    }
+
+    #[test]
+    fn pair_cardinalities_accumulate() {
+        let a = PairCardinalities {
+            and: 1,
+            or: 5,
+            left: 3,
+            right: 3,
+        };
+        let b = PairCardinalities::left_only(4).plus(PairCardinalities::right_only(2));
+        let total = a.plus(b);
+        assert_eq!(total.and, 1);
+        assert_eq!(total.or, 11);
+        assert_eq!(total.left, 7);
+        assert_eq!(total.right, 5);
+        assert_eq!(total.xor(), 10);
     }
 
     #[test]

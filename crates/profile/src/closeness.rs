@@ -22,12 +22,16 @@ use std::fmt;
 ///
 /// The paper's four metrics implement this via [`ClosenessMetric`];
 /// downstream users can supply their own measure to CRAM
-/// (`greenps_core::cram::cram_units_custom`). Higher values indicate
+/// (`greenps_core::cram::CramBuilder::custom`). Higher values indicate
 /// more favourable clustering candidates; a measure that returns `0.0`
 /// exactly for empty relationships should report
 /// [`Closeness::supports_empty_pruning`] so CRAM can prune its poset
 /// search.
-pub trait Closeness {
+///
+/// The `Sync` bound lets the parallel closeness engine share a measure
+/// across its scoped worker threads; stateless measures (like the four
+/// paper metrics) satisfy it automatically.
+pub trait Closeness: Sync {
     /// Closeness between two profiles; higher is more favourable.
     fn closeness(&self, a: &SubscriptionProfile, b: &SubscriptionProfile) -> f64;
 
@@ -75,11 +79,16 @@ impl ClosenessMetric {
 
     /// Computes the closeness between two profiles. Higher is more
     /// favourable for clustering.
+    ///
+    /// All four metrics are served by one batch popcount pass
+    /// ([`SubscriptionProfile::pair_cardinalities`]) rather than
+    /// separate intersect/union/count walks.
     pub fn closeness(self, a: &SubscriptionProfile, b: &SubscriptionProfile) -> f64 {
+        let c = a.pair_cardinalities(b);
         match self {
-            ClosenessMetric::Intersect => a.intersect_count(b) as f64,
+            ClosenessMetric::Intersect => c.and as f64,
             ClosenessMetric::Xor => {
-                let x = a.xor_count(b);
+                let x = c.xor();
                 if x == 0 {
                     XOR_CAP
                 } else {
@@ -87,8 +96,8 @@ impl ClosenessMetric {
                 }
             }
             ClosenessMetric::Ios => {
-                let inter = a.intersect_count(b) as f64;
-                let denom = (a.count_ones() + b.count_ones()) as f64;
+                let inter = c.and as f64;
+                let denom = (c.left + c.right) as f64;
                 if denom == 0.0 {
                     0.0
                 } else {
@@ -96,8 +105,8 @@ impl ClosenessMetric {
                 }
             }
             ClosenessMetric::Iou => {
-                let inter = a.intersect_count(b) as f64;
-                let union = a.union_count(b) as f64;
+                let inter = c.and as f64;
+                let union = c.or as f64;
                 if union == 0.0 {
                     0.0
                 } else {

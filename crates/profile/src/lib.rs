@@ -44,7 +44,7 @@ pub mod closeness;
 pub mod poset;
 pub mod profile;
 
-pub use bitvec::{ShiftingBitVector, DEFAULT_CAPACITY};
+pub use bitvec::{PairCardinalities, ShiftingBitVector, DEFAULT_CAPACITY};
 pub use closeness::{Closeness, ClosenessMetric, XOR_CAP};
 pub use poset::Poset;
 pub use profile::{

@@ -7,7 +7,7 @@
 //! needs to estimate subscription loads without assuming any workload
 //! distribution.
 
-use crate::bitvec::{ShiftingBitVector, DEFAULT_CAPACITY};
+use crate::bitvec::{PairCardinalities, ShiftingBitVector, DEFAULT_CAPACITY};
 use greenps_pubsub::ids::{AdvId, MsgId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -86,6 +86,28 @@ impl SubscriptionProfile {
     /// True when no publication was recorded.
     pub fn is_empty(&self) -> bool {
         self.vectors.values().all(ShiftingBitVector::is_empty)
+    }
+
+    /// All pairwise cardinalities (`|∩|`, `|∪|`, `|S1|`, `|S2|`, and
+    /// derived `|⊕|`) summed across publishers, one batch popcount pass
+    /// per shared vector — the profile-level entry point of the
+    /// closeness engine's kernel. Every [`crate::ClosenessMetric`]
+    /// routes through this instead of separate
+    /// `intersect_count`/`union_count`/`count_ones` walks.
+    pub fn pair_cardinalities(&self, other: &Self) -> PairCardinalities {
+        let mut total = PairCardinalities::default();
+        for (adv, v) in &self.vectors {
+            total = total.plus(match other.vectors.get(adv) {
+                Some(o) => v.pair_cardinalities(o),
+                None => PairCardinalities::left_only(v.count_ones()),
+            });
+        }
+        for (adv, o) in &other.vectors {
+            if !self.vectors.contains_key(adv) {
+                total = total.plus(PairCardinalities::right_only(o.count_ones()));
+            }
+        }
+        total
     }
 
     /// `|S1 ∩ S2|` summed across publishers.

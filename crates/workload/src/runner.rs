@@ -5,7 +5,7 @@
 use crate::scenario::Scenario;
 use crate::topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};
 use greenps_broker::{Deployment, RunMetrics};
-use greenps_core::cram::{cram, CramConfig, CramStats};
+use greenps_core::cram::{CramBuilder, CramStats};
 use greenps_core::croc::{plan, PlanConfig};
 use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
 use greenps_core::model::AllocationInput;
@@ -231,7 +231,8 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
             let (_, input) = profile_and_gather(scenario, cfg);
             let t0 = Instant::now();
             let result = if approach == Approach::PairwiseK {
-                let (_, stats) = cram(&input, CramConfig::with_metric(ClosenessMetric::Xor))
+                let (_, stats) = CramBuilder::new(ClosenessMetric::Xor)
+                    .run(&input)
                     .expect("CRAM-XOR for K");
                 pairwise_k(&input, stats.final_units, cfg.seed)
             } else {
@@ -266,10 +267,13 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::homogeneous;
+    use crate::scenario::{ScenarioBuilder, Topology};
 
     fn small() -> (Scenario, RunConfig) {
-        let mut s = homogeneous(120, 7);
+        let mut s = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(120)
+            .seed(7)
+            .build();
         s.brokers.truncate(16);
         let cfg = RunConfig {
             warmup: SimDuration::from_secs(3),

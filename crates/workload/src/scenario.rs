@@ -79,114 +79,315 @@ fn stocks_for(publishers: usize, seed: u64) -> Vec<StockSeries> {
         .collect()
 }
 
+/// The four workload shapes of §VI-A, selected via [`ScenarioBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// 80 equal-capacity brokers, 40 publishers, subscriptions split
+    /// evenly across publishers.
+    Homogeneous,
+    /// Three capacity tiers (15 full / 25 half / 40 quarter); subscriber
+    /// counts ramp down linearly from `Ns` to `Ns / 40`.
+    Heterogeneous,
+    /// The SciNet large-scale deployment: equal brokers, a fixed number
+    /// of subscriptions per publisher.
+    Scinet,
+    /// The adversarial §II-B workload: every broker hosts the *same*
+    /// subscription, so publisher relocation alone cannot help.
+    EveryBrokerSubscribes,
+}
+
+/// One fluent entry point for every experiment scenario.
+///
+/// Replaces the `homogeneous` / `heterogeneous` / `scinet` /
+/// `scinet_custom` / `every_broker_subscribes` constructor zoo: pick a
+/// [`Topology`], override what the experiment varies, and `build()`.
+/// Unset knobs keep the paper's §VI-A parameters, so
+/// `ScenarioBuilder::new(Topology::Homogeneous).total_subs(n).seed(s).build()`
+/// is byte-identical to the old `homogeneous(n, s)`.
+///
+/// ```
+/// use greenps_workload::scenario::{ScenarioBuilder, Topology};
+///
+/// let s = ScenarioBuilder::new(Topology::Scinet)
+///     .brokers(40)
+///     .publishers(8)
+///     .subs_per_publisher(25)
+///     .seed(7)
+///     .build();
+/// assert_eq!(s.broker_count(), 40);
+/// assert_eq!(s.sub_count(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    topology: Topology,
+    brokers: Option<usize>,
+    total_subs: usize,
+    ns: usize,
+    publishers: Option<usize>,
+    subs_per_publisher: usize,
+    capacity_scale: f64,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// A builder for `topology` with the paper's default parameters.
+    pub fn new(topology: Topology) -> Self {
+        ScenarioBuilder {
+            topology,
+            brokers: None,
+            total_subs: 2000,
+            ns: 200,
+            publishers: None,
+            subs_per_publisher: 225,
+            capacity_scale: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Broker pool size. Defaults: 80 (cluster topologies), 400
+    /// (SciNet). For [`Topology::Heterogeneous`] the 15/25/40 tier
+    /// split is scaled proportionally.
+    #[must_use]
+    pub fn brokers(mut self, n: usize) -> Self {
+        self.brokers = Some(n);
+        self
+    }
+
+    /// Total subscriptions ([`Topology::Homogeneous`] only; the other
+    /// topologies derive their counts from their own knobs).
+    #[must_use]
+    pub fn total_subs(mut self, n: usize) -> Self {
+        self.total_subs = n;
+        self
+    }
+
+    /// The heterogeneous `Ns` parameter (first publisher's subscriber
+    /// count; the paper evaluates 50–200).
+    #[must_use]
+    pub fn ns(mut self, ns: usize) -> Self {
+        self.ns = ns;
+        self
+    }
+
+    /// Publisher count ([`Topology::Scinet`] only). Default follows the
+    /// paper: 100 when the pool has ≥1,000 brokers, else 72.
+    #[must_use]
+    pub fn publishers(mut self, n: usize) -> Self {
+        self.publishers = Some(n);
+        self
+    }
+
+    /// Subscriptions per publisher ([`Topology::Scinet`] only;
+    /// default 225).
+    #[must_use]
+    pub fn subs_per_publisher(mut self, n: usize) -> Self {
+        self.subs_per_publisher = n;
+        self
+    }
+
+    /// Multiplies every broker's output bandwidth — the capacity-tier
+    /// knob (e.g. `2.0` doubles each tier, preserving the tier ratios).
+    #[must_use]
+    pub fn capacity_scale(mut self, factor: f64) -> Self {
+        self.capacity_scale = factor;
+        self
+    }
+
+    /// Master seed for stock series, subscription generation, and
+    /// placements.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the scenario.
+    pub fn build(&self) -> Scenario {
+        let mut s = match self.topology {
+            Topology::Homogeneous => self.build_homogeneous(),
+            Topology::Heterogeneous => self.build_heterogeneous(),
+            Topology::Scinet => self.build_scinet(),
+            Topology::EveryBrokerSubscribes => self.build_every_broker_subscribes(),
+        };
+        if self.capacity_scale != 1.0 {
+            for b in &mut s.brokers {
+                b.out_bandwidth *= self.capacity_scale;
+            }
+        }
+        s
+    }
+
+    fn build_homogeneous(&self) -> Scenario {
+        let total_subs = self.total_subs;
+        let seed = self.seed;
+        let publishers = 40;
+        let stocks = stocks_for(publishers, seed);
+        let per = total_subs / publishers;
+        let mut counts = vec![per; publishers];
+        for slot in counts.iter_mut().take(total_subs - per * publishers) {
+            *slot += 1;
+        }
+        let subs = generate(&stocks, &counts, seed ^ 0x50b5);
+        let broker_count = self.brokers.unwrap_or(80) as u64;
+        Scenario {
+            name: format!("homogeneous-{total_subs}"),
+            brokers: (0..broker_count)
+                .map(|i| broker(i, FULL_BANDWIDTH))
+                .collect(),
+            stocks,
+            publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+            subs,
+            seed,
+        }
+    }
+
+    fn build_heterogeneous(&self) -> Scenario {
+        let ns = self.ns;
+        let seed = self.seed;
+        let publishers = 40;
+        let stocks = stocks_for(publishers, seed);
+        let top = ns as f64;
+        let bottom = ns as f64 / publishers as f64;
+        let step = (top - bottom) / (publishers - 1) as f64;
+        let counts: Vec<usize> = (0..publishers)
+            .map(|i| ((top - step * i as f64).round() as usize).max(1))
+            .collect();
+        let subs = generate(&stocks, &counts, seed ^ 0xbe7);
+        // The paper's 15/25/40 tier split, scaled to the pool size.
+        let total = self.brokers.unwrap_or(80);
+        let full = total * 15 / 80;
+        let half = total * 25 / 80;
+        let mut brokers = Vec::with_capacity(total);
+        for i in 0..total as u64 {
+            let bw = if (i as usize) < full {
+                FULL_BANDWIDTH
+            } else if (i as usize) < full + half {
+                FULL_BANDWIDTH * 0.5
+            } else {
+                FULL_BANDWIDTH * 0.25
+            };
+            brokers.push(broker(i, bw));
+        }
+        Scenario {
+            name: format!("heterogeneous-Ns{ns}"),
+            brokers,
+            stocks,
+            publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+            subs,
+            seed,
+        }
+    }
+
+    fn build_scinet(&self) -> Scenario {
+        let brokers = self.brokers.unwrap_or(400);
+        let seed = self.seed;
+        let publishers = self
+            .publishers
+            .unwrap_or(if brokers >= 1000 { 100 } else { 72 });
+        let stocks = stocks_for(publishers, seed);
+        let counts = vec![self.subs_per_publisher; publishers];
+        let subs = generate(&stocks, &counts, seed ^ 0x5c1e);
+        Scenario {
+            name: format!("scinet-{brokers}"),
+            brokers: (0..brokers as u64)
+                .map(|i| broker(i, FULL_BANDWIDTH))
+                .collect(),
+            stocks,
+            publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+            subs,
+            seed,
+        }
+    }
+
+    fn build_every_broker_subscribes(&self) -> Scenario {
+        let brokers = self.brokers.unwrap_or(80);
+        let seed = self.seed;
+        let stocks = stocks_for(1, seed);
+        // One template subscription per broker (identical interests).
+        let counts = vec![brokers];
+        let mut subs = generate(&stocks, &counts, seed);
+        for s in &mut subs {
+            s.filter = greenps_pubsub::filter::stock_template(&stocks[0].symbol);
+        }
+        Scenario {
+            name: format!("every-broker-subscribes-{brokers}"),
+            brokers: (0..brokers as u64)
+                .map(|i| broker(i, FULL_BANDWIDTH))
+                .collect(),
+            stocks,
+            publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+            subs,
+            seed,
+        }
+    }
+}
+
 /// The homogeneous cluster scenario: 80 equal brokers, 40 publishers,
 /// `total_subs` subscriptions split evenly.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ScenarioBuilder::new(Topology::Homogeneous)"
+)]
 pub fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
-    let publishers = 40;
-    let stocks = stocks_for(publishers, seed);
-    let per = total_subs / publishers;
-    let mut counts = vec![per; publishers];
-    for slot in counts.iter_mut().take(total_subs - per * publishers) {
-        *slot += 1;
-    }
-    let subs = generate(&stocks, &counts, seed ^ 0x50b5);
-    Scenario {
-        name: format!("homogeneous-{total_subs}"),
-        brokers: (0..80).map(|i| broker(i, FULL_BANDWIDTH)).collect(),
-        stocks,
-        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
-        subs,
-        seed,
-    }
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
 }
 
 /// The heterogeneous cluster scenario: 15 full / 25 half / 40 quarter
 /// capacity brokers; subscriber counts ramp down linearly from `ns` for
-/// the first publisher to `ns / 40` for the last — which reproduces the
-/// paper's worked numbers exactly ("with Ns set to 200, the total
-/// number of subscriptions is 4,100, and the lowest and highest number
-/// of subscribers for a publisher are 5 and 200").
+/// the first publisher to `ns / 40` for the last.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ScenarioBuilder::new(Topology::Heterogeneous)"
+)]
 pub fn heterogeneous(ns: usize, seed: u64) -> Scenario {
-    let publishers = 40;
-    let stocks = stocks_for(publishers, seed);
-    let top = ns as f64;
-    let bottom = ns as f64 / publishers as f64;
-    let step = (top - bottom) / (publishers - 1) as f64;
-    let counts: Vec<usize> = (0..publishers)
-        .map(|i| ((top - step * i as f64).round() as usize).max(1))
-        .collect();
-    let subs = generate(&stocks, &counts, seed ^ 0xbe7);
-    let mut brokers = Vec::with_capacity(80);
-    for i in 0..15 {
-        brokers.push(broker(i, FULL_BANDWIDTH));
-    }
-    for i in 15..40 {
-        brokers.push(broker(i, FULL_BANDWIDTH * 0.5));
-    }
-    for i in 40..80 {
-        brokers.push(broker(i, FULL_BANDWIDTH * 0.25));
-    }
-    Scenario {
-        name: format!("heterogeneous-Ns{ns}"),
-        brokers,
-        stocks,
-        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
-        subs,
-        seed,
-    }
+    ScenarioBuilder::new(Topology::Heterogeneous)
+        .ns(ns)
+        .seed(seed)
+        .build()
 }
 
 /// The SciNet large-scale scenario: `brokers` ∈ {400, 1000} with 72 or
 /// 100 publishers respectively and 225 subscriptions per publisher.
+#[deprecated(since = "0.1.0", note = "use ScenarioBuilder::new(Topology::Scinet)")]
 pub fn scinet(brokers: usize, seed: u64) -> Scenario {
-    let publishers = if brokers >= 1000 { 100 } else { 72 };
-    scinet_custom(brokers, publishers, 225, seed)
+    ScenarioBuilder::new(Topology::Scinet)
+        .brokers(brokers)
+        .seed(seed)
+        .build()
 }
 
 /// SciNet with explicit publisher and per-publisher subscription counts
 /// (reduced scales for quick runs).
+#[deprecated(since = "0.1.0", note = "use ScenarioBuilder::new(Topology::Scinet)")]
 pub fn scinet_custom(
     brokers: usize,
     publishers: usize,
     subs_per_publisher: usize,
     seed: u64,
 ) -> Scenario {
-    let stocks = stocks_for(publishers, seed);
-    let counts = vec![subs_per_publisher; publishers];
-    let subs = generate(&stocks, &counts, seed ^ 0x5c1e);
-    Scenario {
-        name: format!("scinet-{brokers}"),
-        brokers: (0..brokers as u64)
-            .map(|i| broker(i, FULL_BANDWIDTH))
-            .collect(),
-        stocks,
-        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
-        subs,
-        seed,
-    }
+    ScenarioBuilder::new(Topology::Scinet)
+        .brokers(brokers)
+        .publishers(publishers)
+        .subs_per_publisher(subs_per_publisher)
+        .seed(seed)
+        .build()
 }
 
 /// The adversarial scenario of §II-B / experiment E6: every broker
 /// hosts at least one subscriber with the *same* subscription, so
 /// relocating publishers alone cannot reduce the message rate.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ScenarioBuilder::new(Topology::EveryBrokerSubscribes)"
+)]
 pub fn every_broker_subscribes(brokers: usize, seed: u64) -> Scenario {
-    let stocks = stocks_for(1, seed);
-    // One template subscription per broker (identical interests).
-    let counts = vec![brokers];
-    let mut subs = generate(&stocks, &counts, seed);
-    for s in &mut subs {
-        s.filter = greenps_pubsub::filter::stock_template(&stocks[0].symbol);
-    }
-    Scenario {
-        name: format!("every-broker-subscribes-{brokers}"),
-        brokers: (0..brokers as u64)
-            .map(|i| broker(i, FULL_BANDWIDTH))
-            .collect(),
-        stocks,
-        publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
-        subs,
-        seed,
-    }
+    ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
+        .brokers(brokers)
+        .seed(seed)
+        .build()
 }
 
 #[cfg(test)]
@@ -195,7 +396,10 @@ mod tests {
 
     #[test]
     fn homogeneous_matches_paper_parameters() {
-        let s = homogeneous(2000, 1);
+        let s = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(2000)
+            .seed(1)
+            .build();
         assert_eq!(s.broker_count(), 80);
         assert_eq!(s.publisher_count(), 40);
         assert_eq!(s.sub_count(), 2000);
@@ -206,7 +410,10 @@ mod tests {
 
     #[test]
     fn heterogeneous_capacity_tiers() {
-        let s = heterogeneous(200, 2);
+        let s = ScenarioBuilder::new(Topology::Heterogeneous)
+            .ns(200)
+            .seed(2)
+            .build();
         assert_eq!(s.broker_count(), 80);
         let full = s
             .brokers
@@ -236,19 +443,101 @@ mod tests {
 
     #[test]
     fn scinet_parameters() {
-        let s = scinet(400, 3);
+        let s = ScenarioBuilder::new(Topology::Scinet).seed(3).build();
         assert_eq!(s.broker_count(), 400);
         assert_eq!(s.publisher_count(), 72);
         assert_eq!(s.sub_count(), 72 * 225);
-        let s = scinet(1000, 3);
+        let s = ScenarioBuilder::new(Topology::Scinet)
+            .brokers(1000)
+            .seed(3)
+            .build();
         assert_eq!(s.publisher_count(), 100);
     }
 
     #[test]
     fn adversarial_scenario_has_identical_subs() {
-        let s = every_broker_subscribes(10, 4);
+        let s = ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
+            .brokers(10)
+            .seed(4)
+            .build();
         assert_eq!(s.sub_count(), 10);
         let first = s.subs[0].filter.canonical_key();
         assert!(s.subs.iter().all(|x| x.filter.canonical_key() == first));
+    }
+
+    /// The deprecated constructors must stay byte-compatible with the
+    /// builder so downstream callers can migrate without behavior
+    /// changes.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let same = |a: &Scenario, b: &Scenario| {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.sub_count(), b.sub_count());
+            assert_eq!(a.broker_count(), b.broker_count());
+            assert_eq!(a.publisher_count(), b.publisher_count());
+            let keys = |s: &Scenario| -> Vec<String> {
+                s.subs.iter().map(|x| x.filter.canonical_key()).collect()
+            };
+            assert_eq!(keys(a), keys(b));
+            let bws =
+                |s: &Scenario| -> Vec<f64> { s.brokers.iter().map(|x| x.out_bandwidth).collect() };
+            assert_eq!(bws(a), bws(b));
+        };
+        same(
+            &homogeneous(500, 11),
+            &ScenarioBuilder::new(Topology::Homogeneous)
+                .total_subs(500)
+                .seed(11)
+                .build(),
+        );
+        same(
+            &heterogeneous(100, 12),
+            &ScenarioBuilder::new(Topology::Heterogeneous)
+                .ns(100)
+                .seed(12)
+                .build(),
+        );
+        same(
+            &scinet_custom(40, 8, 25, 13),
+            &ScenarioBuilder::new(Topology::Scinet)
+                .brokers(40)
+                .publishers(8)
+                .subs_per_publisher(25)
+                .seed(13)
+                .build(),
+        );
+        same(
+            &every_broker_subscribes(12, 14),
+            &ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
+                .brokers(12)
+                .seed(14)
+                .build(),
+        );
+    }
+
+    #[test]
+    fn capacity_scale_multiplies_every_tier() {
+        let base = ScenarioBuilder::new(Topology::Heterogeneous)
+            .seed(5)
+            .build();
+        let scaled = ScenarioBuilder::new(Topology::Heterogeneous)
+            .seed(5)
+            .capacity_scale(2.0)
+            .build();
+        for (a, b) in base.brokers.iter().zip(&scaled.brokers) {
+            assert_eq!(b.out_bandwidth, a.out_bandwidth * 2.0);
+        }
+    }
+
+    #[test]
+    fn homogeneous_broker_override() {
+        let s = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(400)
+            .brokers(320)
+            .seed(6)
+            .build();
+        assert_eq!(s.broker_count(), 320);
+        assert_eq!(s.sub_count(), 400);
     }
 }

@@ -225,7 +225,21 @@ pub fn placed_sub_ids(scenario: &Scenario) -> Vec<SubId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{heterogeneous, homogeneous};
+    use crate::scenario::{Scenario, ScenarioBuilder, Topology};
+
+    fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+        ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(total_subs)
+            .seed(seed)
+            .build()
+    }
+
+    fn heterogeneous(ns: usize, seed: u64) -> Scenario {
+        ScenarioBuilder::new(Topology::Heterogeneous)
+            .ns(ns)
+            .seed(seed)
+            .build()
+    }
 
     #[test]
     fn manual_is_a_fanout_two_tree() {

@@ -2,12 +2,12 @@
 //! traffic, the adversarial scenario behaves as §II-B predicts at the
 //! planning level, and pairwise placements deploy cleanly.
 
-use greenps_core::cram::{cram, CramConfig};
+use greenps_core::cram::CramBuilder;
 use greenps_core::pairwise::pairwise_n;
 use greenps_profile::ClosenessMetric;
 use greenps_simnet::SimDuration;
 use greenps_workload::runner::{profile_and_gather, RunConfig};
-use greenps_workload::{deploy, every_broker_subscribes, from_allocation, heterogeneous, manual};
+use greenps_workload::{deploy, from_allocation, manual, ScenarioBuilder, Topology};
 
 fn cfg(seed: u64) -> RunConfig {
     RunConfig {
@@ -20,7 +20,10 @@ fn cfg(seed: u64) -> RunConfig {
 
 #[test]
 fn heterogeneous_manual_deployment_flows() {
-    let scenario = heterogeneous(30, 81);
+    let scenario = ScenarioBuilder::new(Topology::Heterogeneous)
+        .ns(30)
+        .seed(81)
+        .build();
     let placement = manual(&scenario, 81);
     let mut d = deploy(&scenario, &placement);
     d.run_for(SimDuration::from_secs(5));
@@ -31,17 +34,23 @@ fn heterogeneous_manual_deployment_flows() {
 
 #[test]
 fn adversarial_scenario_gathers_identical_profiles() {
-    let scenario = every_broker_subscribes(10, 82);
+    let scenario = ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
+        .brokers(10)
+        .seed(82)
+        .build();
     let (_, input) = profile_and_gather(&scenario, &cfg(82));
     assert_eq!(input.subscriptions.len(), 10);
     // All subscriptions sink the identical publication set: one GIF.
-    let (_, stats) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    let (_, stats) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
     assert_eq!(stats.initial_gifs, 1, "identical interests form one GIF");
 }
 
 #[test]
 fn pairwise_allocation_deploys_and_delivers() {
-    let mut scenario = greenps_workload::homogeneous(80, 83);
+    let mut scenario = ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(80)
+        .seed(83)
+        .build();
     scenario.brokers.truncate(10);
     let (_, input) = profile_and_gather(&scenario, &cfg(83));
     let result = pairwise_n(&input, 83);

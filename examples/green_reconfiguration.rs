@@ -11,12 +11,15 @@ use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::report::reduction_pct;
 use greenps::workload::runner::{profile_and_gather, RunConfig};
-use greenps::workload::{deploy, from_plan, homogeneous, manual};
+use greenps::workload::{deploy, from_plan, manual, ScenarioBuilder, Topology};
 
 fn main() {
     // A scaled-down homogeneous scenario: 32 brokers, 40 publishers at
     // 70 msg/min, 800 subscriptions.
-    let mut scenario = homogeneous(800, 42);
+    let mut scenario = ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(800)
+        .seed(42)
+        .build();
     scenario.brokers.truncate(32);
     let cfg = RunConfig {
         warmup: SimDuration::from_secs(5),

@@ -8,12 +8,15 @@
 
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
-use greenps::workload::heterogeneous;
 use greenps::workload::report::outcome_table;
 use greenps::workload::runner::{run_approach, Approach, RunConfig};
+use greenps::workload::{ScenarioBuilder, Topology};
 
 fn main() {
-    let scenario = heterogeneous(50, 7);
+    let scenario = ScenarioBuilder::new(Topology::Heterogeneous)
+        .ns(50)
+        .seed(7)
+        .build();
     println!(
         "heterogeneous scenario: {} brokers, {} publishers, {} subscriptions",
         scenario.broker_count(),

@@ -13,11 +13,16 @@ use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::report::{outcome_table, reduction_pct};
 use greenps::workload::runner::{run_approach, Approach, RunConfig};
-use greenps::workload::scinet_custom;
+use greenps::workload::{ScenarioBuilder, Topology};
 
 fn main() {
     // 200 brokers, 36 publishers, 50 subscriptions per publisher.
-    let scenario = scinet_custom(200, 36, 50, 11);
+    let scenario = ScenarioBuilder::new(Topology::Scinet)
+        .brokers(200)
+        .publishers(36)
+        .subs_per_publisher(50)
+        .seed(11)
+        .build();
     println!(
         "SciNet-style scenario: {} brokers, {} publishers, {} subscriptions",
         scenario.broker_count(),

@@ -13,12 +13,15 @@ use greenps::pubsub::filter::stock_advertisement;
 use greenps::pubsub::ids::{AdvId, MsgId};
 use greenps::pubsub::message::{Advertisement, Subscription};
 use greenps_bench::ideal_input;
-use greenps_workload::homogeneous;
+use greenps_workload::{ScenarioBuilder, Topology};
 use std::time::Duration;
 
 fn main() {
     // Plan offline from ideal profiles.
-    let mut scenario = homogeneous(300, 3);
+    let mut scenario = ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(300)
+        .seed(3)
+        .build();
     scenario.brokers.truncate(24);
     let input = ideal_input(&scenario);
     let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");

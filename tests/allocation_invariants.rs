@@ -2,7 +2,7 @@
 //! capacity feasibility, completeness, and clustering sanity across
 //! random workloads.
 
-use greenps::core::cram::{cram, CramConfig};
+use greenps::core::cram::CramBuilder;
 use greenps::core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
 use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps::core::sorting::{bin_packing, fbf};
@@ -108,8 +108,7 @@ proptest! {
     #[test]
     fn cram_allocations_are_feasible_and_never_worse(input in arb_input()) {
         let Ok(bp) = bin_packing(&input) else { return Ok(()); };
-        let (alloc, stats) =
-            cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+        let (alloc, stats) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
         assert_eq!(alloc.sub_count(), input.subscriptions.len());
         assert_feasible(&input, &alloc);
         prop_assert!(alloc.broker_count() <= bp.broker_count(),
@@ -135,9 +134,28 @@ proptest! {
     #[test]
     fn xor_metric_also_produces_feasible_allocations(input in arb_input()) {
         if bin_packing(&input).is_err() { return Ok(()); }
-        let (alloc, _) =
-            cram(&input, CramConfig::with_metric(ClosenessMetric::Xor)).unwrap();
+        let (alloc, _) = CramBuilder::new(ClosenessMetric::Xor).run(&input).unwrap();
         assert_eq!(alloc.sub_count(), input.subscriptions.len());
         assert_feasible(&input, &alloc);
+    }
+
+    /// The parallel closest-pair search is a pure performance knob:
+    /// for any thread count, every metric must reproduce the
+    /// sequential allocation (and stats) bit for bit.
+    #[test]
+    fn parallel_cram_is_bit_identical_to_sequential(input in arb_input()) {
+        if bin_packing(&input).is_err() { return Ok(()); }
+        for metric in ClosenessMetric::ALL {
+            let (seq_alloc, seq_stats) =
+                CramBuilder::new(metric).run(&input).unwrap();
+            for threads in [2usize, 4, 8] {
+                let (par_alloc, par_stats) = CramBuilder::new(metric)
+                    .threads(threads)
+                    .run(&input)
+                    .unwrap();
+                prop_assert_eq!(&par_alloc, &seq_alloc, "{} t={}", metric, threads);
+                prop_assert_eq!(par_stats, seq_stats, "{} t={}", metric, threads);
+            }
+        }
     }
 }

@@ -5,7 +5,14 @@ use greenps::core::croc::{plan, PlanConfig};
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::runner::{profile_and_gather, run_approach, Approach, RunConfig};
-use greenps::workload::{deploy, from_plan, homogeneous};
+use greenps::workload::{deploy, from_plan, Scenario, ScenarioBuilder, Topology};
+
+fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 fn cfg(seed: u64) -> RunConfig {
     RunConfig {

@@ -1,14 +1,21 @@
 //! Smoke tests of the experiment harness pieces at tiny scale: every
 //! experiment's computational core runs and produces sane shapes.
 
-use greenps::core::cram::{cram, CramConfig};
+use greenps::core::cram::CramBuilder;
 use greenps::core::croc::{plan, PlanConfig};
 use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps::core::pairwise::{pairwise_k, pairwise_n};
 use greenps::core::sorting::{bin_packing, fbf};
 use greenps::profile::ClosenessMetric;
 use greenps_bench::{check_input, ideal_input};
-use greenps_workload::{heterogeneous, homogeneous, scinet_custom};
+use greenps_workload::{Scenario, ScenarioBuilder, Topology};
+
+fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 #[test]
 fn e1_core_all_algorithms_allocate_same_subscriptions() {
@@ -22,7 +29,7 @@ fn e1_core_all_algorithms_allocate_same_subscriptions() {
     let bp = bin_packing(&input).unwrap();
     assert!(bp.broker_count() <= fbf_alloc.broker_count());
     for metric in ClosenessMetric::ALL {
-        let (alloc, stats) = cram(&input, CramConfig::with_metric(metric)).unwrap();
+        let (alloc, stats) = CramBuilder::new(metric).run(&input).unwrap();
         assert_eq!(alloc.sub_count(), 200, "{metric}");
         assert!(alloc.broker_count() <= bp.broker_count(), "{metric}");
         assert!(alloc.broker_count() < manual_brokers, "{metric}");
@@ -40,9 +47,12 @@ fn e1_core_all_algorithms_allocate_same_subscriptions() {
 
 #[test]
 fn e4_core_heterogeneous_prefers_big_brokers() {
-    let scenario = heterogeneous(40, 72);
+    let scenario = ScenarioBuilder::new(Topology::Heterogeneous)
+        .ns(40)
+        .seed(72)
+        .build();
     let input = ideal_input(&scenario);
-    let (alloc, _) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    let (alloc, _) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
     // The most resourceful brokers absorb the heaviest loads: the
     // busiest allocated broker must be a full-capacity one.
     let busiest = alloc
@@ -65,7 +75,12 @@ fn e4_core_heterogeneous_prefers_big_brokers() {
 
 #[test]
 fn e5_core_scales_to_hundreds_of_brokers() {
-    let scenario = scinet_custom(120, 10, 20, 73);
+    let scenario = ScenarioBuilder::new(Topology::Scinet)
+        .brokers(120)
+        .publishers(10)
+        .subs_per_publisher(20)
+        .seed(73)
+        .build();
     let input = ideal_input(&scenario);
     let p = plan(&input, &PlanConfig::cram(ClosenessMetric::Iou)).unwrap();
     assert!(
@@ -81,26 +96,16 @@ fn e8_core_pruning_cuts_computations_at_scale() {
     let mut scenario = homogeneous(320, 74);
     scenario.brokers.truncate(30);
     let input = ideal_input(&scenario);
-    let pruned = cram(
-        &input,
-        CramConfig {
-            metric: ClosenessMetric::Ios,
-            one_to_many: true,
-            poset_pruning: true,
-        },
-    )
-    .unwrap()
-    .1;
-    let full = cram(
-        &input,
-        CramConfig {
-            metric: ClosenessMetric::Ios,
-            one_to_many: true,
-            poset_pruning: false,
-        },
-    )
-    .unwrap()
-    .1;
+    let pruned = CramBuilder::new(ClosenessMetric::Ios)
+        .poset_pruning(true)
+        .run(&input)
+        .unwrap()
+        .1;
+    let full = CramBuilder::new(ClosenessMetric::Ios)
+        .poset_pruning(false)
+        .run(&input)
+        .unwrap()
+        .1;
     assert!(
         pruned.closeness_computations * 2 < full.closeness_computations,
         "pruning cuts computations by half or more: {} vs {}",
@@ -114,7 +119,7 @@ fn e9_core_overlay_opts_monotone() {
     let mut scenario = homogeneous(240, 75);
     scenario.brokers.truncate(24);
     let input = ideal_input(&scenario);
-    let (leaf, _) = cram(&input, CramConfig::with_metric(ClosenessMetric::Ios)).unwrap();
+    let (leaf, _) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
     let all_on = build_overlay(
         &input,
         &leaf,

@@ -5,7 +5,14 @@
 use greenps::broker::{Deployment, SubscriberClient};
 use greenps::pubsub::ids::ClientId;
 use greenps::simnet::SimDuration;
-use greenps::workload::{deploy, homogeneous, manual};
+use greenps::workload::{deploy, manual, Scenario, ScenarioBuilder, Topology};
+
+fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 #[test]
 fn broker_death_starves_its_subtree_only() {

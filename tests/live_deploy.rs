@@ -8,12 +8,15 @@ use greenps::pubsub::filter::stock_advertisement;
 use greenps::pubsub::ids::{AdvId, MsgId};
 use greenps::pubsub::message::{Advertisement, Subscription};
 use greenps_bench::ideal_input;
-use greenps_workload::homogeneous;
+use greenps_workload::{ScenarioBuilder, Topology};
 use std::time::Duration;
 
 #[test]
 fn plan_runs_on_live_threads() {
-    let mut scenario = homogeneous(120, 51);
+    let mut scenario = ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(120)
+        .seed(51)
+        .build();
     scenario.brokers.truncate(12);
     let input = ideal_input(&scenario);
     let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");

@@ -5,7 +5,14 @@
 use greenps::broker::Deployment;
 use greenps::simnet::SimDuration;
 use greenps::workload::runner::{profile_and_gather, RunConfig};
-use greenps::workload::{deploy, homogeneous, manual};
+use greenps::workload::{deploy, manual, Scenario, ScenarioBuilder, Topology};
+
+fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 #[test]
 fn gather_reaches_every_broker_and_profiles_fill() {

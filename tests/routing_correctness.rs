@@ -6,7 +6,14 @@
 use greenps::broker::{Deployment, PublisherClient, SubscriberClient};
 use greenps::pubsub::ids::{AdvId, MsgId};
 use greenps::simnet::SimDuration;
-use greenps::workload::{automatic, deploy, homogeneous};
+use greenps::workload::{automatic, deploy, Scenario, ScenarioBuilder, Topology};
+
+fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
+    ScenarioBuilder::new(Topology::Homogeneous)
+        .total_subs(total_subs)
+        .seed(seed)
+        .build()
+}
 
 #[test]
 fn deliveries_match_offline_oracle() {

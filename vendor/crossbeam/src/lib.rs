@@ -6,8 +6,93 @@
 //! `recv_timeout`, `try_recv`, iteration). Built on a
 //! `Mutex<VecDeque>` + `Condvar`; throughput is adequate for the live
 //! broker runtime's message volumes.
+//!
+//! Also provides [`thread`] — scoped threads for borrowing from the
+//! caller's stack, the API subset the parallel closeness engine's
+//! worker pool uses. Backed by `std::thread::scope`.
 
 #![forbid(unsafe_code)]
+
+/// Scoped threads: workers that may borrow non-`'static` data from the
+/// spawning stack frame. A thin wrapper over `std::thread::scope` with
+/// the `crossbeam-utils 0.8` flavour of the API (minus the scope
+/// argument in spawn closures, which the workspace does not use).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// A scope handle; spawn workers through it. All workers are joined
+    /// before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the worker and returns its result. A worker panic
+        /// is resumed on the joining thread, so callers never observe a
+        /// poisoned or partial result.
+        pub fn join(self) -> T {
+            match self.inner.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; returns the
+    /// closure's result after every spawned worker has been joined.
+    pub fn scope<'env, F, R>(f: F) -> R
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        stdthread::scope(|s| f(&Scope { inner: s }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn workers_borrow_and_results_join() {
+            let data = [1u64, 2, 3, 4, 5, 6];
+            let total: u64 = scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join()).sum()
+            });
+            assert_eq!(total, 21);
+        }
+
+        #[test]
+        fn worker_panic_propagates() {
+            let caught = std::panic::catch_unwind(|| {
+                scope(|s| {
+                    s.spawn(|| panic!("worker failed")).join();
+                })
+            });
+            assert!(caught.is_err());
+        }
+    }
+}
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
