@@ -11,19 +11,31 @@ use crate::{line_of, Finding, SourceFile};
 
 /// Allowed `greenps-*` dependency edges, from DESIGN.md §3.
 /// `(crate, allowed direct dependencies)`.
-pub const ALLOWED: [(&str, &[&str]); 8] = [
+pub const ALLOWED: [(&str, &[&str]); 9] = [
     ("pubsub", &[]),
-    ("simnet", &[]),
+    ("telemetry", &[]),
+    ("simnet", &["telemetry"]),
     ("profile", &["pubsub"]),
-    ("core", &["pubsub", "profile"]),
-    ("broker", &["pubsub", "simnet", "profile", "core"]),
+    ("core", &["pubsub", "profile", "telemetry"]),
+    (
+        "broker",
+        &["pubsub", "simnet", "profile", "core", "telemetry"],
+    ),
     (
         "workload",
-        &["pubsub", "simnet", "profile", "core", "broker"],
+        &["pubsub", "simnet", "profile", "core", "broker", "telemetry"],
     ),
     (
         "bench",
-        &["pubsub", "simnet", "profile", "core", "broker", "workload"],
+        &[
+            "pubsub",
+            "simnet",
+            "profile",
+            "core",
+            "broker",
+            "workload",
+            "telemetry",
+        ],
     ),
     ("analysis", &[]),
 ];

@@ -1,17 +1,18 @@
 //! Lint 1: panic-freedom in runtime library code.
 //!
-//! The runtime crates (`pubsub`, `profile`, `core`, `broker`, `simnet`)
-//! must not contain `unwrap()`, `expect()`, panicking macros, or `[..]`
-//! indexing in non-`#[cfg(test)]` library code, except where a
-//! justified allowlist entry documents the invariant that makes the
-//! panic unreachable.
+//! The runtime crates (`pubsub`, `profile`, `core`, `broker`, `simnet`,
+//! `telemetry`) must not contain `unwrap()`, `expect()`, panicking
+//! macros, or `[..]` indexing in non-`#[cfg(test)]` library code,
+//! except where a justified allowlist entry documents the invariant
+//! that makes the panic unreachable.
 
 use crate::allowlist::Allowlist;
 use crate::source::{in_regions, mask, test_regions};
 use crate::{line_of, line_text, Finding, SourceFile};
 
 /// Crates whose library code must be panic-free.
-pub const CHECKED_CRATES: [&str; 5] = ["pubsub", "profile", "core", "broker", "simnet"];
+pub const CHECKED_CRATES: [&str; 6] =
+    ["pubsub", "profile", "core", "broker", "simnet", "telemetry"];
 
 const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
 

@@ -1,14 +1,18 @@
 //! Regenerates every figure/table of the evaluation (DESIGN.md §4).
 //!
 //! ```text
-//! experiments [--quick] [--csv <dir>] <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>
+//! experiments [--quick] [--csv <dir>] [--telemetry <path>]
+//!             <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>
 //! ```
 //!
 //! `--quick` shrinks the grids so the whole suite finishes in a couple
 //! of minutes; the default parameters follow the paper (80 brokers, 40
 //! publishers at 70 msg/min, 2,000–8,000 subscriptions, heterogeneous
 //! tiers, SciNet scales). `bench-report` times sequential vs parallel
-//! CRAM and writes `BENCH_cram.json`.
+//! CRAM and writes `BENCH_cram.json`. `--telemetry <path>` traces every
+//! run into a `greenps-telemetry` registry (phase spans, CRAM counters,
+//! pair-cache hit rates, per-broker delivery-delay histograms) and
+//! writes the whole-run snapshot as JSON at exit.
 
 use greenps_bench::ideal_input;
 use greenps_core::cram::{CramBuilder, CramConfig};
@@ -18,8 +22,9 @@ use greenps_core::model::AllocationInput;
 use greenps_core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps_core::sorting::{bin_packing, fbf};
 use greenps_profile::{ClosenessMetric, Poset};
+use greenps_telemetry::{JsonExporter, Registry};
 use greenps_workload::report::{outcome_table, reduction_pct, Table};
-use greenps_workload::runner::{run_approach, Approach, Outcome, RunConfig};
+use greenps_workload::runner::{run_approach_with_telemetry, Approach, Outcome, RunConfig};
 use greenps_workload::scenario::{Scenario, ScenarioBuilder, Topology};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -63,6 +68,8 @@ fn every_broker_subscribes(brokers: usize, seed: u64) -> Scenario {
 struct Opts {
     quick: bool,
     csv: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+    registry: Registry,
 }
 
 fn main() {
@@ -70,6 +77,8 @@ fn main() {
     let mut opts = Opts {
         quick: false,
         csv: None,
+        telemetry: None,
+        registry: Registry::disabled(),
     };
     let mut which = Vec::new();
     while let Some(a) = args.first().cloned() {
@@ -81,9 +90,15 @@ fn main() {
                 args.remove(0);
                 opts.csv = Some(PathBuf::from(dir));
             }
+            "--telemetry" => {
+                let path = args.first().expect("--telemetry needs a path").clone();
+                args.remove(0);
+                opts.telemetry = Some(PathBuf::from(path));
+                opts.registry = Registry::new();
+            }
             "--help" | "-h" | "help" => {
                 println!(
-                    "usage: experiments [--quick] [--csv <dir>] \
+                    "usage: experiments [--quick] [--csv <dir>] [--telemetry <path>] \
                      <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>\n\
                      \n\
                      e1-e3   homogeneous cluster: msg rate, brokers, hops/delay\n\
@@ -131,6 +146,11 @@ fn main() {
             other => eprintln!("unknown experiment: {other}"),
         }
     }
+    if let Some(path) = &opts.telemetry {
+        let json = JsonExporter::export(&opts.registry.snapshot());
+        std::fs::write(path, json).expect("write telemetry json");
+        println!("telemetry: wrote {}", path.display());
+    }
 }
 
 fn emit(opts: &Opts, name: &str, title: &str, table: &Table) {
@@ -152,12 +172,12 @@ fn run_cfg(seed: u64) -> RunConfig {
     }
 }
 
-fn grid_outcomes(scenarios: &[Scenario], approaches: &[Approach]) -> Vec<Outcome> {
+fn grid_outcomes(opts: &Opts, scenarios: &[Scenario], approaches: &[Approach]) -> Vec<Outcome> {
     let mut out = Vec::new();
     for s in scenarios {
         for &a in approaches {
             let t0 = Instant::now();
-            let o = run_approach(s, a, &run_cfg(s.seed));
+            let o = run_approach_with_telemetry(s, a, &run_cfg(s.seed), &opts.registry);
             eprintln!(
                 "[{}] {} -> {} brokers, {:.1} msg/s avg ({:.1}s wall)",
                 s.name,
@@ -190,7 +210,7 @@ fn e1_e2_e3(opts: &Opts) {
             s
         })
         .collect();
-    let outcomes = grid_outcomes(&scenarios, &Approach::ALL_PAPER);
+    let outcomes = grid_outcomes(opts, &scenarios, &Approach::ALL_PAPER);
     emit(
         opts,
         "e1",
@@ -267,7 +287,7 @@ fn e4(opts: &Opts) {
     } else {
         &Approach::ALL_PAPER
     };
-    let outcomes = grid_outcomes(&scenarios, approaches);
+    let outcomes = grid_outcomes(opts, &scenarios, approaches);
     emit(
         opts,
         "e4",
@@ -295,7 +315,7 @@ fn e5(opts: &Opts) {
         Approach::BinPacking,
         Approach::Cram(ClosenessMetric::Ios),
     ];
-    let outcomes = grid_outcomes(&scales, &approaches);
+    let outcomes = grid_outcomes(opts, &scales, &approaches);
     emit(opts, "e5", "SciNet large-scale", &outcome_table(&outcomes));
 }
 
@@ -309,7 +329,7 @@ fn e6(opts: &Opts) {
         Approach::GrapeOnly,
         Approach::Cram(ClosenessMetric::Ios),
     ];
-    let outcomes = grid_outcomes(&[s], &approaches);
+    let outcomes = grid_outcomes(opts, &[s], &approaches);
     let mut t = Table::new(&["approach", "brokers", "avg msg rate", "vs MANUAL (%)"]);
     let base = outcomes[0].metrics.avg_broker_msg_rate;
     for o in &outcomes {
@@ -340,11 +360,12 @@ fn e6(opts: &Opts) {
     for priority in [0.0, 0.5, 1.0] {
         let mut plan_cfg = PlanConfig::cram(ClosenessMetric::Ios);
         plan_cfg.grape = greenps_core::grape::GrapeConfig { priority };
-        let o = greenps_workload::runner::run_custom_plan(
+        let o = greenps_workload::runner::run_custom_plan_with_telemetry(
             &sweep_scenario,
             &format!("CRAM-IOS/P={priority}"),
             &plan_cfg,
             &run_cfg(5),
+            &opts.registry,
         );
         t.row(vec![
             format!("{priority:.1}"),

@@ -143,6 +143,11 @@ impl SubscriberClient {
         &self.delays
     }
 
+    /// The broker node this subscriber is attached to.
+    pub fn broker_node(&self) -> NodeId {
+        self.broker
+    }
+
     /// Resets delivery statistics (start of a measurement window).
     pub fn reset_stats(&mut self) {
         self.deliveries = 0;

@@ -14,6 +14,7 @@ use greenps_pubsub::ids::{AdvId, BrokerId, ClientId};
 use greenps_pubsub::message::Subscription;
 use greenps_pubsub::Filter;
 use greenps_simnet::{LinkSpec, Network, NodeId, SimDuration};
+use greenps_telemetry::{Registry, Span};
 use std::collections::BTreeMap;
 
 /// A deployable broker topology.
@@ -40,6 +41,7 @@ pub struct Deployment {
     link: LinkSpec,
     croc: Option<NodeId>,
     next_request: u64,
+    telemetry: Registry,
 }
 
 impl RunMetrics {
@@ -86,7 +88,18 @@ impl Deployment {
             link: spec.link,
             croc: None,
             next_request: 0,
+            telemetry: Registry::disabled(),
         }
+    }
+
+    /// Attaches telemetry: Phase-1 gathers are timed under the
+    /// `phase1.gathering` span, measurement windows feed per-broker
+    /// in/out gauges and `broker.b<id>.delivery_delay_us` histograms,
+    /// and the underlying simulator reports its queue/drop instruments
+    /// (see [`Network::set_telemetry`]).
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = registry.clone();
+        self.net.set_telemetry(registry);
     }
 
     /// Attaches a publisher client to a broker.
@@ -145,6 +158,8 @@ impl Deployment {
     ///
     /// Returns `None` if the gather does not complete within `timeout`.
     pub fn gather(&mut self, timeout: SimDuration) -> Option<Vec<GatheredBroker>> {
+        let _span = Span::enter(&self.telemetry, "phase1.gathering");
+        self.telemetry.counter("phase1.bir_rounds").inc();
         let croc = match self.croc {
             Some(c) => c,
             None => {
@@ -193,6 +208,7 @@ impl Deployment {
     /// Resets traffic counters and subscriber statistics, runs for
     /// `window`, and reports deployment-wide metrics.
     pub fn measure(&mut self, window: SimDuration) -> RunMetrics {
+        let _span = Span::enter(&self.telemetry, "measure.window");
         self.net.reset_counters();
         let subscriber_nodes: Vec<NodeId> = self.subscribers.values().copied().collect();
         for &n in &subscriber_nodes {
@@ -233,7 +249,47 @@ impl Deployment {
             metrics.mean_hops = hops_sum / metrics.deliveries as f64;
             metrics.mean_delay_s = delay_sum / metrics.deliveries as f64;
         }
+        self.report_window(window, &subscriber_nodes);
         metrics
+    }
+
+    /// Mirrors one measurement window into the attached registry:
+    /// per-broker in/out counts and message rate as gauges, and every
+    /// subscriber delivery delay into its broker's
+    /// `broker.b<id>.delivery_delay_us` histogram.
+    fn report_window(&self, window: SimDuration, subscriber_nodes: &[NodeId]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (&id, &node) in &self.brokers {
+            let c = self.net.counters(node);
+            let tag = format!("broker.b{}", id.raw());
+            self.telemetry
+                .gauge(&format!("{tag}.msgs_in"))
+                .set(c.msgs_in);
+            self.telemetry
+                .gauge(&format!("{tag}.msgs_out"))
+                .set(c.msgs_out);
+            self.telemetry
+                .gauge(&format!("{tag}.msg_rate"))
+                .set(c.msg_rate(window).round() as u64);
+        }
+        let broker_of: BTreeMap<NodeId, BrokerId> =
+            self.brokers.iter().map(|(&b, &n)| (n, b)).collect();
+        for &n in subscriber_nodes {
+            let Some(s) = self.net.node_as::<SubscriberClient>(n) else {
+                continue;
+            };
+            let Some(&b) = broker_of.get(&s.broker_node()) else {
+                continue;
+            };
+            let hist = self
+                .telemetry
+                .histogram(&format!("broker.b{}.delivery_delay_us", b.raw()));
+            for &d in s.delays() {
+                hist.record(d.as_micros());
+            }
+        }
     }
 
     /// Number of brokers in the deployment.

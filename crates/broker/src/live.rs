@@ -21,6 +21,7 @@ use crate::audit::TrackedRwLock;
 use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
 use greenps_pubsub::message::{Advertisement, Publication, Subscription};
 use greenps_pubsub::routing::RoutingTables;
+use greenps_telemetry::{Gauge, Registry};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -99,11 +100,37 @@ type StatsBoard = Arc<TrackedRwLock<BTreeMap<BrokerId, LiveBrokerStats>>>;
 /// How many messages a broker processes between snapshot refreshes.
 const STATS_REFRESH_EVERY: u64 = 32;
 
+/// Per-broker live gauges, refreshed together with the stats board so
+/// the telemetry plane and the audit watchdog observe the same values.
+struct BrokerGauges {
+    msgs_in: Gauge,
+    msgs_out: Gauge,
+    delivered: Gauge,
+}
+
+impl BrokerGauges {
+    fn attach(registry: &Registry, broker: BrokerId) -> Self {
+        let tag = format!("broker.b{}", broker.raw());
+        Self {
+            msgs_in: registry.gauge(&format!("{tag}.live_msgs_in")),
+            msgs_out: registry.gauge(&format!("{tag}.live_msgs_out")),
+            delivered: registry.gauge(&format!("{tag}.live_delivered")),
+        }
+    }
+
+    fn refresh(&self, stats: &LiveBrokerStats) {
+        self.msgs_in.set(stats.msgs_in);
+        self.msgs_out.set(stats.msgs_out);
+        self.delivered.set(stats.delivered);
+    }
+}
+
 fn broker_main(
     broker: BrokerId,
     my_id: EndpointId,
     rx: Receiver<Envelope>,
     board: StatsBoard,
+    gauges: BrokerGauges,
 ) -> LiveBrokerStats {
     let mut routing: RoutingTables<EndpointId> = RoutingTables::new();
     let mut peers: HashMap<EndpointId, Sender<Envelope>> = HashMap::new();
@@ -190,9 +217,11 @@ fn broker_main(
         if since_refresh >= STATS_REFRESH_EVERY {
             since_refresh = 0;
             board.write().insert(broker, stats);
+            gauges.refresh(&stats);
         }
     }
     board.write().insert(broker, stats);
+    gauges.refresh(&stats);
     stats
 }
 
@@ -224,6 +253,22 @@ impl LiveNet {
     /// broker not in `brokers`, or [`LiveError::Spawn`] if the OS
     /// refuses a thread.
     pub fn start(brokers: &[BrokerId], edges: &[(BrokerId, BrokerId)]) -> Result<Self, LiveError> {
+        Self::start_with_telemetry(brokers, edges, &Registry::disabled())
+    }
+
+    /// [`LiveNet::start`] with telemetry: each broker thread refreshes
+    /// `broker.b<id>.live_msgs_in`/`live_msgs_out`/`live_delivered`
+    /// gauges alongside the stats board, and (under the
+    /// `concurrency-audit` feature) the watchdog mirrors its stall
+    /// reports into the `broker.live` event ring.
+    ///
+    /// # Errors
+    /// Same as [`LiveNet::start`].
+    pub fn start_with_telemetry(
+        brokers: &[BrokerId],
+        edges: &[(BrokerId, BrokerId)],
+        registry: &Registry,
+    ) -> Result<Self, LiveError> {
         let stats: StatsBoard = Arc::new(TrackedRwLock::new(
             "live-stats-board",
             brokers
@@ -242,16 +287,18 @@ impl LiveNet {
         for (b, rx) in receivers {
             let my_id = endpoint_of(b);
             let board = Arc::clone(&stats);
+            let gauges = BrokerGauges::attach(registry, b);
             let handle = std::thread::Builder::new()
                 .name(format!("broker-{b}"))
-                .spawn(move || broker_main(b, my_id, rx, board))
+                .spawn(move || broker_main(b, my_id, rx, board, gauges))
                 .map_err(LiveError::Spawn)?;
             handles.insert(b, handle);
         }
         #[cfg(feature = "concurrency-audit")]
-        let watchdog = watchdog::Watchdog::start(&senders, Arc::clone(&stats))
-            .map_err(LiveError::Spawn)
-            .map(Some)?;
+        let watchdog =
+            watchdog::Watchdog::start(&senders, Arc::clone(&stats), registry.ring("broker.live"))
+                .map_err(LiveError::Spawn)
+                .map(Some)?;
         let net = Self {
             handles,
             senders,
@@ -427,6 +474,7 @@ mod watchdog {
 
     use super::{BrokerId, Envelope, LiveBrokerStats, Sender, StatsBoard};
     use crate::audit;
+    use greenps_telemetry::EventSink;
     use std::collections::BTreeMap;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -445,6 +493,7 @@ mod watchdog {
         pub(super) fn start(
             senders: &BTreeMap<BrokerId, Sender<Envelope>>,
             board: StatsBoard,
+            events: EventSink,
         ) -> std::io::Result<Self> {
             let stop = Arc::new(AtomicBool::new(false));
             let stop2 = Arc::clone(&stop);
@@ -452,7 +501,7 @@ mod watchdog {
                 senders.iter().map(|(&b, tx)| (b, tx.clone())).collect();
             let handle = std::thread::Builder::new()
                 .name("live-watchdog".to_string())
-                .spawn(move || run(&senders, &board, &stop2))?;
+                .spawn(move || run(&senders, &board, &stop2, &events))?;
             Ok(Watchdog {
                 stop,
                 handle: Some(handle),
@@ -479,7 +528,12 @@ mod watchdog {
         }
     }
 
-    fn run(senders: &BTreeMap<BrokerId, Sender<Envelope>>, board: &StatsBoard, stop: &AtomicBool) {
+    fn run(
+        senders: &BTreeMap<BrokerId, Sender<Envelope>>,
+        board: &StatsBoard,
+        stop: &AtomicBool,
+        events: &EventSink,
+    ) {
         let mut last: BTreeMap<BrokerId, LiveBrokerStats> = BTreeMap::new();
         while !stop.load(Ordering::Relaxed) {
             std::thread::sleep(SAMPLE_EVERY);
@@ -501,6 +555,9 @@ mod watchdog {
                         "watchdog: live broker {b} has {queued} queued envelope(s) \
                          but made no progress over {SAMPLE_EVERY:?} — possible deadlock"
                     ));
+                    events.emit_with("watchdog.stall", || {
+                        format!("{b}: {queued} queued, no progress over {SAMPLE_EVERY:?}")
+                    });
                 }
             }
             last = now;

@@ -42,7 +42,9 @@ use crate::sorting::{bin_packing_units, units_from_input};
 use greenps_profile::{
     Closeness, ClosenessMetric, Poset, PublisherTable, Relation, SubscriptionProfile,
 };
+use greenps_telemetry::{EventSink, Histogram, Registry, Span};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Key of a GIF inside the CRAM pool.
 pub(crate) type GifKey = u64;
@@ -238,6 +240,7 @@ pub struct CramBuilder<'a> {
     one_to_many: bool,
     poset_pruning: bool,
     threads: usize,
+    telemetry: Registry,
 }
 
 impl<'a> CramBuilder<'a> {
@@ -249,6 +252,7 @@ impl<'a> CramBuilder<'a> {
             one_to_many: true,
             poset_pruning: true,
             threads: 1,
+            telemetry: Registry::disabled(),
         }
     }
 
@@ -260,6 +264,7 @@ impl<'a> CramBuilder<'a> {
             one_to_many: true,
             poset_pruning: true,
             threads: 1,
+            telemetry: Registry::disabled(),
         }
     }
 
@@ -271,7 +276,19 @@ impl<'a> CramBuilder<'a> {
             one_to_many: config.one_to_many,
             poset_pruning: config.poset_pruning,
             threads: config.threads,
+            telemetry: Registry::disabled(),
         }
+    }
+
+    /// Reports into `registry`: the `cram.run` span, per-scan timings,
+    /// GIF-merge/blacklist trace events, and — after the run — the
+    /// closeness-computation and pair-cache counters. Observation only:
+    /// the allocation and [`CramStats`] are bit-identical with any
+    /// registry, including [`Registry::disabled`] (the default).
+    #[must_use]
+    pub fn telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = registry.clone();
+        self
     }
 
     /// Toggles optimization 3 (one-to-many CGS clustering).
@@ -316,6 +333,7 @@ impl<'a> CramBuilder<'a> {
         input: &AllocationInput,
         units: Vec<Unit>,
     ) -> Result<(Allocation, CramStats), AllocError> {
+        let span = Span::enter(&self.telemetry, "cram.run");
         let metric: &dyn Closeness = match &self.measure {
             MeasureRef::Metric(m) => m,
             MeasureRef::Custom(c) => *c,
@@ -344,12 +362,41 @@ impl<'a> CramBuilder<'a> {
             cache: PairCache::new(),
             stats,
             best: baseline,
+            scan_timer: self.telemetry.histogram("cram.scan_us"),
+            events: self.telemetry.ring("cram"),
         };
         engine.stale.extend(engine.pool.gifs.keys().copied());
         engine.run();
         engine.stats.poset_relation_ops = engine.pool.poset.relation_ops();
         engine.stats.final_units = engine.pool.units.len();
+        self.report(&engine);
+        span.finish();
         Ok((engine.best, engine.stats))
+    }
+
+    /// Publishes the run's counters and gauges. Pure observation of
+    /// already-final values, after the allocation is decided.
+    fn report(&self, engine: &Engine<'_>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        let stats = &engine.stats;
+        t.counter("cram.closeness_computations")
+            .add(stats.closeness_computations);
+        t.counter("cram.iterations").add(stats.iterations as u64);
+        t.counter("cram.merges").add(stats.merges as u64);
+        t.counter("cram.failed_merges")
+            .add(stats.failed_merges as u64);
+        t.counter("cram.one_to_many_merges")
+            .add(stats.one_to_many_merges as u64);
+        t.gauge("cram.initial_gifs").set(stats.initial_gifs as u64);
+        t.gauge("cram.final_units").set(stats.final_units as u64);
+        let cache = engine.cache.stats();
+        t.counter("core.pair_cache.hits").add(cache.hits);
+        t.counter("core.pair_cache.misses").add(cache.misses);
+        t.gauge("core.pair_cache.hit_rate_pct")
+            .set((cache.hit_rate() * 100.0).round() as u64);
     }
 }
 
@@ -372,6 +419,12 @@ struct Engine<'a> {
     cache: PairCache<GifKey>,
     stats: CramStats,
     best: Allocation,
+    /// Telemetry: per-scan wall times (µs). Atomic and lock-free, so
+    /// shard workers record into it concurrently without affecting the
+    /// scan results.
+    scan_timer: Histogram,
+    /// Telemetry: merge/blacklist trace events.
+    events: EventSink,
 }
 
 fn pair_key(a: GifKey, b: GifKey) -> (GifKey, GifKey) {
@@ -403,8 +456,12 @@ fn scan_partner(
     poset_pruning: bool,
     blacklist: &BTreeSet<(GifKey, GifKey)>,
     cache: &PairCache<GifKey>,
+    timer: &Histogram,
     g: GifKey,
 ) -> ScanOutcome {
+    // Time the scan only when telemetry is on — the clock read is the
+    // sole extra work, and it cannot influence the outcome.
+    let started = timer.is_enabled().then(Instant::now);
     let g_profile = &pool.gifs[&g].profile;
     let mut computed: Vec<(GifKey, f64)> = Vec::new();
     let mut computations = 0u64;
@@ -459,6 +516,9 @@ fn scan_partner(
             consider(cand, c);
         }
     }
+    if let Some(started) = started {
+        timer.record_duration(started.elapsed());
+    }
     ScanOutcome {
         partner: best,
         computed,
@@ -475,7 +535,11 @@ impl Engine<'_> {
             };
             self.stats.iterations += 1;
             let committed = self.attempt(g, h);
-            if !committed {
+            if committed {
+                self.events.emit_with("gif.merge", || format!("g{g}+g{h}"));
+            } else {
+                self.events
+                    .emit_with("pair.blacklist", || format!("g{g}+g{h}"));
                 self.blacklist.insert(pair_key(g, h));
                 self.stats.failed_merges += 1;
                 self.stale.insert(g);
@@ -517,8 +581,9 @@ impl Engine<'_> {
         } else {
             self.threads
         };
+        let timer = &self.scan_timer;
         let outcomes = shard_map(&stale, threads, |&g| {
-            scan_partner(pool, metric, pruning, blacklist, cache, g)
+            scan_partner(pool, metric, pruning, blacklist, cache, timer, g)
         });
         for (&g, out) in stale.iter().zip(outcomes) {
             self.partners.insert(g, out.partner);
@@ -538,6 +603,7 @@ impl Engine<'_> {
             self.poset_pruning,
             &self.blacklist,
             &self.cache,
+            &self.scan_timer,
             g,
         );
         for (cand, c) in out.computed {
@@ -1192,6 +1258,8 @@ mod tests {
             cache: PairCache::new(),
             stats: CramStats::default(),
             best: baseline,
+            scan_timer: Histogram::noop(),
+            events: EventSink::noop(),
         };
         engine.stale.extend(engine.pool.gifs.keys().copied());
         engine
@@ -1221,6 +1289,11 @@ mod tests {
             "refresh populated the pair cache"
         );
         assert!(engine.attempt(g, h), "merge must succeed");
+        // The attempt consulted the pair cache populated by the refresh:
+        // a non-zero hit rate is what makes the memo table worth having.
+        let cache_stats = engine.cache.stats();
+        assert!(cache_stats.hits > 0, "stats: {cache_stats:?}");
+        assert!(cache_stats.hit_rate() > 0.0);
         // Both source GIFs were merged away: nothing cached may touch
         // them any more, in either key order.
         assert!(!engine.cache.touches(g));
@@ -1269,6 +1342,10 @@ mod tests {
             "surviving GIF keeps cached closenesses to live partners"
         );
         assert_eq!(engine.cache.get(a, b), None);
+        assert!(
+            engine.cache.stats().hits > 0,
+            "the merge path re-read cached closenesses"
+        );
     }
 
     /// The parallel search must return exactly the sequential result —

@@ -14,6 +14,7 @@ use crate::model::{AllocError, Allocation, AllocationInput};
 use crate::overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayError};
 use crate::sorting::{bin_packing, fbf};
 use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
+use greenps_telemetry::{Registry, Span};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -120,23 +121,52 @@ pub fn plan(
     input: &AllocationInput,
     config: &PlanConfig,
 ) -> Result<ReconfigurationPlan, PlanError> {
+    plan_with_telemetry(input, config, &Registry::disabled())
+}
+
+/// [`plan`] with phase spans (`phase2.allocation`, `phase3.overlay`,
+/// `grape`) and allocator telemetry recorded into `registry`.
+///
+/// [`PlanConfig`] stays `Copy`, so the registry rides alongside it
+/// rather than inside it. Telemetry is observation only: the plan is
+/// bit-identical with any registry, including [`Registry::disabled`]
+/// (which makes this function exactly [`plan`]).
+///
+/// # Errors
+/// Same as [`plan`].
+pub fn plan_with_telemetry(
+    input: &AllocationInput,
+    config: &PlanConfig,
+    registry: &Registry,
+) -> Result<ReconfigurationPlan, PlanError> {
     if input.subscriptions.is_empty() {
         return Err(PlanError::NoSubscriptions);
     }
     let mut cram_stats = None;
-    let allocation = match &config.overlay.allocator {
-        AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
-        AllocatorKind::BinPacking => bin_packing(input)?,
-        AllocatorKind::Cram(cfg) => {
-            let (a, stats) = CramBuilder::from_config(*cfg).run(input)?;
-            cram_stats = Some(stats);
-            a
+    let allocation = {
+        let _span = Span::enter(registry, "phase2.allocation");
+        match &config.overlay.allocator {
+            AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
+            AllocatorKind::BinPacking => bin_packing(input)?,
+            AllocatorKind::Cram(cfg) => {
+                let (a, stats) = CramBuilder::from_config(*cfg)
+                    .telemetry(registry)
+                    .run(input)?;
+                cram_stats = Some(stats);
+                a
+            }
         }
     };
-    let overlay = build_overlay(input, &allocation, &config.overlay)?;
+    let overlay = {
+        let _span = Span::enter(registry, "phase3.overlay");
+        build_overlay(input, &allocation, &config.overlay)?
+    };
     let subscription_homes = overlay.subscription_homes();
-    let tree = InterestTree::from_overlay(&overlay);
-    let publisher_homes = place_publishers(&tree, &input.publishers, config.grape);
+    let publisher_homes = {
+        let _span = Span::enter(registry, "grape");
+        let tree = InterestTree::from_overlay(&overlay);
+        place_publishers(&tree, &input.publishers, config.grape)
+    };
     Ok(ReconfigurationPlan {
         allocation,
         overlay,

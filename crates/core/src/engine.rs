@@ -22,6 +22,7 @@
 //! engine never reorders.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum number of distinct pairs the cache will hold. Beyond this
 /// the cache deterministically stops admitting new entries (existing
@@ -88,6 +89,34 @@ where
 pub struct PairCache<K: Ord + Copy> {
     rows: BTreeMap<K, BTreeMap<K, f64>>,
     pairs: usize,
+    /// Lookup tallies. Atomics because [`PairCache::get`] runs
+    /// concurrently on shard workers over a frozen cache; the totals
+    /// are still thread-count-deterministic because every worker
+    /// performs the same lookups regardless of sharding.
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Lookup statistics of a [`PairCache`]: how often [`PairCache::get`]
+/// found an entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a cached closeness.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, in `[0, 1]`; 0.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl<K: Ord + Copy> PairCache<K> {
@@ -96,6 +125,8 @@ impl<K: Ord + Copy> PairCache<K> {
         PairCache {
             rows: BTreeMap::new(),
             pairs: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -110,16 +141,43 @@ impl<K: Ord + Copy> PairCache<K> {
     }
 
     /// Looks up the cached closeness for the pair `(a, b)` (order
-    /// insensitive).
+    /// insensitive), tallying the outcome into [`PairCache::stats`].
     pub fn get(&self, a: K, b: K) -> Option<f64> {
+        let found = self.peek(a, b);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Lookup without touching the hit/miss tallies (internal upkeep
+    /// such as the insert budget check must not skew them).
+    fn peek(&self, a: K, b: K) -> Option<f64> {
         self.rows.get(&a).and_then(|row| row.get(&b)).copied()
+    }
+
+    /// Hit/miss tallies accumulated by [`PairCache::get`] since
+    /// construction (or the last [`PairCache::reset_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss tallies without touching cached entries.
+    pub fn reset_stats(&mut self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 
     /// Inserts a closeness value for the pair `(a, b)`. New pairs are
     /// dropped once [`PAIR_CACHE_BUDGET`] distinct pairs are held;
     /// re-inserting an existing pair always updates it.
     pub fn insert(&mut self, a: K, b: K, closeness: f64) {
-        if self.get(a, b).is_none() && self.pairs >= PAIR_CACHE_BUDGET {
+        if self.peek(a, b).is_none() && self.pairs >= PAIR_CACHE_BUDGET {
             return;
         }
         let fresh = self
@@ -225,6 +283,28 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(!c.touches(1));
         assert!(c.touches(2));
+    }
+
+    #[test]
+    fn pair_cache_stats_count_hits_and_misses() {
+        let mut c: PairCache<u64> = PairCache::new();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(1, 2, 0.5);
+        assert!(c.get(1, 2).is_some());
+        assert!(c.get(2, 1).is_some());
+        assert!(c.get(1, 3).is_none());
+        let stats = c.stats();
+        assert_eq!(stats, CacheStats { hits: 2, misses: 1 });
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // Inserting again (budget check included) must not skew stats.
+        c.insert(1, 2, 0.7);
+        c.insert(4, 5, 0.9);
+        assert_eq!(c.stats(), stats);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.get(1, 2), Some(0.7));
+        assert_eq!(c.stats().hits, 1);
     }
 
     #[test]

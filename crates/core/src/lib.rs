@@ -58,8 +58,8 @@ pub mod sorting;
 
 pub use capacity::{pack_all, Packer};
 pub use cram::{CramBuilder, CramConfig, CramStats};
-pub use croc::{plan, PlanConfig, PlanError, ReconfigurationPlan};
-pub use engine::{shard_map, PairCache};
+pub use croc::{plan, plan_with_telemetry, PlanConfig, PlanError, ReconfigurationPlan};
+pub use engine::{shard_map, CacheStats, PairCache};
 pub use grape::{place_publishers, GrapeConfig, InterestTree};
 pub use model::{
     AllocError, Allocation, AllocationInput, BrokerLoad, BrokerSpec, LinearFn, SubscriptionEntry,

@@ -1,10 +1,19 @@
-//! Measurement utilities: counters, rate meters and histograms.
+//! Measurement utilities: counters and histograms.
 //!
 //! The experiment harness measures average broker message rate, hop
-//! counts and delivery delays over a simulated window; these types do
-//! the bookkeeping.
+//! counts and delivery delays over a simulated window. The actual
+//! bookkeeping lives in `greenps-telemetry` ([`Summary`] is re-exported
+//! from there; [`Histogram`] adapts its `BucketHistogram` to simulated
+//! time) so the logic exists in exactly one place;
+//! [`TrafficCounters`] remains a plain per-node tally because the
+//! event loop owns it by value on its hot path — the network mirrors
+//! it into telemetry instruments when a registry is attached
+//! (`Network::set_telemetry`).
 
-use crate::time::{SimDuration, SimTime};
+use crate::time::SimDuration;
+use greenps_telemetry::BucketHistogram;
+
+pub use greenps_telemetry::Summary;
 
 /// Per-node traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -45,80 +54,12 @@ impl TrafficCounters {
     }
 }
 
-/// Online mean/min/max/count accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct Summary {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Summary {
-    /// Creates an empty summary.
-    pub fn new() -> Self {
-        Self {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, value: f64) {
-        self.count += 1;
-        self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of observations.
-    pub fn sum(&self) -> f64 {
-        self.sum
-    }
-
-    /// Mean of observations (0.0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-
-    /// Smallest observation (`None` when empty).
-    pub fn min(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Largest observation (`None` when empty).
-    pub fn max(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.max)
-    }
-
-    /// Merges another summary into this one.
-    pub fn merge(&mut self, other: &Summary) {
-        self.count += other.count;
-        self.sum += other.sum;
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
-    }
-}
-
-/// Fixed-bucket histogram for delivery delays (microsecond domain).
+/// Fixed-bucket histogram for delivery delays (microsecond domain) — a
+/// thin adapter giving `greenps-telemetry`'s [`BucketHistogram`] a
+/// simulated-time recording surface.
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    bounds: Vec<u64>,
-    counts: Vec<u64>,
-    summary: Summary,
+    inner: BucketHistogram,
 }
 
 impl Histogram {
@@ -128,16 +69,8 @@ impl Histogram {
     /// # Panics
     /// Panics if `bounds` is empty or not strictly ascending.
     pub fn new(bounds: Vec<u64>) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bound");
-        assert!(
-            bounds.windows(2).all(|w| matches!(w, &[a, b] if a < b)),
-            "histogram bounds must be strictly ascending"
-        );
-        let n = bounds.len();
         Self {
-            bounds,
-            counts: vec![0; n + 1],
-            summary: Summary::new(),
+            inner: BucketHistogram::new(bounds),
         }
     }
 
@@ -151,11 +84,7 @@ impl Histogram {
 
     /// Records an observation.
     pub fn record(&mut self, value: u64) {
-        let idx = self.bounds.partition_point(|&b| b < value);
-        if let Some(c) = self.counts.get_mut(idx) {
-            *c += 1;
-        }
-        self.summary.record(value as f64);
+        self.inner.record(value);
     }
 
     /// Records a simulated duration in microseconds.
@@ -165,65 +94,19 @@ impl Histogram {
 
     /// The aggregate summary of all recorded values.
     pub fn summary(&self) -> &Summary {
-        &self.summary
+        self.inner.summary()
     }
 
     /// Approximate value at a quantile in `[0, 1]`, using bucket upper
     /// bounds. Returns `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        let total = self.summary.count();
-        if total == 0 {
-            return None;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Past the last bound is the overflow bucket: report
-                // the observed max instead of a bound.
-                return Some(
-                    self.bounds
-                        .get(i)
-                        .copied()
-                        .unwrap_or_else(|| self.summary.max().unwrap_or_default() as u64),
-                );
-            }
-        }
-        None
+        self.inner.quantile(q)
     }
 
     /// Per-bucket `(upper_bound, count)` pairs; the final entry uses
     /// `u64::MAX` as the overflow bound.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.bounds
-            .iter()
-            .copied()
-            .chain(std::iter::once(u64::MAX))
-            .zip(self.counts.iter().copied())
-    }
-}
-
-/// A measurement window: counters become rates relative to its start.
-#[derive(Debug, Clone, Copy)]
-pub struct Window {
-    start: SimTime,
-}
-
-impl Window {
-    /// Opens a window at `start`.
-    pub fn starting(start: SimTime) -> Self {
-        Self { start }
-    }
-
-    /// Window start.
-    pub fn start(&self) -> SimTime {
-        self.start
-    }
-
-    /// Elapsed span at instant `now`.
-    pub fn elapsed(&self, now: SimTime) -> SimDuration {
-        now.since(self.start)
+        self.inner.buckets()
     }
 }
 
@@ -278,6 +161,14 @@ mod tests {
     }
 
     #[test]
+    fn histogram_record_duration_uses_micros() {
+        let mut h = Histogram::delay_default();
+        h.record_duration(SimDuration::from_millis(2));
+        assert_eq!(h.summary().count(), 1);
+        assert_eq!(h.quantile(1.0), Some(5_000));
+    }
+
+    #[test]
     fn empty_histogram_quantile_is_none() {
         let h = Histogram::delay_default();
         assert_eq!(h.quantile(0.5), None);
@@ -287,15 +178,5 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(vec![10, 10]);
-    }
-
-    #[test]
-    fn window_elapsed() {
-        let w = Window::starting(SimTime::from_micros(1_000));
-        assert_eq!(
-            w.elapsed(SimTime::from_micros(3_000)),
-            SimDuration::from_micros(2_000)
-        );
-        assert_eq!(w.start(), SimTime::from_micros(1_000));
     }
 }

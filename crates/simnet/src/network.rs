@@ -14,10 +14,54 @@
 
 use crate::metrics::TrafficCounters;
 use crate::time::{SimDuration, SimTime};
+use greenps_telemetry::{Counter, EventSink, Gauge, Histogram, Registry};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+
+/// Default output-queue backlog above which a `queue.stall` event is
+/// emitted into the `simnet` telemetry ring (when a registry is
+/// attached). Experiments probing congestion lower this via
+/// [`Network::set_stall_threshold`].
+pub const DEFAULT_STALL_THRESHOLD: SimDuration = SimDuration::from_millis(100);
+
+/// Telemetry instruments the event loop feeds when a [`Registry`] is
+/// attached via [`Network::set_telemetry`]. Every handle starts as a
+/// no-op, so the default-constructed bundle adds only a branch per
+/// event — the simulation schedule is identical either way.
+struct NetTelemetry {
+    delivered: Counter,
+    dropped: Counter,
+    max_queue_wait_us: Gauge,
+    delivery_delay_us: Histogram,
+    events: EventSink,
+    stall_threshold: SimDuration,
+}
+
+impl NetTelemetry {
+    fn disabled() -> Self {
+        Self {
+            delivered: Counter::noop(),
+            dropped: Counter::noop(),
+            max_queue_wait_us: Gauge::noop(),
+            delivery_delay_us: Histogram::noop(),
+            events: EventSink::noop(),
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
+        }
+    }
+
+    fn attach(registry: &Registry, stall_threshold: SimDuration) -> Self {
+        Self {
+            delivered: registry.counter("simnet.delivered"),
+            dropped: registry.counter("simnet.dropped"),
+            max_queue_wait_us: registry.gauge("simnet.max_queue_wait_us"),
+            delivery_delay_us: registry.histogram("simnet.delivery_delay_us"),
+            events: registry.ring("simnet"),
+            stall_threshold,
+        }
+    }
+}
 
 /// Index of a node inside a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -145,6 +189,7 @@ struct Inner<M> {
     links: HashMap<(NodeId, NodeId), LinkState>,
     dropped: u64,
     delivered: u64,
+    telemetry: NetTelemetry,
 }
 
 impl<M: Payload> Inner<M> {
@@ -169,6 +214,10 @@ impl<M: Payload> Inner<M> {
             // The link was removed (peer death, reconfiguration): the
             // message is lost, like a TCP connection reset mid-send.
             self.dropped += 1;
+            self.telemetry.dropped.inc();
+            self.telemetry
+                .events
+                .emit_with("msg.drop", || format!("{from}->{to}: link gone"));
             return;
         };
         let ready = self.now + delay;
@@ -176,6 +225,15 @@ impl<M: Payload> Inner<M> {
         // Serialize through the sender's output capacity.
         let node = &mut self.nodes[from.0];
         let out_start = ready.max(node.out_busy_until);
+        let queue_wait = out_start - ready;
+        self.telemetry
+            .max_queue_wait_us
+            .observe_max(queue_wait.as_micros());
+        if queue_wait >= self.telemetry.stall_threshold {
+            self.telemetry.events.emit_with("queue.stall", || {
+                format!("{from}: output backlog {queue_wait}")
+            });
+        }
         let out_tx = match node.out_capacity {
             Some(bw) => SimDuration::from_secs_f64(size as f64 / bw),
             None => SimDuration::ZERO,
@@ -195,6 +253,9 @@ impl<M: Payload> Inner<M> {
         };
         dir.1 = link_start + link_tx;
         let arrival = dir.1 + link.spec.latency;
+        self.telemetry
+            .delivery_delay_us
+            .record((arrival - self.now).as_micros());
 
         self.push(arrival, EventKind::Deliver { from, to, msg });
     }
@@ -275,6 +336,7 @@ impl<M: Payload + 'static> Network<M> {
                 links: HashMap::new(),
                 dropped: 0,
                 delivered: 0,
+                telemetry: NetTelemetry::disabled(),
             },
             processes: Vec::new(),
         }
@@ -374,6 +436,25 @@ impl<M: Payload + 'static> Network<M> {
         self.inner.dropped
     }
 
+    /// Attaches telemetry instruments from `registry`: the event loop
+    /// will feed the `simnet.delivered`/`simnet.dropped` counters, the
+    /// `simnet.max_queue_wait_us` gauge (worst output-capacity backlog
+    /// seen), the `simnet.delivery_delay_us` histogram (send-to-arrival
+    /// simulated delay), and the `simnet` event ring (`msg.drop`,
+    /// `queue.stall`). Telemetry is observation only — the event
+    /// schedule is bit-identical with or without it. Passing
+    /// [`Registry::disabled`] detaches.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        let threshold = self.inner.telemetry.stall_threshold;
+        self.inner.telemetry = NetTelemetry::attach(registry, threshold);
+    }
+
+    /// Sets the output-queue backlog above which a `queue.stall` event
+    /// is emitted (default [`DEFAULT_STALL_THRESHOLD`]).
+    pub fn set_stall_threshold(&mut self, threshold: SimDuration) {
+        self.inner.telemetry.stall_threshold = threshold;
+    }
+
     /// Traffic counters of a node.
     pub fn counters(&self, id: NodeId) -> &TrafficCounters {
         &self.inner.nodes[id.0].counters
@@ -427,6 +508,11 @@ impl<M: Payload + 'static> Network<M> {
         if !self.inner.nodes[node.0].alive {
             if matches!(kind, EventKind::Deliver { .. }) {
                 self.inner.dropped += 1;
+                self.inner.telemetry.dropped.inc();
+                self.inner
+                    .telemetry
+                    .events
+                    .emit_with("msg.drop", || format!("{node}: node dead"));
             }
             return;
         }
@@ -444,6 +530,7 @@ impl<M: Payload + 'static> Network<M> {
                     ctx.inner.nodes[node.0].counters.msgs_in += 1;
                     ctx.inner.nodes[node.0].counters.bytes_in += size;
                     ctx.inner.delivered += 1;
+                    ctx.inner.telemetry.delivered.inc();
                     process.on_message(&mut ctx, from, msg);
                 }
                 EventKind::Timer { key, .. } => process.on_timer(&mut ctx, key),
@@ -756,6 +843,36 @@ mod tests {
         net.inject(a, c, Ping(1));
         net.run_to_quiescence();
         assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_event_loop() {
+        let registry = Registry::new();
+        let mut net: Network<Ping> = Network::new();
+        net.set_telemetry(&registry);
+        net.set_stall_threshold(SimDuration::from_micros(1));
+        // 1000 B/s output capacity: the second 500-byte message queues
+        // for 0.5 s behind the first — well past the stall threshold.
+        let a = net.add_node_with_capacity(Echo::new(SimDuration::ZERO), Some(1000.0));
+        let b = net.add_node(Sink { got: 0 });
+        net.connect(a, b, LinkSpec::with_latency(SimDuration::from_millis(1)));
+        net.inject(b, a, Ping(500)); // a echoes each back to b
+        net.inject(b, a, Ping(500));
+        net.run_to_quiescence();
+        net.kill_node(b);
+        net.inject(a, b, Ping(1)); // delivery to a dead node: dropped
+        net.run_to_quiescence();
+
+        let snap = registry.snapshot();
+        // 2 injected into a + 2 echoes into b; the post-kill message drops.
+        assert_eq!(snap.counters.get("simnet.delivered"), Some(&4));
+        assert_eq!(snap.counters.get("simnet.dropped"), Some(&1));
+        assert!(*snap.gauges.get("simnet.max_queue_wait_us").unwrap() >= 500_000);
+        let delays = snap.histograms.get("simnet.delivery_delay_us").unwrap();
+        assert_eq!(delays.count, 2); // only link sends time a delay
+        let ring = snap.rings.get("simnet").unwrap();
+        assert!(ring.events.iter().any(|e| e.kind == "queue.stall"));
+        assert!(ring.events.iter().any(|e| e.kind == "msg.drop"));
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! The registry: named instruments, spans and rings behind one handle.
+//!
+//! A [`Registry`] is a cheap clonable handle (`Arc` inside). Looking an
+//! instrument up by name takes a short registry lock; the returned
+//! handle then records lock-free, so callers register once and record
+//! many times. [`Registry::disabled`] produces a registry whose handles
+//! are all no-ops behind the identical API — the zero-cost-off switch
+//! used by every instrumented greenps code path.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
+use crate::ring::{EventSink, RingCore, RingSnapshot, DEFAULT_RING_CAPACITY};
+use crate::span::{span_tree, SpanNode, SpanStat, SpanTable};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    /// Global event sequence shared by every ring (causal interleave).
+    seq: Arc<AtomicU64>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    spans: Arc<SpanTable>,
+    rings: Mutex<BTreeMap<String, Arc<RingCore>>>,
+}
+
+/// Handle to a run's telemetry state; clone freely, clones share state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                seq: Arc::new(AtomicU64::new(0)),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Arc::new(Mutex::new(BTreeMap::new())),
+                rings: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Creates a disabled registry: every handle it yields is a no-op
+    /// and [`Registry::snapshot`] is empty. This is also the `Default`.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// True when instruments from this registry record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        }))
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .gauges
+                    .lock()
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        }))
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )
+        }))
+    }
+
+    /// Gets or creates the event ring `name` with the default capacity
+    /// ([`DEFAULT_RING_CAPACITY`]).
+    pub fn ring(&self, name: &str) -> EventSink {
+        self.ring_with_capacity(name, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Gets or creates the event ring `name`. The capacity applies only
+    /// on creation; an existing ring keeps its original bound.
+    pub fn ring_with_capacity(&self, name: &str, capacity: usize) -> EventSink {
+        EventSink {
+            core: self.inner.as_ref().map(|inner| {
+                let ring = Arc::clone(
+                    inner
+                        .rings
+                        .lock()
+                        .entry(name.to_string())
+                        .or_insert_with(|| Arc::new(RingCore::new(capacity))),
+                );
+                (ring, Arc::clone(&inner.seq))
+            }),
+        }
+    }
+
+    /// The shared span table, for [`crate::Span`] only.
+    pub(crate) fn span_table(&self) -> Option<Arc<SpanTable>> {
+        self.inner.as_ref().map(|inner| Arc::clone(&inner.spans))
+    }
+
+    /// Captures a point-in-time snapshot of every instrument. Disabled
+    /// registries snapshot empty.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        Snapshot {
+            counters: inner
+                .counters
+                .lock()
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .lock()
+                .iter()
+                .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|(name, core)| (name.clone(), core.snapshot()))
+                .collect(),
+            spans: inner.spans.lock().clone(),
+            rings: inner
+                .rings
+                .lock()
+                .iter()
+                .map(|(name, ring)| (name.clone(), ring.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of a whole registry, ready for export.
+///
+/// Every collection is a `BTreeMap`, so iteration — and therefore the
+/// JSON/CSV output built from it — is deterministically ordered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Flat span stats by dotted path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Event-ring snapshots by ring name.
+    pub rings: BTreeMap<String, RingSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds the flat span paths into a tree (see [`SpanNode`]).
+    pub fn span_tree(&self) -> SpanNode {
+        span_tree(&self.spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_a_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.snapshot().counters.get("x"), Some(&3));
+    }
+
+    #[test]
+    fn disabled_registry_yields_noop_handles() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        c.inc();
+        let h = reg.histogram("h");
+        h.record(1);
+        let s = reg.ring("r");
+        s.emit("k", "d");
+        assert_eq!(reg.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn snapshot_collects_all_sections() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").set(5);
+        reg.histogram("h").record(100);
+        reg.ring("r").emit("kind", "detail");
+        crate::Span::enter(&reg, "p.q").finish();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("c"), Some(&1));
+        assert_eq!(snap.gauges.get("g"), Some(&5));
+        assert_eq!(snap.histograms.get("h").map(|h| h.count), Some(1));
+        assert_eq!(snap.rings.get("r").map(|r| r.events.len()), Some(1));
+        assert_eq!(snap.spans.get("p.q").map(|s| s.count), Some(1));
+        let tree = snap.span_tree();
+        assert!(tree
+            .children
+            .get("p")
+            .is_some_and(|p| p.children.contains_key("q")));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        clone.counter("shared").add(7);
+        assert_eq!(reg.snapshot().counters.get("shared"), Some(&7));
+    }
+}

@@ -17,11 +17,7 @@ pub mod stock;
 pub mod subs;
 pub mod topology;
 
-pub use runner::{run_approach, Approach, Outcome, RunConfig};
-#[allow(deprecated)] // re-exported for downstream migration windows
-pub use scenario::{
-    every_broker_subscribes, heterogeneous, homogeneous, scinet, scinet_custom, Scenario,
-    ScenarioBuilder, Topology,
-};
+pub use runner::{run_approach, run_approach_with_telemetry, Approach, Outcome, RunConfig};
+pub use scenario::{Scenario, ScenarioBuilder, Topology};
 pub use stock::{symbols, StockSeries};
 pub use topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};

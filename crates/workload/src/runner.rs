@@ -6,7 +6,7 @@ use crate::scenario::Scenario;
 use crate::topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};
 use greenps_broker::{Deployment, RunMetrics};
 use greenps_core::cram::{CramBuilder, CramStats};
-use greenps_core::croc::{plan, PlanConfig};
+use greenps_core::croc::{plan_with_telemetry, PlanConfig};
 use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
 use greenps_core::model::AllocationInput;
 use greenps_core::overlay::OverlayStats;
@@ -14,6 +14,7 @@ use greenps_core::pairwise::{pairwise_k, pairwise_n};
 use greenps_profile::{ClosenessMetric, SubscriptionProfile};
 use greenps_pubsub::ids::AdvId;
 use greenps_simnet::SimDuration;
+use greenps_telemetry::{Registry, Span};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -119,8 +120,19 @@ pub struct Outcome {
 /// returns the gathered input (the starting point of every
 /// reconfiguring approach).
 pub fn profile_and_gather(scenario: &Scenario, cfg: &RunConfig) -> (Placement, AllocationInput) {
+    profile_and_gather_with_telemetry(scenario, cfg, &Registry::disabled())
+}
+
+/// [`profile_and_gather`] with the deployment's instruments (including
+/// the `phase1.gathering` span) recorded into `registry`.
+pub fn profile_and_gather_with_telemetry(
+    scenario: &Scenario,
+    cfg: &RunConfig,
+    registry: &Registry,
+) -> (Placement, AllocationInput) {
     let placement = manual(scenario, cfg.seed);
     let mut d = deploy(scenario, &placement);
+    d.set_telemetry(registry);
     d.run_for(cfg.warmup);
     d.run_for(cfg.profile);
     // The aggregated BIA grows with the subscription count (~200 B per
@@ -135,9 +147,19 @@ pub fn profile_and_gather(scenario: &Scenario, cfg: &RunConfig) -> (Placement, A
 
 /// Deploys a placement and measures it; the pool average is
 /// renormalized to the scenario's full broker pool.
-fn deploy_and_measure(scenario: &Scenario, placement: &Placement, cfg: &RunConfig) -> RunMetrics {
-    let mut d = deploy(scenario, placement);
-    d.run_for(cfg.warmup);
+fn deploy_and_measure(
+    scenario: &Scenario,
+    placement: &Placement,
+    cfg: &RunConfig,
+    registry: &Registry,
+) -> RunMetrics {
+    let mut d = {
+        let _span = Span::enter(registry, "phase3.deployment");
+        let mut d = deploy(scenario, placement);
+        d.set_telemetry(registry);
+        d.run_for(cfg.warmup);
+        d
+    };
     let mut m = d.measure(cfg.measure);
     m.rescale_to_pool(scenario.broker_count());
     m
@@ -155,12 +177,28 @@ pub fn run_custom_plan(
     plan_config: &PlanConfig,
     cfg: &RunConfig,
 ) -> Outcome {
-    let (_, input) = profile_and_gather(scenario, cfg);
+    run_custom_plan_with_telemetry(scenario, label, plan_config, cfg, &Registry::disabled())
+}
+
+/// [`run_custom_plan`] with every pipeline stage (Phase-1 gather,
+/// Phase-2 allocation, Phase-3 overlay + deployment, GRAPE, the
+/// measurement window) traced into `registry`.
+///
+/// # Panics
+/// Same as [`run_custom_plan`].
+pub fn run_custom_plan_with_telemetry(
+    scenario: &Scenario,
+    label: &str,
+    plan_config: &PlanConfig,
+    cfg: &RunConfig,
+    registry: &Registry,
+) -> Outcome {
+    let (_, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
     let t0 = Instant::now();
-    let p = plan(&input, plan_config).expect("planning succeeded");
+    let p = plan_with_telemetry(&input, plan_config, registry).expect("planning succeeded");
     let plan_time = t0.elapsed();
     let placement = from_plan(scenario, &p);
-    let metrics = deploy_and_measure(scenario, &placement, cfg);
+    let metrics = deploy_and_measure(scenario, &placement, cfg, registry);
     Outcome {
         approach: label.to_string(),
         scenario: scenario.name.clone(),
@@ -179,6 +217,24 @@ pub fn run_custom_plan(
 /// Panics when planning fails (the scenario's broker pool cannot host
 /// the workload) or Phase 1 does not complete.
 pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) -> Outcome {
+    run_approach_with_telemetry(scenario, approach, cfg, &Registry::disabled())
+}
+
+/// [`run_approach`] with the whole pipeline traced into `registry`:
+/// phase spans (`phase1.gathering`, `phase2.allocation`,
+/// `phase3.overlay`, `phase3.deployment`, `grape`, `measure.window`),
+/// CRAM counters, pair-cache hit rates, and the simulator's queue/drop
+/// instruments. Telemetry is observation only — the outcome is
+/// bit-identical with any registry.
+///
+/// # Panics
+/// Same as [`run_approach`].
+pub fn run_approach_with_telemetry(
+    scenario: &Scenario,
+    approach: Approach,
+    cfg: &RunConfig,
+    registry: &Registry,
+) -> Outcome {
     let mut outcome = Outcome {
         approach: approach.label(),
         scenario: scenario.name.clone(),
@@ -192,14 +248,14 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
     match approach {
         Approach::Manual => {
             let placement = manual(scenario, cfg.seed);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
         }
         Approach::Automatic => {
             let placement = automatic(scenario, cfg.seed);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
         }
         Approach::GrapeOnly => {
-            let (mut placement, input) = profile_and_gather(scenario, cfg);
+            let (mut placement, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
             let t0 = Instant::now();
             // Build the interest tree of the *existing* MANUAL topology
             // from the gathered profiles and relocate publishers only.
@@ -225,13 +281,14 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
                 }
             }
             outcome.plan_time = t0.elapsed();
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
         }
         Approach::PairwiseK | Approach::PairwiseN => {
-            let (_, input) = profile_and_gather(scenario, cfg);
+            let (_, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
             let t0 = Instant::now();
             let result = if approach == Approach::PairwiseK {
                 let (_, stats) = CramBuilder::new(ClosenessMetric::Xor)
+                    .telemetry(registry)
                     .run(&input)
                     .expect("CRAM-XOR for K");
                 pairwise_k(&input, stats.final_units, cfg.seed)
@@ -241,10 +298,10 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
             outcome.plan_time = t0.elapsed();
             outcome.allocated_brokers = result.allocation.broker_count();
             let placement = from_allocation(scenario, &result.allocation, cfg.seed);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
         }
         Approach::Fbf | Approach::BinPacking | Approach::Cram(_) => {
-            let (_, input) = profile_and_gather(scenario, cfg);
+            let (_, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
             let plan_config = match approach {
                 Approach::Fbf => PlanConfig::fbf(cfg.seed),
                 Approach::BinPacking => PlanConfig::bin_packing(),
@@ -252,13 +309,14 @@ pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) ->
                 _ => unreachable!(),
             };
             let t0 = Instant::now();
-            let p = plan(&input, &plan_config).expect("planning succeeded");
+            let p =
+                plan_with_telemetry(&input, &plan_config, registry).expect("planning succeeded");
             outcome.plan_time = t0.elapsed();
             outcome.allocated_brokers = p.broker_count();
             outcome.cram_stats = p.cram_stats;
             outcome.overlay_stats = Some(p.overlay.stats);
             let placement = from_plan(scenario, &p);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg);
+            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
         }
     }
     outcome
@@ -329,6 +387,22 @@ mod tests {
         assert!(pk.metrics.deliveries > 0);
         assert!(pn.metrics.deliveries > 0);
         assert!(pn.allocated_brokers <= 16);
+    }
+
+    #[test]
+    fn telemetry_traces_the_pipeline_without_changing_it() {
+        let (s, cfg) = small();
+        let registry = Registry::new();
+        let traced = run_approach_with_telemetry(&s, Approach::Manual, &cfg, &registry);
+        let plain = run_approach(&s, Approach::Manual, &cfg);
+        assert_eq!(
+            traced.metrics.deliveries, plain.metrics.deliveries,
+            "telemetry must not perturb the simulation"
+        );
+        let snap = registry.snapshot();
+        assert!(snap.spans.contains_key("phase3.deployment"));
+        assert!(snap.spans.contains_key("measure.window"));
+        assert!(snap.counters.get("simnet.delivered").copied().unwrap_or(0) > 0);
     }
 
     #[test]

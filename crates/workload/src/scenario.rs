@@ -322,74 +322,6 @@ impl ScenarioBuilder {
     }
 }
 
-/// The homogeneous cluster scenario: 80 equal brokers, 40 publishers,
-/// `total_subs` subscriptions split evenly.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ScenarioBuilder::new(Topology::Homogeneous)"
-)]
-pub fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
-    ScenarioBuilder::new(Topology::Homogeneous)
-        .total_subs(total_subs)
-        .seed(seed)
-        .build()
-}
-
-/// The heterogeneous cluster scenario: 15 full / 25 half / 40 quarter
-/// capacity brokers; subscriber counts ramp down linearly from `ns` for
-/// the first publisher to `ns / 40` for the last.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ScenarioBuilder::new(Topology::Heterogeneous)"
-)]
-pub fn heterogeneous(ns: usize, seed: u64) -> Scenario {
-    ScenarioBuilder::new(Topology::Heterogeneous)
-        .ns(ns)
-        .seed(seed)
-        .build()
-}
-
-/// The SciNet large-scale scenario: `brokers` ∈ {400, 1000} with 72 or
-/// 100 publishers respectively and 225 subscriptions per publisher.
-#[deprecated(since = "0.1.0", note = "use ScenarioBuilder::new(Topology::Scinet)")]
-pub fn scinet(brokers: usize, seed: u64) -> Scenario {
-    ScenarioBuilder::new(Topology::Scinet)
-        .brokers(brokers)
-        .seed(seed)
-        .build()
-}
-
-/// SciNet with explicit publisher and per-publisher subscription counts
-/// (reduced scales for quick runs).
-#[deprecated(since = "0.1.0", note = "use ScenarioBuilder::new(Topology::Scinet)")]
-pub fn scinet_custom(
-    brokers: usize,
-    publishers: usize,
-    subs_per_publisher: usize,
-    seed: u64,
-) -> Scenario {
-    ScenarioBuilder::new(Topology::Scinet)
-        .brokers(brokers)
-        .publishers(publishers)
-        .subs_per_publisher(subs_per_publisher)
-        .seed(seed)
-        .build()
-}
-
-/// The adversarial scenario of §II-B / experiment E6: every broker
-/// hosts at least one subscriber with the *same* subscription, so
-/// relocating publishers alone cannot reduce the message rate.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ScenarioBuilder::new(Topology::EveryBrokerSubscribes)"
-)]
-pub fn every_broker_subscribes(brokers: usize, seed: u64) -> Scenario {
-    ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
-        .brokers(brokers)
-        .seed(seed)
-        .build()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,57 +395,6 @@ mod tests {
         assert_eq!(s.sub_count(), 10);
         let first = s.subs[0].filter.canonical_key();
         assert!(s.subs.iter().all(|x| x.filter.canonical_key() == first));
-    }
-
-    /// The deprecated constructors must stay byte-compatible with the
-    /// builder so downstream callers can migrate without behavior
-    /// changes.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        let same = |a: &Scenario, b: &Scenario| {
-            assert_eq!(a.name, b.name);
-            assert_eq!(a.sub_count(), b.sub_count());
-            assert_eq!(a.broker_count(), b.broker_count());
-            assert_eq!(a.publisher_count(), b.publisher_count());
-            let keys = |s: &Scenario| -> Vec<String> {
-                s.subs.iter().map(|x| x.filter.canonical_key()).collect()
-            };
-            assert_eq!(keys(a), keys(b));
-            let bws =
-                |s: &Scenario| -> Vec<f64> { s.brokers.iter().map(|x| x.out_bandwidth).collect() };
-            assert_eq!(bws(a), bws(b));
-        };
-        same(
-            &homogeneous(500, 11),
-            &ScenarioBuilder::new(Topology::Homogeneous)
-                .total_subs(500)
-                .seed(11)
-                .build(),
-        );
-        same(
-            &heterogeneous(100, 12),
-            &ScenarioBuilder::new(Topology::Heterogeneous)
-                .ns(100)
-                .seed(12)
-                .build(),
-        );
-        same(
-            &scinet_custom(40, 8, 25, 13),
-            &ScenarioBuilder::new(Topology::Scinet)
-                .brokers(40)
-                .publishers(8)
-                .subs_per_publisher(25)
-                .seed(13)
-                .build(),
-        );
-        same(
-            &every_broker_subscribes(12, 14),
-            &ScenarioBuilder::new(Topology::EveryBrokerSubscribes)
-                .brokers(12)
-                .seed(14)
-                .build(),
-        );
     }
 
     #[test]

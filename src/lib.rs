@@ -14,4 +14,5 @@ pub use greenps_core as core;
 pub use greenps_profile as profile;
 pub use greenps_pubsub as pubsub;
 pub use greenps_simnet as simnet;
+pub use greenps_telemetry as telemetry;
 pub use greenps_workload as workload;

@@ -5,6 +5,7 @@
 use greenps::broker::{Deployment, SubscriberClient};
 use greenps::pubsub::ids::ClientId;
 use greenps::simnet::SimDuration;
+use greenps::telemetry::Registry;
 use greenps::workload::{deploy, manual, Scenario, ScenarioBuilder, Topology};
 
 fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
@@ -74,6 +75,52 @@ fn broker_death_starves_its_subtree_only() {
     assert!(
         d.net.dropped() > 0,
         "messages to the dead broker are dropped"
+    );
+}
+
+#[test]
+fn telemetry_records_drops_and_stalls_under_failure() {
+    let mut scenario = homogeneous(60, 93);
+    scenario.brokers.truncate(8);
+    let placement = manual(&scenario, 93);
+    let mut d: Deployment = deploy(&scenario, &placement);
+
+    // Attach a live registry and make the stall detector hair-trigger so
+    // ordinary queueing at the root broker registers as stall events.
+    let registry = Registry::new();
+    d.set_telemetry(&registry);
+    d.net.set_stall_threshold(SimDuration::from_micros(1));
+    d.run_for(SimDuration::from_secs(10));
+
+    // Kill a mid-tree broker: its upstream keeps forwarding for a while
+    // and every one of those messages is counted as dropped.
+    let victim = placement.spec.brokers[1].id;
+    d.net.kill_node(d.brokers[&victim]);
+    d.run_for(SimDuration::from_secs(20));
+
+    let snap = registry.snapshot();
+    let dropped = snap.counters.get("simnet.dropped").copied().unwrap_or(0);
+    assert!(
+        dropped > 0,
+        "dead broker must produce dropped-message counts"
+    );
+    assert_eq!(
+        dropped,
+        d.net.dropped(),
+        "telemetry counter mirrors the event loop's own tally"
+    );
+    let ring = snap.rings.get("simnet").expect("simnet event ring");
+    assert!(
+        ring.events.iter().any(|e| e.kind == "msg.drop"),
+        "drop events recorded in the ring"
+    );
+    assert!(
+        ring.events.iter().any(|e| e.kind == "queue.stall"),
+        "stall events recorded with a 1us threshold"
+    );
+    assert!(
+        snap.counters.get("simnet.delivered").copied().unwrap_or(0) > 0,
+        "deliveries keep flowing for the surviving subtree"
     );
 }
 
