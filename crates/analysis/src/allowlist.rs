@@ -1,4 +1,4 @@
-//! Panic-freedom allowlist (DESIGN.md §9).
+//! Justified allowlists (DESIGN.md §9).
 //!
 //! Format, one entry per line:
 //!
@@ -6,24 +6,61 @@
 //! <repo-relative-path> <kind> <substring-or-*> -- <justification>
 //! ```
 //!
-//! `kind` is one of `unwrap`, `expect`, `index`, `panic`. The third
-//! field must occur on the flagged source line (`*` matches any line in
-//! the file). The justification after ` -- ` is mandatory: an entry is
-//! a documented invariant, not an opt-out. Blank lines and `#` comments
-//! are ignored.
+//! The set of valid `kind`s and the entry budget are parameterized per
+//! lint via [`AllowlistSpec`]: panic-freedom uses
+//! `analysis/panic-allowlist.txt` (`unwrap`/`expect`/`index`/`panic`),
+//! the determinism lint uses `analysis/determinism-allowlist.txt`
+//! (`iter`/`wallclock`). The third field must occur on the flagged
+//! source line (`*` matches any line in the file). The justification
+//! after ` -- ` is mandatory: an entry is a documented invariant, not
+//! an opt-out. Blank lines and `#` comments are ignored.
 
 use crate::Finding;
+
+/// Per-lint allowlist policy: which lint owns the file, which kinds are
+/// legal, and how many entries the file may carry before the lint fails
+/// outright (growth means problems accumulate faster than they are
+/// remediated).
+#[derive(Debug, Clone, Copy)]
+pub struct AllowlistSpec {
+    /// Lint name stamped on findings about the allowlist itself.
+    pub lint: &'static str,
+    /// The kinds entries may use.
+    pub kinds: &'static [&'static str],
+    /// Maximum number of entries the file may carry.
+    pub budget: usize,
+}
+
+/// Policy for `analysis/panic-allowlist.txt`. The budget ratchets down
+/// as entries are remediated — it was 15 when the lint landed, and the
+/// PR-4 remediation pass brought the file to 8 entries.
+pub const PANIC_SPEC: AllowlistSpec = AllowlistSpec {
+    lint: "panic-freedom",
+    kinds: &["unwrap", "expect", "index", "panic"],
+    budget: 10,
+};
+
+/// Policy for `analysis/determinism-allowlist.txt`.
+pub const DETERMINISM_SPEC: AllowlistSpec = AllowlistSpec {
+    lint: "determinism",
+    kinds: &["iter", "wallclock"],
+    budget: 6,
+};
+
+/// The panic-freedom entry budget (kept for compatibility with callers
+/// that predate [`AllowlistSpec`]).
+pub const MAX_ENTRIES: usize = PANIC_SPEC.budget;
 
 /// One parsed allowlist entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
     /// Repo-relative path the entry applies to.
     pub path: String,
-    /// Finding kind: `unwrap`, `expect`, `index`, or `panic`.
+    /// Finding kind, one of the owning spec's `kinds`.
     pub kind: String,
     /// Substring that must appear on the flagged line; `*` matches all.
     pub pattern: String,
-    /// Why the panic source is acceptable.
+    /// Why the finding is acceptable.
     pub justification: String,
     /// 1-based line in the allowlist file (for diagnostics).
     pub line: usize,
@@ -38,14 +75,15 @@ pub struct Allowlist {
     pub errors: Vec<Finding>,
 }
 
-/// The largest number of entries the allowlist may carry. Growth means
-/// panic sources are accumulating faster than they are remediated, so
-/// the lint fails rather than letting the file absorb them.
-pub const MAX_ENTRIES: usize = 15;
-
 impl Allowlist {
-    /// Parses allowlist text; `path` is used in error findings.
+    /// Parses panic-freedom allowlist text; `path` is used in error
+    /// findings.
     pub fn parse(path: &str, text: &str) -> Self {
+        Self::parse_with(path, text, &PANIC_SPEC)
+    }
+
+    /// Parses allowlist text under a per-lint policy.
+    pub fn parse_with(path: &str, text: &str, spec: &AllowlistSpec) -> Self {
         let mut out = Allowlist::default();
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -54,7 +92,7 @@ impl Allowlist {
             }
             let Some((head, justification)) = line.split_once(" -- ") else {
                 out.errors.push(Finding {
-                    lint: "panic-freedom",
+                    lint: spec.lint,
                     path: path.to_string(),
                     line: idx + 1,
                     message: "allowlist entry missing ` -- <justification>`".to_string(),
@@ -64,7 +102,7 @@ impl Allowlist {
             let fields: Vec<&str> = head.split_whitespace().collect();
             if fields.len() != 3 {
                 out.errors.push(Finding {
-                    lint: "panic-freedom",
+                    lint: spec.lint,
                     path: path.to_string(),
                     line: idx + 1,
                     message: format!(
@@ -75,9 +113,9 @@ impl Allowlist {
                 continue;
             }
             let kind = fields[1];
-            if !matches!(kind, "unwrap" | "expect" | "index" | "panic") {
+            if !spec.kinds.contains(&kind) {
                 out.errors.push(Finding {
-                    lint: "panic-freedom",
+                    lint: spec.lint,
                     path: path.to_string(),
                     line: idx + 1,
                     message: format!("unknown allowlist kind `{kind}`"),
@@ -92,14 +130,15 @@ impl Allowlist {
                 line: idx + 1,
             });
         }
-        if out.entries.len() > MAX_ENTRIES {
+        if out.entries.len() > spec.budget {
             out.errors.push(Finding {
-                lint: "panic-freedom",
+                lint: spec.lint,
                 path: path.to_string(),
                 line: 0,
                 message: format!(
-                    "allowlist has {} entries; the budget is {MAX_ENTRIES} — remediate instead of allowlisting",
-                    out.entries.len()
+                    "allowlist has {} entries; the budget is {} — remediate instead of allowlisting",
+                    out.entries.len(),
+                    spec.budget
                 ),
             });
         }
@@ -124,12 +163,22 @@ impl Allowlist {
     /// Findings for entries that matched nothing (stale entries keep
     /// the budget hostage, so they are errors too).
     pub fn unused(&self, used: &[bool], allowlist_path: &str) -> Vec<Finding> {
+        self.unused_with(used, allowlist_path, "panic-freedom")
+    }
+
+    /// Like [`Allowlist::unused`] with an explicit lint label.
+    pub fn unused_with(
+        &self,
+        used: &[bool],
+        allowlist_path: &str,
+        lint: &'static str,
+    ) -> Vec<Finding> {
         self.entries
             .iter()
             .zip(used)
             .filter(|(_, &u)| !u)
             .map(|(e, _)| Finding {
-                lint: "panic-freedom",
+                lint,
                 path: allowlist_path.to_string(),
                 line: e.line,
                 message: format!(
@@ -163,6 +212,18 @@ missing-justification unwrap x
     }
 
     #[test]
+    fn kinds_are_per_spec() {
+        let text = "crates/core/src/cram.rs wallclock Instant -- telemetry-only scan timer";
+        let as_panic = Allowlist::parse("p.txt", text);
+        assert_eq!(as_panic.entries.len(), 0);
+        assert_eq!(as_panic.errors.len(), 1);
+        let as_det = Allowlist::parse_with("d.txt", text, &DETERMINISM_SPEC);
+        assert_eq!(as_det.entries.len(), 1);
+        assert!(as_det.errors.is_empty());
+        assert_eq!(as_det.errors.len(), 0);
+    }
+
+    #[test]
     fn covers_by_path_kind_and_pattern() {
         let al = Allowlist::parse(
             "a.txt",
@@ -193,7 +254,7 @@ missing-justification unwrap x
         let stale = al.unused(&used, "a.txt");
         assert_eq!(stale.len(), 1);
 
-        let many: String = (0..16)
+        let many: String = (0..PANIC_SPEC.budget + 1)
             .map(|i| format!("crates/x/src/f{i}.rs unwrap * -- e{i}\n"))
             .collect();
         let al = Allowlist::parse("a.txt", &many);

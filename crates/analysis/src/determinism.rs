@@ -1,0 +1,311 @@
+//! Lint 5: determinism in the allocation/routing path.
+//!
+//! The paper's headline guarantee — bit-identical CRAM allocations for
+//! any thread count — only holds if nothing on the allocation, routing
+//! or report path depends on unordered state. This lint flags, in the
+//! deterministic crates ([`CHECKED_CRATES`]):
+//!
+//! - **`iter`**: iteration over a `HashMap`/`HashSet` binding
+//!   (`.iter()`, `.iter_mut()`, `.keys()`, `.values()`,
+//!   `.values_mut()`, `.drain()`, `.into_iter()`, `.into_keys()`,
+//!   `.into_values()`, and `for … in map`) — hash iteration order is
+//!   unspecified and may vary across runs and `RandomState` seeds;
+//! - **`wallclock`**: `Instant::now`/`SystemTime` — wall-clock reads
+//!   make outputs run-dependent.
+//!
+//! Bindings are discovered from the token stream: any `name:
+//! HashMap<…>` / `name: HashSet<…>` declaration (fields, lets,
+//! params) or `let name = HashMap::new()` marks `name` as
+//! hash-ordered for the rest of the file. `#[cfg(test)]` code is
+//! exempt, and a justified allowlist
+//! (`analysis/determinism-allowlist.txt`, same format and budget
+//! discipline as the panic allowlist) documents the survivors — e.g.
+//! telemetry-only scan timers.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::{self, in_regions, Token, TokenKind};
+use crate::{line_of, line_text, Finding, SourceFile};
+
+/// Crates whose library code must be deterministic.
+pub const CHECKED_CRATES: [&str; 5] = ["core", "profile", "pubsub", "simnet", "workload"];
+
+const ORDER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Names bound to a `HashMap`/`HashSet` anywhere in the token stream:
+/// `name: [std::collections::]Hash{Map,Set}<…>` declarations (struct
+/// fields, lets, fn params) and `let name = Hash{Map,Set}::…` inits.
+fn hash_bindings(code: &[&Token<'_>]) -> Vec<String> {
+    let mut names = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk backwards over a leading path (`std :: collections ::`).
+        let mut j = i;
+        while j >= 3
+            && code[j - 1].is_punct(':')
+            && code[j - 2].is_punct(':')
+            && code[j - 3].kind == TokenKind::Ident
+        {
+            j -= 3;
+        }
+        // `name : [&]['a ][mut ]<path> HashMap` — a typed declaration.
+        let mut d = j;
+        while d >= 1
+            && (code[d - 1].is_punct('&')
+                || code[d - 1].is_ident("mut")
+                || code[d - 1].kind == TokenKind::Lifetime)
+        {
+            d -= 1;
+        }
+        if d >= 2
+            && code[d - 1].is_punct(':')
+            && !code.get(d.wrapping_sub(2)).is_some_and(|p| p.is_punct(':'))
+        {
+            if let Some(name) = code.get(d - 2).filter(|p| p.kind == TokenKind::Ident) {
+                names.push(name.text.to_string());
+                continue;
+            }
+        }
+        // `let [mut] name = <path> HashMap :: …` — an inferred binding.
+        if j >= 2 && code[j - 1].is_punct('=') {
+            if let Some(name) = code.get(j - 2).filter(|p| p.kind == TokenKind::Ident) {
+                let let_at = j.checked_sub(3).and_then(|k| code.get(k));
+                let is_let = let_at.is_some_and(|p| p.is_ident("let") || p.is_ident("mut"));
+                if is_let && name.text != "_" {
+                    names.push(name.text.to_string());
+                }
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Raw (pre-allowlist) findings in one file: `(kind, offset, detail)`.
+fn scan(src: &str) -> Vec<(&'static str, usize, String)> {
+    let tokens = lexer::tokenize(src);
+    let code: Vec<&Token<'_>> = lexer::code(&tokens);
+    let hashed = hash_bindings(&code);
+    let is_hashed =
+        |t: &Token<'_>| t.kind == TokenKind::Ident && hashed.iter().any(|n| n == t.text);
+    let mut hits = Vec::new();
+
+    for i in 0..code.len() {
+        let t = code[i];
+        // `name.iter()` / `self.name.keys()` / …
+        if is_hashed(t)
+            && code.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && code.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            if let Some(m) = code.get(i + 2).filter(|m| m.kind == TokenKind::Ident) {
+                if ORDER_METHODS.contains(&m.text) {
+                    hits.push((
+                        "iter",
+                        t.start,
+                        format!(
+                            "`{}.{}()` iterates a hash collection in unspecified order",
+                            t.text, m.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&][mut] path.name {` — direct for-loop iteration.
+        if t.is_ident("for") {
+            // Find the matching `in` (skip pattern tokens; bail at `{`).
+            let mut j = i + 1;
+            while j < code.len() && !code[j].is_ident("in") && !code[j].is_punct('{') {
+                j += 1;
+            }
+            if j < code.len() && code[j].is_ident("in") {
+                // Collect the iterated expression up to the loop body.
+                let mut k = j + 1;
+                let mut last_path_ident: Option<&Token<'_>> = None;
+                while k < code.len() && !code[k].is_punct('{') {
+                    let c = code[k];
+                    if c.is_punct('&') || c.is_ident("mut") || c.is_punct('.') {
+                        k += 1;
+                        continue;
+                    }
+                    if c.kind == TokenKind::Ident {
+                        last_path_ident = Some(c);
+                        k += 1;
+                        continue;
+                    }
+                    // Method call, range, or anything else ends the
+                    // plain-path case — `for x in map.keys()` is caught
+                    // by the method rule above.
+                    last_path_ident = None;
+                    break;
+                }
+                if let Some(name) = last_path_ident.filter(|n| is_hashed(n)) {
+                    hits.push((
+                        "iter",
+                        name.start,
+                        format!(
+                            "`for … in {}` iterates a hash collection in unspecified order",
+                            name.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // Wall clocks: `Instant::now(` and any `SystemTime` mention.
+        if t.is_ident("Instant")
+            && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && code.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            hits.push((
+                "wallclock",
+                t.start,
+                "`Instant::now()` reads the wall clock — outputs become run-dependent".to_string(),
+            ));
+        }
+        if t.is_ident("SystemTime") {
+            hits.push((
+                "wallclock",
+                t.start,
+                "`SystemTime` reads the wall clock — outputs become run-dependent".to_string(),
+            ));
+        }
+    }
+
+    hits.sort_by_key(|&(_, at, _)| at);
+    hits
+}
+
+/// Runs the lint over `files` with the given allowlist.
+pub fn run(files: &[SourceFile], allowlist: &Allowlist, allowlist_path: &str) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = allowlist.errors.clone();
+    let mut used = vec![false; allowlist.entries.len()];
+
+    for file in files {
+        let in_scope = file
+            .crate_name()
+            .is_some_and(|c| CHECKED_CRATES.contains(&c))
+            && file.is_library_code();
+        if !in_scope {
+            continue;
+        }
+        let tokens = lexer::tokenize(&file.content);
+        let regions = lexer::test_regions(&tokens);
+        for (kind, at, detail) in scan(&file.content) {
+            if in_regions(at, &regions) {
+                continue;
+            }
+            let text = line_text(&file.content, at);
+            if allowlist.covers(&mut used, &file.path, kind, text) {
+                continue;
+            }
+            findings.push(Finding {
+                lint: "determinism",
+                path: file.path.clone(),
+                line: line_of(&file.content, at),
+                message: format!("{detail} — use BTreeMap/BTreeSet, sort before iterating, or allowlist with a justification"),
+            });
+        }
+    }
+
+    findings.extend(allowlist.unused_with(&used, allowlist_path, "determinism"));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowlist::DETERMINISM_SPEC;
+
+    fn lint(path: &str, src: &str, allow: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new(path, src)];
+        let al = Allowlist::parse_with("allow.txt", allow, &DETERMINISM_SPEC);
+        run(&files, &al, "allow.txt")
+    }
+
+    #[test]
+    fn flags_hash_iteration_methods() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\nimpl S {\n    fn f(&self) -> Vec<u32> { self.m.keys().copied().collect() }\n    fn g(&mut self) { self.m.drain().count(); }\n}\n";
+        let got = lint("crates/core/src/x.rs", src, "");
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got[0].message.contains("m.keys()"));
+        assert!(got[1].message.contains("m.drain()"));
+    }
+
+    #[test]
+    fn flags_for_in_over_hash_binding() {
+        let src = "use std::collections::HashSet;\nfn f(s: HashSet<u32>) -> u32 {\n    let mut acc = 0;\n    for v in &s { acc += v; }\n    acc\n}\n";
+        let got = lint("crates/pubsub/src/x.rs", src, "");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 4);
+        assert!(got[0].message.contains("for … in s"));
+    }
+
+    #[test]
+    fn let_inferred_binding_is_tracked() {
+        let src = "fn f() {\n    let mut m = std::collections::HashMap::new();\n    m.insert(1u32, 2u32);\n    for (k, v) in m.iter() { let _ = (k, v); }\n}\n";
+        let got = lint("crates/simnet/src/x.rs", src, "");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("m.iter()"));
+    }
+
+    #[test]
+    fn btree_collections_and_lookups_pass() {
+        let src = "use std::collections::{BTreeMap, HashMap};\nstruct S { b: BTreeMap<u32, u32>, h: HashMap<u32, u32> }\nimpl S {\n    fn f(&self) -> Option<&u32> { self.h.get(&1) }\n    fn g(&self) -> Vec<u32> { self.b.keys().copied().collect() }\n}\n";
+        let got = lint("crates/core/src/x.rs", src, "");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn flags_wall_clocks() {
+        let src = "use std::time::{Instant, SystemTime};\nfn f() -> u64 {\n    let t = Instant::now();\n    t.elapsed().as_micros() as u64\n}\n";
+        let got = lint("crates/workload/src/x.rs", src, "");
+        // The `use` line mentions SystemTime, plus the Instant::now.
+        assert_eq!(got.len(), 2, "{got:?}");
+        assert!(got.iter().any(|f| f.message.contains("Instant::now")));
+    }
+
+    #[test]
+    fn test_code_strings_and_other_crates_pass() {
+        let src = "fn f() -> &'static str { \"HashMap.iter() SystemTime\" }\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { let m: HashMap<u8, u8> = HashMap::new(); for _ in m.keys() {} }\n}\n";
+        assert!(lint("crates/core/src/x.rs", src, "").is_empty());
+        let src2 =
+            "use std::collections::HashMap;\nfn f(m: HashMap<u8, u8>) { for _ in m.keys() {} }\n";
+        assert!(lint("crates/broker/src/x.rs", src2, "").is_empty());
+        assert!(lint("crates/core/tests/x.rs", src2, "").is_empty());
+    }
+
+    #[test]
+    fn allowlist_covers_and_reports_stale() {
+        let src = "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n";
+        let got = lint(
+            "crates/core/src/cram.rs",
+            src,
+            "crates/core/src/cram.rs wallclock Instant::now -- telemetry-only scan timer\ncrates/core/src/cram.rs iter never -- stale",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn synthetic_cram_keys_regression_fires() {
+        // The ISSUE 4 acceptance scenario: seeding `for k in map.keys()`
+        // into crates/core/src/cram.rs must make the lint fail.
+        let src = "use std::collections::HashMap;\nfn f(map: HashMap<u64, u64>) -> u64 {\n    let mut acc = 0;\n    for k in map.keys() { acc += k; }\n    acc\n}\n";
+        let got = lint("crates/core/src/cram.rs", src, "");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("map.keys()"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Workspace static-analysis engine (DESIGN.md §9).
 //!
-//! Four std-only lints run over the workspace source tree:
+//! A std-only token-level [`lexer`] feeds seven lints over the
+//! workspace source tree:
 //!
 //! - [`panic_freedom`] — forbids `unwrap`/`expect`/panicking macros and
 //!   `[idx]` indexing in non-test library code of the runtime crates,
@@ -12,20 +13,32 @@
 //!   held across crossbeam channel `send`/`recv` in the broker crate.
 //! - [`attributes`] — requires `#![forbid(unsafe_code)]` and
 //!   `#![deny(missing_docs)]` on every first-party crate root.
+//! - [`determinism`] — forbids unordered `HashMap`/`HashSet` iteration
+//!   and wall-clock reads in the deterministic crates.
+//! - [`telemetry_schema`] — cross-checks every registered instrument
+//!   name against `analysis/telemetry-schema.txt`.
+//! - [`lock_order`] — builds the static lock-acquisition graph and
+//!   fails on ordering cycles.
 //!
-//! Everything operates on `(path, content)` pairs so each lint is unit
-//! testable with synthetic snippets; the binary in `main.rs` wires them
-//! to the real tree.
+//! [`baseline`] adds the findings ratchet (`analysis/baseline.json`):
+//! counts may only fall. Everything operates on `(path, content)` pairs
+//! so each lint is unit testable with synthetic snippets; the binary in
+//! `main.rs` wires them to the real tree.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod allowlist;
 pub mod attributes;
+pub mod baseline;
+pub mod determinism;
 pub mod layering;
+pub mod lexer;
 pub mod lock_hygiene;
+pub mod lock_order;
 pub mod panic_freedom;
 pub mod source;
+pub mod telemetry_schema;
 
 use std::fmt;
 use std::fs;

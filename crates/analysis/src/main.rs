@@ -1,33 +1,93 @@
 //! CLI for the workspace static-analysis engine.
 //!
 //! ```text
-//! cargo run -p greenps-analysis -- <panic-freedom|layering|lock-hygiene|attributes|all>
+//! cargo run -p greenps-analysis -- <check> [--ratchet] [--format text|json]
 //! ```
 //!
-//! Prints findings as `path:line: [lint] message` and exits non-zero
-//! when any lint fires.
+//! Prints findings as `path:line: [lint] message` (or a machine-
+//! readable JSON report with `--format json`) and exits non-zero when
+//! any lint fires. With `--ratchet` (only valid with `all`) findings
+//! are instead compared against `analysis/baseline.json`: growth fails,
+//! improvements auto-shrink the baseline.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use greenps_analysis::allowlist::Allowlist;
+use greenps_analysis::allowlist::{Allowlist, DETERMINISM_SPEC};
+use greenps_analysis::telemetry_schema::Schema;
 use greenps_analysis::{
-    attributes, layering, load_sources, lock_hygiene, panic_freedom, workspace_root, Finding,
-    SourceFile,
+    attributes, baseline, determinism, layering, load_sources, lock_hygiene, lock_order,
+    panic_freedom, telemetry_schema, workspace_root, Finding, SourceFile,
 };
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const ALLOWLIST_PATH: &str = "analysis/panic-allowlist.txt";
-const USAGE: &str = "usage: cargo run -p greenps-analysis -- <check>\n\nchecks:\n  panic-freedom  unwrap/expect/panic!/indexing in runtime library code\n  layering       DESIGN.md \u{a7}3 crate dependency DAG\n  lock-hygiene   std::sync locks; guards held across channel ops\n  attributes     forbid(unsafe_code) + deny(missing_docs) on crate roots\n  all            every check above";
+const DET_ALLOWLIST_PATH: &str = "analysis/determinism-allowlist.txt";
+const SCHEMA_PATH: &str = "analysis/telemetry-schema.txt";
+const BASELINE_PATH: &str = "analysis/baseline.json";
+
+/// Every lint name, in the order counts are reported.
+const LINTS: [&str; 7] = [
+    "attributes",
+    "determinism",
+    "layering",
+    "lock-hygiene",
+    "lock-order",
+    "panic-freedom",
+    "telemetry-schema",
+];
+
+const USAGE: &str = "usage: cargo run -p greenps-analysis -- <check> [--ratchet] [--format text|json]\n\nchecks:\n  panic-freedom     unwrap/expect/panic!/indexing in runtime library code\n  layering          DESIGN.md \u{a7}3 crate dependency DAG\n  lock-hygiene      std::sync locks; guards held across channel ops\n  attributes        forbid(unsafe_code) + deny(missing_docs) on crate roots\n  determinism       HashMap/HashSet iteration + wall clocks in deterministic crates\n  telemetry-schema  instrument names vs analysis/telemetry-schema.txt\n  lock-order        static lock acquisition-order cycles\n  all               every check above\n\nflags:\n  --ratchet         compare counts against analysis/baseline.json: growth\n                    fails, improvements auto-shrink the baseline (all only)\n  --format <fmt>    text (default) or json";
+
+struct Options {
+    check: String,
+    ratchet: bool,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut check: Option<String> = None;
+    let mut ratchet = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ratchet" => ratchet = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            positional if check.is_none() => check = Some(positional.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let check = check.ok_or_else(|| "missing <check>".to_string())?;
+    if ratchet && check != "all" {
+        return Err("--ratchet is only valid with `all`".to_string());
+    }
+    Ok(Options {
+        check,
+        ratchet,
+        json,
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = match args.as_slice() {
-        [one] => one.clone(),
-        _ => {
-            eprintln!("{USAGE}");
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -43,38 +103,107 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    match run_checks(&root, &check) {
-        Ok(findings) if findings.is_empty() => {
-            println!("analysis: `{check}` clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            println!("analysis: `{check}` found {} violation(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let (findings, counts) = match run_checks(&root, &opts.check) {
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if opts.json {
+        print!("{}", baseline::render_findings_json(&counts, &findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+
+    if opts.ratchet {
+        return ratchet(&root, &counts);
+    }
+
+    if findings.is_empty() {
+        if !opts.json {
+            println!("analysis: `{}` clean", opts.check);
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "analysis: `{}` found {} violation(s)",
+            opts.check,
+            findings.len()
+        );
+        ExitCode::FAILURE
     }
 }
 
-fn run_checks(root: &Path, check: &str) -> Result<Vec<Finding>, String> {
+/// Applies the baseline ratchet: regression fails, improvement shrinks
+/// the baseline file in place.
+fn ratchet(root: &Path, counts: &BTreeMap<String, usize>) -> ExitCode {
+    let path = root.join(BASELINE_PATH);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match baseline::Baseline::parse(&text) {
+        Ok(base) => base,
+        Err(e) => {
+            eprintln!("error: {BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = baseline::Baseline {
+        counts: counts.clone(),
+    };
+    let outcome = baseline::compare(&base, &current);
+
+    if !outcome.regressions.is_empty() {
+        for r in &outcome.regressions {
+            eprintln!("ratchet: {r}");
+        }
+        eprintln!(
+            "analysis: ratchet failed — {} counter(s) above baseline",
+            outcome.regressions.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if !outcome.improvements.is_empty() {
+        if let Err(e) = fs::write(&path, current.render()) {
+            eprintln!("error: cannot shrink {BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+        for i in &outcome.improvements {
+            eprintln!("ratchet: {i}");
+        }
+        eprintln!("ratchet: baseline auto-shrunk — commit the updated {BASELINE_PATH}");
+    }
+    eprintln!("analysis: ratchet ok");
+    ExitCode::SUCCESS
+}
+
+/// Runs the selected checks; returns findings plus per-counter tallies
+/// (lint findings and allowlist sizes) for the ratchet.
+fn run_checks(root: &Path, check: &str) -> Result<(Vec<Finding>, BTreeMap<String, usize>), String> {
     let mut sources = load_sources(root, "crates").map_err(|e| e.to_string())?;
     sources.extend(load_sources(root, "src").map_err(|e| e.to_string())?);
     sources.extend(load_sources(root, "vendor").map_err(|e| e.to_string())?);
 
     let mut findings = Vec::new();
+    let mut extra_counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut known = false;
 
     if matches!(check, "panic-freedom" | "all") {
         known = true;
-        let allowlist_file = root.join(ALLOWLIST_PATH);
-        let text = fs::read_to_string(&allowlist_file).unwrap_or_default();
+        let text = fs::read_to_string(root.join(ALLOWLIST_PATH)).unwrap_or_default();
         let allowlist = Allowlist::parse(ALLOWLIST_PATH, &text);
+        extra_counts.insert(
+            "allowlist.panic-entries".to_string(),
+            allowlist.entries.len(),
+        );
         findings.extend(panic_freedom::run(&sources, &allowlist, ALLOWLIST_PATH));
     }
     if matches!(check, "layering" | "all") {
@@ -96,13 +225,38 @@ fn run_checks(root: &Path, check: &str) -> Result<Vec<Finding>, String> {
         known = true;
         findings.extend(attributes::run(&sources));
     }
+    if matches!(check, "determinism" | "all") {
+        known = true;
+        let text = fs::read_to_string(root.join(DET_ALLOWLIST_PATH)).unwrap_or_default();
+        let allowlist = Allowlist::parse_with(DET_ALLOWLIST_PATH, &text, &DETERMINISM_SPEC);
+        extra_counts.insert(
+            "allowlist.determinism-entries".to_string(),
+            allowlist.entries.len(),
+        );
+        findings.extend(determinism::run(&sources, &allowlist, DET_ALLOWLIST_PATH));
+    }
+    if matches!(check, "telemetry-schema" | "all") {
+        known = true;
+        let text = fs::read_to_string(root.join(SCHEMA_PATH)).map_err(|e| {
+            format!("cannot read {SCHEMA_PATH}: {e} — the telemetry-schema lint requires it")
+        })?;
+        let schema = Schema::parse(SCHEMA_PATH, &text);
+        findings.extend(telemetry_schema::run(&sources, &schema, SCHEMA_PATH));
+    }
+    if matches!(check, "lock-order" | "all") {
+        known = true;
+        findings.extend(lock_order::run(&sources));
+    }
 
     if !known {
         return Err(format!("unknown check `{check}`\n{USAGE}"));
     }
     findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
     findings.dedup();
-    Ok(findings)
+
+    let mut counts = baseline::tally(&LINTS, &findings);
+    counts.append(&mut extra_counts);
+    Ok((findings, counts))
 }
 
 fn check_manifests(root: &Path) -> Result<Vec<Finding>, String> {

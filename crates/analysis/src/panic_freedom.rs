@@ -5,64 +5,59 @@
 //! macros, or `[..]` indexing in non-`#[cfg(test)]` library code,
 //! except where a justified allowlist entry documents the invariant
 //! that makes the panic unreachable.
+//!
+//! The scan runs over the [`crate::lexer`] token stream, so panicky
+//! text inside strings, raw strings or (doc) comments can never fire,
+//! and index detection distinguishes `v[i]` from slice patterns,
+//! attributes and `vec![…]` by real token adjacency.
 
 use crate::allowlist::Allowlist;
-use crate::source::{in_regions, mask, test_regions};
+use crate::lexer::{self, in_regions, Token, TokenKind};
 use crate::{line_of, line_text, Finding, SourceFile};
 
 /// Crates whose library code must be panic-free.
 pub const CHECKED_CRATES: [&str; 6] =
     ["pubsub", "profile", "core", "broker", "simnet", "telemetry"];
 
-const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Raw (pre-allowlist) panic sources in one file: `(kind, offset)`.
-fn scan(masked: &str) -> Vec<(&'static str, usize)> {
-    let bytes = masked.as_bytes();
+fn scan(src: &str) -> Vec<(&'static str, usize)> {
+    let tokens = lexer::tokenize(src);
+    let code: Vec<&Token<'_>> = lexer::code(&tokens);
     let mut hits = Vec::new();
 
-    for (kind, needle) in [("unwrap", ".unwrap"), ("expect", ".expect")] {
-        let mut from = 0;
-        while let Some(rel) = masked[from..].find(needle) {
-            let at = from + rel;
-            let after = at + needle.len();
-            // Reject `.unwrap_or`, `.expect_err`, etc.: the method name
-            // must end exactly here and be called.
-            let boundary = bytes.get(after).copied().is_none_or(|b| !is_ident_byte(b));
-            let called = bytes.get(after) == Some(&b'(');
-            if boundary && called {
-                hits.push((kind, at));
+    for i in 0..code.len() {
+        let t = code[i];
+        // `.unwrap(` / `.expect(` — exact method name, actually called.
+        if t.is_punct('.') && i + 2 < code.len() && code[i + 2].is_punct('(') {
+            match code[i + 1].text {
+                "unwrap" if code[i + 1].kind == TokenKind::Ident => hits.push(("unwrap", t.start)),
+                "expect" if code[i + 1].kind == TokenKind::Ident => hits.push(("expect", t.start)),
+                _ => {}
             }
-            from = after;
         }
-    }
-
-    for needle in PANIC_MACROS {
-        let mut from = 0;
-        while let Some(rel) = masked[from..].find(needle) {
-            let at = from + rel;
-            // Must start an identifier (`assert_eq!` contains no panic
-            // needle; `my_panic!` must not match).
-            let starts_ident = at == 0 || !is_ident_byte(bytes[at - 1]);
-            if starts_ident {
-                hits.push(("panic", at));
-            }
-            from = at + needle.len();
+        // Panicking macros: the whole identifier, followed by `!`. A
+        // `my_panic!` lexes as one ident and cannot match; `panic::`
+        // (the std module) has no `!` and does not fire.
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text)
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            hits.push(("panic", t.start));
         }
-    }
-
-    // Indexing: `[` directly after an identifier byte, `)`, `]` or `?`
-    // is an index/slice expression. Array types (`[u8; 4]`), slice
-    // patterns, attributes and `vec![` all start after other bytes.
-    for (i, &b) in bytes.iter().enumerate() {
-        if b == b'[' && i > 0 {
-            let prev = bytes[i - 1];
-            if is_ident_byte(prev) || prev == b')' || prev == b']' || prev == b'?' {
-                hits.push(("index", i));
+        // Indexing: `[` source-adjacent to an identifier, number, `)`,
+        // `]` or `?` is an index/slice expression. Array types
+        // (`[u8; 4]`), slice patterns (`let [a, b]`), attributes
+        // (`#[…]`) and `vec![…]` all follow other tokens or have a gap.
+        if t.is_punct('[') && i > 0 {
+            let prev = code[i - 1];
+            let indexable = matches!(prev.kind, TokenKind::Ident | TokenKind::Num)
+                || prev.is_punct(')')
+                || prev.is_punct(']')
+                || prev.is_punct('?');
+            if indexable && prev.end == t.start {
+                hits.push(("index", t.start));
             }
         }
     }
@@ -87,9 +82,9 @@ pub fn run(files: &[SourceFile], allowlist: &Allowlist, allowlist_path: &str) ->
         if !in_scope {
             continue;
         }
-        let masked = mask(&file.content);
-        let regions = test_regions(&masked);
-        for (kind, at) in scan(&masked) {
+        let tokens = lexer::tokenize(&file.content);
+        let regions = lexer::test_regions(&tokens);
+        for (kind, at) in scan(&file.content) {
             if in_regions(at, &regions) {
                 continue;
             }
@@ -150,6 +145,15 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_and_doc_comments_cannot_fire() {
+        // The regex engine's false-positive class from ISSUE 4: panicky
+        // text embedded in raw strings and doc comments.
+        let src = "/// Call `.unwrap()` and index `v[0]` — doc text only.\nfn f() -> &'static str {\n    r#\"x.unwrap() and v[0] and panic!(\"boom\")\"#\n}\n";
+        let got = lint("crates/core/src/x.rs", src, "");
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
     fn out_of_scope_files_are_skipped() {
         let src = "fn f() { None::<u32>.unwrap(); }";
         assert!(lint("crates/workload/src/x.rs", src, "").is_empty());
@@ -174,5 +178,13 @@ mod tests {
         let src = "fn f() -> [u8; 4] {\n    let v: Vec<[u8; 4]> = vec![[0; 4]];\n    #[allow(dead_code)]\n    let [a, b] = (1, 2).into();\n    v.first().copied().unwrap_or([0; 4])\n}\n";
         let got = lint("crates/simnet/src/x.rs", src, "");
         assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn tuple_field_indexing_fires() {
+        let src = "fn f(t: (Vec<u32>, u32), i: usize) -> u32 { t.0[i] }\n";
+        let got = lint("crates/core/src/x.rs", src, "");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("indexing"));
     }
 }

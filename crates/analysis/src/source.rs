@@ -1,166 +1,21 @@
-//! Lexical preprocessing shared by the lints.
+//! Masked-text helpers retained for line-oriented lints.
 //!
-//! [`mask`] blanks out comments and string/char literal bodies so later
-//! substring scans cannot be fooled by `"panic!"` inside a doc string;
-//! [`test_regions`] finds `#[cfg(test)]` item bodies so test-only code
-//! is exempt from the panic-freedom policy.
+//! Since PR 4 the real lexical work lives in [`crate::lexer`]; this
+//! module keeps the masked-text view ([`mask`] now delegates to the
+//! lexer's token stream) plus brace/region utilities for the lints that
+//! still scan line-shaped patterns (layering, attributes, and the
+//! guard-across-channel heuristic).
+
+use crate::lexer;
 
 /// Replaces comments and string/char-literal contents with spaces.
 ///
 /// Newlines are preserved (line numbers stay valid) and the masked text
-/// has the same byte length as the input. String delimiters themselves
-/// are masked too, so a `[` or `.unwrap()` inside a literal can never
-/// match a code pattern.
+/// has the same byte length as the input. Built on [`lexer::tokenize`],
+/// so raw strings, nested block comments and char-vs-lifetime
+/// ambiguities are resolved exactly; lifetimes survive masking.
 pub fn mask(src: &str) -> String {
-    let bytes = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-
-    // Pushes `n` bytes of masked output, keeping newlines.
-    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize) {
-        for &b in &bytes[from..to] {
-            out.push(if b == b'\n' { b'\n' } else { b' ' });
-        }
-    }
-
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
-                blank(&mut out, bytes, i, end);
-                i = end;
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                // Nested block comments.
-                let mut depth = 1;
-                let mut j = i + 2;
-                while j < bytes.len() && depth > 0 {
-                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
-                        depth += 1;
-                        j += 2;
-                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
-                        depth -= 1;
-                        j += 2;
-                    } else {
-                        j += 1;
-                    }
-                }
-                blank(&mut out, bytes, i, j);
-                i = j;
-            }
-            b'r' if is_raw_string_start(bytes, i) => {
-                let (hashes, body_start) = raw_string_open(bytes, i);
-                let end = raw_string_end(bytes, body_start, hashes);
-                blank(&mut out, bytes, i, end);
-                i = end;
-            }
-            b'"' => {
-                let end = string_end(bytes, i + 1);
-                blank(&mut out, bytes, i, end);
-                i = end;
-            }
-            b'\'' => {
-                if let Some(end) = char_literal_end(bytes, i) {
-                    blank(&mut out, bytes, i, end);
-                    i = end;
-                } else {
-                    // A lifetime like 'a — keep as-is.
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    // `r"`, `r#"`, `br"` handled via the `r`; reject identifiers ending
-    // in r (e.g. `var"`, impossible) by checking the previous byte.
-    if i > 0 && is_ident_byte(bytes[i - 1]) {
-        return false;
-    }
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
-    let mut j = i + 1;
-    let mut hashes = 0;
-    while j < bytes.len() && bytes[j] == b'#' {
-        hashes += 1;
-        j += 1;
-    }
-    (hashes, j + 1) // skip the opening quote
-}
-
-fn raw_string_end(bytes: &[u8], mut j: usize, hashes: usize) -> usize {
-    while j < bytes.len() {
-        if bytes[j] == b'"' {
-            let mut k = j + 1;
-            let mut seen = 0;
-            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
-                seen += 1;
-                k += 1;
-            }
-            if seen == hashes {
-                return k;
-            }
-        }
-        j += 1;
-    }
-    bytes.len()
-}
-
-fn string_end(bytes: &[u8], mut j: usize) -> usize {
-    while j < bytes.len() {
-        match bytes[j] {
-            b'\\' => j += 2,
-            b'"' => return j + 1,
-            _ => j += 1,
-        }
-    }
-    bytes.len()
-}
-
-/// Distinguishes a char literal from a lifetime. Returns the end offset
-/// of the literal, or `None` for a lifetime.
-fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
-    let j = i + 1;
-    if j >= bytes.len() {
-        return None;
-    }
-    if bytes[j] == b'\\' {
-        // Escaped char: scan to the closing quote.
-        let mut k = j + 2;
-        while k < bytes.len() && bytes[k] != b'\'' {
-            k += 1;
-        }
-        return Some((k + 1).min(bytes.len()));
-    }
-    // `'a` followed by `'` is a char literal; otherwise a lifetime.
-    if is_ident_byte(bytes[j]) {
-        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
-            return Some(j + 2);
-        }
-        return None;
-    }
-    // Punctuation char literal like '(' .
-    if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
-        return Some(j + 2);
-    }
-    None
+    lexer::mask(src)
 }
 
 /// Byte ranges of `#[cfg(test)]` item bodies in **masked** source.
@@ -209,7 +64,7 @@ pub fn match_brace(bytes: &[u8], open: usize) -> usize {
 
 /// True when `offset` falls inside any of `regions`.
 pub fn in_regions(offset: usize, regions: &[(usize, usize)]) -> bool {
-    regions.iter().any(|&(s, e)| offset >= s && offset < e)
+    lexer::in_regions(offset, regions)
 }
 
 #[cfg(test)]

@@ -651,56 +651,7 @@ fn bench_report(opts: &Opts) {
     // path; on a machine with fewer cores the parallel timing degrades
     // toward parity and the recorded `available_parallelism` says why.
     let threads = available_threads().clamp(4, 8);
-    let mut runs = Vec::new();
-    for &n in sizes {
-        // Larger clusters keep the bin-packing feasibility baseline
-        // satisfiable at 16k subscriptions.
-        let scenario = ScenarioBuilder::new(Topology::Homogeneous)
-            .total_subs(n)
-            .brokers((n / 50).max(80))
-            .seed(9)
-            .build();
-        let input = ideal_input(&scenario);
-        let t0 = Instant::now();
-        let (seq_alloc, seq_stats) = CramBuilder::new(ClosenessMetric::Intersect)
-            .run(&input)
-            .expect("sequential CRAM");
-        let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t0 = Instant::now();
-        let (par_alloc, par_stats) = CramBuilder::new(ClosenessMetric::Intersect)
-            .threads(threads)
-            .run(&input)
-            .expect("parallel CRAM");
-        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
-        assert_eq!(
-            seq_alloc, par_alloc,
-            "parallel CRAM must produce a bit-identical allocation"
-        );
-        assert_eq!(seq_stats, par_stats, "parallel CRAM stats must match");
-        let speedup = sequential_ms / parallel_ms.max(1e-9);
-        println!(
-            "bench-report: {n} subs / {} brokers -> sequential {sequential_ms:.1} ms, \
-             parallel(x{threads}) {parallel_ms:.1} ms ({speedup:.2}x), identical allocation",
-            scenario.brokers.len()
-        );
-        runs.push(format!(
-            "    {{\"subscriptions\": {n}, \"brokers\": {}, \"threads\": {threads}, \
-             \"sequential_ms\": {sequential_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
-             \"speedup\": {speedup:.3}, \"allocated_brokers\": {}, \"merges\": {}, \
-             \"closeness_computations\": {}, \"identical\": true}}",
-            scenario.brokers.len(),
-            seq_alloc.broker_count(),
-            seq_stats.merges,
-            seq_stats.closeness_computations,
-        ));
-    }
-    let json = format!(
-        "{{\n  \"metric\": \"INTERSECT\",\n  \"quick\": {},\n  \
-         \"available_parallelism\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
-        opts.quick,
-        available_threads(),
-        runs.join(",\n")
-    );
+    let json = greenps_bench::bench_report_json(sizes, threads, opts.quick);
     let path = match &opts.csv {
         Some(dir) => dir.join("BENCH_cram.json"),
         None => PathBuf::from("BENCH_cram.json"),

@@ -7,10 +7,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use greenps_core::cram::CramBuilder;
 use greenps_core::model::{AllocationInput, SubscriptionEntry};
-use greenps_profile::{PublisherProfile, PublisherTable, SubscriptionProfile};
+use greenps_profile::{ClosenessMetric, PublisherProfile, PublisherTable, SubscriptionProfile};
 use greenps_pubsub::ids::{AdvId, MsgId, SubId};
 use greenps_workload::scenario::Scenario;
+use greenps_workload::{ScenarioBuilder, Topology};
+use std::time::Instant;
 
 /// Number of publications per publisher used to fill synthetic
 /// profiles.
@@ -85,10 +88,71 @@ pub fn check_input(input: &AllocationInput) {
     let _ = SubId::new(0);
 }
 
+/// Runs sequential vs parallel CRAM-INTERSECT at each subscription
+/// count and renders the `BENCH_cram.json` report body. The key
+/// vocabulary of the emitted JSON is declared as `benchkey` entries in
+/// `analysis/telemetry-schema.txt` and checked by
+/// `tests/experiments_smoke.rs` — keep the three in sync.
+///
+/// # Panics
+/// Panics when CRAM fails on a generated scenario or the parallel run
+/// is not bit-identical to the sequential one.
+pub fn bench_report_json(sizes: &[usize], threads: usize, quick: bool) -> String {
+    let mut runs = Vec::new();
+    for &n in sizes {
+        // Larger clusters keep the bin-packing feasibility baseline
+        // satisfiable at 16k subscriptions.
+        let scenario = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(n)
+            .brokers((n / 50).max(80))
+            .seed(9)
+            .build();
+        let input = ideal_input(&scenario);
+        let t0 = Instant::now();
+        let (seq_alloc, seq_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .run(&input)
+            .expect("sequential CRAM");
+        let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let (par_alloc, par_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .threads(threads)
+            .run(&input)
+            .expect("parallel CRAM");
+        let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            seq_alloc, par_alloc,
+            "parallel CRAM must produce a bit-identical allocation"
+        );
+        assert_eq!(seq_stats, par_stats, "parallel CRAM stats must match");
+        let speedup = sequential_ms / parallel_ms.max(1e-9);
+        println!(
+            "bench-report: {n} subs / {} brokers -> sequential {sequential_ms:.1} ms, \
+             parallel(x{threads}) {parallel_ms:.1} ms ({speedup:.2}x), identical allocation",
+            scenario.brokers.len()
+        );
+        runs.push(format!(
+            "    {{\"subscriptions\": {n}, \"brokers\": {}, \"threads\": {threads}, \
+             \"sequential_ms\": {sequential_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
+             \"speedup\": {speedup:.3}, \"allocated_brokers\": {}, \"merges\": {}, \
+             \"closeness_computations\": {}, \"identical\": true}}",
+            scenario.brokers.len(),
+            seq_alloc.broker_count(),
+            seq_stats.merges,
+            seq_stats.closeness_computations,
+        ));
+    }
+    format!(
+        "{{\n  \"metric\": \"INTERSECT\",\n  \"quick\": {},\n  \
+         \"available_parallelism\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        quick,
+        greenps_core::engine::available_threads(),
+        runs.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use greenps_workload::{ScenarioBuilder, Topology};
 
     #[test]
     fn ideal_input_profiles_match_selectivity() {

@@ -17,6 +17,24 @@ use greenps_simnet::{LinkSpec, Network, NodeId, SimDuration};
 use greenps_telemetry::{Registry, Span};
 use std::collections::BTreeMap;
 
+/// Deployment construction errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployError {
+    /// A topology edge or attach call referenced a broker id that is
+    /// not part of the deployment.
+    UnknownBroker(BrokerId),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::UnknownBroker(id) => write!(f, "unknown broker id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 /// A deployable broker topology.
 #[derive(Debug, Clone)]
 pub struct TopologySpec {
@@ -58,9 +76,9 @@ impl RunMetrics {
 impl Deployment {
     /// Instantiates every broker and overlay link of a topology.
     ///
-    /// # Panics
-    /// Panics if an edge references an unknown broker id.
-    pub fn build(spec: &TopologySpec) -> Self {
+    /// Fails with [`DeployError::UnknownBroker`] when an edge references
+    /// a broker id absent from `spec.brokers`.
+    pub fn build(spec: &TopologySpec) -> Result<Self, DeployError> {
         let mut net: Network<BrokerMsg> = Network::new();
         let mut brokers = BTreeMap::new();
         for cfg in &spec.brokers {
@@ -70,8 +88,8 @@ impl Deployment {
             brokers.insert(id, node);
         }
         for &(a, b) in &spec.edges {
-            let na = *brokers.get(&a).expect("unknown broker id in topology edge");
-            let nb = *brokers.get(&b).expect("unknown broker id in topology edge");
+            let na = *brokers.get(&a).ok_or(DeployError::UnknownBroker(a))?;
+            let nb = *brokers.get(&b).ok_or(DeployError::UnknownBroker(b))?;
             net.connect(na, nb, spec.link);
             if let Some(broker) = net.node_as_mut::<Broker>(na) {
                 broker.add_broker_neighbor(nb);
@@ -80,7 +98,7 @@ impl Deployment {
                 broker.add_broker_neighbor(na);
             }
         }
-        Self {
+        Ok(Self {
             net,
             brokers,
             publishers: BTreeMap::new(),
@@ -89,7 +107,7 @@ impl Deployment {
             croc: None,
             next_request: 0,
             telemetry: Registry::disabled(),
-        }
+        })
     }
 
     /// Attaches telemetry: Phase-1 gathers are timed under the
@@ -104,8 +122,7 @@ impl Deployment {
 
     /// Attaches a publisher client to a broker.
     ///
-    /// # Panics
-    /// Panics on an unknown broker id.
+    /// Fails with [`DeployError::UnknownBroker`] on an unknown broker id.
     pub fn attach_publisher(
         &mut self,
         client: ClientId,
@@ -114,8 +131,11 @@ impl Deployment {
         period: SimDuration,
         broker: BrokerId,
         generate: PublicationGen,
-    ) -> NodeId {
-        let broker_node = *self.brokers.get(&broker).expect("unknown broker id");
+    ) -> Result<NodeId, DeployError> {
+        let broker_node = *self
+            .brokers
+            .get(&broker)
+            .ok_or(DeployError::UnknownBroker(broker))?;
         let node = self.net.add_node(PublisherClient::new(
             client,
             adv,
@@ -126,26 +146,28 @@ impl Deployment {
         ));
         self.net.connect(node, broker_node, self.link);
         self.publishers.insert(adv, node);
-        node
+        Ok(node)
     }
 
     /// Attaches a subscriber client to a broker.
     ///
-    /// # Panics
-    /// Panics on an unknown broker id.
+    /// Fails with [`DeployError::UnknownBroker`] on an unknown broker id.
     pub fn attach_subscriber(
         &mut self,
         client: ClientId,
         broker: BrokerId,
         subscriptions: Vec<Subscription>,
-    ) -> NodeId {
-        let broker_node = *self.brokers.get(&broker).expect("unknown broker id");
+    ) -> Result<NodeId, DeployError> {
+        let broker_node = *self
+            .brokers
+            .get(&broker)
+            .ok_or(DeployError::UnknownBroker(broker))?;
         let node = self
             .net
             .add_node(SubscriberClient::new(client, broker_node, subscriptions));
         self.net.connect(node, broker_node, self.link);
         self.subscribers.insert(client, node);
-        node
+        Ok(node)
     }
 
     /// Runs the deployment for a span of simulated time.
@@ -354,14 +376,29 @@ mod tests {
 
     #[test]
     fn fan_out_two_tree_builds() {
-        let d = Deployment::build(&spec(7));
+        let d = Deployment::build(&spec(7)).expect("valid topology");
         assert_eq!(d.broker_count(), 7);
         assert_eq!(d.net.link_count(), 6);
     }
 
     #[test]
+    fn bad_edge_and_attach_are_errors() {
+        let mut bad = spec(3);
+        bad.edges.push((BrokerId::new(0), BrokerId::new(9)));
+        assert_eq!(
+            Deployment::build(&bad).err(),
+            Some(DeployError::UnknownBroker(BrokerId::new(9)))
+        );
+        let mut d = Deployment::build(&spec(3)).expect("valid topology");
+        assert_eq!(
+            d.attach_subscriber(ClientId::new(1), BrokerId::new(7), Vec::new()),
+            Err(DeployError::UnknownBroker(BrokerId::new(7)))
+        );
+    }
+
+    #[test]
     fn end_to_end_measurement() {
-        let mut d = Deployment::build(&spec(7));
+        let mut d = Deployment::build(&spec(7)).expect("valid topology");
         d.attach_publisher(
             ClientId::new(1),
             AdvId::new(1),
@@ -369,12 +406,14 @@ mod tests {
             SimDuration::from_millis(100),
             BrokerId::new(3), // a leaf
             stock_gen(),
-        );
+        )
+        .expect("known broker");
         d.attach_subscriber(
             ClientId::new(2),
             BrokerId::new(6), // the far leaf
             vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
-        );
+        )
+        .expect("known broker");
         d.run_for(SimDuration::from_secs(1)); // warm-up
         let m = d.measure(SimDuration::from_secs(10));
         assert!(m.deliveries >= 95, "deliveries {}", m.deliveries);
@@ -386,7 +425,7 @@ mod tests {
 
     #[test]
     fn gather_returns_all_brokers() {
-        let mut d = Deployment::build(&spec(7));
+        let mut d = Deployment::build(&spec(7)).expect("valid topology");
         d.attach_publisher(
             ClientId::new(1),
             AdvId::new(1),
@@ -394,12 +433,14 @@ mod tests {
             SimDuration::from_millis(200),
             BrokerId::new(4),
             stock_gen(),
-        );
+        )
+        .expect("known broker");
         d.attach_subscriber(
             ClientId::new(2),
             BrokerId::new(5),
             vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
-        );
+        )
+        .expect("known broker");
         d.run_for(SimDuration::from_secs(2));
         let infos = d.gather(SimDuration::from_secs(5)).expect("gather");
         assert_eq!(infos.len(), 7);

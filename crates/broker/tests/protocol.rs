@@ -34,7 +34,7 @@ fn stock_gen(symbol: &'static str) -> greenps_broker::PublicationGen {
 
 #[test]
 fn unsubscribe_stops_delivery_network_wide() {
-    let mut d = Deployment::build(&spec(7));
+    let mut d = Deployment::build(&spec(7)).expect("valid topology");
     d.attach_publisher(
         ClientId::new(1),
         AdvId::new(1),
@@ -42,12 +42,15 @@ fn unsubscribe_stops_delivery_network_wide() {
         SimDuration::from_millis(100),
         BrokerId::new(3),
         stock_gen("YHOO"),
-    );
-    let sub_node = d.attach_subscriber(
-        ClientId::new(2),
-        BrokerId::new(6),
-        vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
-    );
+    )
+    .expect("known broker");
+    let sub_node = d
+        .attach_subscriber(
+            ClientId::new(2),
+            BrokerId::new(6),
+            vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+        )
+        .expect("known broker");
     d.run_for(SimDuration::from_secs(2));
     let before = d
         .net
@@ -88,7 +91,7 @@ fn unsubscribe_stops_delivery_network_wide() {
 fn overlapping_subscriptions_share_one_stream() {
     // Two subscribers on the same broker with overlapping filters: the
     // upstream link carries each publication once.
-    let mut d = Deployment::build(&spec(3));
+    let mut d = Deployment::build(&spec(3)).expect("valid topology");
     d.attach_publisher(
         ClientId::new(1),
         AdvId::new(1),
@@ -96,12 +99,14 @@ fn overlapping_subscriptions_share_one_stream() {
         SimDuration::from_millis(100),
         BrokerId::new(1),
         stock_gen("YHOO"),
-    );
+    )
+    .expect("known broker");
     d.attach_subscriber(
         ClientId::new(2),
         BrokerId::new(2),
         vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
-    );
+    )
+    .expect("known broker");
     d.attach_subscriber(
         ClientId::new(3),
         BrokerId::new(2),
@@ -109,7 +114,8 @@ fn overlapping_subscriptions_share_one_stream() {
             SubId::new(2),
             stock_template("YHOO").and(Predicate::new("low", Op::Lt, 15.0)),
         )],
-    );
+    )
+    .expect("known broker");
     d.run_for(SimDuration::from_secs(1));
     d.net.reset_counters();
     d.run_for(SimDuration::from_secs(10));
@@ -122,7 +128,7 @@ fn overlapping_subscriptions_share_one_stream() {
 
 #[test]
 fn reset_profiles_supports_reprofiling_rounds() {
-    let mut d = Deployment::build(&spec(3));
+    let mut d = Deployment::build(&spec(3)).expect("valid topology");
     d.attach_publisher(
         ClientId::new(1),
         AdvId::new(1),
@@ -130,12 +136,14 @@ fn reset_profiles_supports_reprofiling_rounds() {
         SimDuration::from_millis(100),
         BrokerId::new(1),
         stock_gen("YHOO"),
-    );
+    )
+    .expect("known broker");
     d.attach_subscriber(
         ClientId::new(2),
         BrokerId::new(2),
         vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
-    );
+    )
+    .expect("known broker");
     d.run_for(SimDuration::from_secs(5));
     let infos1 = d.gather(SimDuration::from_secs(10)).expect("gather 1");
     let ones1: usize = infos1
@@ -165,7 +173,7 @@ fn reset_profiles_supports_reprofiling_rounds() {
 
 #[test]
 fn wide_tree_floods_advertisements_everywhere() {
-    let mut d = Deployment::build(&spec(15));
+    let mut d = Deployment::build(&spec(15)).expect("valid topology");
     d.attach_publisher(
         ClientId::new(1),
         AdvId::new(1),
@@ -173,15 +181,18 @@ fn wide_tree_floods_advertisements_everywhere() {
         SimDuration::from_millis(200),
         BrokerId::new(7), // a leaf
         stock_gen("YHOO"),
-    );
+    )
+    .expect("known broker");
     d.run_for(SimDuration::from_secs(1));
     // Every broker in the 15-node tree knows the advertisement: attach a
     // late subscriber at the farthest leaf and expect deliveries.
-    let sub_node = d.attach_subscriber(
-        ClientId::new(2),
-        BrokerId::new(14),
-        vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
-    );
+    let sub_node = d
+        .attach_subscriber(
+            ClientId::new(2),
+            BrokerId::new(14),
+            vec![Subscription::new(SubId::new(1), stock_template("YHOO"))],
+        )
+        .expect("known broker");
     d.run_for(SimDuration::from_secs(5));
     let s = d.net.node_as::<SubscriberClient>(sub_node).unwrap();
     assert!(

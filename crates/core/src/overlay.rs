@@ -260,8 +260,10 @@ impl Overlay {
         let mut stack = vec![self.root];
         while let Some(b) = stack.pop() {
             assert!(seen.insert(b), "broker {b} reached twice");
-            let node = self.nodes.get(&b).expect("dangling child");
-            stack.extend(node.children.iter().copied());
+            assert!(self.nodes.contains_key(&b), "dangling child {b}");
+            if let Some(node) = self.nodes.get(&b) {
+                stack.extend(node.children.iter().copied());
+            }
         }
         assert_eq!(seen.len(), self.nodes.len(), "unreachable overlay nodes");
     }
@@ -471,14 +473,14 @@ fn force_root(
     stats: &mut OverlayStats,
 ) {
     stats.forced_root = true;
-    let &root = layer
-        .iter()
-        .max_by(|a, b| {
-            let ca = specs[a].out_bandwidth - nodes[a].out_bw_used;
-            let cb = specs[b].out_bandwidth - nodes[b].out_bw_used;
-            ca.total_cmp(&cb)
-        })
-        .expect("layer not empty");
+    // An empty layer has nothing to promote; build() never passes one.
+    let Some(&root) = layer.iter().max_by(|a, b| {
+        let ca = specs[a].out_bandwidth - nodes[a].out_bw_used;
+        let cb = specs[b].out_bandwidth - nodes[b].out_bw_used;
+        ca.total_cmp(&cb)
+    }) else {
+        return;
+    };
     let children: Vec<BrokerId> = layer.iter().copied().filter(|&b| b != root).collect();
     let mut profile = nodes[&root].profile.clone();
     let mut extra_bw = 0.0;
@@ -487,15 +489,15 @@ fn force_root(
         extra_bw += nodes[&c].in_bandwidth;
     }
     let input_load = profile.estimate_load(publishers);
-    let node = nodes
-        .get_mut(&root)
-        .expect("root chosen from layer, present in nodes");
-    node.children.extend(children.iter().copied());
-    node.profile = profile;
-    node.in_bandwidth = input_load.bandwidth;
-    node.in_rate = input_load.rate;
-    node.out_bw_used += extra_bw;
-    node.route_entries += children.len();
+    // The root was just drawn from `layer`, whose ids all live in `nodes`.
+    if let Some(node) = nodes.get_mut(&root) {
+        node.children.extend(children.iter().copied());
+        node.profile = profile;
+        node.in_bandwidth = input_load.bandwidth;
+        node.in_rate = input_load.rate;
+        node.out_bw_used += extra_bw;
+        node.route_entries += children.len();
+    }
     layer.clear();
     layer.push(root);
 }
@@ -528,10 +530,11 @@ fn takeover_children(
                 }
             }
             let Some((c, new_out)) = absorbed else { break };
-            let child = nodes.remove(&c).expect("absorbed child present in nodes");
-            let parent = nodes
-                .get_mut(&p)
-                .expect("absorbing parent present in nodes");
+            // Both ids were read from `nodes` while picking `absorbed`.
+            let Some(child) = nodes.remove(&c) else { break };
+            let Some(parent) = nodes.get_mut(&p) else {
+                break;
+            };
             parent.children.retain(|&x| x != c);
             parent.children.extend(child.children.iter().copied());
             parent.units.extend(child.units);
@@ -570,8 +573,10 @@ fn best_fit_swap(
             .map(|s| s.id);
         let Some(new_id) = candidate else { continue };
         // Swap: the new broker takes over the node; the old broker
-        // returns to the pool.
-        let mut node = nodes.remove(&b).expect("swap candidate present in nodes");
+        // returns to the pool. `b` was confirmed present above.
+        let Some(mut node) = nodes.remove(&b) else {
+            continue;
+        };
         node.broker = new_id;
         nodes.insert(new_id, node);
         pool.retain(|s| s.id != new_id);

@@ -116,35 +116,29 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
         let children = self.find_children(&profile, &parents);
 
         // Unlink parent→child edges now routed through the new node.
+        // find_parents/find_children only yield keys already stored in
+        // the poset, so every lookup below succeeds.
         for &p in &parents {
             for &c in &children {
                 if self.nodes[&p].children.contains(&c) {
-                    self.nodes
-                        .get_mut(&p)
-                        .expect("parent key from find_parents")
-                        .children
-                        .remove(&c);
-                    self.nodes
-                        .get_mut(&c)
-                        .expect("child key from find_children")
-                        .parents
-                        .remove(&p);
+                    if let Some(pn) = self.nodes.get_mut(&p) {
+                        pn.children.remove(&c);
+                    }
+                    if let Some(cn) = self.nodes.get_mut(&c) {
+                        cn.parents.remove(&p);
+                    }
                 }
             }
         }
         for &p in &parents {
-            self.nodes
-                .get_mut(&p)
-                .expect("parent key from find_parents")
-                .children
-                .insert(k);
+            if let Some(pn) = self.nodes.get_mut(&p) {
+                pn.children.insert(k);
+            }
         }
         for &c in &children {
-            self.nodes
-                .get_mut(&c)
-                .expect("child key from find_children")
-                .parents
-                .insert(k);
+            if let Some(cn) = self.nodes.get_mut(&c) {
+                cn.parents.insert(k);
+            }
             if self.nodes[&c].parents.len() == 1 {
                 self.roots.remove(&c);
             }
@@ -261,34 +255,28 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
     pub fn remove(&mut self, k: K) -> Option<SubscriptionProfile> {
         let node = self.nodes.remove(&k)?;
         self.roots.remove(&k);
+        // Edges are kept symmetric, so every parent/child recorded on
+        // the removed node is itself present in the map.
         for &p in &node.parents {
-            self.nodes
-                .get_mut(&p)
-                .expect("edges are symmetric: parent exists")
-                .children
-                .remove(&k);
+            if let Some(pn) = self.nodes.get_mut(&p) {
+                pn.children.remove(&k);
+            }
         }
         for &c in &node.children {
-            self.nodes
-                .get_mut(&c)
-                .expect("edges are symmetric: child exists")
-                .parents
-                .remove(&k);
+            if let Some(cn) = self.nodes.get_mut(&c) {
+                cn.parents.remove(&k);
+            }
         }
         // Reconnect: every parent adopts every child (edges remain
         // containment-consistent by transitivity).
         for &p in &node.parents {
             for &c in &node.children {
-                self.nodes
-                    .get_mut(&p)
-                    .expect("edges are symmetric: parent exists")
-                    .children
-                    .insert(c);
-                self.nodes
-                    .get_mut(&c)
-                    .expect("edges are symmetric: child exists")
-                    .parents
-                    .insert(p);
+                if let Some(pn) = self.nodes.get_mut(&p) {
+                    pn.children.insert(c);
+                }
+                if let Some(cn) = self.nodes.get_mut(&c) {
+                    cn.parents.insert(p);
+                }
             }
         }
         for &c in &node.children {
@@ -316,13 +304,15 @@ impl<K: Copy + Ord + Eq + Hash> Poset<K> {
     pub fn check_invariants(&self) {
         for (k, n) in &self.nodes {
             for c in &n.children {
-                let cn = self.nodes.get(c).expect("dangling child");
-                assert!(cn.parents.contains(k), "edge not symmetric");
-                let rel = n.profile.relationship(&cn.profile);
-                assert!(
-                    matches!(rel, Relation::Superset | Relation::Equal),
-                    "parent does not cover child"
-                );
+                assert!(self.nodes.contains_key(c), "dangling child");
+                if let Some(cn) = self.nodes.get(c) {
+                    assert!(cn.parents.contains(k), "edge not symmetric");
+                    let rel = n.profile.relationship(&cn.profile);
+                    assert!(
+                        matches!(rel, Relation::Superset | Relation::Equal),
+                        "parent does not cover child"
+                    );
+                }
             }
             assert_eq!(
                 n.parents.is_empty(),

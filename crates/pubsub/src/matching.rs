@@ -13,7 +13,7 @@
 use crate::filter::Filter;
 use crate::ids::SubId;
 use crate::message::Publication;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Common behaviour of matching engines.
 pub trait Matcher {
@@ -40,7 +40,7 @@ pub trait Matcher {
 /// Reference matcher that scans all filters linearly.
 #[derive(Debug, Clone, Default)]
 pub struct NaiveMatcher {
-    filters: HashMap<SubId, Filter>,
+    filters: BTreeMap<SubId, Filter>,
 }
 
 impl NaiveMatcher {
@@ -91,15 +91,15 @@ pub struct CountingMatcher {
     /// Shared predicate table.
     predicates: Vec<SharedPredicate>,
     /// Canonical predicate string -> predicate id.
-    by_key: HashMap<String, PredId>,
+    by_key: BTreeMap<String, PredId>,
     /// Attribute -> predicate ids constraining it.
-    by_attr: HashMap<String, Vec<PredId>>,
+    by_attr: BTreeMap<String, Vec<PredId>>,
     /// Subscription -> number of predicates it must satisfy.
-    required: HashMap<SubId, usize>,
+    required: BTreeMap<SubId, usize>,
     /// Subscriptions with empty filters (match everything).
     match_all: Vec<SubId>,
     /// Kept for removal and introspection.
-    filters: HashMap<SubId, Filter>,
+    filters: BTreeMap<SubId, Filter>,
 }
 
 impl CountingMatcher {
@@ -146,7 +146,9 @@ impl Matcher for CountingMatcher {
                         pid
                     }
                 };
-                self.predicates[pid].subscribers.push(id);
+                if let Some(shared) = self.predicates.get_mut(pid) {
+                    shared.subscribers.push(id);
+                }
             }
         }
         self.filters.insert(id, filter);
@@ -161,8 +163,12 @@ impl Matcher for CountingMatcher {
         } else {
             self.required.remove(&id);
             for pred in filter.predicates() {
-                if let Some(&pid) = self.by_key.get(&pred.to_string()) {
-                    let subs = &mut self.predicates[pid].subscribers;
+                if let Some(shared) = self
+                    .by_key
+                    .get(&pred.to_string())
+                    .and_then(|&pid| self.predicates.get_mut(pid))
+                {
+                    let subs = &mut shared.subscribers;
                     if let Some(pos) = subs.iter().position(|&s| s == id) {
                         subs.swap_remove(pos);
                     }
@@ -173,11 +179,13 @@ impl Matcher for CountingMatcher {
     }
 
     fn matches(&self, publication: &Publication) -> Vec<SubId> {
-        let mut counts: HashMap<SubId, usize> = HashMap::new();
+        let mut counts: BTreeMap<SubId, usize> = BTreeMap::new();
         for (attr, value) in publication.iter() {
             if let Some(pids) = self.by_attr.get(attr) {
                 for &pid in pids {
-                    let shared = &self.predicates[pid];
+                    let Some(shared) = self.predicates.get(pid) else {
+                        continue;
+                    };
                     if shared.subscribers.is_empty() {
                         continue;
                     }
@@ -217,9 +225,9 @@ impl Matcher for CountingMatcher {
 /// index is rebuilt lazily after inserts/removals.
 #[derive(Debug, Clone, Default)]
 pub struct BucketMatcher {
-    filters: HashMap<SubId, Filter>,
+    filters: BTreeMap<SubId, Filter>,
     dirty: bool,
-    buckets: HashMap<(String, String), Vec<SubId>>,
+    buckets: BTreeMap<(String, String), Vec<SubId>>,
     scan: Vec<SubId>,
 }
 
@@ -233,7 +241,7 @@ impl BucketMatcher {
         self.buckets.clear();
         self.scan.clear();
         // Frequency of each equality (attr, value) pair.
-        let mut freq: HashMap<(String, String), usize> = HashMap::new();
+        let mut freq: BTreeMap<(String, String), usize> = BTreeMap::new();
         for f in self.filters.values() {
             for p in f.predicates() {
                 if p.op == crate::predicate::Op::Eq {
@@ -250,7 +258,7 @@ impl BucketMatcher {
                 .iter()
                 .filter(|p| p.op == crate::predicate::Op::Eq)
                 .map(|p| (p.attr.clone(), p.value.to_string()))
-                .min_by_key(|k| freq[k]);
+                .min_by_key(|k| freq.get(k).copied().unwrap_or(0));
             match key {
                 Some(k) => self.buckets.entry(k).or_default().push(id),
                 None => self.scan.push(id),
@@ -299,14 +307,22 @@ impl Matcher for BucketMatcher {
         for (attr, value) in publication.iter() {
             if let Some(bucket) = self.buckets.get(&(attr.to_string(), value.to_string())) {
                 for &id in bucket {
-                    if self.filters[&id].matches(publication) {
+                    if self
+                        .filters
+                        .get(&id)
+                        .is_some_and(|f| f.matches(publication))
+                    {
                         out.push(id);
                     }
                 }
             }
         }
         for &id in &self.scan {
-            if self.filters[&id].matches(publication) {
+            if self
+                .filters
+                .get(&id)
+                .is_some_and(|f| f.matches(publication))
+            {
                 out.push(id);
             }
         }

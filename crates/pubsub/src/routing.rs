@@ -11,35 +11,36 @@
 //!    forwarded to the recorded destinations of matching subscriptions.
 //!
 //! The tables are generic over the hop type `H` — brokers instantiate it
-//! with an enum distinguishing neighbor brokers from local clients.
+//! with an enum distinguishing neighbor brokers from local clients. `H`
+//! must be `Ord`: tables iterate in hop/id order so routing decisions
+//! are identical run to run (the determinism lint's contract).
 
 use crate::filter::Filter;
 use crate::ids::{AdvId, SubId};
 use crate::matching::{BucketMatcher, Matcher};
 use crate::message::{Advertisement, Publication, Subscription};
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Routing state of one broker: the advertisement table (SRT) and the
 /// publication routing table (PRT).
 #[derive(Debug, Clone)]
 pub struct RoutingTables<H> {
-    advertisements: HashMap<AdvId, (Advertisement, H)>,
-    subscriptions: HashMap<SubId, (Subscription, H)>,
+    advertisements: BTreeMap<AdvId, (Advertisement, H)>,
+    subscriptions: BTreeMap<SubId, (Subscription, H)>,
     matcher: BucketMatcher,
 }
 
-impl<H: Clone + Eq + Hash> Default for RoutingTables<H> {
+impl<H: Clone + Ord> Default for RoutingTables<H> {
     fn default() -> Self {
         Self {
-            advertisements: HashMap::new(),
-            subscriptions: HashMap::new(),
+            advertisements: BTreeMap::new(),
+            subscriptions: BTreeMap::new(),
             matcher: BucketMatcher::new(),
         }
     }
 }
 
-impl<H: Clone + Eq + Hash> RoutingTables<H> {
+impl<H: Clone + Ord> RoutingTables<H> {
     /// Creates empty routing tables.
     pub fn new() -> Self {
         Self::default()
@@ -174,18 +175,18 @@ impl<H: Clone + Eq + Hash> RoutingTables<H> {
 /// This forwarder tracks, per target hop, the filters already sent.
 #[derive(Debug, Clone)]
 pub struct CoveringForwarder<H> {
-    sent: HashMap<H, Vec<(SubId, Filter)>>,
+    sent: BTreeMap<H, Vec<(SubId, Filter)>>,
 }
 
-impl<H: Clone + Eq + Hash> Default for CoveringForwarder<H> {
+impl<H: Clone + Ord> Default for CoveringForwarder<H> {
     fn default() -> Self {
         Self {
-            sent: HashMap::new(),
+            sent: BTreeMap::new(),
         }
     }
 }
 
-impl<H: Clone + Eq + Hash> CoveringForwarder<H> {
+impl<H: Clone + Ord> CoveringForwarder<H> {
     /// Creates an empty forwarder.
     pub fn new() -> Self {
         Self::default()
@@ -232,7 +233,7 @@ mod tests {
     use crate::message::Publication;
     use crate::predicate::{Op, Predicate};
 
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
     enum Hop {
         Neighbor(u32),
         Client(u32),
@@ -368,8 +369,8 @@ mod tests {
         let broad = Subscription::new(SubId::new(1), stock_template("YHOO"));
         assert!(fwd.should_forward(&broad, &Hop::Neighbor(1)));
         assert!(fwd.should_forward(&broad, &Hop::Neighbor(2)));
-        let mut hops = fwd.forget(SubId::new(1));
-        hops.sort_by_key(|h| format!("{h:?}"));
+        let hops = fwd.forget(SubId::new(1));
+        // BTreeMap iteration makes the reported hop order deterministic.
         assert_eq!(hops, vec![Hop::Neighbor(1), Hop::Neighbor(2)]);
         assert_eq!(fwd.sent_count(), 0);
     }

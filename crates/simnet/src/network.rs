@@ -17,7 +17,7 @@ use crate::time::{SimDuration, SimTime};
 use greenps_telemetry::{Counter, EventSink, Gauge, Histogram, Registry};
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 /// Default output-queue backlog above which a `queue.stall` event is
@@ -186,7 +186,7 @@ struct Inner<M> {
     seq: u64,
     queue: BinaryHeap<Reverse<Event<M>>>,
     nodes: Vec<NodeState>,
-    links: HashMap<(NodeId, NodeId), LinkState>,
+    links: BTreeMap<(NodeId, NodeId), LinkState>,
     dropped: u64,
     delivered: u64,
     telemetry: NetTelemetry,
@@ -333,7 +333,7 @@ impl<M: Payload + 'static> Network<M> {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 nodes: Vec::new(),
-                links: HashMap::new(),
+                links: BTreeMap::new(),
                 dropped: 0,
                 delivered: 0,
                 telemetry: NetTelemetry::disabled(),

@@ -34,12 +34,10 @@ impl SimTime {
         self.0 as f64 / 1e6
     }
 
-    /// Duration since an earlier instant.
-    ///
-    /// # Panics
-    /// Panics if `earlier` is after `self`.
+    /// Duration since an earlier instant, saturating at zero when
+    /// `earlier` is actually after `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(earlier.0).expect("time went backwards"))
+        SimDuration(self.0.saturating_sub(earlier.0))
     }
 }
 
@@ -137,9 +135,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time went backwards")]
-    fn since_panics_backwards() {
-        let _ = SimTime::ZERO.since(SimTime::from_micros(1));
+    fn since_saturates_backwards() {
+        assert_eq!(
+            SimTime::ZERO.since(SimTime::from_micros(1)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_micros(5)
+                .since(SimTime::from_micros(2))
+                .as_micros(),
+            3
+        );
     }
 
     #[test]

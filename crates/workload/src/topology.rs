@@ -194,7 +194,8 @@ pub fn from_allocation(scenario: &Scenario, alloc: &Allocation, seed: u64) -> Pl
 /// Instantiates a placement: brokers, links, publishers and one
 /// subscriber client per subscription.
 pub fn deploy(scenario: &Scenario, placement: &Placement) -> Deployment {
-    let mut d = Deployment::build(&placement.spec);
+    let mut d = Deployment::build(&placement.spec)
+        .expect("placement edges reference only allocated brokers");
     for (i, stock) in scenario.stocks.iter().enumerate() {
         let stock = stock.clone();
         let adv = AdvId::new(i as u64 + 1);
@@ -205,14 +206,16 @@ pub fn deploy(scenario: &Scenario, placement: &Placement) -> Deployment {
             scenario.publish_period,
             placement.publisher_homes[i],
             Box::new(move |adv, msg| stock.publication(adv, msg)),
-        );
+        )
+        .expect("publisher homes come from the placement's own brokers");
     }
     for (i, sub) in scenario.subs.iter().enumerate() {
         d.attach_subscriber(
             ClientId::new(2_000_000 + sub.id.raw()),
             placement.subscriber_homes[i],
             vec![Subscription::new(sub.id, sub.filter.clone())],
-        );
+        )
+        .expect("subscriber homes come from the placement's own brokers");
     }
     d
 }

@@ -1,5 +1,7 @@
 //! Smoke tests of the experiment harness pieces at tiny scale: every
-//! experiment's computational core runs and produces sane shapes.
+//! experiment's computational core runs and produces sane shapes, and
+//! the telemetry the harness emits stays within the declared schema
+//! (`analysis/telemetry-schema.txt`).
 
 use greenps::core::cram::CramBuilder;
 use greenps::core::croc::{plan, PlanConfig};
@@ -7,7 +9,11 @@ use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps::core::pairwise::{pairwise_k, pairwise_n};
 use greenps::core::sorting::{bin_packing, fbf};
 use greenps::profile::ClosenessMetric;
+use greenps_analysis::telemetry_schema::Schema;
 use greenps_bench::{check_input, ideal_input};
+use greenps_simnet::SimDuration;
+use greenps_telemetry::Registry;
+use greenps_workload::runner::{run_approach_with_telemetry, Approach, RunConfig};
 use greenps_workload::{Scenario, ScenarioBuilder, Topology};
 
 fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
@@ -133,4 +139,112 @@ fn e9_core_overlay_opts_monotone() {
     let all_off = build_overlay(&input, &leaf, &cfg).unwrap();
     assert!(all_on.broker_count() <= all_off.broker_count());
     assert!(all_on.depth() <= all_off.depth() + 1);
+}
+
+fn load_schema() -> Schema {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/analysis/telemetry-schema.txt");
+    let text = std::fs::read_to_string(path).expect("read analysis/telemetry-schema.txt");
+    let schema = Schema::parse("analysis/telemetry-schema.txt", &text);
+    assert!(
+        schema.errors.is_empty(),
+        "schema errors: {:?}",
+        schema.errors
+    );
+    schema
+}
+
+/// Every instrument name a traced end-to-end run registers — the same
+/// registry contents `experiments --telemetry <path>` exports — must be
+/// declared in `analysis/telemetry-schema.txt`.
+#[test]
+fn traced_run_snapshot_matches_telemetry_schema() {
+    let schema = load_schema();
+    let mut scenario = homogeneous(60, 77);
+    scenario.brokers.truncate(10);
+    let registry = Registry::new();
+    let cfg = RunConfig {
+        warmup: SimDuration::from_secs(1),
+        profile: SimDuration::from_secs(20),
+        measure: SimDuration::from_secs(5),
+        seed: 77,
+    };
+    let outcome = run_approach_with_telemetry(
+        &scenario,
+        Approach::Cram(greenps::profile::ClosenessMetric::Intersect),
+        &cfg,
+        &registry,
+    );
+    assert_eq!(outcome.subscriptions, 60);
+
+    let snap = registry.snapshot();
+    let mut checked = 0usize;
+    for (group, names) in [
+        ("counter", snap.counters.keys().collect::<Vec<_>>()),
+        ("gauge", snap.gauges.keys().collect::<Vec<_>>()),
+        ("histogram", snap.histograms.keys().collect::<Vec<_>>()),
+        ("span", snap.spans.keys().collect::<Vec<_>>()),
+        ("ring", snap.rings.keys().collect::<Vec<_>>()),
+    ] {
+        for name in names {
+            checked += 1;
+            assert!(
+                schema.matches(group, name),
+                "{group} `{name}` is not declared in analysis/telemetry-schema.txt"
+            );
+        }
+    }
+    for ring in snap.rings.values() {
+        for event in &ring.events {
+            checked += 1;
+            assert!(
+                schema.matches("event", &event.kind),
+                "ring event kind `{}` is not declared in analysis/telemetry-schema.txt",
+                event.kind
+            );
+        }
+    }
+    // The traced run actually produced telemetry worth checking.
+    assert!(checked > 10, "only {checked} names checked");
+    assert!(snap.spans.keys().any(|s| s == "phase2.allocation"));
+    assert!(snap.counters.keys().any(|c| c == "cram.merges"));
+}
+
+/// The key vocabulary of `BENCH_cram.json` equals the `benchkey`
+/// declarations of the schema — no undeclared keys, no dead entries.
+#[test]
+fn bench_report_keys_match_telemetry_schema() {
+    let schema = load_schema();
+    let json = greenps_bench::bench_report_json(&[60], 2, true);
+
+    let mut keys = std::collections::BTreeSet::new();
+    let mut rest = json.as_str();
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        let after = tail[end + 1..].trim_start();
+        if after.starts_with(':') {
+            keys.insert(tail[..end].to_string());
+        }
+        rest = &tail[end + 1..];
+    }
+    assert!(!keys.is_empty(), "no keys parsed out of BENCH_cram JSON");
+
+    let declared: std::collections::BTreeSet<String> = schema
+        .entries
+        .iter()
+        .filter(|e| e.kind == "benchkey")
+        .map(|e| e.name.clone())
+        .collect();
+    for key in &keys {
+        assert!(
+            declared.contains(key),
+            "BENCH_cram.json key `{key}` is not a declared benchkey"
+        );
+    }
+    for key in &declared {
+        assert!(
+            keys.contains(key),
+            "benchkey `{key}` is dead: the report no longer emits it"
+        );
+    }
 }
