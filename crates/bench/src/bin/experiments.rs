@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [--quick] [--csv <dir>] [--telemetry <path>]
-//!             <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>
+//!             <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|pipeline-smoke|all>
 //! ```
 //!
 //! `--quick` shrinks the grids so the whole suite finishes in a couple
@@ -20,12 +20,14 @@ use greenps_core::croc::{plan, PlanConfig};
 use greenps_core::engine::available_threads;
 use greenps_core::model::AllocationInput;
 use greenps_core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
+use greenps_core::pipeline::{CheckpointStore, PhaseKind, ReconfigContext};
 use greenps_core::sorting::{bin_packing, fbf};
 use greenps_profile::{ClosenessMetric, Poset};
 use greenps_telemetry::{JsonExporter, Registry};
 use greenps_workload::report::{outcome_table, reduction_pct, Table};
-use greenps_workload::runner::{run_approach_with_telemetry, Approach, Outcome, RunConfig};
+use greenps_workload::runner::{run_approach, Approach, Outcome, RunConfig};
 use greenps_workload::scenario::{Scenario, ScenarioBuilder, Topology};
+use greenps_workload::ReconfigPipeline;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -72,6 +74,13 @@ struct Opts {
     registry: Registry,
 }
 
+impl Opts {
+    /// The reconfiguration context every run executes under.
+    fn ctx(&self) -> ReconfigContext {
+        ReconfigContext::new().with_registry(&self.registry)
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = Opts {
@@ -99,7 +108,7 @@ fn main() {
             "--help" | "-h" | "help" => {
                 println!(
                     "usage: experiments [--quick] [--csv <dir>] [--telemetry <path>] \
-                     <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|all>\n\
+                     <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|pipeline-smoke|all>\n\
                      \n\
                      e1-e3   homogeneous cluster: msg rate, brokers, hops/delay\n\
                      e4      heterogeneous cluster (15/25/40 capacity tiers)\n\
@@ -109,7 +118,8 @@ fn main() {
                      e8      CRAM search-pruning ablation, poset timing\n\
                      e9      one-to-many + overlay optimization ablations\n\
                      e10     bit-vector load-estimation accuracy\n\
-                     bench-report  sequential vs parallel CRAM -> BENCH_cram.json"
+                     bench-report  sequential vs parallel CRAM -> BENCH_cram.json\n\
+                     pipeline-smoke  interrupt + resume a run -> pipeline_checkpoint.json"
                 );
                 return;
             }
@@ -133,6 +143,7 @@ fn main() {
             "e9" => e9(&opts),
             "e10" => e10(&opts),
             "bench-report" => bench_report(&opts),
+            "pipeline-smoke" => pipeline_smoke(&opts),
             "all" => {
                 e1_e2_e3(&opts);
                 e4(&opts);
@@ -177,7 +188,7 @@ fn grid_outcomes(opts: &Opts, scenarios: &[Scenario], approaches: &[Approach]) -
     for s in scenarios {
         for &a in approaches {
             let t0 = Instant::now();
-            let o = run_approach_with_telemetry(s, a, &run_cfg(s.seed), &opts.registry);
+            let o = run_approach(s, a, &run_cfg(s.seed), &opts.ctx());
             eprintln!(
                 "[{}] {} -> {} brokers, {:.1} msg/s avg ({:.1}s wall)",
                 s.name,
@@ -360,12 +371,12 @@ fn e6(opts: &Opts) {
     for priority in [0.0, 0.5, 1.0] {
         let mut plan_cfg = PlanConfig::cram(ClosenessMetric::Ios);
         plan_cfg.grape = greenps_core::grape::GrapeConfig { priority };
-        let o = greenps_workload::runner::run_custom_plan_with_telemetry(
+        let o = greenps_workload::runner::run_custom_plan(
             &sweep_scenario,
             &format!("CRAM-IOS/P={priority}"),
             &plan_cfg,
             &run_cfg(5),
-            &opts.registry,
+            &opts.ctx(),
         );
         t.row(vec![
             format!("{priority:.1}"),
@@ -566,7 +577,7 @@ fn e10(opts: &Opts) {
     let mut scenario = homogeneous(n, 8);
     scenario.brokers.truncate(20);
     let cfg = run_cfg(8);
-    let (_, input) = greenps_workload::runner::profile_and_gather(&scenario, &cfg);
+    let (_, input) = greenps_workload::runner::profile_and_gather(&scenario, &cfg, &opts.ctx());
 
     // Ground truth: exact selectivity over the publication stream.
     let ideal = ideal_input(&scenario);
@@ -598,8 +609,9 @@ fn e10(opts: &Opts) {
 
     // The framework feeds the planner: confirm a plan from *measured*
     // profiles matches one from ideal profiles within a broker or two.
-    let measured = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
-    let perfect = plan(&ideal, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    let measured =
+        plan(&input, &PlanConfig::cram(ClosenessMetric::Ios), &opts.ctx()).expect("plan");
+    let perfect = plan(&ideal, &PlanConfig::cram(ClosenessMetric::Ios), &opts.ctx()).expect("plan");
     println!(
         "plan from measured profiles: {} brokers; from ideal profiles: {} brokers",
         measured.broker_count(),
@@ -615,7 +627,7 @@ fn e10(opts: &Opts) {
         for b in &mut s.brokers {
             b.profile_bits = bits;
         }
-        let (_, input_b) = greenps_workload::runner::profile_and_gather(&s, &cfg);
+        let (_, input_b) = greenps_workload::runner::profile_and_gather(&s, &cfg, &opts.ctx());
         let mut errs = Vec::new();
         for entry in &input_b.subscriptions {
             let est = entry.profile.estimate_load(&input_b.publishers).rate;
@@ -636,6 +648,57 @@ fn e10(opts: &Opts) {
         &t,
     );
     let _ = AllocationInput::new();
+}
+
+/// `pipeline-smoke`: run CRAM-IOS interrupted after the overlay builds,
+/// export the checkpoint store as JSON (`pipeline_checkpoint.json`,
+/// into `--csv <dir>` when given), reload it, resume, and verify the
+/// resumed outcome is bit-identical to a straight-through run.
+fn pipeline_smoke(opts: &Opts) {
+    let mut scenario = homogeneous(if opts.quick { 150 } else { 400 }, 9);
+    if opts.quick {
+        scenario.brokers.truncate(12);
+    }
+    let cfg = RunConfig {
+        warmup: greenps_simnet::SimDuration::from_secs(2),
+        profile: greenps_simnet::SimDuration::from_secs(40),
+        measure: greenps_simnet::SimDuration::from_secs(40),
+        seed: 9,
+    };
+    let run = ReconfigPipeline::approach(&scenario, Approach::Cram(ClosenessMetric::Ios), cfg);
+    let ctx = opts.ctx();
+    let straight = run.run(&ctx).expect("straight run");
+
+    let store = run
+        .run_until(&ctx, PhaseKind::BuildOverlay)
+        .expect("interrupted run");
+    let json = store.to_json();
+    let path = match &opts.csv {
+        Some(dir) => dir.join("pipeline_checkpoint.json"),
+        None => PathBuf::from("pipeline_checkpoint.json"),
+    };
+    std::fs::write(&path, &json).expect("write checkpoint json");
+
+    let reloaded = CheckpointStore::from_json(&json).expect("reload checkpoint json");
+    let resumed = run.resume(&ctx, reloaded).expect("resumed run");
+
+    assert_eq!(resumed.allocated_brokers, straight.allocated_brokers);
+    assert_eq!(resumed.cram_stats, straight.cram_stats);
+    assert_eq!(resumed.metrics.deliveries, straight.metrics.deliveries);
+    assert_eq!(resumed.metrics.total_msgs, straight.metrics.total_msgs);
+    assert_eq!(
+        resumed.metrics.avg_broker_msg_rate.to_bits(),
+        straight.metrics.avg_broker_msg_rate.to_bits(),
+        "resumed pool average must be bit-identical"
+    );
+    println!(
+        "pipeline-smoke: interrupted after {} of 5 phases, resumed bit-identically \
+         ({} brokers, {} deliveries); checkpoint at {}",
+        store.completed().len(),
+        resumed.allocated_brokers,
+        resumed.metrics.deliveries,
+        path.display()
+    );
 }
 
 /// `bench-report`: sequential vs parallel CRAM-INTERSECT wall time at

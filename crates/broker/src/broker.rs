@@ -33,7 +33,7 @@ struct LocalPublisher {
 }
 
 /// Broker configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BrokerConfig {
     /// Broker identity.
     pub id: BrokerId,

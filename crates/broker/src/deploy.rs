@@ -35,6 +35,33 @@ impl std::fmt::Display for DeployError {
 
 impl std::error::Error for DeployError {}
 
+/// Phase-1 gather failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatherError {
+    /// The deployment has no brokers to gather from.
+    NoBrokers,
+    /// The aggregated BIA did not arrive within the gather timeout.
+    Timeout {
+        /// How long the gather waited before giving up.
+        waited: SimDuration,
+    },
+}
+
+impl std::fmt::Display for GatherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatherError::NoBrokers => write!(f, "phase 1 gather: deployment has no brokers"),
+            GatherError::Timeout { waited } => write!(
+                f,
+                "phase 1 gather: aggregated BIA did not arrive within {} ms",
+                waited.as_micros() / 1_000
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GatherError {}
+
 /// A deployable broker topology.
 #[derive(Debug, Clone)]
 pub struct TopologySpec {
@@ -178,14 +205,17 @@ impl Deployment {
     /// Executes Phase 1: attaches CROC (once), floods a BIR and runs
     /// until the aggregated BIA arrives.
     ///
-    /// Returns `None` if the gather does not complete within `timeout`.
-    pub fn gather(&mut self, timeout: SimDuration) -> Option<Vec<GatheredBroker>> {
+    /// # Errors
+    /// [`GatherError::NoBrokers`] when the deployment is empty;
+    /// [`GatherError::Timeout`] when the aggregated BIA does not arrive
+    /// within `timeout`.
+    pub fn gather(&mut self, timeout: SimDuration) -> Result<Vec<GatheredBroker>, GatherError> {
         let _span = Span::enter(&self.telemetry, "phase1.gathering");
         self.telemetry.counter("phase1.bir_rounds").inc();
         let croc = match self.croc {
             Some(c) => c,
             None => {
-                let first = *self.brokers.values().next()?;
+                let first = *self.brokers.values().next().ok_or(GatherError::NoBrokers)?;
                 let node = self.net.add_node(CrocClient::new(first));
                 self.net.connect(node, first, self.link);
                 self.net.run_for(SimDuration::from_millis(1));
@@ -210,6 +240,7 @@ impl Deployment {
         self.net
             .node_as_mut::<CrocClient>(croc)
             .and_then(CrocClient::take_result)
+            .ok_or(GatherError::Timeout { waited: timeout })
     }
 
     /// Converts gathered BIAs into the Phase-2 input.

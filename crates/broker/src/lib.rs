@@ -22,5 +22,5 @@ pub mod messages;
 
 pub use broker::{Broker, BrokerConfig};
 pub use client::{CrocClient, PublicationGen, PublisherClient, SubscriberClient};
-pub use deploy::{DeployError, Deployment, RunMetrics, TopologySpec};
+pub use deploy::{DeployError, Deployment, GatherError, RunMetrics, TopologySpec};
 pub use messages::{BrokerMsg, GatheredBroker, PubEnvelope};

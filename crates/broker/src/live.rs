@@ -18,6 +18,7 @@
 //! stop making progress (see DESIGN.md §9).
 
 use crate::audit::TrackedRwLock;
+use greenps_core::pipeline::ReconfigContext;
 use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
 use greenps_pubsub::message::{Advertisement, Publication, Subscription};
 use greenps_pubsub::routing::RoutingTables;
@@ -249,26 +250,22 @@ impl fmt::Debug for LiveNet {
 impl LiveNet {
     /// Spawns one thread per broker and wires the overlay edges.
     ///
-    /// Fails with [`LiveError::UnknownBroker`] if an edge references a
-    /// broker not in `brokers`, or [`LiveError::Spawn`] if the OS
-    /// refuses a thread.
-    pub fn start(brokers: &[BrokerId], edges: &[(BrokerId, BrokerId)]) -> Result<Self, LiveError> {
-        Self::start_with_telemetry(brokers, edges, &Registry::disabled())
-    }
-
-    /// [`LiveNet::start`] with telemetry: each broker thread refreshes
+    /// When the context carries an enabled telemetry registry, each
+    /// broker thread refreshes
     /// `broker.b<id>.live_msgs_in`/`live_msgs_out`/`live_delivered`
     /// gauges alongside the stats board, and (under the
     /// `concurrency-audit` feature) the watchdog mirrors its stall
     /// reports into the `broker.live` event ring.
     ///
-    /// # Errors
-    /// Same as [`LiveNet::start`].
-    pub fn start_with_telemetry(
+    /// Fails with [`LiveError::UnknownBroker`] if an edge references a
+    /// broker not in `brokers`, or [`LiveError::Spawn`] if the OS
+    /// refuses a thread.
+    pub fn start(
         brokers: &[BrokerId],
         edges: &[(BrokerId, BrokerId)],
-        registry: &Registry,
+        ctx: &ReconfigContext,
     ) -> Result<Self, LiveError> {
+        let registry = ctx.registry();
         let stats: StatsBoard = Arc::new(TrackedRwLock::new(
             "live-stats-board",
             brokers
@@ -579,7 +576,8 @@ mod tests {
             (BrokerId::new(0), BrokerId::new(1)),
             (BrokerId::new(1), BrokerId::new(2)),
         ];
-        let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
+        let mut net =
+            LiveNet::start(&brokers, &edges, &ReconfigContext::new()).expect("start live net");
         assert_eq!(net.broker_count(), 3);
         // Give wiring a moment to land before advertising.
         std::thread::sleep(Duration::from_millis(20));
@@ -631,7 +629,8 @@ mod tests {
     fn live_non_matching_subscription_silent() {
         let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
         let edges = vec![(BrokerId::new(0), BrokerId::new(1))];
-        let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
+        let mut net =
+            LiveNet::start(&brokers, &edges, &ReconfigContext::new()).expect("start live net");
         std::thread::sleep(Duration::from_millis(20));
         let publisher = net
             .publisher(
@@ -660,7 +659,8 @@ mod tests {
     #[test]
     fn unknown_broker_is_a_typed_error() {
         let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
-        let mut net = LiveNet::start(&brokers, &[]).expect("start live net");
+        let mut net =
+            LiveNet::start(&brokers, &[], &ReconfigContext::new()).expect("start live net");
         let missing = BrokerId::new(99);
         let err = net
             .publisher(
@@ -680,7 +680,8 @@ mod tests {
     fn start_rejects_edges_to_unknown_brokers() {
         let brokers: Vec<BrokerId> = (0..2).map(BrokerId::new).collect();
         let edges = vec![(BrokerId::new(0), BrokerId::new(7))];
-        let err = LiveNet::start(&brokers, &edges).expect_err("bad edge must fail");
+        let err = LiveNet::start(&brokers, &edges, &ReconfigContext::new())
+            .expect_err("bad edge must fail");
         assert!(matches!(err, LiveError::UnknownBroker(b) if b == BrokerId::new(7)));
     }
 }

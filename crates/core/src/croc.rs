@@ -12,9 +12,17 @@ use crate::cram::{CramBuilder, CramConfig, CramStats};
 use crate::grape::{place_publishers, GrapeConfig, InterestTree};
 use crate::model::{AllocError, Allocation, AllocationInput};
 use crate::overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayError};
+use crate::pipeline::artifact::{
+    allocation_from_json, allocation_to_json, arr_field, cram_stats_from_json, cram_stats_to_json,
+    field, overlay_from_json, overlay_to_json, u64_field,
+};
+use crate::pipeline::json::JsonValue;
+use crate::pipeline::{
+    Artifact, ArtifactError, Phase, PhaseKind, Pipeline, PipelineError, ReconfigContext,
+};
 use crate::sorting::{bin_packing, fbf};
 use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
-use greenps_telemetry::{Registry, Span};
+use greenps_telemetry::Span;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -112,54 +120,161 @@ impl From<OverlayError> for PlanError {
     }
 }
 
-/// Runs Phase 2 (allocation), Phase 3 (overlay construction) and GRAPE.
+/// The Phase-2 result: the allocation plus CRAM counters when CRAM ran.
 ///
-/// # Errors
-/// Propagates allocation/overlay failures; fails on an empty
-/// subscription pool.
-pub fn plan(
-    input: &AllocationInput,
-    config: &PlanConfig,
-) -> Result<ReconfigurationPlan, PlanError> {
-    plan_with_telemetry(input, config, &Registry::disabled())
+/// This is the artifact the pipeline checkpoints between allocation and
+/// overlay construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedAllocation {
+    /// The leaf-layer allocation.
+    pub allocation: Allocation,
+    /// CRAM statistics, when CRAM was the allocator.
+    pub cram_stats: Option<CramStats>,
 }
 
-/// [`plan`] with phase spans (`phase2.allocation`, `phase3.overlay`,
-/// `grape`) and allocator telemetry recorded into `registry`.
-///
-/// [`PlanConfig`] stays `Copy`, so the registry rides alongside it
-/// rather than inside it. Telemetry is observation only: the plan is
-/// bit-identical with any registry, including [`Registry::disabled`]
-/// (which makes this function exactly [`plan`]).
+impl Artifact for PlannedAllocation {
+    const KIND: &'static str = "planned-allocation";
+
+    fn to_json(&self) -> JsonValue {
+        let obj = JsonValue::obj().field("allocation", allocation_to_json(&self.allocation));
+        match &self.cram_stats {
+            Some(stats) => obj.field("cram_stats", cram_stats_to_json(stats)),
+            None => obj,
+        }
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, ArtifactError> {
+        Ok(PlannedAllocation {
+            allocation: allocation_from_json(field(value, "allocation")?)?,
+            cram_stats: match value.get("cram_stats") {
+                Some(stats) => Some(cram_stats_from_json(stats)?),
+                None => None,
+            },
+        })
+    }
+}
+
+impl Artifact for ReconfigurationPlan {
+    const KIND: &'static str = "reconfiguration-plan";
+
+    fn to_json(&self) -> JsonValue {
+        let homes = |pairs: Vec<(u64, u64)>| {
+            JsonValue::Arr(
+                pairs
+                    .into_iter()
+                    .map(|(k, b)| {
+                        JsonValue::obj()
+                            .field("id", JsonValue::U64(k))
+                            .field("broker", JsonValue::U64(b))
+                    })
+                    .collect(),
+            )
+        };
+        let obj = JsonValue::obj()
+            .field("allocation", allocation_to_json(&self.allocation))
+            .field("overlay", overlay_to_json(&self.overlay))
+            .field(
+                "subscription_homes",
+                homes(
+                    self.subscription_homes
+                        .iter()
+                        .map(|(s, b)| (s.raw(), b.raw()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "publisher_homes",
+                homes(
+                    self.publisher_homes
+                        .iter()
+                        .map(|(a, b)| (a.raw(), b.raw()))
+                        .collect(),
+                ),
+            );
+        match &self.cram_stats {
+            Some(stats) => obj.field("cram_stats", cram_stats_to_json(stats)),
+            None => obj,
+        }
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, ArtifactError> {
+        let mut subscription_homes = BTreeMap::new();
+        for entry in arr_field(value, "subscription_homes")? {
+            subscription_homes.insert(
+                SubId::new(u64_field(entry, "id")?),
+                BrokerId::new(u64_field(entry, "broker")?),
+            );
+        }
+        let mut publisher_homes = BTreeMap::new();
+        for entry in arr_field(value, "publisher_homes")? {
+            publisher_homes.insert(
+                AdvId::new(u64_field(entry, "id")?),
+                BrokerId::new(u64_field(entry, "broker")?),
+            );
+        }
+        Ok(ReconfigurationPlan {
+            allocation: allocation_from_json(field(value, "allocation")?)?,
+            overlay: overlay_from_json(field(value, "overlay")?)?,
+            subscription_homes,
+            publisher_homes,
+            cram_stats: match value.get("cram_stats") {
+                Some(stats) => Some(cram_stats_from_json(stats)?),
+                None => None,
+            },
+        })
+    }
+}
+
+/// Runs Phase 2: groups subscriptions and allocates brokers with the
+/// configured allocator, under the `phase2.allocation` span.
 ///
 /// # Errors
-/// Same as [`plan`].
-pub fn plan_with_telemetry(
+/// Fails on an empty subscription pool or an infeasible allocation.
+pub fn allocate(
     input: &AllocationInput,
     config: &PlanConfig,
-    registry: &Registry,
-) -> Result<ReconfigurationPlan, PlanError> {
+    ctx: &ReconfigContext,
+) -> Result<PlannedAllocation, PlanError> {
     if input.subscriptions.is_empty() {
         return Err(PlanError::NoSubscriptions);
     }
+    let registry = ctx.registry();
+    let _span = Span::enter(registry, "phase2.allocation");
     let mut cram_stats = None;
-    let allocation = {
-        let _span = Span::enter(registry, "phase2.allocation");
-        match &config.overlay.allocator {
-            AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
-            AllocatorKind::BinPacking => bin_packing(input)?,
-            AllocatorKind::Cram(cfg) => {
-                let (a, stats) = CramBuilder::from_config(*cfg)
-                    .telemetry(registry)
-                    .run(input)?;
-                cram_stats = Some(stats);
-                a
-            }
+    let allocation = match &config.overlay.allocator {
+        AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
+        AllocatorKind::BinPacking => bin_packing(input)?,
+        AllocatorKind::Cram(cfg) => {
+            let (a, stats) = CramBuilder::from_config(*cfg)
+                .telemetry(registry)
+                .threads(ctx.threads())
+                .run(input)?;
+            cram_stats = Some(stats);
+            a
         }
     };
+    Ok(PlannedAllocation {
+        allocation,
+        cram_stats,
+    })
+}
+
+/// Runs Phase 3 computation on an existing allocation: overlay
+/// construction (`phase3.overlay` span) plus GRAPE publisher relocation
+/// (`grape` span).
+///
+/// # Errors
+/// Fails when overlay construction fails.
+pub fn finish_plan(
+    input: &AllocationInput,
+    planned: PlannedAllocation,
+    config: &PlanConfig,
+    ctx: &ReconfigContext,
+) -> Result<ReconfigurationPlan, PlanError> {
+    let registry = ctx.registry();
     let overlay = {
         let _span = Span::enter(registry, "phase3.overlay");
-        build_overlay(input, &allocation, &config.overlay)?
+        build_overlay(input, &planned.allocation, &config.overlay)?
     };
     let subscription_homes = overlay.subscription_homes();
     let publisher_homes = {
@@ -168,12 +283,105 @@ pub fn plan_with_telemetry(
         place_publishers(&tree, &input.publishers, config.grape)
     };
     Ok(ReconfigurationPlan {
-        allocation,
+        allocation: planned.allocation,
         overlay,
         subscription_homes,
         publisher_homes,
-        cram_stats,
+        cram_stats: planned.cram_stats,
     })
+}
+
+/// The pipeline's `Allocate` stage: [`allocate`] as a checkpointable
+/// [`Phase`].
+#[derive(Debug)]
+pub struct AllocatePhase<'a> {
+    /// The gathered Phase-1 input.
+    pub input: &'a AllocationInput,
+    /// The planning configuration.
+    pub config: PlanConfig,
+}
+
+impl Phase for AllocatePhase<'_> {
+    type Input = ();
+    type Output = PlannedAllocation;
+    const KIND: PhaseKind = PhaseKind::Allocate;
+
+    fn run(
+        &mut self,
+        _input: (),
+        ctx: &ReconfigContext,
+    ) -> Result<PlannedAllocation, PipelineError> {
+        allocate(self.input, &self.config, ctx).map_err(PipelineError::Plan)
+    }
+}
+
+/// The pipeline's `BuildOverlay` stage: [`finish_plan`] as a
+/// checkpointable [`Phase`].
+#[derive(Debug)]
+pub struct BuildOverlayPhase<'a> {
+    /// The gathered Phase-1 input.
+    pub input: &'a AllocationInput,
+    /// The planning configuration.
+    pub config: PlanConfig,
+}
+
+impl Phase for BuildOverlayPhase<'_> {
+    type Input = PlannedAllocation;
+    type Output = ReconfigurationPlan;
+    const KIND: PhaseKind = PhaseKind::BuildOverlay;
+
+    fn run(
+        &mut self,
+        planned: PlannedAllocation,
+        ctx: &ReconfigContext,
+    ) -> Result<ReconfigurationPlan, PipelineError> {
+        finish_plan(self.input, planned, &self.config, ctx).map_err(PipelineError::Plan)
+    }
+}
+
+/// Runs Phase 2 (allocation), Phase 3 (overlay construction) and GRAPE
+/// through the checkpointable pipeline, under `ctx`.
+///
+/// Telemetry is observation only: the plan is bit-identical with any
+/// registry, including the disabled default of
+/// [`ReconfigContext::new`].
+///
+/// # Errors
+/// Propagates allocation/overlay failures; fails on an empty
+/// subscription pool or a cancelled context.
+pub fn plan(
+    input: &AllocationInput,
+    config: &PlanConfig,
+    ctx: &ReconfigContext,
+) -> Result<ReconfigurationPlan, PipelineError> {
+    let mut pipeline = Pipeline::new(ctx.clone());
+    plan_phases(&mut pipeline, input, config)
+}
+
+/// [`plan`] against a caller-owned [`Pipeline`], so interrupted plans
+/// checkpoint and resume.
+///
+/// # Errors
+/// Same as [`plan`].
+pub fn plan_phases(
+    pipeline: &mut Pipeline,
+    input: &AllocationInput,
+    config: &PlanConfig,
+) -> Result<ReconfigurationPlan, PipelineError> {
+    let planned = pipeline.run_phase(
+        &mut AllocatePhase {
+            input,
+            config: *config,
+        },
+        (),
+    )?;
+    pipeline.run_phase(
+        &mut BuildOverlayPhase {
+            input,
+            config: *config,
+        },
+        planned,
+    )
 }
 
 #[cfg(test)]
@@ -225,7 +433,12 @@ mod tests {
     #[test]
     fn cram_plan_end_to_end() {
         let inp = input();
-        let plan = plan(&inp, &PlanConfig::cram(ClosenessMetric::Ios)).unwrap();
+        let plan = plan(
+            &inp,
+            &PlanConfig::cram(ClosenessMetric::Ios),
+            &ReconfigContext::new(),
+        )
+        .unwrap();
         assert_eq!(plan.subscription_homes.len(), 10);
         assert_eq!(plan.publisher_homes.len(), 2);
         assert!(plan.cram_stats.is_some());
@@ -244,7 +457,7 @@ mod tests {
     fn bin_packing_and_fbf_plans_work() {
         let inp = input();
         for cfg in [PlanConfig::bin_packing(), PlanConfig::fbf(7)] {
-            let plan = plan(&inp, &cfg).unwrap();
+            let plan = plan(&inp, &cfg, &ReconfigContext::new()).unwrap();
             assert_eq!(plan.subscription_homes.len(), 10);
             assert!(plan.cram_stats.is_none());
         }
@@ -255,8 +468,8 @@ mod tests {
         let mut inp = input();
         inp.subscriptions.clear();
         assert!(matches!(
-            plan(&inp, &PlanConfig::bin_packing()),
-            Err(PlanError::NoSubscriptions)
+            plan(&inp, &PlanConfig::bin_packing(), &ReconfigContext::new()),
+            Err(PipelineError::Plan(PlanError::NoSubscriptions))
         ));
     }
 
@@ -267,8 +480,8 @@ mod tests {
             b.out_bandwidth = 10.0;
         }
         assert!(matches!(
-            plan(&inp, &PlanConfig::bin_packing()),
-            Err(PlanError::Alloc(_))
+            plan(&inp, &PlanConfig::bin_packing(), &ReconfigContext::new()),
+            Err(PipelineError::Plan(PlanError::Alloc(_)))
         ));
     }
 

@@ -14,13 +14,17 @@
 //!   ([`overlay::build_overlay`]) with pure-forwarder elimination,
 //!   children takeover and best-fit replacement;
 //! * **GRAPE** publisher relocation ([`grape::place_publishers`]);
-//! * and the composed planner [`croc::plan`].
+//! * the composed planner [`croc::plan`];
+//! * and the checkpointable [`pipeline`] the whole reconfiguration runs
+//!   on ([`pipeline::Pipeline`], [`pipeline::ReconfigContext`],
+//!   [`pipeline::CheckpointStore`]).
 //!
 //! ## Example
 //!
 //! ```
 //! use greenps_core::croc::{plan, PlanConfig};
 //! use greenps_core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
+//! use greenps_core::pipeline::ReconfigContext;
 //! use greenps_profile::{ClosenessMetric, PublisherProfile, SubscriptionProfile};
 //! use greenps_pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
 //! use greenps_pubsub::Filter;
@@ -38,9 +42,9 @@
 //!     for id in 0..40u64 { p.record(AdvId::new(1), MsgId::new(id)); }
 //!     input.subscriptions.push(SubscriptionEntry::new(SubId::new(i), Filter::new(), p));
 //! }
-//! let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios))?;
+//! let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios), &ReconfigContext::new())?;
 //! assert!(plan.broker_count() < 8); // far fewer brokers than the pool
-//! # Ok::<(), greenps_core::croc::PlanError>(())
+//! # Ok::<(), greenps_core::pipeline::PipelineError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,11 +58,12 @@ pub mod grape;
 pub mod model;
 pub mod overlay;
 pub mod pairwise;
+pub mod pipeline;
 pub mod sorting;
 
 pub use capacity::{pack_all, Packer};
 pub use cram::{CramBuilder, CramConfig, CramStats};
-pub use croc::{plan, plan_with_telemetry, PlanConfig, PlanError, ReconfigurationPlan};
+pub use croc::{plan, PlanConfig, PlanError, PlannedAllocation, ReconfigurationPlan};
 pub use engine::{shard_map, CacheStats, PairCache};
 pub use grape::{place_publishers, GrapeConfig, InterestTree};
 pub use model::{
@@ -67,4 +72,8 @@ pub use model::{
 };
 pub use overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayStats};
 pub use pairwise::{pairwise_k, pairwise_n, PairwiseResult};
+pub use pipeline::{
+    Artifact, ArtifactError, CheckpointStore, Phase, PhaseKind, Pipeline, PipelineError,
+    ReconfigContext,
+};
 pub use sorting::{bin_packing, fbf};

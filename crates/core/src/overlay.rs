@@ -153,6 +153,47 @@ pub struct OverlayStats {
 }
 
 impl Overlay {
+    /// Reassembles an overlay from its parts (checkpoint restore),
+    /// validating the tree invariant without panicking.
+    ///
+    /// # Errors
+    /// Fails when `root` is missing from `nodes`, a child edge dangles,
+    /// or the children edges do not form a tree rooted at `root`.
+    pub fn from_parts(
+        nodes: BTreeMap<BrokerId, OverlayNode>,
+        root: BrokerId,
+        stats: OverlayStats,
+    ) -> Result<Overlay, OverlayError> {
+        if !nodes.contains_key(&root) {
+            return Err(OverlayError::Malformed(format!(
+                "root {root} is not among the nodes"
+            )));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(b) = stack.pop() {
+            if !seen.insert(b) {
+                return Err(OverlayError::Malformed(format!(
+                    "broker {b} is reached twice — not a tree"
+                )));
+            }
+            match nodes.get(&b) {
+                Some(node) => stack.extend(node.children.iter().copied()),
+                None => {
+                    return Err(OverlayError::Malformed(format!("dangling child {b}")));
+                }
+            }
+        }
+        if seen.len() != nodes.len() {
+            return Err(OverlayError::Malformed(format!(
+                "{} of {} nodes unreachable from the root",
+                nodes.len() - seen.len(),
+                nodes.len()
+            )));
+        }
+        Ok(Overlay { nodes, root, stats })
+    }
+
     /// The root broker, where publishers initially connect.
     pub fn root(&self) -> BrokerId {
         self.root
@@ -308,6 +349,9 @@ pub enum OverlayError {
     Alloc(AllocError),
     /// The Phase-2 allocation was empty (nothing to connect).
     EmptyAllocation,
+    /// Externally supplied parts do not form a tree (checkpoint
+    /// restore).
+    Malformed(String),
 }
 
 impl fmt::Display for OverlayError {
@@ -315,6 +359,7 @@ impl fmt::Display for OverlayError {
         match self {
             OverlayError::Alloc(e) => write!(f, "layer allocation failed: {e}"),
             OverlayError::EmptyAllocation => f.write_str("no brokers were allocated"),
+            OverlayError::Malformed(why) => write!(f, "malformed overlay: {why}"),
         }
     }
 }

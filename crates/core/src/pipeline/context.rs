@@ -1,0 +1,143 @@
+//! The one context every reconfiguration layer receives.
+//!
+//! [`ReconfigContext`] bundles the cross-cutting run parameters —
+//! telemetry registry, deterministic seed, thread budget, cancellation
+//! flag — that used to be threaded through ad-hoc per-function twins.
+//! Clones share the cancellation flag and the registry, so a context
+//! can be handed to every phase (and every thread) of a run.
+
+use greenps_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared per-run context: telemetry, seed, thread budget, cancellation.
+///
+/// Telemetry is observation only — a run with an enabled registry is
+/// bit-identical to one with [`Registry::disabled`]. The default
+/// context is exactly that: untraced, seed 1, single-threaded.
+#[derive(Debug, Clone)]
+pub struct ReconfigContext {
+    registry: Registry,
+    seed: u64,
+    threads: usize,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Default for ReconfigContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReconfigContext {
+    /// An untraced, single-threaded context with seed 1.
+    pub fn new() -> Self {
+        Self {
+            registry: Registry::disabled(),
+            seed: 1,
+            threads: 1,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Replaces the telemetry registry (builder style).
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Replaces the deterministic seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the thread budget (builder style); 0 is clamped to 1.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The telemetry registry for this run.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The deterministic seed for placements and shuffles.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread budget for parallel stages (at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A fresh RNG seeded from [`ReconfigContext::seed`]; every call
+    /// returns an identical stream.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Requests cancellation: the next phase boundary stops the run.
+    /// Visible through every clone of this context.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears a previous cancellation request (e.g. before resuming).
+    pub fn clear_cancel(&self) {
+        self.cancel.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn defaults() {
+        let ctx = ReconfigContext::default();
+        assert!(!ctx.registry().is_enabled());
+        assert_eq!(ctx.seed(), 1);
+        assert_eq!(ctx.threads(), 1);
+        assert!(!ctx.is_cancelled());
+    }
+
+    #[test]
+    fn builders_and_rng_determinism() {
+        let reg = Registry::new();
+        let ctx = ReconfigContext::new()
+            .with_registry(&reg)
+            .with_seed(42)
+            .with_threads(0);
+        assert!(ctx.registry().is_enabled());
+        assert_eq!(ctx.threads(), 1, "0 clamps to 1");
+        assert_eq!(ctx.rng().next_u64(), ctx.rng().next_u64());
+        assert_ne!(
+            ctx.rng().next_u64(),
+            ctx.clone().with_seed(43).rng().next_u64()
+        );
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let ctx = ReconfigContext::new();
+        let clone = ctx.clone();
+        clone.cancel();
+        assert!(ctx.is_cancelled());
+        ctx.clear_cancel();
+        assert!(!clone.is_cancelled());
+    }
+}

@@ -40,6 +40,11 @@ impl SubscriptionProfile {
         }
     }
 
+    /// The bit-vector capacity newly recorded publishers receive.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Records receipt of a publication identified by `(adv, msg_id)`.
     pub fn record(&mut self, adv: AdvId, msg_id: MsgId) {
         self.vectors

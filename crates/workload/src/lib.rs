@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod pipeline;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -17,7 +18,8 @@ pub mod stock;
 pub mod subs;
 pub mod topology;
 
-pub use runner::{run_approach, run_approach_with_telemetry, Approach, Outcome, RunConfig};
+pub use pipeline::ReconfigPipeline;
+pub use runner::{run_approach, Approach, Outcome, RunConfig};
 pub use scenario::{Scenario, ScenarioBuilder, Topology};
 pub use stock::{symbols, StockSeries};
 pub use topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};

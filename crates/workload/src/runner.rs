@@ -1,22 +1,23 @@
 //! The end-to-end experiment runner: deploy MANUAL, profile, gather,
 //! plan with an approach, redeploy, measure — the pipeline behind every
 //! figure in the evaluation.
+//!
+//! These are thin, panicking conveniences over
+//! [`crate::pipeline::ReconfigPipeline`]; drive the pipeline directly
+//! when you need checkpointing, resume, or typed errors.
 
+use crate::pipeline::{GatherPhase, ReconfigPipeline};
 use crate::scenario::Scenario;
-use crate::topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};
-use greenps_broker::{Deployment, RunMetrics};
-use greenps_core::cram::{CramBuilder, CramStats};
-use greenps_core::croc::{plan_with_telemetry, PlanConfig};
-use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
+use crate::topology::Placement;
+use greenps_broker::RunMetrics;
+use greenps_core::cram::CramStats;
+use greenps_core::croc::PlanConfig;
 use greenps_core::model::AllocationInput;
 use greenps_core::overlay::OverlayStats;
-use greenps_core::pairwise::{pairwise_k, pairwise_n};
-use greenps_profile::{ClosenessMetric, SubscriptionProfile};
-use greenps_pubsub::ids::AdvId;
+use greenps_core::pipeline::{Phase, ReconfigContext};
+use greenps_profile::ClosenessMetric;
 use greenps_simnet::SimDuration;
-use greenps_telemetry::{Registry, Span};
-use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The approaches compared in the evaluation (paper §VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +109,8 @@ pub struct Outcome {
     pub allocated_brokers: usize,
     /// Measured deployment metrics.
     pub metrics: RunMetrics,
-    /// Wall-clock time spent computing the allocation + overlay.
+    /// Wall-clock time spent computing the allocation + overlay +
+    /// placement (zero for phases replayed from checkpoints).
     pub plan_time: Duration,
     /// CRAM counters, when CRAM ran.
     pub cram_stats: Option<CramStats>,
@@ -118,56 +120,29 @@ pub struct Outcome {
 
 /// Runs Phase 1 against a fresh MANUAL deployment of the scenario and
 /// returns the gathered input (the starting point of every
-/// reconfiguring approach).
-pub fn profile_and_gather(scenario: &Scenario, cfg: &RunConfig) -> (Placement, AllocationInput) {
-    profile_and_gather_with_telemetry(scenario, cfg, &Registry::disabled())
-}
-
-/// [`profile_and_gather`] with the deployment's instruments (including
-/// the `phase1.gathering` span) recorded into `registry`.
-pub fn profile_and_gather_with_telemetry(
+/// reconfiguring approach). The deployment's instruments (including the
+/// `phase1.gathering` span) record into the context's registry.
+///
+/// # Panics
+/// Panics when Phase 1 does not complete.
+pub fn profile_and_gather(
     scenario: &Scenario,
     cfg: &RunConfig,
-    registry: &Registry,
+    ctx: &ReconfigContext,
 ) -> (Placement, AllocationInput) {
-    let placement = manual(scenario, cfg.seed);
-    let mut d = deploy(scenario, &placement);
-    d.set_telemetry(registry);
-    d.run_for(cfg.warmup);
-    d.run_for(cfg.profile);
-    // The aggregated BIA grows with the subscription count (~200 B per
-    // subscription) and is serialized through each broker's output
-    // limiter like any other message, so large gathers take minutes of
-    // *simulated* time — cheap to simulate, fatal to time out on.
-    let infos = d
-        .gather(SimDuration::from_secs(1800))
-        .expect("phase 1 gather completed");
-    (placement, Deployment::allocation_input(infos))
-}
-
-/// Deploys a placement and measures it; the pool average is
-/// renormalized to the scenario's full broker pool.
-fn deploy_and_measure(
-    scenario: &Scenario,
-    placement: &Placement,
-    cfg: &RunConfig,
-    registry: &Registry,
-) -> RunMetrics {
-    let mut d = {
-        let _span = Span::enter(registry, "phase3.deployment");
-        let mut d = deploy(scenario, placement);
-        d.set_telemetry(registry);
-        d.run_for(cfg.warmup);
-        d
-    };
-    let mut m = d.measure(cfg.measure);
-    m.rescale_to_pool(scenario.broker_count());
-    m
+    let out = GatherPhase {
+        scenario,
+        cfg: *cfg,
+    }
+    .run((), ctx)
+    .expect("phase 1 gather completed");
+    (out.placement, out.input)
 }
 
 /// Runs a fully custom plan configuration end to end (profiling on the
 /// MANUAL topology, then plan, redeploy, measure) — used by ablations
-/// such as the GRAPE priority sweep.
+/// such as the GRAPE priority sweep. Every pipeline stage traces into
+/// the context's registry.
 ///
 /// # Panics
 /// Panics when planning fails or Phase 1 does not complete.
@@ -176,156 +151,41 @@ pub fn run_custom_plan(
     label: &str,
     plan_config: &PlanConfig,
     cfg: &RunConfig,
+    ctx: &ReconfigContext,
 ) -> Outcome {
-    run_custom_plan_with_telemetry(scenario, label, plan_config, cfg, &Registry::disabled())
+    ReconfigPipeline::custom_plan(scenario, label, plan_config, *cfg)
+        .run(ctx)
+        .expect("custom plan run completed")
 }
 
-/// [`run_custom_plan`] with every pipeline stage (Phase-1 gather,
-/// Phase-2 allocation, Phase-3 overlay + deployment, GRAPE, the
-/// measurement window) traced into `registry`.
-///
-/// # Panics
-/// Same as [`run_custom_plan`].
-pub fn run_custom_plan_with_telemetry(
-    scenario: &Scenario,
-    label: &str,
-    plan_config: &PlanConfig,
-    cfg: &RunConfig,
-    registry: &Registry,
-) -> Outcome {
-    let (_, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
-    let t0 = Instant::now();
-    let p = plan_with_telemetry(&input, plan_config, registry).expect("planning succeeded");
-    let plan_time = t0.elapsed();
-    let placement = from_plan(scenario, &p);
-    let metrics = deploy_and_measure(scenario, &placement, cfg, registry);
-    Outcome {
-        approach: label.to_string(),
-        scenario: scenario.name.clone(),
-        subscriptions: scenario.sub_count(),
-        allocated_brokers: p.broker_count(),
-        metrics,
-        plan_time,
-        cram_stats: p.cram_stats,
-        overlay_stats: Some(p.overlay.stats),
-    }
-}
-
-/// Runs one approach end to end.
+/// Runs one approach end to end, with the whole pipeline traced into
+/// the context's registry: phase spans (`pipeline.phase.*`,
+/// `phase1.gathering`, `phase2.allocation`, `phase3.overlay`,
+/// `phase3.deployment`, `grape`, `measure.window`), CRAM counters,
+/// pair-cache hit rates, and the simulator's queue/drop instruments.
+/// Telemetry is observation only — the outcome is bit-identical with
+/// any registry, including the disabled default of
+/// [`ReconfigContext::new`].
 ///
 /// # Panics
 /// Panics when planning fails (the scenario's broker pool cannot host
 /// the workload) or Phase 1 does not complete.
-pub fn run_approach(scenario: &Scenario, approach: Approach, cfg: &RunConfig) -> Outcome {
-    run_approach_with_telemetry(scenario, approach, cfg, &Registry::disabled())
-}
-
-/// [`run_approach`] with the whole pipeline traced into `registry`:
-/// phase spans (`phase1.gathering`, `phase2.allocation`,
-/// `phase3.overlay`, `phase3.deployment`, `grape`, `measure.window`),
-/// CRAM counters, pair-cache hit rates, and the simulator's queue/drop
-/// instruments. Telemetry is observation only — the outcome is
-/// bit-identical with any registry.
-///
-/// # Panics
-/// Same as [`run_approach`].
-pub fn run_approach_with_telemetry(
+pub fn run_approach(
     scenario: &Scenario,
     approach: Approach,
     cfg: &RunConfig,
-    registry: &Registry,
+    ctx: &ReconfigContext,
 ) -> Outcome {
-    let mut outcome = Outcome {
-        approach: approach.label(),
-        scenario: scenario.name.clone(),
-        subscriptions: scenario.sub_count(),
-        allocated_brokers: scenario.broker_count(),
-        metrics: RunMetrics::default(),
-        plan_time: Duration::ZERO,
-        cram_stats: None,
-        overlay_stats: None,
-    };
-    match approach {
-        Approach::Manual => {
-            let placement = manual(scenario, cfg.seed);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
-        }
-        Approach::Automatic => {
-            let placement = automatic(scenario, cfg.seed);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
-        }
-        Approach::GrapeOnly => {
-            let (mut placement, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
-            let t0 = Instant::now();
-            // Build the interest tree of the *existing* MANUAL topology
-            // from the gathered profiles and relocate publishers only.
-            let mut locals: BTreeMap<_, SubscriptionProfile> = placement
-                .spec
-                .brokers
-                .iter()
-                .map(|b| (b.id, SubscriptionProfile::new()))
-                .collect();
-            for (i, sub) in scenario.subs.iter().enumerate() {
-                if let Some(entry) = input.subscriptions.iter().find(|e| e.id == sub.id) {
-                    locals
-                        .get_mut(&placement.subscriber_homes[i])
-                        .expect("home broker")
-                        .or_assign(&entry.profile);
-                }
-            }
-            let tree = InterestTree::new(locals.into_iter().collect(), &placement.spec.edges);
-            let homes = place_publishers(&tree, &input.publishers, GrapeConfig::minimize_load());
-            for (i, home) in placement.publisher_homes.iter_mut().enumerate() {
-                if let Some(b) = homes.get(&AdvId::new(i as u64 + 1)) {
-                    *home = *b;
-                }
-            }
-            outcome.plan_time = t0.elapsed();
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
-        }
-        Approach::PairwiseK | Approach::PairwiseN => {
-            let (_, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
-            let t0 = Instant::now();
-            let result = if approach == Approach::PairwiseK {
-                let (_, stats) = CramBuilder::new(ClosenessMetric::Xor)
-                    .telemetry(registry)
-                    .run(&input)
-                    .expect("CRAM-XOR for K");
-                pairwise_k(&input, stats.final_units, cfg.seed)
-            } else {
-                pairwise_n(&input, cfg.seed)
-            };
-            outcome.plan_time = t0.elapsed();
-            outcome.allocated_brokers = result.allocation.broker_count();
-            let placement = from_allocation(scenario, &result.allocation, cfg.seed);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
-        }
-        Approach::Fbf | Approach::BinPacking | Approach::Cram(_) => {
-            let (_, input) = profile_and_gather_with_telemetry(scenario, cfg, registry);
-            let plan_config = match approach {
-                Approach::Fbf => PlanConfig::fbf(cfg.seed),
-                Approach::BinPacking => PlanConfig::bin_packing(),
-                Approach::Cram(m) => PlanConfig::cram(m),
-                _ => unreachable!(),
-            };
-            let t0 = Instant::now();
-            let p =
-                plan_with_telemetry(&input, &plan_config, registry).expect("planning succeeded");
-            outcome.plan_time = t0.elapsed();
-            outcome.allocated_brokers = p.broker_count();
-            outcome.cram_stats = p.cram_stats;
-            outcome.overlay_stats = Some(p.overlay.stats);
-            let placement = from_plan(scenario, &p);
-            outcome.metrics = deploy_and_measure(scenario, &placement, cfg, registry);
-        }
-    }
-    outcome
+    ReconfigPipeline::approach(scenario, approach, *cfg)
+        .run(ctx)
+        .expect("approach run completed")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::{ScenarioBuilder, Topology};
+    use greenps_telemetry::Registry;
 
     fn small() -> (Scenario, RunConfig) {
         let mut s = ScenarioBuilder::new(Topology::Homogeneous)
@@ -345,7 +205,7 @@ mod tests {
     #[test]
     fn manual_baseline_runs() {
         let (s, cfg) = small();
-        let o = run_approach(&s, Approach::Manual, &cfg);
+        let o = run_approach(&s, Approach::Manual, &cfg, &ReconfigContext::new());
         assert_eq!(o.approach, "MANUAL");
         assert_eq!(o.allocated_brokers, 16);
         assert!(o.metrics.deliveries > 0);
@@ -354,8 +214,9 @@ mod tests {
     #[test]
     fn cram_reduces_brokers_and_message_rate_vs_manual() {
         let (s, cfg) = small();
-        let base = run_approach(&s, Approach::Manual, &cfg);
-        let cram = run_approach(&s, Approach::Cram(ClosenessMetric::Ios), &cfg);
+        let ctx = ReconfigContext::new();
+        let base = run_approach(&s, Approach::Manual, &cfg, &ctx);
+        let cram = run_approach(&s, Approach::Cram(ClosenessMetric::Ios), &cfg, &ctx);
         assert!(cram.allocated_brokers < base.allocated_brokers);
         assert!(
             cram.metrics.avg_broker_msg_rate < base.metrics.avg_broker_msg_rate,
@@ -373,8 +234,9 @@ mod tests {
     #[test]
     fn bin_packing_and_fbf_run() {
         let (s, cfg) = small();
-        let bp = run_approach(&s, Approach::BinPacking, &cfg);
-        let fbf = run_approach(&s, Approach::Fbf, &cfg);
+        let ctx = ReconfigContext::new();
+        let bp = run_approach(&s, Approach::BinPacking, &cfg, &ctx);
+        let fbf = run_approach(&s, Approach::Fbf, &cfg, &ctx);
         assert!(bp.allocated_brokers <= fbf.allocated_brokers);
         assert!(bp.metrics.deliveries > 0 && fbf.metrics.deliveries > 0);
     }
@@ -382,8 +244,9 @@ mod tests {
     #[test]
     fn pairwise_baselines_run() {
         let (s, cfg) = small();
-        let pk = run_approach(&s, Approach::PairwiseK, &cfg);
-        let pn = run_approach(&s, Approach::PairwiseN, &cfg);
+        let ctx = ReconfigContext::new();
+        let pk = run_approach(&s, Approach::PairwiseK, &cfg, &ctx);
+        let pn = run_approach(&s, Approach::PairwiseN, &cfg, &ctx);
         assert!(pk.metrics.deliveries > 0);
         assert!(pn.metrics.deliveries > 0);
         assert!(pn.allocated_brokers <= 16);
@@ -393,8 +256,9 @@ mod tests {
     fn telemetry_traces_the_pipeline_without_changing_it() {
         let (s, cfg) = small();
         let registry = Registry::new();
-        let traced = run_approach_with_telemetry(&s, Approach::Manual, &cfg, &registry);
-        let plain = run_approach(&s, Approach::Manual, &cfg);
+        let ctx = ReconfigContext::new().with_registry(&registry);
+        let traced = run_approach(&s, Approach::Manual, &cfg, &ctx);
+        let plain = run_approach(&s, Approach::Manual, &cfg, &ReconfigContext::new());
         assert_eq!(
             traced.metrics.deliveries, plain.metrics.deliveries,
             "telemetry must not perturb the simulation"
@@ -402,6 +266,15 @@ mod tests {
         let snap = registry.snapshot();
         assert!(snap.spans.contains_key("phase3.deployment"));
         assert!(snap.spans.contains_key("measure.window"));
+        assert!(snap.spans.contains_key("pipeline.phase.deploy"));
+        assert!(snap.spans.contains_key("pipeline.phase.measure"));
+        assert!(
+            snap.counters
+                .get("pipeline.checkpoint.misses")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
         assert!(snap.counters.get("simnet.delivered").copied().unwrap_or(0) > 0);
     }
 

@@ -4,6 +4,7 @@
 
 use greenps_core::cram::CramBuilder;
 use greenps_core::pairwise::pairwise_n;
+use greenps_core::pipeline::ReconfigContext;
 use greenps_profile::ClosenessMetric;
 use greenps_simnet::SimDuration;
 use greenps_workload::runner::{profile_and_gather, RunConfig};
@@ -38,7 +39,7 @@ fn adversarial_scenario_gathers_identical_profiles() {
         .brokers(10)
         .seed(82)
         .build();
-    let (_, input) = profile_and_gather(&scenario, &cfg(82));
+    let (_, input) = profile_and_gather(&scenario, &cfg(82), &ReconfigContext::new());
     assert_eq!(input.subscriptions.len(), 10);
     // All subscriptions sink the identical publication set: one GIF.
     let (_, stats) = CramBuilder::new(ClosenessMetric::Ios).run(&input).unwrap();
@@ -52,7 +53,7 @@ fn pairwise_allocation_deploys_and_delivers() {
         .seed(83)
         .build();
     scenario.brokers.truncate(10);
-    let (_, input) = profile_and_gather(&scenario, &cfg(83));
+    let (_, input) = profile_and_gather(&scenario, &cfg(83), &ReconfigContext::new());
     let result = pairwise_n(&input, 83);
     let placement = from_allocation(&scenario, &result.allocation, 83);
     let mut d = deploy(&scenario, &placement);

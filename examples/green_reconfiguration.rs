@@ -7,6 +7,7 @@
 //! ```
 
 use greenps::core::croc::{plan, PlanConfig};
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::report::reduction_pct;
@@ -41,14 +42,15 @@ fn main() {
 
     // Phase 1 (on a fresh deployment), Phases 2–3 + GRAPE.
     println!("profiling and gathering (Phase 1)…");
-    let (_, input) = profile_and_gather(&scenario, &cfg);
+    let ctx = ReconfigContext::new();
+    let (_, input) = profile_and_gather(&scenario, &cfg, &ctx);
     println!(
         "gathered {} brokers, {} subscriptions, {} publishers",
         input.brokers.len(),
         input.subscriptions.len(),
         input.publishers.len()
     );
-    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios), &ctx).expect("plan");
     println!(
         "CRAM allocated {} brokers; overlay:\n{}",
         plan.broker_count(),

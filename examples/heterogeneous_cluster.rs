@@ -6,6 +6,7 @@
 //! cargo run --release --example heterogeneous_cluster
 //! ```
 
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::report::outcome_table;
@@ -29,6 +30,7 @@ fn main() {
         measure: SimDuration::from_secs(90),
         seed: 7,
     };
+    let ctx = ReconfigContext::new();
     let outcomes: Vec<_> = [
         Approach::Manual,
         Approach::BinPacking,
@@ -38,7 +40,7 @@ fn main() {
     .into_iter()
     .map(|a| {
         eprintln!("running {}…", a.label());
-        run_approach(&scenario, a, &cfg)
+        run_approach(&scenario, a, &cfg, &ctx)
     })
     .collect();
     print!("{}", outcome_table(&outcomes).render());

@@ -9,6 +9,7 @@
 //! brokers / 100 publishers with 225 subscriptions each) run through
 //! `cargo run --release -p greenps-bench --bin experiments -- e5`.
 
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::report::{outcome_table, reduction_pct};
@@ -35,8 +36,9 @@ fn main() {
         measure: SimDuration::from_secs(90),
         seed: 11,
     };
-    let manual = run_approach(&scenario, Approach::Manual, &cfg);
-    let cram = run_approach(&scenario, Approach::Cram(ClosenessMetric::Ios), &cfg);
+    let ctx = ReconfigContext::new();
+    let manual = run_approach(&scenario, Approach::Manual, &cfg, &ctx);
+    let cram = run_approach(&scenario, Approach::Cram(ClosenessMetric::Ios), &cfg, &ctx);
     print!(
         "{}",
         outcome_table(&[manual.clone(), cram.clone()]).render()

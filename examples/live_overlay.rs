@@ -8,6 +8,7 @@
 
 use greenps::broker::live::LiveNet;
 use greenps::core::croc::{plan, PlanConfig};
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::ClosenessMetric;
 use greenps::pubsub::filter::stock_advertisement;
 use greenps::pubsub::ids::{AdvId, MsgId};
@@ -24,7 +25,8 @@ fn main() {
         .build();
     scenario.brokers.truncate(24);
     let input = ideal_input(&scenario);
-    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    let ctx = ReconfigContext::new();
+    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios), &ctx).expect("plan");
     println!(
         "plan: {} brokers (of {}), root {}",
         plan.broker_count(),
@@ -35,7 +37,7 @@ fn main() {
     // Spawn the overlay live.
     let brokers: Vec<_> = plan.overlay.nodes().map(|n| n.broker).collect();
     let edges: Vec<_> = plan.overlay.edges().collect();
-    let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
+    let mut net = LiveNet::start(&brokers, &edges, &ctx).expect("start live net");
     std::thread::sleep(Duration::from_millis(50));
 
     // Publishers at their GRAPE homes; subscribers at their allocated

@@ -7,6 +7,7 @@
 
 use greenps::core::croc::{plan, PlanConfig};
 use greenps::core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::{ClosenessMetric, PublisherProfile, SubscriptionProfile};
 use greenps::pubsub::filter::stock_template;
 use greenps::pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
@@ -58,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Phases 2 + 3 + GRAPE with CRAM and the IOS closeness metric.
-    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios))?;
+    let plan = plan(
+        &input,
+        &PlanConfig::cram(ClosenessMetric::Ios),
+        &ReconfigContext::new(),
+    )?;
 
     println!(
         "allocated {} of {} brokers for {} subscriptions",

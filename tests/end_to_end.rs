@@ -2,6 +2,7 @@
 //! small simulated cluster, asserting the paper's qualitative results.
 
 use greenps::core::croc::{plan, PlanConfig};
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::ClosenessMetric;
 use greenps::simnet::SimDuration;
 use greenps::workload::runner::{profile_and_gather, run_approach, Approach, RunConfig};
@@ -28,9 +29,10 @@ fn three_phase_pipeline_preserves_traffic_and_reduces_brokers() {
     let mut scenario = homogeneous(160, 31);
     scenario.brokers.truncate(20);
     let cfg = cfg(31);
+    let ctx = ReconfigContext::new();
 
     // Phase 1 against the MANUAL deployment.
-    let (_, input) = profile_and_gather(&scenario, &cfg);
+    let (_, input) = profile_and_gather(&scenario, &cfg, &ctx);
     assert_eq!(input.brokers.len(), 20);
     assert_eq!(input.subscriptions.len(), 160);
     assert_eq!(input.publishers.len(), 40);
@@ -46,7 +48,7 @@ fn three_phase_pipeline_preserves_traffic_and_reduces_brokers() {
     }
 
     // Phases 2–3 + GRAPE.
-    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios), &ctx).expect("plan");
     assert!(
         plan.broker_count() < 20,
         "brokers reduced: {}",
@@ -61,7 +63,7 @@ fn three_phase_pipeline_preserves_traffic_and_reduces_brokers() {
     let after = d.measure(cfg.measure);
     assert!(after.deliveries > 0);
     // Compare against the MANUAL deployment's delivery volume.
-    let manual = run_approach(&scenario, Approach::Manual, &cfg);
+    let manual = run_approach(&scenario, Approach::Manual, &cfg, &ctx);
     let ratio = after.deliveries as f64 / manual.metrics.deliveries as f64;
     assert!(
         (0.85..1.18).contains(&ratio),
@@ -75,9 +77,10 @@ fn three_phase_pipeline_preserves_traffic_and_reduces_brokers() {
 fn all_four_metrics_produce_valid_plans() {
     let mut scenario = homogeneous(100, 32);
     scenario.brokers.truncate(16);
-    let (_, input) = profile_and_gather(&scenario, &cfg(32));
+    let ctx = ReconfigContext::new();
+    let (_, input) = profile_and_gather(&scenario, &cfg(32), &ctx);
     for metric in ClosenessMetric::ALL {
-        let plan = plan(&input, &PlanConfig::cram(metric)).expect("plan");
+        let plan = plan(&input, &PlanConfig::cram(metric), &ctx).expect("plan");
         plan.overlay.check_tree();
         assert_eq!(plan.subscription_homes.len(), 100, "{metric}");
         assert!(plan.broker_count() <= 16, "{metric}");
@@ -93,8 +96,9 @@ fn hop_count_improves_or_matches_manual() {
     let mut scenario = homogeneous(120, 33);
     scenario.brokers.truncate(20);
     let cfg = cfg(33);
-    let manual = run_approach(&scenario, Approach::Manual, &cfg);
-    let cram = run_approach(&scenario, Approach::Cram(ClosenessMetric::Iou), &cfg);
+    let ctx = ReconfigContext::new();
+    let manual = run_approach(&scenario, Approach::Manual, &cfg, &ctx);
+    let cram = run_approach(&scenario, Approach::Cram(ClosenessMetric::Iou), &cfg, &ctx);
     assert!(
         cram.metrics.mean_hops <= manual.metrics.mean_hops + 0.2,
         "cram hops {} vs manual {}",

@@ -7,13 +7,14 @@ use greenps::core::cram::CramBuilder;
 use greenps::core::croc::{plan, PlanConfig};
 use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps::core::pairwise::{pairwise_k, pairwise_n};
+use greenps::core::pipeline::ReconfigContext;
 use greenps::core::sorting::{bin_packing, fbf};
 use greenps::profile::ClosenessMetric;
 use greenps_analysis::telemetry_schema::Schema;
 use greenps_bench::{check_input, ideal_input};
 use greenps_simnet::SimDuration;
 use greenps_telemetry::Registry;
-use greenps_workload::runner::{run_approach_with_telemetry, Approach, RunConfig};
+use greenps_workload::runner::{run_approach, Approach, RunConfig};
 use greenps_workload::{Scenario, ScenarioBuilder, Topology};
 
 fn homogeneous(total_subs: usize, seed: u64) -> Scenario {
@@ -88,7 +89,12 @@ fn e5_core_scales_to_hundreds_of_brokers() {
         .seed(73)
         .build();
     let input = ideal_input(&scenario);
-    let p = plan(&input, &PlanConfig::cram(ClosenessMetric::Iou)).unwrap();
+    let p = plan(
+        &input,
+        &PlanConfig::cram(ClosenessMetric::Iou),
+        &ReconfigContext::new(),
+    )
+    .unwrap();
     assert!(
         p.broker_count() < 120 / 2,
         "collapses the pool: {}",
@@ -168,11 +174,11 @@ fn traced_run_snapshot_matches_telemetry_schema() {
         measure: SimDuration::from_secs(5),
         seed: 77,
     };
-    let outcome = run_approach_with_telemetry(
+    let outcome = run_approach(
         &scenario,
         Approach::Cram(greenps::profile::ClosenessMetric::Intersect),
         &cfg,
-        &registry,
+        &ReconfigContext::new().with_registry(&registry),
     );
     assert_eq!(outcome.subscriptions, 60);
 

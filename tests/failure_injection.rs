@@ -133,9 +133,16 @@ fn gather_times_out_gracefully_with_a_dead_branch() {
     d.run_for(SimDuration::from_secs(5));
 
     // Kill a leaf broker: the BIR flood waits for an answer that never
-    // comes; gather must return None, not hang.
+    // comes; gather must report a timeout, not hang.
     let victim = placement.spec.brokers[7].id;
     d.net.kill_node(d.brokers[&victim]);
     let result = d.gather(SimDuration::from_secs(10));
-    assert!(result.is_none(), "gather must time out with a dead broker");
+    assert!(
+        matches!(
+            result,
+            Err(greenps_broker::GatherError::Timeout { waited })
+                if waited == SimDuration::from_secs(10)
+        ),
+        "gather must time out with a dead broker"
+    );
 }

@@ -3,6 +3,7 @@
 
 use greenps::broker::live::LiveNet;
 use greenps::core::croc::{plan, PlanConfig};
+use greenps::core::pipeline::ReconfigContext;
 use greenps::profile::ClosenessMetric;
 use greenps::pubsub::filter::stock_advertisement;
 use greenps::pubsub::ids::{AdvId, MsgId};
@@ -19,11 +20,12 @@ fn plan_runs_on_live_threads() {
         .build();
     scenario.brokers.truncate(12);
     let input = ideal_input(&scenario);
-    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios)).expect("plan");
+    let ctx = ReconfigContext::new();
+    let plan = plan(&input, &PlanConfig::cram(ClosenessMetric::Ios), &ctx).expect("plan");
 
     let brokers: Vec<_> = plan.overlay.nodes().map(|n| n.broker).collect();
     let edges: Vec<_> = plan.overlay.edges().collect();
-    let mut net = LiveNet::start(&brokers, &edges).expect("start live net");
+    let mut net = LiveNet::start(&brokers, &edges, &ctx).expect("start live net");
     std::thread::sleep(Duration::from_millis(30));
 
     // One publisher (the first stock) at its GRAPE home.

@@ -3,6 +3,7 @@
 //! load estimates derived from them track true subscription loads.
 
 use greenps::broker::Deployment;
+use greenps::core::pipeline::ReconfigContext;
 use greenps::simnet::SimDuration;
 use greenps::workload::runner::{profile_and_gather, RunConfig};
 use greenps::workload::{deploy, manual, Scenario, ScenarioBuilder, Topology};
@@ -54,8 +55,9 @@ fn repeated_gathers_are_consistent() {
         measure: SimDuration::from_secs(30),
         seed: 62,
     };
-    let (_, a) = profile_and_gather(&scenario, &cfg);
-    let (_, b) = profile_and_gather(&scenario, &cfg);
+    let ctx = ReconfigContext::new();
+    let (_, a) = profile_and_gather(&scenario, &cfg, &ctx);
+    let (_, b) = profile_and_gather(&scenario, &cfg, &ctx);
     // Same deterministic simulation → identical gathered state.
     assert_eq!(a.subscriptions.len(), b.subscriptions.len());
     assert_eq!(a.brokers.len(), b.brokers.len());
