@@ -1,0 +1,524 @@
+//! Interprocedural pass 3: potentially lossy `as` casts (DESIGN.md
+//! §9.2).
+//!
+//! `as` never fails — it truncates, wraps or saturates silently, which
+//! is exactly how the PR-6 `shift_forward` 32-bit bug slipped in
+//! (`shift as usize` truncated *before* the bounds comparison). This
+//! pass flags the lossy shapes in runtime-crate library code:
+//!
+//! - `narrow` — the source may not fit the target width (`u64 as
+//!   usize`, `usize as u32`, `f64 as f32`); `usize`/`isize` are
+//!   treated as 32–64 bits, so `u32 as usize` is safe but `usize as
+//!   u32` is not;
+//! - `sign` — sign-crossing at equal or smaller width (`i64 as u64`,
+//!   `u32 as i32`) where negative values or the upper half wrap;
+//! - `float-int` — float→int casts, which truncate toward zero and
+//!   saturate.
+//!
+//! Int→float casts are *not* flagged: `u64 as f64` above 2^53 rounds,
+//! but every workspace use is telemetry/metric shaping where that is
+//! harmless — a documented limit, not an oversight.
+//!
+//! The source type comes from a token-level inference: literal
+//! suffixes, declared parameter/`let`/field types, a table of std
+//! methods with fixed return types (`len` → `usize`, `as_micros` →
+//! `u128`, …), and workspace function return types via the call graph.
+//! When the source type cannot be pinned down the cast is skipped —
+//! precision over noise. Findings are budgeted in
+//! `analysis/cast-allowlist.txt` and ratcheted via `cast.findings`.
+
+use std::collections::BTreeMap;
+
+use crate::allowlist::{Allowlist, AllowlistSpec};
+use crate::callgraph::CallGraph;
+use crate::lexer::{self, Token, TokenKind};
+use crate::parser::{self, FnItem};
+use crate::{line_of, line_text, Finding, SourceFile};
+
+/// Policy for `analysis/cast-allowlist.txt`.
+pub const CAST_SPEC: AllowlistSpec = AllowlistSpec {
+    lint: "cast-safety",
+    kinds: &["narrow", "sign", "float-int"],
+    budget: 5,
+};
+
+/// Crates whose library code is scanned.
+pub const CHECKED_CRATES: [&str; 7] = [
+    "pubsub",
+    "profile",
+    "core",
+    "broker",
+    "simnet",
+    "telemetry",
+    "workload",
+];
+
+/// Std methods with a fixed primitive return type.
+const STD_METHOD_RETURNS: &[(&str, &str)] = &[
+    ("abs", "f64"),
+    ("as_micros", "u128"),
+    ("as_millis", "u128"),
+    ("as_nanos", "u128"),
+    ("as_secs", "u64"),
+    ("as_secs_f64", "f64"),
+    ("ceil", "f64"),
+    ("count_ones", "u32"),
+    ("count_zeros", "u32"),
+    ("exp", "f64"),
+    ("floor", "f64"),
+    ("fract", "f64"),
+    ("leading_zeros", "u32"),
+    ("len", "usize"),
+    ("ln", "f64"),
+    ("powf", "f64"),
+    ("powi", "f64"),
+    ("round", "f64"),
+    ("sqrt", "f64"),
+    ("to_bits", "u64"),
+    ("trailing_zeros", "u32"),
+    ("trunc", "f64"),
+];
+
+/// `(min, max)` bit widths of an integer primitive, or `None` for
+/// non-integers. `usize`/`isize` span 32–64 bits.
+fn int_bits(ty: &str) -> Option<(u32, u32)> {
+    Some(match ty {
+        "u8" | "i8" => (8, 8),
+        "u16" | "i16" => (16, 16),
+        "u32" | "i32" => (32, 32),
+        "u64" | "i64" => (64, 64),
+        "u128" | "i128" => (128, 128),
+        "usize" | "isize" => (32, 64),
+        _ => return None,
+    })
+}
+
+fn is_signed(ty: &str) -> bool {
+    ty.starts_with('i')
+}
+
+fn is_float(ty: &str) -> bool {
+    ty == "f32" || ty == "f64"
+}
+
+fn is_primitive(ty: &str) -> bool {
+    int_bits(ty).is_some() || is_float(ty)
+}
+
+/// Classifies a `source as target` cast; `None` means lossless (or a
+/// documented-acceptable shape like int→float).
+fn classify(source: &str, target: &str) -> Option<&'static str> {
+    if is_float(source) {
+        if is_float(target) {
+            return (source == "f64" && target == "f32").then_some("narrow");
+        }
+        return int_bits(target).is_some().then_some("float-int");
+    }
+    let (_, src_max) = int_bits(source)?;
+    if is_float(target) {
+        return None; // documented limit: int→float not flagged
+    }
+    let (tgt_min, _tgt_max) = int_bits(target)?;
+    if src_max > tgt_min {
+        return Some("narrow");
+    }
+    // Equal-or-wider target: lossy only when signedness flips and the
+    // target cannot absorb the source range.
+    match (is_signed(source), is_signed(target)) {
+        (true, false) => Some("sign"), // negative values wrap
+        (false, true) if src_max >= tgt_min => Some("sign"), // upper half wraps
+        _ => None,
+    }
+}
+
+/// Type environment of one function: parameters, typed lets, and the
+/// enclosing impl type's fields.
+struct Env<'a> {
+    item: &'a FnItem,
+    fields: Option<&'a BTreeMap<String, String>>,
+}
+
+impl Env<'_> {
+    fn var(&self, name: &str) -> Option<&str> {
+        self.item
+            .lets
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .or_else(|| self.item.params.iter().find(|(n, _)| n == name))
+            .map(|(_, t)| t.as_str())
+    }
+
+    fn field(&self, name: &str) -> Option<&str> {
+        self.fields?.get(name).map(String::as_str)
+    }
+}
+
+/// Type of a numeric literal token, from its suffix or float-ness.
+fn literal_type(text: &str) -> Option<&'static str> {
+    // Longest suffixes first so `1u128` is not read as `…u8`-less junk.
+    for suf in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        "f64", "f32",
+    ] {
+        if text.ends_with(suf) {
+            return Some(suf);
+        }
+    }
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return None;
+    }
+    (text.contains('.') || text.contains('e') || text.contains('E')).then_some("f64")
+}
+
+/// Return type of a workspace method/function named `name`, when every
+/// candidate agrees on one primitive head.
+fn workspace_return(graph: &CallGraph, name: &str, method: bool) -> Option<String> {
+    let mut ret: Option<&str> = None;
+    let mut any = false;
+    for n in &graph.nodes {
+        if n.item.name != name || n.item.has_self != method {
+            continue;
+        }
+        any = true;
+        let r = n.item.ret.as_deref()?;
+        match ret {
+            None => ret = Some(r),
+            Some(prev) if prev == r => {}
+            Some(_) => return None,
+        }
+    }
+    if !any {
+        return None;
+    }
+    ret.filter(|r| is_primitive(r)).map(str::to_string)
+}
+
+/// Infers the type of the expression ending just before the `as` token
+/// at `i` in `code`.
+fn infer_source(code: &[&Token<'_>], i: usize, env: &Env<'_>, graph: &CallGraph) -> Option<String> {
+    let prev = *code.get(i.checked_sub(1)?)?;
+    if prev.kind == TokenKind::Num {
+        return literal_type(prev.text).map(str::to_string);
+    }
+    if prev.kind == TokenKind::Ident {
+        if is_primitive(prev.text) && i >= 2 && code[i - 2].is_ident("as") {
+            // Cast chain: `x as u64 as u32` — source of the outer cast
+            // is the inner target.
+            return Some(prev.text.to_string());
+        }
+        if i >= 2 && code[i - 2].is_punct('.') {
+            // Field access: `self.f as` / `x.f as`.
+            if i >= 3 && code[i - 3].is_ident("self") {
+                return env.field(prev.text).map(str::to_string);
+            }
+            return None;
+        }
+        return env.var(prev.text).map(str::to_string);
+    }
+    if prev.is_punct(')') {
+        // Find the matching `(`.
+        let mut depth = 0usize;
+        let mut j = i - 1;
+        loop {
+            let t = code[j];
+            if t.is_punct(')') {
+                depth += 1;
+            } else if t.is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if j == 0 {
+                return None;
+            }
+            j -= 1;
+        }
+        // Call? The token before `(` is the callee name.
+        if j >= 1 && code[j - 1].kind == TokenKind::Ident {
+            let callee = code[j - 1].text;
+            let is_method = j >= 2 && code[j - 2].is_punct('.');
+            if is_method {
+                if let Some((_, r)) = STD_METHOD_RETURNS.iter().find(|(m, _)| *m == callee) {
+                    return Some((*r).to_string());
+                }
+                return workspace_return(graph, callee, true);
+            }
+            if !is_expr_keyword(callee) {
+                return workspace_return(graph, callee, false);
+            }
+        }
+        // Grouping parens: a single agreeing primitive among the
+        // operand types inside decides (`(hi - lo) as usize` with both
+        // vars typed `u64` infers `u64`; mixed types give up).
+        let mut seen: Option<String> = None;
+        for k in j + 1..i - 1 {
+            let t = code[k];
+            let after_dot = code.get(k.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'));
+            let before_paren = code.get(k + 1).is_some_and(|n| n.is_punct('('));
+            let ty: Option<String> = if t.kind == TokenKind::Num {
+                literal_type(t.text).map(str::to_string)
+            } else if t.kind != TokenKind::Ident {
+                None
+            } else if after_dot && before_paren {
+                // `.method(` inside the group.
+                STD_METHOD_RETURNS
+                    .iter()
+                    .find(|(m, _)| *m == t.text)
+                    .map(|(_, r)| (*r).to_string())
+                    .or_else(|| workspace_return(graph, t.text, true))
+            } else if after_dot {
+                // `self.field` inside the group.
+                code.get(k.wrapping_sub(2))
+                    .is_some_and(|p| p.is_ident("self"))
+                    .then(|| env.field(t.text).map(str::to_string))
+                    .flatten()
+            } else if before_paren {
+                None // free-call results: skip, too noisy to chase here
+            } else {
+                env.var(t.text).map(str::to_string)
+            };
+            if let Some(ty) = ty {
+                match &seen {
+                    None => seen = Some(ty),
+                    Some(prev) if *prev == ty => {}
+                    Some(_) => return None, // mixed types: give up
+                }
+            }
+        }
+        return seen;
+    }
+    None
+}
+
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(s, "if" | "while" | "match" | "for" | "return" | "in")
+}
+
+/// Runs the pass over runtime-crate library code.
+pub fn run(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    allowlist: &Allowlist,
+    allowlist_path: &str,
+) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = allowlist.errors.clone();
+    let mut used = vec![false; allowlist.entries.len()];
+
+    for file in files {
+        let in_scope = file
+            .crate_name()
+            .is_some_and(|c| CHECKED_CRATES.contains(&c))
+            && file.is_library_code();
+        if !in_scope {
+            continue;
+        }
+        let tokens = lexer::tokenize(&file.content);
+        let code: Vec<&Token<'_>> = lexer::code(&tokens);
+        let parsed = parser::parse_file(file);
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_ident("as") {
+                continue;
+            }
+            let Some(target) = code.get(i + 1).filter(|n| is_primitive(n.text)) else {
+                continue;
+            };
+            // Innermost non-test function whose body contains the cast.
+            let Some(item) = parsed
+                .fns
+                .iter()
+                .filter(|f| {
+                    !f.is_test && f.body.is_some_and(|(lo, hi)| t.start >= lo && t.start < hi)
+                })
+                .min_by_key(|f| f.body.map(|(lo, hi)| hi - lo).unwrap_or(usize::MAX))
+            else {
+                continue;
+            };
+            let env = Env {
+                item,
+                fields: item
+                    .self_ty
+                    .as_ref()
+                    .and_then(|ty| graph.types.get(ty))
+                    .map(|t| &t.fields),
+            };
+            let Some(source) = infer_source(&code, i, &env, graph) else {
+                continue;
+            };
+            let Some(kind) = classify(&source, target.text) else {
+                continue;
+            };
+            let text = line_text(&file.content, t.start);
+            if allowlist.covers(&mut used, &file.path, kind, text) {
+                continue;
+            }
+            let why = match kind {
+                "narrow" => "may truncate",
+                "sign" => "may wrap across signedness",
+                _ => "truncates toward zero and saturates",
+            };
+            findings.push(Finding {
+                lint: "cast-safety",
+                path: file.path.clone(),
+                line: line_of(&file.content, t.start),
+                message: format!(
+                    "`{} as {}` {why} in `{}` — use `try_from`/checked conversion or allowlist with a justification",
+                    source, target.text, item.qualified
+                ),
+            });
+        }
+    }
+
+    findings.extend(allowlist.unused_with(&used, allowlist_path, "cast-safety"));
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass(files: &[(&str, &str)], allow: &str) -> Vec<Finding> {
+        let files: Vec<SourceFile> = files.iter().map(|(p, c)| SourceFile::new(p, c)).collect();
+        let graph = CallGraph::build(&files);
+        let al = Allowlist::parse_with("allow.txt", allow, &CAST_SPEC);
+        run(&files, &graph, &al, "allow.txt")
+    }
+
+    fn kinds(findings: &[Finding]) -> Vec<&str> {
+        findings
+            .iter()
+            .map(|f| {
+                if f.message.contains("may truncate") {
+                    "narrow"
+                } else if f.message.contains("signedness") {
+                    "sign"
+                } else if f.message.contains("toward zero") {
+                    "float-int"
+                } else {
+                    "?"
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(classify("u64", "usize"), Some("narrow"));
+        assert_eq!(classify("usize", "u32"), Some("narrow"));
+        assert_eq!(classify("usize", "u64"), None);
+        assert_eq!(classify("u32", "usize"), None);
+        assert_eq!(classify("u8", "u64"), None);
+        assert_eq!(classify("i64", "u64"), Some("sign"));
+        assert_eq!(classify("u32", "i32"), Some("sign"));
+        assert_eq!(classify("u32", "i64"), None);
+        assert_eq!(classify("f64", "u64"), Some("float-int"));
+        assert_eq!(classify("f64", "f32"), Some("narrow"));
+        assert_eq!(classify("u64", "f64"), None); // documented limit
+        assert_eq!(classify("i64", "i64"), None);
+    }
+
+    #[test]
+    fn param_and_let_types_drive_findings() {
+        let got = pass(
+            &[(
+                "crates/core/src/a.rs",
+                "fn f(x: u64) -> u32 { let y: usize = 0; let a = x as usize; let b = y as u32; b }",
+            )],
+            "",
+        );
+        assert_eq!(kinds(&got), vec!["narrow", "narrow"], "{got:?}");
+    }
+
+    #[test]
+    fn std_method_returns_are_known() {
+        let got = pass(
+            &[(
+                "crates/profile/src/a.rs",
+                "fn f(v: &Vec<u64>, d: Duration) -> u32 { (v.len() as u32) + (d.as_micros() as u32) }",
+            )],
+            "",
+        );
+        assert_eq!(kinds(&got), vec!["narrow", "narrow"], "{got:?}");
+    }
+
+    #[test]
+    fn workspace_return_types_resolve() {
+        let got = pass(
+            &[(
+                "crates/core/src/a.rs",
+                "pub struct Id(u64);\nimpl Id { pub fn raw(&self) -> u64 { self.0 } }\nfn f(id: &Id) -> usize { id.raw() as usize }",
+            )],
+            "",
+        );
+        assert_eq!(kinds(&got), vec!["narrow"], "{got:?}");
+    }
+
+    #[test]
+    fn float_round_cast_fires_and_grouped_exprs_agree() {
+        let got = pass(
+            &[(
+                "crates/simnet/src/a.rs",
+                "fn f(s: f64, hi: u64, lo: u64) { let a = (s * 1e6).round() as u64; let b = (hi - lo) as usize; }",
+            )],
+            "",
+        );
+        assert_eq!(kinds(&got), vec!["float-int", "narrow"], "{got:?}");
+    }
+
+    #[test]
+    fn widening_and_unknown_sources_are_quiet() {
+        let got = pass(
+            &[(
+                "crates/core/src/a.rs",
+                "fn f(x: u32, m: &Mystery) -> u64 { let a = x as u64; let b = m.thing() as u64; a + b }",
+            )],
+            "",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn cast_chains_use_the_inner_target() {
+        let got = pass(
+            &[(
+                "crates/core/src/a.rs",
+                "fn f(x: u32) -> u8 { x as u64 as u8 }",
+            )],
+            "",
+        );
+        // `x as u64` widens (quiet); `u64 as u8` narrows.
+        assert_eq!(kinds(&got), vec!["narrow"], "{got:?}");
+    }
+
+    #[test]
+    fn tests_and_out_of_scope_files_are_skipped() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }";
+        assert!(pass(&[("crates/core/tests/t.rs", src)], "").is_empty());
+        assert!(pass(&[("crates/analysis/src/a.rs", src)], "").is_empty());
+        let got = pass(
+            &[(
+                "crates/core/src/a.rs",
+                "#[cfg(test)]\nmod tests { fn f(x: u64) -> u32 { x as u32 } }",
+            )],
+            "",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn allowlist_covers_by_kind() {
+        let src = "fn f(v: f64) -> u64 { v.round() as u64 }";
+        let covered = pass(
+            &[("crates/telemetry/src/a.rs", src)],
+            "crates/telemetry/src/a.rs float-int round -- saturating gauge semantics\n",
+        );
+        assert!(covered.is_empty(), "{covered:?}");
+        let wrong_kind = pass(
+            &[("crates/telemetry/src/a.rs", src)],
+            "crates/telemetry/src/a.rs narrow round -- wrong kind\n",
+        );
+        assert_eq!(wrong_kind.len(), 2, "{wrong_kind:?}"); // finding + stale
+    }
+}

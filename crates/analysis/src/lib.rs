@@ -20,6 +20,23 @@
 //! - [`lock_order`] — builds the static lock-acquisition graph and
 //!   fails on ordering cycles.
 //!
+//! On top of the lexer, a recursive-descent item [`parser`] recovers
+//! functions, call sites, and type heads, and [`callgraph`] resolves
+//! them into a deterministic workspace call graph (exported as
+//! byte-stable `greenps-callgraph/1` JSON). Three interprocedural
+//! passes run over that graph (DESIGN.md §9.2):
+//!
+//! - [`panic_reach`] — which public endpoints of the runtime crates can
+//!   reach a panicking site, with witness paths; tracked via the
+//!   ratchet counter `panic.reachable-endpoints` rather than enforced
+//!   per finding.
+//! - [`hot_path_alloc`] — allocation calls reachable from the declared
+//!   steady-state hot paths (`analysis/hot-paths.txt`), modulo a
+//!   budgeted allowlist.
+//! - [`cast_safety`] — narrowing / sign-flipping / float→int `as`
+//!   casts whose source type can be inferred, modulo a budgeted
+//!   allowlist.
+//!
 //! [`baseline`] adds the findings ratchet (`analysis/baseline.json`):
 //! counts may only fall. Everything operates on `(path, content)` pairs
 //! so each lint is unit testable with synthetic snippets; the binary in
@@ -31,12 +48,17 @@
 pub mod allowlist;
 pub mod attributes;
 pub mod baseline;
+pub mod callgraph;
+pub mod cast_safety;
 pub mod determinism;
+pub mod hot_path_alloc;
 pub mod layering;
 pub mod lexer;
 pub mod lock_hygiene;
 pub mod lock_order;
 pub mod panic_freedom;
+pub mod panic_reach;
+pub mod parser;
 pub mod source;
 pub mod telemetry_schema;
 

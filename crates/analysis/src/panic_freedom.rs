@@ -22,7 +22,10 @@ pub const CHECKED_CRATES: [&str; 6] =
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
 /// Raw (pre-allowlist) panic sources in one file: `(kind, offset)`.
-fn scan(src: &str) -> Vec<(&'static str, usize)> {
+/// Shared with the interprocedural panic-reachability pass, which
+/// wants *all* sites — allowlisted ones included — since an allowlist
+/// entry documents why a panic cannot fire, not that it is absent.
+pub(crate) fn scan(src: &str) -> Vec<(&'static str, usize)> {
     let tokens = lexer::tokenize(src);
     let code: Vec<&Token<'_>> = lexer::code(&tokens);
     let mut hits = Vec::new();

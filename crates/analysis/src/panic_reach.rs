@@ -1,0 +1,152 @@
+//! Interprocedural pass 1: panic reachability (DESIGN.md §9.2).
+//!
+//! The per-site panic-freedom lint answers "where are the panic
+//! sites?"; this pass answers the question callers actually have:
+//! *which public entry points can hit one?* It walks the
+//! [`crate::callgraph::CallGraph`] backwards-from-forwards: every
+//! `pub` function of the runtime crates is an endpoint, every function
+//! containing a panic site (allowlisted or not — an allowlist entry
+//! justifies a site, it does not delete it) is a sink, and each
+//! endpoint that can reach a sink yields one finding carrying a
+//! witness call path.
+//!
+//! Findings are *tracked*, not hard failures: the panic-freedom
+//! allowlist already documents why the remaining sites cannot fire, so
+//! a reachable endpoint is expected today. The ratchet counter
+//! `panic.reachable-endpoints` in `analysis/baseline.json` is the
+//! enforcement: the number may only fall.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::CallGraph;
+use crate::parser::Visibility;
+use crate::{line_of, panic_freedom, Finding, SourceFile};
+
+/// Crates whose public API surface is checked for panic reachability.
+/// The `workload` crate is included even though the per-site lint
+/// exempts it: its generators feed every benchmark, and a panic there
+/// still takes a run down.
+pub const ENDPOINT_CRATES: [&str; 5] = ["core", "profile", "pubsub", "simnet", "workload"];
+
+/// Runs the pass. `graph` must be built from the same `files`.
+pub fn run(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    // Map panic sites to the graph node whose body contains them.
+    let mut sink_kind: BTreeMap<usize, (&'static str, usize)> = BTreeMap::new();
+    for file in files {
+        if !file.is_library_code() {
+            continue;
+        }
+        let sites = panic_freedom::scan(&file.content);
+        if sites.is_empty() {
+            continue;
+        }
+        for (idx, node) in graph.nodes.iter().enumerate() {
+            if node.file != file.path {
+                continue;
+            }
+            let Some((lo, hi)) = node.item.body else {
+                continue;
+            };
+            for &(kind, at) in &sites {
+                if at >= lo && at < hi {
+                    // First site per function is enough for a witness.
+                    sink_kind
+                        .entry(idx)
+                        .or_insert((kind, line_of(&file.content, at)));
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        let is_endpoint = node.item.vis == Visibility::Public
+            && ENDPOINT_CRATES
+                .iter()
+                .any(|c| node.item.qualified.starts_with(&format!("greenps_{c}::")));
+        if !is_endpoint {
+            continue;
+        }
+        let parent = graph.bfs(&[idx], &Default::default());
+        // Deterministic: pick the smallest reachable sink index.
+        let Some((&sink, &(kind, line))) = sink_kind.iter().find(|(s, _)| parent.contains_key(s))
+        else {
+            continue;
+        };
+        let path = graph.witness(&parent, sink).join(" -> ");
+        findings.push(Finding {
+            lint: "panic-reach",
+            path: node.file.clone(),
+            line: node.item.line,
+            message: format!(
+                "pub fn `{}` can reach `{}` site at {}:{} via {}",
+                node.item.qualified, kind, graph.nodes[sink].file, line, path
+            ),
+        });
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pass(files: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = files.iter().map(|(p, c)| SourceFile::new(p, c)).collect();
+        let graph = CallGraph::build(&files);
+        run(&files, &graph)
+    }
+
+    #[test]
+    fn transitive_panic_is_reported_with_witness() {
+        let got = pass(&[(
+            "crates/core/src/a.rs",
+            "pub fn api() { mid(); }\nfn mid() { deep(); }\nfn deep(v: &[u32]) { v.first().unwrap(); }",
+        )]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("greenps_core::a::api"));
+        assert!(got[0].message.contains("`unwrap` site"));
+        assert!(got[0]
+            .message
+            .contains("greenps_core::a::api -> greenps_core::a::mid -> greenps_core::a::deep"));
+    }
+
+    #[test]
+    fn endpoint_with_its_own_panic_site_is_reported() {
+        let got = pass(&[(
+            "crates/profile/src/a.rs",
+            "pub fn api(v: &[u32]) -> u32 { v[0] }",
+        )]);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("`index` site"));
+    }
+
+    #[test]
+    fn unreachable_and_private_panics_are_quiet() {
+        let got = pass(&[(
+            "crates/core/src/a.rs",
+            "pub fn api() {}\nfn orphan() { panic!(\"never called\"); }",
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn non_endpoint_crates_are_out_of_scope() {
+        let got = pass(&[(
+            "crates/telemetry/src/a.rs",
+            "pub fn api(v: &[u32]) -> u32 { v[0] }",
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn workload_is_an_endpoint_crate() {
+        let got = pass(&[(
+            "crates/workload/src/a.rs",
+            "pub fn gen(v: &[u32]) -> u32 { v[0] }",
+        )]);
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+}

@@ -86,6 +86,10 @@ pub struct Broker {
     pub matched_count: u64,
     /// Publications delivered to local clients.
     pub delivered_count: u64,
+    /// Reusable next-hop buffer for [`Broker::handle_publication`]: the
+    /// per-publication forwarding set is rebuilt in place instead of
+    /// allocating a fresh `Vec` per message.
+    hops_scratch: Vec<NodeId>,
 }
 
 impl Broker {
@@ -103,6 +107,7 @@ impl Broker {
             seen_bir: BTreeSet::new(),
             matched_count: 0,
             delivered_count: 0,
+            hops_scratch: Vec::new(),
         }
     }
 
@@ -202,9 +207,12 @@ impl Broker {
             lp.last_msg_id = lp.last_msg_id.max(env.publication.msg_id);
         }
 
-        // Match once; derive forwarding set and local deliveries.
+        // Match once; derive forwarding set and local deliveries. The
+        // hop buffer is a scratch field so steady-state forwarding does
+        // not allocate per publication.
         let matching = self.routing.matching_subscriptions_mut(&env.publication);
-        let mut hops: Vec<NodeId> = Vec::new();
+        let mut hops = std::mem::take(&mut self.hops_scratch);
+        hops.clear();
         for &sub in &matching {
             let Some(&hop) = self.routing.subscription_hop(sub) else {
                 continue;
@@ -222,11 +230,62 @@ impl Broker {
                 hops.push(hop);
             }
         }
-        for hop in hops {
+        for &hop in &hops {
             if self.clients.contains(&hop) {
                 self.delivered_count += 1;
             }
             ctx.send_after(fwd_delay, hop, BrokerMsg::Publication(env.hopped()));
+        }
+        self.hops_scratch = hops;
+    }
+
+    /// Advertisement churn (control plane): install the advertisement
+    /// and route existing subscriptions toward a late advertiser.
+    fn handle_advertise(
+        &mut self,
+        ctx: &mut Context<'_, BrokerMsg>,
+        from: NodeId,
+        adv: greenps_pubsub::message::Advertisement,
+    ) {
+        if self.routing.insert_advertisement(adv.clone(), from) {
+            for &n in &self.broker_neighbors {
+                if n != from {
+                    ctx.send(n, BrokerMsg::Advertise(adv.clone()));
+                }
+            }
+            // Late advertisement: route existing subscriptions
+            // toward it.
+            let subs = self.routing.subscriptions_toward(&adv, &from);
+            if self.broker_neighbors.contains(&from) {
+                for sub_id in subs {
+                    if let Some(s) = self.routing.subscription(sub_id) {
+                        ctx.send(from, BrokerMsg::Subscribe(s.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subscription churn (control plane): install the subscription,
+    /// start a CBC profile for local clients, and forward upstream.
+    fn handle_subscribe(
+        &mut self,
+        ctx: &mut Context<'_, BrokerMsg>,
+        from: NodeId,
+        sub: greenps_pubsub::message::Subscription,
+    ) {
+        let is_local = self.clients.contains(&from);
+        let forwards = self.routing.insert_subscription(sub.clone(), from);
+        if is_local {
+            self.sub_profiles.insert(
+                sub.id,
+                SubscriptionProfile::with_capacity(self.config.profile_bits),
+            );
+        }
+        for hop in forwards {
+            if self.broker_neighbors.contains(&hop) {
+                ctx.send(hop, BrokerMsg::Subscribe(sub.clone()));
+            }
         }
     }
 
@@ -297,25 +356,7 @@ impl Process<BrokerMsg> for Broker {
             BrokerMsg::ClientHello { .. } => {
                 self.clients.insert(from);
             }
-            BrokerMsg::Advertise(adv) => {
-                if self.routing.insert_advertisement(adv.clone(), from) {
-                    for &n in &self.broker_neighbors {
-                        if n != from {
-                            ctx.send(n, BrokerMsg::Advertise(adv.clone()));
-                        }
-                    }
-                    // Late advertisement: route existing subscriptions
-                    // toward it.
-                    let subs = self.routing.subscriptions_toward(&adv, &from);
-                    if self.broker_neighbors.contains(&from) {
-                        for sub_id in subs {
-                            if let Some(s) = self.routing.subscription(sub_id) {
-                                ctx.send(from, BrokerMsg::Subscribe(s.clone()));
-                            }
-                        }
-                    }
-                }
-            }
+            BrokerMsg::Advertise(adv) => self.handle_advertise(ctx, from, adv),
             BrokerMsg::Unadvertise(id) => {
                 if self.routing.remove_advertisement(id) {
                     for &n in &self.broker_neighbors {
@@ -325,21 +366,7 @@ impl Process<BrokerMsg> for Broker {
                     }
                 }
             }
-            BrokerMsg::Subscribe(sub) => {
-                let is_local = self.clients.contains(&from);
-                let forwards = self.routing.insert_subscription(sub.clone(), from);
-                if is_local {
-                    self.sub_profiles.insert(
-                        sub.id,
-                        SubscriptionProfile::with_capacity(self.config.profile_bits),
-                    );
-                }
-                for hop in forwards {
-                    if self.broker_neighbors.contains(&hop) {
-                        ctx.send(hop, BrokerMsg::Subscribe(sub.clone()));
-                    }
-                }
-            }
+            BrokerMsg::Subscribe(sub) => self.handle_subscribe(ctx, from, sub),
             BrokerMsg::Unsubscribe(id) => {
                 if self.routing.remove_subscription(id).is_some() {
                     self.sub_profiles.remove(&id);

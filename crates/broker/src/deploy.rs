@@ -325,7 +325,7 @@ impl Deployment {
                 .set(c.msgs_out);
             self.telemetry
                 .gauge(&format!("{tag}.msg_rate"))
-                .set(c.msg_rate(window).round() as u64);
+                .set_f64(c.msg_rate(window));
         }
         let broker_of: BTreeMap<NodeId, BrokerId> =
             self.brokers.iter().map(|(&b, &n)| (n, b)).collect();

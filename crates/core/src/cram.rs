@@ -36,7 +36,7 @@
 //! Entry point: [`CramBuilder`].
 
 use crate::capacity::RefPacker;
-use crate::engine::{shard_map, PairCache};
+use crate::engine::{shard_map_scratch, PairCache};
 use crate::model::{AllocError, Allocation, AllocationInput, Unit};
 use crate::sorting::{bin_packing_units, units_from_input};
 use greenps_profile::{
@@ -44,7 +44,6 @@ use greenps_profile::{
 };
 use greenps_telemetry::{EventSink, Histogram, Registry, Span};
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 /// Key of a GIF inside the CRAM pool.
 pub(crate) type GifKey = u64;
@@ -363,6 +362,9 @@ impl<'a> CramBuilder<'a> {
             stats,
             best: baseline,
             scan_timer: self.telemetry.histogram("cram.scan_us"),
+            scan_scratch: ScanScratch::default(),
+            removed_buf: Vec::new(),
+            cgs_scratch: CgsScratch::default(),
             events: self.telemetry.ring("cram"),
         };
         engine.stale.extend(engine.pool.gifs.keys().copied());
@@ -396,7 +398,7 @@ impl<'a> CramBuilder<'a> {
         t.counter("core.pair_cache.hits").add(cache.hits);
         t.counter("core.pair_cache.misses").add(cache.misses);
         t.gauge("core.pair_cache.hit_rate_pct")
-            .set((cache.hit_rate() * 100.0).round() as u64);
+            .set_f64(cache.hit_rate() * 100.0);
     }
 }
 
@@ -425,31 +427,65 @@ struct Engine<'a> {
     scan_timer: Histogram,
     /// Telemetry: merge/blacklist trace events.
     events: EventSink,
+    /// Reusable scan buffers for [`Engine::refresh_one`].
+    scan_scratch: ScanScratch,
+    /// Reusable sorted removed-unit buffer for the feasibility tests.
+    removed_buf: Vec<UnitKey>,
+    /// Reusable descent/cover/removal buffers for [`Engine::attempt_cgs`].
+    cgs_scratch: CgsScratch,
 }
 
 fn pair_key(a: GifKey, b: GifKey) -> (GifKey, GifKey) {
     (a.min(b), a.max(b))
 }
 
-/// What one partner scan produced: the best partner, the pair
-/// closenesses it had to compute (cache misses, to be merged into the
-/// shared cache afterwards), and how many measure evaluations it cost.
-struct ScanOutcome {
-    partner: Option<(GifKey, f64)>,
-    computed: Vec<(GifKey, f64)>,
+/// Reusable working memory for [`scan_partner`]: the poset BFS frontier
+/// and visited set plus the pair closenesses computed so far (cache
+/// misses, merged into the shared cache after the shard joins). One
+/// scratch lives per shard worker, so consecutive scans reuse the same
+/// heap buffers instead of allocating per scan — the pair-evaluation
+/// path stays allocation-free in steady state.
+#[derive(Debug, Default)]
+struct ScanScratch {
+    frontier: Vec<(GifKey, f64)>,
+    visited: BTreeSet<GifKey>,
+    /// `(g, candidate, closeness)` triples computed by this shard's
+    /// scans, in scan order.
+    computed: Vec<(GifKey, GifKey, f64)>,
+    /// Measure evaluations performed by this shard's scans.
     computations: u64,
+}
+
+/// Reusable working memory for [`Engine::attempt_cgs`]: the poset
+/// descent (frontier + visited set), the descendant worklist, the
+/// greedy cover selection, and the removal list handed to
+/// [`Engine::commit`]. CGS attempts run once per intersecting pair, so
+/// reusing these buffers keeps the pair-evaluation path free of
+/// per-attempt allocations.
+#[derive(Debug, Default)]
+struct CgsScratch {
+    /// Descendants of the parent GIF, consumed by the greedy cover.
+    remaining: Vec<GifKey>,
+    frontier: Vec<GifKey>,
+    seen: BTreeSet<GifKey>,
+    /// The selected cover, in selection order.
+    cgs: Vec<GifKey>,
+    /// `(gif, unit)` pairs removed by the committed merge.
+    removals: Vec<(GifKey, UnitKey)>,
 }
 
 /// Finds the closest non-blacklisted partner of `g` against a frozen
 /// snapshot of the pool and pair cache (optimization 2 when the
 /// measure allows). A free function over shared references so
-/// [`shard_map`] workers can run it concurrently; because every worker
-/// sees the same snapshot — never another worker's fresh results — the
-/// outcome is independent of sharding, which is what makes parallel
-/// CRAM bit-identical to sequential.
+/// [`shard_map_scratch`] workers can run it concurrently; because every
+/// worker sees the same snapshot — never another worker's fresh results
+/// — the outcome is independent of sharding, which is what makes
+/// parallel CRAM bit-identical to sequential.
 ///
 /// Ties break to the lowest candidate key, matching the sequential
-/// scan order over the `BTreeMap` pool.
+/// scan order over the `BTreeMap` pool. Computed closenesses and the
+/// evaluation tally accumulate in `scratch` for the caller to merge.
+#[allow(clippy::too_many_arguments)]
 fn scan_partner(
     pool: &Pool,
     metric: &dyn Closeness,
@@ -457,21 +493,26 @@ fn scan_partner(
     blacklist: &BTreeSet<(GifKey, GifKey)>,
     cache: &PairCache<GifKey>,
     timer: &Histogram,
+    scratch: &mut ScanScratch,
     g: GifKey,
-) -> ScanOutcome {
-    // Time the scan only when telemetry is on — the clock read is the
-    // sole extra work, and it cannot influence the outcome.
-    let started = timer.is_enabled().then(Instant::now);
+) -> Option<(GifKey, f64)> {
+    // The timer guard reads the clock only when telemetry is on, and it
+    // cannot influence the outcome.
+    let timer = timer.start_timer();
     let g_profile = &pool.gifs[&g].profile;
-    let mut computed: Vec<(GifKey, f64)> = Vec::new();
-    let mut computations = 0u64;
+    let ScanScratch {
+        frontier,
+        visited,
+        computed,
+        computations,
+    } = scratch;
     let mut eval = |cand: GifKey, profile: &SubscriptionProfile| -> f64 {
         if let Some(c) = cache.get(g, cand) {
             return c;
         }
-        computations += 1;
+        *computations += 1;
         let c = metric.closeness(g_profile, profile);
-        computed.push((cand, c));
+        computed.push((g, cand, c));
         c
     };
     let mut best: Option<(GifKey, f64)> = None;
@@ -491,8 +532,9 @@ fn scan_partner(
     if poset_pruning && metric.supports_empty_pruning() {
         // BFS from the roots; prune empty subtrees and stop
         // descending once closeness decreases.
-        let mut frontier: Vec<(GifKey, f64)> = pool.poset.roots().map(|r| (r, 0.0)).collect();
-        let mut visited: BTreeSet<GifKey> = BTreeSet::new();
+        frontier.clear();
+        frontier.extend(pool.poset.roots().map(|r| (r, 0.0)));
+        visited.clear();
         let mut i = 0;
         while i < frontier.len() {
             let (n, parent_c) = frontier[i];
@@ -516,14 +558,8 @@ fn scan_partner(
             consider(cand, c);
         }
     }
-    if let Some(started) = started {
-        timer.record_duration(started.elapsed());
-    }
-    ScanOutcome {
-        partner: best,
-        computed,
-        computations,
-    }
+    timer.stop();
+    best
 }
 
 impl Engine<'_> {
@@ -582,35 +618,48 @@ impl Engine<'_> {
             self.threads
         };
         let timer = &self.scan_timer;
-        let outcomes = shard_map(&stale, threads, |&g| {
-            scan_partner(pool, metric, pruning, blacklist, cache, timer, g)
-        });
-        for (&g, out) in stale.iter().zip(outcomes) {
-            self.partners.insert(g, out.partner);
-            for (cand, c) in out.computed {
+        let (partners, scratches) =
+            shard_map_scratch(&stale, threads, ScanScratch::default, |scratch, &g| {
+                scan_partner(pool, metric, pruning, blacklist, cache, timer, scratch, g)
+            });
+        for (&g, partner) in stale.iter().zip(partners) {
+            self.partners.insert(g, partner);
+        }
+        // Merge computed closenesses in shard order. Shards are
+        // contiguous chunks of `stale`, so this observes exactly the
+        // stale-key order for any thread count — identical to the
+        // sequential path, including the cache's budget cutoff.
+        for scratch in scratches {
+            for (g, cand, c) in scratch.computed {
                 self.cache.insert(g, cand, c);
             }
-            self.stats.closeness_computations += out.computations;
+            self.stats.closeness_computations += scratch.computations;
         }
     }
 
     /// Sequential single-GIF variant of [`Engine::refresh_partners`],
     /// used by [`Engine::global_best`] to revalidate one stale entry.
+    /// Reuses the engine-owned scan scratch, so revalidation allocates
+    /// nothing in steady state.
     fn refresh_one(&mut self, g: GifKey) -> Option<(GifKey, f64)> {
-        let out = scan_partner(
+        let mut scratch = std::mem::take(&mut self.scan_scratch);
+        let partner = scan_partner(
             &self.pool,
             self.metric,
             self.poset_pruning,
             &self.blacklist,
             &self.cache,
             &self.scan_timer,
+            &mut scratch,
             g,
         );
-        for (cand, c) in out.computed {
+        for (g, cand, c) in scratch.computed.drain(..) {
             self.cache.insert(g, cand, c);
         }
-        self.stats.closeness_computations += out.computations;
-        out.partner
+        self.stats.closeness_computations += scratch.computations;
+        scratch.computations = 0;
+        self.scan_scratch = scratch;
+        partner
     }
 
     fn global_best(&mut self) -> Option<(GifKey, GifKey, f64)> {
@@ -665,12 +714,15 @@ impl Engine<'_> {
     /// the best rather than merely the last successful scheme preserves
     /// the paper's fallback guarantee while making CRAM never allocate
     /// more brokers than plain BIN PACKING.
-    fn test_and_record(&mut self, removed: &BTreeSet<UnitKey>, merged: &Unit) -> bool {
+    ///
+    /// `removed` must be sorted ascending (the callers reuse
+    /// [`Engine::removed_buf`] for it).
+    fn test_and_record(&mut self, removed: &[UnitKey], merged: &Unit) -> bool {
         let units: Vec<&Unit> = self
             .pool
             .units
             .iter()
-            .filter(|(k, _)| !removed.contains(k))
+            .filter(|(k, _)| removed.binary_search(k).is_err())
             .map(|(_, u)| u)
             .chain(std::iter::once(merged))
             .collect();
@@ -689,7 +741,7 @@ impl Engine<'_> {
     /// pair-closeness caches. Only GIFs merged away (deleted) lose
     /// their cache entries — a surviving GIF's profile is unchanged by
     /// losing a unit, so its cached closenesses remain exact.
-    fn commit(&mut self, removals: Vec<(GifKey, UnitKey)>, merged: Unit) {
+    fn commit(&mut self, removals: impl IntoIterator<Item = (GifKey, UnitKey)>, merged: Unit) {
         let mut touched: BTreeSet<GifKey> = BTreeSet::new();
         for (gk, uk) in removals {
             let (_unit, gif_deleted) = self.pool.remove_unit(gk, uk);
@@ -697,13 +749,13 @@ impl Engine<'_> {
                 self.partners.remove(&gk);
                 self.cache.invalidate(gk);
                 // Any GIF whose cached partner was gk must recompute.
-                let dependents: Vec<GifKey> = self
-                    .partners
-                    .iter()
-                    .filter(|(_, p)| matches!(p, Some((h, _)) if *h == gk))
-                    .map(|(&k, _)| k)
-                    .collect();
-                self.stale.extend(dependents);
+                // `partners` and `stale` are disjoint fields, so this
+                // marks them directly without collecting.
+                for (&k, p) in &self.partners {
+                    if matches!(p, Some((h, _)) if *h == gk) {
+                        self.stale.insert(k);
+                    }
+                }
             } else {
                 touched.insert(gk);
             }
@@ -753,9 +805,14 @@ impl Engine<'_> {
             it.fold(first, |acc, uk| acc.merge(&pool.units[uk]))
         };
         let feasible = |engine: &mut Self, k: usize| -> bool {
-            let removed: BTreeSet<UnitKey> = units[..k].iter().copied().collect();
+            let mut removed = std::mem::take(&mut engine.removed_buf);
+            removed.clear();
+            removed.extend(units[..k].iter().copied());
+            removed.sort_unstable();
             let m = merged_of(&engine.pool, k);
-            engine.test_and_record(&removed, &m)
+            let ok = engine.test_and_record(&removed, &m);
+            engine.removed_buf = removed;
+            ok
         };
         if !feasible(self, 2) {
             return false;
@@ -773,8 +830,7 @@ impl Engine<'_> {
         let k = lo;
         assert!(feasible(self, k));
         let merged = merged_of(&self.pool, k);
-        let removals: Vec<(GifKey, UnitKey)> = units[..k].iter().map(|&uk| (g, uk)).collect();
-        self.commit(removals, merged);
+        self.commit(units[..k].iter().map(|&uk| (g, uk)), merged);
         true
     }
 
@@ -792,10 +848,15 @@ impl Engine<'_> {
                 })
         };
         let feasible = |engine: &mut Self, m: usize| -> bool {
-            let mut removed: BTreeSet<UnitKey> = covered_units[..m].iter().copied().collect();
-            removed.insert(cover_unit);
+            let mut removed = std::mem::take(&mut engine.removed_buf);
+            removed.clear();
+            removed.extend(covered_units[..m].iter().copied());
+            removed.push(cover_unit);
+            removed.sort_unstable();
             let u = merged_of(&engine.pool, m);
-            engine.test_and_record(&removed, &u)
+            let ok = engine.test_and_record(&removed, &u);
+            engine.removed_buf = removed;
+            ok
         };
         if !feasible(self, 1) {
             return false;
@@ -812,10 +873,13 @@ impl Engine<'_> {
         let m = lo;
         assert!(feasible(self, m));
         let merged = merged_of(&self.pool, m);
-        let mut removals: Vec<(GifKey, UnitKey)> =
-            covered_units[..m].iter().map(|&uk| (covered, uk)).collect();
-        removals.push((cover, cover_unit));
-        self.commit(removals, merged);
+        self.commit(
+            covered_units[..m]
+                .iter()
+                .map(|&uk| (covered, uk))
+                .chain(std::iter::once((cover, cover_unit))),
+            merged,
+        );
         true
     }
 
@@ -824,29 +888,54 @@ impl Engine<'_> {
         let ug = self.pool.lightest(g);
         let uh = self.pool.lightest(h);
         let merged = self.pool.units[&ug].merge(&self.pool.units[&uh]);
-        let removed: BTreeSet<UnitKey> = [ug, uh].into_iter().collect();
-        if !self.test_and_record(&removed, &merged) {
+        let mut removed = std::mem::take(&mut self.removed_buf);
+        removed.clear();
+        removed.extend([ug, uh]);
+        removed.sort_unstable();
+        let ok = self.test_and_record(&removed, &merged);
+        self.removed_buf = removed;
+        if !ok {
             return false;
         }
-        self.commit(vec![(g, ug), (h, uh)], merged);
+        self.commit([(g, ug), (h, uh)], merged);
         true
     }
 
     /// Optimization 3: try clustering `g` with a greedy set-cover
     /// selection of its covered GIFs (the CGS), bounded by the load of
-    /// the original candidate pair `(g, h)`.
+    /// the original candidate pair `(g, h)`. A thin wrapper that swaps
+    /// the reusable CGS buffers in and out around the real work, so the
+    /// descent/cover/removal vectors are not reallocated per attempt.
     fn attempt_cgs(&mut self, g: GifKey, h: GifKey) -> bool {
-        // Covered GIFs = poset descendants of g.
-        let mut descendants: Vec<GifKey> = Vec::new();
-        let mut frontier: Vec<GifKey> = self.pool.poset.children(g).collect();
-        let mut seen: BTreeSet<GifKey> = BTreeSet::new();
+        let mut scratch = std::mem::take(&mut self.cgs_scratch);
+        let ok = self.attempt_cgs_with(g, h, &mut scratch);
+        self.cgs_scratch = scratch;
+        ok
+    }
+
+    fn attempt_cgs_with(&mut self, g: GifKey, h: GifKey, scratch: &mut CgsScratch) -> bool {
+        // Covered GIFs = poset descendants of g. `remaining` doubles as
+        // the descendant accumulator and the set-cover worklist.
+        let CgsScratch {
+            remaining,
+            frontier,
+            seen,
+            cgs,
+            removals,
+        } = scratch;
+        remaining.clear();
+        frontier.clear();
+        seen.clear();
+        cgs.clear();
+        removals.clear();
+        frontier.extend(self.pool.poset.children(g));
         while let Some(n) = frontier.pop() {
             if seen.insert(n) {
-                descendants.push(n);
+                remaining.push(n);
                 frontier.extend(self.pool.poset.children(n));
             }
         }
-        if descendants.is_empty() {
+        if remaining.is_empty() {
             return false;
         }
 
@@ -857,10 +946,10 @@ impl Engine<'_> {
         // Greedy set cover over the descendants' profiles: repeatedly
         // take the GIF contributing the most bits not already in the
         // CGS, until the next addition would exceed the pair's load.
-        let mut cgs: Vec<GifKey> = Vec::new();
+        // (`SubscriptionProfile::new` is an empty map + capacity — it
+        // does not allocate until bits are recorded into it.)
         let mut cgs_union = SubscriptionProfile::new();
         let mut total_bw = self.pool.units[&g_unit].out_bandwidth;
-        let mut remaining = descendants;
         loop {
             let mut best: Option<(usize, usize)> = None; // (new_bits, idx)
             for (i, &d) in remaining.iter().enumerate() {
@@ -900,18 +989,23 @@ impl Engine<'_> {
         }
 
         // Merge the parent's lightest unit with each CGS GIF's lightest.
-        let mut removals: Vec<(GifKey, UnitKey)> = vec![(g, g_unit)];
+        removals.push((g, g_unit));
         let mut merged = self.pool.units[&g_unit].clone();
-        for &d in &cgs {
+        for &d in cgs.iter() {
             let uk = self.pool.lightest(d);
             merged = merged.merge(&self.pool.units[&uk]);
             removals.push((d, uk));
         }
-        let removed: BTreeSet<UnitKey> = removals.iter().map(|(_, uk)| *uk).collect();
-        if !self.test_and_record(&removed, &merged) {
+        let mut removed = std::mem::take(&mut self.removed_buf);
+        removed.clear();
+        removed.extend(removals.iter().map(|(_, uk)| *uk));
+        removed.sort_unstable();
+        let ok = self.test_and_record(&removed, &merged);
+        self.removed_buf = removed;
+        if !ok {
             return false;
         }
-        self.commit(removals, merged);
+        self.commit(removals.drain(..), merged);
         true
     }
 }
@@ -1260,6 +1354,9 @@ mod tests {
             best: baseline,
             scan_timer: Histogram::noop(),
             events: EventSink::noop(),
+            scan_scratch: ScanScratch::default(),
+            removed_buf: Vec::new(),
+            cgs_scratch: CgsScratch::default(),
         };
         engine.stale.extend(engine.pool.gifs.keys().copied());
         engine

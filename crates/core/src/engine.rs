@@ -76,6 +76,61 @@ where
     })
 }
 
+/// Like [`shard_map`], but threads a per-worker scratch value through
+/// every call so item processing can reuse buffers instead of
+/// allocating per item.
+///
+/// `make_scratch` runs once per shard (once total on the sequential
+/// path); `f` receives the shard's scratch mutably alongside each item.
+/// Returns the per-item results in input order plus every scratch in
+/// shard order. Because shards are contiguous chunks, concatenating the
+/// scratches' accumulated state in shard order observes items in input
+/// order — callers that merge scratch contents deterministically get
+/// thread-count-independent results, same as [`shard_map`].
+pub fn shard_map_scratch<T, R, S, FS, F>(
+    items: &[T],
+    threads: usize,
+    make_scratch: FS,
+    f: F,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        let mut scratch = make_scratch();
+        let out = items.iter().map(|it| f(&mut scratch, it)).collect();
+        return (out, vec![scratch]);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let fref = &f;
+    let mref = &make_scratch;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| {
+                s.spawn(move || {
+                    let mut scratch = mref();
+                    let out: Vec<R> = shard.iter().map(|it| fref(&mut scratch, it)).collect();
+                    (out, scratch)
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        let mut scratches = Vec::with_capacity(handles.len());
+        for h in handles {
+            let (part, scratch) = h.join();
+            out.extend(part);
+            scratches.push(scratch);
+        }
+        (out, scratches)
+    })
+}
+
 /// A symmetric memo table of pair-closeness values.
 ///
 /// Entries are stored under both key orders so `invalidate(k)` can drop
@@ -233,6 +288,40 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(shard_map(&empty, 4, |x| *x).is_empty());
         assert_eq!(shard_map(&[9u32], 4, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn shard_map_scratch_matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [0usize, 1, 2, 3, 4, 7, 8, 64, 200] {
+            let (got, scratches) =
+                shard_map_scratch(&items, threads, Vec::new, |scratch: &mut Vec<u64>, x| {
+                    scratch.push(*x);
+                    x * 3
+                });
+            assert_eq!(got, expected, "threads={threads}");
+            // Concatenating scratches in shard order recovers input order.
+            let seen: Vec<u64> = scratches.into_iter().flatten().collect();
+            assert_eq!(seen, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_map_scratch_reuses_buffers_within_a_shard() {
+        let items: Vec<u32> = (0..8).collect();
+        let (calls, scratches) = shard_map_scratch(
+            &items,
+            1,
+            || 0u32,
+            |scratch: &mut u32, _| {
+                *scratch += 1;
+                *scratch
+            },
+        );
+        // One scratch on the sequential path, incremented once per item.
+        assert_eq!(scratches, vec![8]);
+        assert_eq!(calls, (1..=8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -15,6 +15,15 @@ use std::hash::{Hash, Hasher};
 
 const WORD_BITS: usize = 64;
 
+/// Narrows an in-window id offset to an index. Every caller guards the
+/// offset against the window span first, so the value always fits; the
+/// saturating fallback means a (32-bit-target) overflow would hit the
+/// subsequent bounds check instead of silently truncating. On 64-bit
+/// targets this compiles to a no-op.
+fn idx(offset: u64) -> usize {
+    usize::try_from(offset).unwrap_or(usize::MAX)
+}
+
 /// Default bit vector capacity from the paper.
 pub const DEFAULT_CAPACITY: usize = 1_280;
 
@@ -105,17 +114,17 @@ impl ShiftingBitVector {
             let shift = id - self.window_end() + 1;
             self.shift_forward(shift);
         }
-        self.set_index((id - self.first_id) as usize);
+        self.set_index(idx(id - self.first_id));
         true
     }
 
     /// Shifts the window forward by `shift` ids, discarding the oldest
     /// bits (the paper's left-shift when the first bit is the MSB).
     pub fn shift_forward(&mut self, shift: u64) {
-        if shift as usize >= self.capacity {
+        if shift >= self.capacity as u64 {
             self.words.iter_mut().for_each(|w| *w = 0);
         } else {
-            let shift = shift as usize;
+            let shift = idx(shift);
             let word_off = shift / WORD_BITS;
             let bit_off = shift % WORD_BITS;
             let n = self.words.len();
@@ -146,7 +155,7 @@ impl ShiftingBitVector {
         if id < self.first_id || id >= self.window_end() {
             return false;
         }
-        let i = (id - self.first_id) as usize;
+        let i = idx(id - self.first_id);
         self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
     }
 
@@ -201,11 +210,9 @@ impl ShiftingBitVector {
             }
         } else {
             let (lo, hi_end) = combined_window(self, other);
-            let words = ((hi_end - lo) as usize).div_ceil(WORD_BITS);
-            let a = self.aligned_words(lo, words);
-            let b = other.aligned_words(lo, words);
-            for (&x, &y) in a.iter().zip(&b) {
-                accum(x, y);
+            let words = idx(hi_end - lo).div_ceil(WORD_BITS);
+            for i in 0..words {
+                accum(self.window_word(lo, i), other.window_word(lo, i));
             }
         }
         out
@@ -240,12 +247,9 @@ impl ShiftingBitVector {
             count
         } else {
             let (lo, hi_end) = combined_window(self, other);
-            let words = ((hi_end - lo) as usize).div_ceil(WORD_BITS);
-            let a = self.aligned_words(lo, words);
-            let b = other.aligned_words(lo, words);
-            a.iter()
-                .zip(&b)
-                .map(|(&x, &y)| f(x, y).count_ones() as usize)
+            let words = idx(hi_end - lo).div_ceil(WORD_BITS);
+            (0..words)
+                .map(|i| f(self.window_word(lo, i), other.window_word(lo, i)).count_ones() as usize)
                 .sum()
         }
     }
@@ -260,14 +264,38 @@ impl ShiftingBitVector {
         self.xor_count(other) == 0
     }
 
+    /// Word `i` of this vector's bits re-aligned to a window starting
+    /// at `first`, which must not exceed `first_id`; bits outside this
+    /// vector's own window read as zero.
+    ///
+    /// This is the streaming counterpart of [`Self::aligned_words`] for
+    /// the read-only set operations: misaligned popcount scans shift
+    /// words on the fly instead of materializing a realigned copy, so
+    /// the closeness kernels never allocate.
+    fn window_word(&self, first: u64, i: usize) -> u64 {
+        debug_assert!(first <= self.first_id);
+        let delta = idx(self.first_id - first);
+        let (wo, bo) = (delta / WORD_BITS, delta % WORD_BITS);
+        let word =
+            |j: Option<usize>| -> u64 { j.and_then(|j| self.words.get(j).copied()).unwrap_or(0) };
+        let lo = word(i.checked_sub(wo));
+        if bo == 0 {
+            lo
+        } else {
+            let hi = word(i.checked_sub(wo + 1));
+            (lo << bo) | (hi >> (WORD_BITS - bo))
+        }
+    }
+
     /// Materializes this vector's bits inside an arbitrary window
     /// `[first, first + words*64)`; bits outside this vector's own
-    /// window read as zero.
+    /// window read as zero. Only the merge path ([`Self::or_assign`])
+    /// uses this — reads go through [`Self::window_word`].
     fn aligned_words(&self, first: u64, words: usize) -> Vec<u64> {
         let mut out = vec![0u64; words];
         for id in self.iter_ids() {
             if id >= first {
-                let i = (id - first) as usize;
+                let i = idx(id - first);
                 if i < words * WORD_BITS {
                     out[i / WORD_BITS] |= 1 << (i % WORD_BITS);
                 }
@@ -608,6 +636,12 @@ mod tests {
                 b.record(first_b + rng.gen_range(0..cap as u64));
             }
             let c = a.pair_cardinalities(&b);
+            // Ground truth from the id sets, independent of the
+            // word-level streaming paths.
+            let sa: BTreeSet<u64> = a.iter_ids().collect();
+            let sb: BTreeSet<u64> = b.iter_ids().collect();
+            assert_eq!(c.and, sa.intersection(&sb).count());
+            assert_eq!(c.or, sa.union(&sb).count());
             assert_eq!(c.and, a.and_count(&b));
             assert_eq!(c.or, a.or_count(&b));
             assert_eq!(c.xor(), a.xor_count(&b));

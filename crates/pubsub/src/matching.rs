@@ -227,7 +227,10 @@ impl Matcher for CountingMatcher {
 pub struct BucketMatcher {
     filters: BTreeMap<SubId, Filter>,
     dirty: bool,
-    buckets: BTreeMap<(String, String), Vec<SubId>>,
+    /// attribute → value → subscriptions bucketed under that equality
+    /// pair. Nested (rather than keyed by tuple) so the match path can
+    /// look buckets up by `&str` without allocating key strings.
+    buckets: BTreeMap<String, BTreeMap<String, Vec<SubId>>>,
     scan: Vec<SubId>,
 }
 
@@ -235,6 +238,18 @@ impl BucketMatcher {
     /// Creates an empty matcher.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Canonical bucket key of a value: strings unquoted (so the match
+    /// path can look them up by `&str`), everything else via `Display`.
+    /// A numeric key colliding with an equal-looking string key only
+    /// costs a wasted filter evaluation — candidates are verified with
+    /// the full filter before they match.
+    fn bucket_key(v: &crate::value::Value) -> String {
+        match v.as_str() {
+            Some(s) => s.to_string(),
+            None => v.to_string(),
+        }
     }
 
     fn rebuild(&mut self) {
@@ -246,7 +261,7 @@ impl BucketMatcher {
             for p in f.predicates() {
                 if p.op == crate::predicate::Op::Eq {
                     *freq
-                        .entry((p.attr.clone(), p.value.to_string()))
+                        .entry((p.attr.clone(), Self::bucket_key(&p.value)))
                         .or_insert(0) += 1;
                 }
             }
@@ -257,15 +272,23 @@ impl BucketMatcher {
                 .predicates()
                 .iter()
                 .filter(|p| p.op == crate::predicate::Op::Eq)
-                .map(|p| (p.attr.clone(), p.value.to_string()))
+                .map(|p| (p.attr.clone(), Self::bucket_key(&p.value)))
                 .min_by_key(|k| freq.get(k).copied().unwrap_or(0));
             match key {
-                Some(k) => self.buckets.entry(k).or_default().push(id),
+                Some((attr, value)) => self
+                    .buckets
+                    .entry(attr)
+                    .or_default()
+                    .entry(value)
+                    .or_default()
+                    .push(id),
                 None => self.scan.push(id),
             }
         }
-        for b in self.buckets.values_mut() {
-            b.sort_unstable();
+        for by_value in self.buckets.values_mut() {
+            for b in by_value.values_mut() {
+                b.sort_unstable();
+            }
         }
         self.scan.sort_unstable();
         self.dirty = false;
@@ -276,7 +299,7 @@ impl BucketMatcher {
         if self.dirty {
             self.rebuild();
         }
-        self.buckets.len()
+        self.buckets.values().map(|m| m.len()).sum()
     }
 }
 
@@ -303,31 +326,10 @@ impl Matcher for BucketMatcher {
             fresh.rebuild();
             return fresh.matches(publication);
         }
+        // An owned-result convenience over `matches_into`; hot callers
+        // reuse a buffer through that entry point instead.
         let mut out: Vec<SubId> = Vec::new();
-        for (attr, value) in publication.iter() {
-            if let Some(bucket) = self.buckets.get(&(attr.to_string(), value.to_string())) {
-                for &id in bucket {
-                    if self
-                        .filters
-                        .get(&id)
-                        .is_some_and(|f| f.matches(publication))
-                    {
-                        out.push(id);
-                    }
-                }
-            }
-        }
-        for &id in &self.scan {
-            if self
-                .filters
-                .get(&id)
-                .is_some_and(|f| f.matches(publication))
-            {
-                out.push(id);
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
+        self.matches_into(publication, &mut out);
         out
     }
 
@@ -345,6 +347,49 @@ impl BucketMatcher {
             self.rebuild();
         }
         self.matches(publication)
+    }
+
+    /// Appends the matching subscription ids to `out` (cleared first),
+    /// sorted and deduplicated. The allocation-free match path: bucket
+    /// lookups borrow the publication's attribute and value strings,
+    /// and callers reuse `out` across publications.
+    ///
+    /// The index must be fresh (see [`BucketMatcher::ensure_built`]);
+    /// a stale index matches against the last built state.
+    pub fn matches_into(&self, publication: &Publication, out: &mut Vec<SubId>) {
+        out.clear();
+        for (attr, value) in publication.iter() {
+            let Some(by_value) = self.buckets.get(attr) else {
+                continue;
+            };
+            let bucket = match value.as_str() {
+                Some(s) => by_value.get(s),
+                // Numeric/bool equality buckets are rare (the stock
+                // workload buckets on strings); rendering the value is
+                // the one allocation left on the match path.
+                None => by_value.get(value.to_string().as_str()),
+            };
+            for &id in bucket.into_iter().flatten() {
+                if self
+                    .filters
+                    .get(&id)
+                    .is_some_and(|f| f.matches(publication))
+                {
+                    out.push(id);
+                }
+            }
+        }
+        for &id in &self.scan {
+            if self
+                .filters
+                .get(&id)
+                .is_some_and(|f| f.matches(publication))
+            {
+                out.push(id);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Rebuilds the index now if stale (call after a subscribe burst so

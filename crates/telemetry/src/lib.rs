@@ -61,7 +61,7 @@ pub mod span;
 
 pub use export::{CsvExporter, JsonExporter};
 pub use local::{BucketHistogram, Summary};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramTimer};
 pub use registry::{Registry, Snapshot};
 pub use ring::{Event, EventSink, RingSnapshot, DEFAULT_RING_CAPACITY};
 pub use span::{Span, SpanNode, SpanStat};

@@ -73,6 +73,15 @@ impl Gauge {
         }
     }
 
+    /// Sets the gauge to `v` rounded to the nearest integer.
+    ///
+    /// This is the one blessed float→integer conversion for metric
+    /// readings: `as` saturates (NaN → 0, out-of-range clamps), so any
+    /// finite or non-finite reading maps to a representable gauge value.
+    pub fn set_f64(&self, v: f64) {
+        self.set(v.round() as u64);
+    }
+
     /// Raises the gauge to `v` if `v` is larger (high-water mark).
     pub fn observe_max(&self, v: u64) {
         if let Some(cell) = &self.0 {
@@ -194,11 +203,48 @@ impl Histogram {
         self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
     }
 
+    /// Starts a wall-clock timer gated on this histogram being enabled.
+    ///
+    /// Disabled histograms never read the clock, so deterministic code
+    /// can time itself without mentioning `Instant` directly: the only
+    /// wall-clock read lives here, behind the registry's enabled state.
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            started: self.is_enabled().then(std::time::Instant::now),
+            hist: self.clone(),
+        }
+    }
+
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
         self.0
             .as_ref()
             .map_or(0, |core| core.count.load(Ordering::Relaxed))
+    }
+}
+
+/// A running wall-clock timer from [`Histogram::start_timer`].
+///
+/// Holds `None` when the histogram is disabled, in which case both the
+/// start and the stop are free of clock reads.
+#[derive(Debug)]
+pub struct HistogramTimer {
+    hist: Histogram,
+    started: Option<std::time::Instant>,
+}
+
+impl HistogramTimer {
+    /// Stops the timer, recording the elapsed wall time in microseconds
+    /// (a no-op for disabled histograms).
+    pub fn stop(self) {
+        if let Some(started) = self.started {
+            self.hist.record_duration(started.elapsed());
+        }
+    }
+
+    /// True when a clock was actually started.
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
     }
 }
 
@@ -292,6 +338,34 @@ mod tests {
         assert_eq!(bucket_index(1024), 11);
         assert_eq!(bucket_bound(10), 1023);
         assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_set_f64_rounds_and_saturates() {
+        let g = Gauge(Some(Arc::new(AtomicU64::new(0))));
+        g.set_f64(41.6);
+        assert_eq!(g.get(), 42);
+        g.set_f64(-3.0);
+        assert_eq!(g.get(), 0);
+        g.set_f64(f64::NAN);
+        assert_eq!(g.get(), 0);
+        g.set_f64(f64::INFINITY);
+        assert_eq!(g.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_timer_records_only_when_enabled() {
+        let h = Histogram::noop();
+        let t = h.start_timer();
+        assert!(!t.is_running());
+        t.stop();
+        assert_eq!(h.count(), 0);
+
+        let h = Histogram(Some(Arc::new(HistogramCore::new())));
+        let t = h.start_timer();
+        assert!(t.is_running());
+        t.stop();
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl StockSeries {
     /// The quote for the publication with message id `msg` (the series
     /// replays cyclically like the paper's trace).
     pub fn quote(&self, msg: MsgId) -> &DailyQuote {
-        &self.days[(msg.raw() as usize) % self.days.len()]
+        // Reduce modulo the series length in `u64` first: the remainder
+        // always fits `usize`, unlike the raw message id on 32-bit.
+        let idx = usize::try_from(msg.raw() % self.days.len() as u64).unwrap_or(0);
+        &self.days[idx]
     }
 
     /// Builds the full publication for one message id.

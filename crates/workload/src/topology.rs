@@ -177,7 +177,15 @@ pub fn from_allocation(scenario: &Scenario, alloc: &Allocation, seed: u64) -> Pl
     let mut subscriber_homes = vec![brokers[0].id; scenario.sub_count()];
     for load in &alloc.loads {
         for sub in load.sub_ids() {
-            subscriber_homes[sub.raw() as usize] = load.broker;
+            // Sub ids are dense indices into the scenario's
+            // subscription list; a checked conversion plus `get_mut`
+            // quietly skips any id outside it.
+            let slot = usize::try_from(sub.raw())
+                .ok()
+                .and_then(|i| subscriber_homes.get_mut(i));
+            if let Some(home) = slot {
+                *home = load.broker;
+            }
         }
     }
     Placement {
