@@ -34,6 +34,9 @@ fn bench_record(c: &mut Criterion) {
     });
 }
 
+// The deprecated single-op counts are benchmarked on purpose: they are
+// the baseline the fused `pair_cardinalities` kernel is judged against.
+#[allow(deprecated)]
 fn bench_set_ops(c: &mut Criterion) {
     let a = filled(1280, 2);
     let b_aligned = filled(1280, 3);

@@ -8,8 +8,9 @@
 //! `--quick` shrinks the grids so the whole suite finishes in a couple
 //! of minutes; the default parameters follow the paper (80 brokers, 40
 //! publishers at 70 msg/min, 2,000–8,000 subscriptions, heterogeneous
-//! tiers, SciNet scales). `bench-report` times sequential vs parallel
-//! CRAM and writes `BENCH_cram.json`. `--telemetry <path>` traces every
+//! tiers, SciNet scales). `bench-report` times the per-profile reference
+//! closeness engine against the tuned arena/tiled one and writes
+//! `BENCH_cram.json`. `--telemetry <path>` traces every
 //! run into a `greenps-telemetry` registry (phase spans, CRAM counters,
 //! pair-cache hit rates, per-broker delivery-delay histograms) and
 //! writes the whole-run snapshot as JSON at exit.
@@ -118,7 +119,7 @@ fn main() {
                      e8      CRAM search-pruning ablation, poset timing\n\
                      e9      one-to-many + overlay optimization ablations\n\
                      e10     bit-vector load-estimation accuracy\n\
-                     bench-report  sequential vs parallel CRAM -> BENCH_cram.json\n\
+                     bench-report  reference vs tuned CRAM -> BENCH_cram.json\n\
                      pipeline-smoke  interrupt + resume a run -> pipeline_checkpoint.json"
                 );
                 return;
@@ -701,14 +702,18 @@ fn pipeline_smoke(opts: &Opts) {
     );
 }
 
-/// `bench-report`: sequential vs parallel CRAM-INTERSECT wall time at
-/// increasing subscription counts, with the bit-identity check. Writes
-/// `BENCH_cram.json` (into `--csv <dir>` when given, else the cwd).
+/// `bench-report`: reference vs tuned (arena layout, tiled pruning,
+/// threaded) CRAM-INTERSECT wall time at increasing subscription
+/// counts, with the bit-identity check. Writes `BENCH_cram.json` (into
+/// `--csv <dir>` when given, else the cwd).
 fn bench_report(opts: &Opts) {
+    // The 100k row is the scale canary: it rides along even in quick
+    // mode so CI's bench-smoke artifact catches regressions at scale
+    // (GIF grouping keeps the pool small enough for this to be cheap).
     let sizes: &[usize] = if opts.quick {
-        &[300, 600]
+        &[300, 600, 100_000]
     } else {
-        &[1000, 4000, 16000]
+        &[1000, 4000, 16_000, 100_000]
     };
     // At least 4 workers so the report always exercises the sharded
     // path; on a machine with fewer cores the parallel timing degrades

@@ -88,16 +88,29 @@ pub fn check_input(input: &AllocationInput) {
     let _ = SubId::new(0);
 }
 
-/// Runs sequential vs parallel CRAM-INTERSECT at each subscription
-/// count and renders the `BENCH_cram.json` report body. The key
-/// vocabulary of the emitted JSON is declared as `benchkey` entries in
+/// Runs the reference closeness engine (per-profile layout, no tiling,
+/// one thread — the bit-exact baseline) against the tuned engine
+/// (contiguous arena layout, tiled pair evaluation, `threads` workers)
+/// for CRAM-INTERSECT at each subscription count and renders the
+/// `BENCH_cram.json` report body. The key vocabulary of the emitted
+/// JSON is declared as `benchkey` entries in
 /// `analysis/telemetry-schema.txt` and checked by
 /// `tests/experiments_smoke.rs` — keep the three in sync.
 ///
+/// `sequential_ms` times the reference engine; `parallel_ms` times the
+/// tuned one. `effective_threads` reports how many workers the tuned
+/// run could actually use on this machine (`available_parallelism`
+/// caps the request — a single-core box runs the tuned engine's layout
+/// and tiling wins, but no thread-level ones).
+///
 /// # Panics
-/// Panics when CRAM fails on a generated scenario or the parallel run
-/// is not bit-identical to the sequential one.
+/// Panics when CRAM fails on a generated scenario or the tuned run is
+/// not bit-identical to the reference (allocation and every stat except
+/// `closeness_computations`, which tiling may only lower).
 pub fn bench_report_json(sizes: &[usize], threads: usize, quick: bool) -> String {
+    use greenps_core::cram::{Layout, DEFAULT_TILE};
+    let available = greenps_core::engine::available_threads();
+    let effective_threads = threads.max(1).min(available);
     let mut runs = Vec::new();
     for &n in sizes {
         // Larger clusters keep the bin-packing feasibility baseline
@@ -109,43 +122,66 @@ pub fn bench_report_json(sizes: &[usize], threads: usize, quick: bool) -> String
             .build();
         let input = ideal_input(&scenario);
         let t0 = Instant::now();
-        let (seq_alloc, seq_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+        let (ref_alloc, ref_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .layout(Layout::PerProfile)
+            .tile(0)
             .run(&input)
-            .expect("sequential CRAM");
+            .expect("reference CRAM");
         let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t0 = Instant::now();
-        let (par_alloc, par_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+        let (tuned_alloc, tuned_stats) = CramBuilder::new(ClosenessMetric::Intersect)
+            .layout(Layout::Arena { stride: 0 })
+            .tile(DEFAULT_TILE)
             .threads(threads)
             .run(&input)
-            .expect("parallel CRAM");
+            .expect("tuned CRAM");
         let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
         assert_eq!(
-            seq_alloc, par_alloc,
-            "parallel CRAM must produce a bit-identical allocation"
+            ref_alloc, tuned_alloc,
+            "tuned CRAM must produce a bit-identical allocation"
         );
-        assert_eq!(seq_stats, par_stats, "parallel CRAM stats must match");
+        assert!(
+            tuned_stats.closeness_computations <= ref_stats.closeness_computations,
+            "tiling may only lower closeness computations: {} vs {}",
+            tuned_stats.closeness_computations,
+            ref_stats.closeness_computations
+        );
+        let mut normalized = tuned_stats;
+        normalized.closeness_computations = ref_stats.closeness_computations;
+        assert_eq!(
+            normalized, ref_stats,
+            "tuned CRAM stats must match outside tile pruning"
+        );
         let speedup = sequential_ms / parallel_ms.max(1e-9);
+        let reduction = 100.0
+            * (ref_stats.closeness_computations - tuned_stats.closeness_computations) as f64
+            / (ref_stats.closeness_computations as f64).max(1.0);
         println!(
-            "bench-report: {n} subs / {} brokers -> sequential {sequential_ms:.1} ms, \
-             parallel(x{threads}) {parallel_ms:.1} ms ({speedup:.2}x), identical allocation",
+            "bench-report: {n} subs / {} brokers -> reference {sequential_ms:.1} ms, \
+             tuned(arena, tile {DEFAULT_TILE}, x{effective_threads}) {parallel_ms:.1} ms \
+             ({speedup:.2}x, {reduction:.1}% fewer closeness computations), identical allocation",
             scenario.brokers.len()
         );
         runs.push(format!(
             "    {{\"subscriptions\": {n}, \"brokers\": {}, \"threads\": {threads}, \
-             \"sequential_ms\": {sequential_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
-             \"speedup\": {speedup:.3}, \"allocated_brokers\": {}, \"merges\": {}, \
-             \"closeness_computations\": {}, \"identical\": true}}",
+             \"effective_threads\": {effective_threads}, \"layout\": \"arena\", \
+             \"tile\": {DEFAULT_TILE}, \"sequential_ms\": {sequential_ms:.3}, \
+             \"parallel_ms\": {parallel_ms:.3}, \"speedup\": {speedup:.3}, \
+             \"allocated_brokers\": {}, \"merges\": {}, \
+             \"closeness_computations\": {}, \"reference_computations\": {}, \
+             \"reduction\": {reduction:.3}, \"identical\": true}}",
             scenario.brokers.len(),
-            seq_alloc.broker_count(),
-            seq_stats.merges,
-            seq_stats.closeness_computations,
+            ref_alloc.broker_count(),
+            ref_stats.merges,
+            tuned_stats.closeness_computations,
+            ref_stats.closeness_computations,
         ));
     }
     format!(
         "{{\n  \"metric\": \"INTERSECT\",\n  \"quick\": {},\n  \
          \"available_parallelism\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
         quick,
-        greenps_core::engine::available_threads(),
+        available,
         runs.join(",\n")
     )
 }

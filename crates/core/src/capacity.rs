@@ -15,8 +15,9 @@
 //! place units through it.
 
 use crate::model::{AllocError, Allocation, BrokerLoad, BrokerSpec, Unit};
-use greenps_profile::{PublisherTable, SubscriptionProfile};
-use greenps_pubsub::ids::BrokerId;
+use greenps_profile::{PublisherTable, ShiftingBitVector, SubscriptionProfile};
+use greenps_pubsub::ids::{AdvId, BrokerId};
+use std::sync::Arc;
 
 /// Running placement state of one broker during packing.
 #[derive(Debug, Clone)]
@@ -273,6 +274,271 @@ impl<'u> RefPacker<'u> {
     }
 }
 
+/// One per-publisher union window of one broker, reused across packs.
+///
+/// A slot is live for the current pack iff its `epoch` matches the
+/// packer's; stale slots are logically empty, so resetting all broker
+/// unions between packs is a single counter bump instead of a walk.
+#[derive(Debug)]
+struct FastSlot {
+    epoch: u64,
+    vec: ShiftingBitVector,
+    /// Cached popcount of `vec` — the `old` side of the rate-delta
+    /// fraction, saving one full word pass per placement probe.
+    ones: usize,
+}
+
+/// Per-broker running state of the current [`FastPacker`] pack.
+#[derive(Debug)]
+struct FastBroker {
+    spec: BrokerSpec,
+    out_used: f64,
+    in_rate: f64,
+    subs: usize,
+    /// Units placed on this broker, in placement order — the recipe a
+    /// best-so-far allocation is later materialized from.
+    picks: Vec<Arc<Unit>>,
+}
+
+/// The persistent allocation-test packer behind CRAM's arena engine.
+///
+/// [`RefPacker`] rebuilds its broker states — and re-walks every union
+/// profile with two popcount passes per probe — on each of the
+/// thousands of feasibility tests a CRAM run performs. `FastPacker` is
+/// constructed **once** per run and reset per pack by bumping an epoch
+/// counter; per-(broker, publisher) union windows live in reusable
+/// [`FastSlot`]s with cached popcounts, so a placement probe costs one
+/// streaming [`ShiftingBitVector::pair_cardinalities`] pass instead of
+/// a `count_ones` walk plus an `or_count` walk.
+///
+/// The acceptance decisions are bit-identical to
+/// [`RefPacker::pack_sorted`] over the same unit order: the broker
+/// order replicates `RefPacker::new`'s sort, and the rate check
+/// reproduces `SubscriptionProfile::estimate_rate_delta`'s exact f64
+/// operation sequence (same fraction arguments, same accumulation
+/// order). Publishers absent from the table are skipped entirely — the
+/// reference delta never reads them, so they cannot influence any
+/// accept/reject decision.
+#[derive(Debug)]
+pub(crate) struct FastPacker {
+    brokers: Vec<FastBroker>,
+    /// Publisher advertisement ids, ascending (the slot column index).
+    advs: Vec<AdvId>,
+    /// Publication rate per publisher, parallel to `advs`.
+    rates: Vec<f64>,
+    /// Raw `last_msg_id` per publisher, parallel to `advs`.
+    last_msgs: Vec<u64>,
+    /// Dense broker-major `(broker, publisher)` union slots.
+    slots: Vec<FastSlot>,
+    epoch: u64,
+    /// Scratch: `(slot index, |union|)` for the most recent probe's
+    /// shared-publisher legs, so acceptance reuses the probe's popcount.
+    or_scratch: Vec<(usize, usize)>,
+}
+
+/// The unit order [`RefPacker::pack_sorted`] packs in: output bandwidth
+/// descending, subscription list ascending as the tiebreak. Over any
+/// live CRAM pool plus one trial merged unit the subscription lists are
+/// pairwise disjoint and non-empty, so this is a strict total order —
+/// which is what lets the engine maintain one sorted unit list
+/// incrementally instead of re-sorting per test.
+pub(crate) fn pack_order(a: &Unit, b: &Unit) -> std::cmp::Ordering {
+    b.out_bandwidth
+        .total_cmp(&a.out_bandwidth)
+        .then_with(|| a.subs.cmp(&b.subs))
+}
+
+impl FastPacker {
+    /// Builds the persistent packer: brokers sorted exactly as
+    /// [`RefPacker::new`] sorts them, one slot per (broker, publisher).
+    pub(crate) fn new(brokers: &[BrokerSpec], publishers: &PublisherTable) -> Self {
+        let mut specs: Vec<BrokerSpec> = brokers.to_vec();
+        specs.sort_by(|a, b| {
+            b.out_bandwidth
+                .partial_cmp(&a.out_bandwidth)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        let advs: Vec<AdvId> = publishers.iter().map(|p| p.adv_id).collect();
+        let rates: Vec<f64> = publishers.iter().map(|p| p.rate).collect();
+        let last_msgs: Vec<u64> = publishers.iter().map(|p| p.last_msg_id.raw()).collect();
+        let slots = (0..specs.len() * advs.len())
+            .map(|_| FastSlot {
+                epoch: 0,
+                vec: ShiftingBitVector::new(1),
+                ones: 0,
+            })
+            .collect();
+        Self {
+            brokers: specs
+                .into_iter()
+                .map(|spec| FastBroker {
+                    spec,
+                    out_used: 0.0,
+                    in_rate: 0.0,
+                    subs: 0,
+                    picks: Vec::new(),
+                })
+                .collect(),
+            advs,
+            rates,
+            last_msgs,
+            slots,
+            epoch: 0,
+
+            or_scratch: Vec::new(),
+        }
+    }
+
+    /// Packs units (already in [`pack_order`]) onto the brokers,
+    /// resetting all per-pack state via the epoch bump. Decision-
+    /// identical to [`RefPacker::pack_sorted`] over the same order.
+    ///
+    /// # Errors
+    /// Fails with the subscriptions of the first unplaceable unit, or
+    /// [`AllocError::NoBrokers`] when units exist but the pool is empty.
+    pub(crate) fn pack<'x>(
+        &mut self,
+        units: impl Iterator<Item = &'x Arc<Unit>>,
+    ) -> Result<(), AllocError> {
+        self.epoch += 1;
+        let n_advs = self.advs.len();
+        for st in &mut self.brokers {
+            st.out_used = 0.0;
+            st.in_rate = 0.0;
+            st.subs = 0;
+            st.picks.clear();
+        }
+        let mut units = units;
+        if self.brokers.is_empty() {
+            return match units.next() {
+                None => Ok(()),
+                Some(_) => Err(AllocError::NoBrokers),
+            };
+        }
+        'units: for unit in units {
+            for (b, st) in self.brokers.iter_mut().enumerate() {
+                // Cheap bandwidth check first — the dominant rejection.
+                if st.out_used + unit.out_bandwidth >= st.spec.out_bandwidth {
+                    continue;
+                }
+                // Incremental rate check replicating the reference
+                // `estimate_rate_delta` f64 sequence, with the union's
+                // cached popcount standing in for its `count_ones` walk.
+                self.or_scratch.clear();
+                let mut delta = 0.0;
+                for (adv, o) in unit.profile.iter() {
+                    let Ok(ai) = self.advs.binary_search(&adv) else {
+                        continue;
+                    };
+                    let (rate, last) = match (self.rates.get(ai), self.last_msgs.get(ai)) {
+                        (Some(r), Some(l)) => (*r, *l),
+                        _ => continue,
+                    };
+                    let ones_new = o.count_ones();
+                    if ones_new == 0 {
+                        continue;
+                    }
+                    let fraction = |ones: usize, first: u64, cap: usize| -> f64 {
+                        if ones == 0 {
+                            return 0.0;
+                        }
+                        let observed = last
+                            .saturating_sub(first)
+                            .saturating_add(1)
+                            .min(cap as u64)
+                            .max(ones as u64);
+                        ones as f64 / observed as f64
+                    };
+                    let si = b * n_advs + ai;
+                    match self.slots.get(si).filter(|s| s.epoch == self.epoch) {
+                        Some(s) => {
+                            let old = fraction(s.ones, s.vec.first_id(), s.vec.capacity());
+                            let c = s.vec.pair_cardinalities(o);
+                            let new = fraction(
+                                c.or,
+                                s.vec.first_id().min(o.first_id()),
+                                s.vec.capacity().max(o.capacity()),
+                            );
+                            self.or_scratch.push((si, c.or));
+                            delta += (new - old) * rate;
+                        }
+                        None => {
+                            delta += fraction(ones_new, o.first_id(), o.capacity()) * rate;
+                        }
+                    }
+                }
+                let in_rate = st.in_rate + delta;
+                let max_rate = st.spec.matching_delay.max_rate(st.subs + unit.sub_count());
+                if in_rate > max_rate {
+                    continue;
+                }
+                // Accept: fold every publisher-backed window of the
+                // unit into its slot (including empty windows — their
+                // placement can widen a union window, which the
+                // reference path's `or_assign` also does).
+                for (adv, o) in unit.profile.iter() {
+                    let Ok(ai) = self.advs.binary_search(&adv) else {
+                        continue;
+                    };
+                    let si = b * n_advs + ai;
+                    let Some(s) = self.slots.get_mut(si) else {
+                        continue;
+                    };
+                    if s.epoch == self.epoch {
+                        let lo = s.vec.first_id().min(o.first_id());
+                        let hi_end = s.vec.window_end().max(o.window_end());
+                        let truncated = hi_end - lo > s.vec.capacity() as u64;
+                        s.vec.or_assign(o);
+                        let cached = self
+                            .or_scratch
+                            .iter()
+                            .find(|(i, _)| *i == si)
+                            .map(|(_, or)| *or);
+                        s.ones = match (truncated, cached) {
+                            (false, Some(or)) => or,
+                            _ => s.vec.count_ones(),
+                        };
+                    } else {
+                        s.vec.copy_from(o);
+                        s.ones = s.vec.count_ones();
+                        s.epoch = self.epoch;
+                    }
+                }
+                st.in_rate = in_rate;
+                st.out_used += unit.out_bandwidth;
+                st.subs += unit.sub_count();
+                st.picks.push(Arc::clone(unit));
+                continue 'units;
+            }
+            return Err(AllocError::Infeasible {
+                subs: unit.subs.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of brokers that received at least one unit in the most
+    /// recent pack.
+    pub(crate) fn used_brokers(&self) -> usize {
+        self.brokers.iter().filter(|s| !s.picks.is_empty()).count()
+    }
+
+    /// Moves the most recent pack's per-broker placements (placement
+    /// order preserved) into `out`, reusing its spine. Materializing an
+    /// [`Allocation`] from this recipe — replaying the profile unions
+    /// and bandwidth sums per broker — reproduces
+    /// [`RefPacker::into_allocation`] bit-for-bit.
+    pub(crate) fn drain_picks_into(&mut self, out: &mut Vec<(BrokerId, Vec<Arc<Unit>>)>) {
+        out.clear();
+        for st in &mut self.brokers {
+            if !st.picks.is_empty() {
+                out.push((st.spec.id, std::mem::take(&mut st.picks)));
+            }
+        }
+    }
+}
+
 /// Runs a complete packing pass: places every unit in the given order.
 ///
 /// # Errors
@@ -442,6 +708,177 @@ mod tests {
             packer.place(unit(1, &[0], &pubs)),
             Err(AllocError::NoBrokers)
         );
+    }
+
+    /// Builds a unit with explicit per-publisher windows:
+    /// `(adv, first_id, ids)` legs.
+    fn multi_unit(sub: u64, legs: &[(u64, u64, Vec<u64>)], pubs: &PublisherTable) -> Unit {
+        let mut p = SubscriptionProfile::with_capacity(100);
+        for (adv, first, ids) in legs {
+            let mut v = ShiftingBitVector::starting_at(100, *first);
+            for &id in ids {
+                v.record(id);
+            }
+            p.insert_vector(AdvId::new(*adv), v);
+        }
+        let load = p.estimate_load(pubs);
+        Unit {
+            subs: vec![SubId::new(sub)],
+            profile: p,
+            out_bandwidth: load.bandwidth.max(1_000.0) + sub as f64,
+        }
+    }
+
+    fn two_publishers() -> PublisherTable {
+        [
+            PublisherProfile::new(AdvId::new(1), 100.0, 100_000.0, MsgId::new(99)),
+            PublisherProfile::new(AdvId::new(2), 40.0, 20_000.0, MsgId::new(999)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Units covering every delta-path branch: shared windows, shifted
+    /// windows (forcing `or_assign` truncation), empty vectors, a
+    /// publisher-less advertisement, and multi-publisher profiles.
+    fn tricky_units(pubs: &PublisherTable) -> Vec<Arc<Unit>> {
+        let mut units = vec![
+            multi_unit(0, &[(1, 0, (0..30).collect())], pubs),
+            multi_unit(
+                1,
+                &[(1, 0, (20..50).collect()), (2, 0, (0..80).collect())],
+                pubs,
+            ),
+            multi_unit(2, &[(2, 900, (900..960).collect())], pubs),
+            multi_unit(3, &[(1, 0, (0..10).collect()), (2, 0, vec![])], pubs),
+            multi_unit(
+                4,
+                &[(2, 940, (950..999).collect()), (7, 0, (0..5).collect())],
+                pubs,
+            ),
+            multi_unit(5, &[(1, 50, (50..90).collect())], pubs),
+            multi_unit(6, &[(2, 0, (0..40).step_by(2).collect())], pubs),
+        ];
+        units.sort_by(pack_order);
+        units.into_iter().map(Arc::new).collect()
+    }
+
+    /// FastPacker must reproduce RefPacker's decisions bit-for-bit —
+    /// same placements, same running rates — across repeated packs of
+    /// changing unit subsets on one persistent packer (the CRAM usage).
+    #[test]
+    fn fast_packer_matches_ref_packer_bit_for_bit() {
+        let pubs = two_publishers();
+        let units = tricky_units(&pubs);
+        let brokers = vec![
+            broker(1, 120_000.0),
+            broker(2, 80_000.0),
+            broker(3, 80_000.0),
+        ];
+        let mut fast = FastPacker::new(&brokers, &pubs);
+        // Rounds drop a different unit each time, so slot state from the
+        // previous pack must never leak into the next.
+        for round in 0..=units.len() {
+            let subset: Vec<&Arc<Unit>> = units
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| round == units.len() || *i != round)
+                .map(|(_, u)| u)
+                .collect();
+            let mut reference = RefPacker::new(&brokers);
+            let ref_result = reference.pack_sorted(&pubs, subset.iter().map(|u| &***u).collect());
+            let fast_result = fast.pack(subset.iter().copied());
+            assert_eq!(ref_result.is_ok(), fast_result.is_ok(), "round {round}");
+            assert_eq!(
+                reference.used_brokers(),
+                fast.used_brokers(),
+                "round {round}"
+            );
+            for (rs, fs) in reference.states.iter().zip(&fast.brokers) {
+                assert_eq!(rs.spec.id, fs.spec.id);
+                assert_eq!(
+                    rs.in_rate.to_bits(),
+                    fs.in_rate.to_bits(),
+                    "round {round} broker {:?}",
+                    rs.spec.id
+                );
+                assert_eq!(rs.out_used.to_bits(), fs.out_used.to_bits());
+                assert_eq!(rs.subs, fs.subs);
+                let ref_subs: Vec<_> = rs.units.iter().map(|u| u.subs.clone()).collect();
+                let fast_subs: Vec<_> = fs.picks.iter().map(|u| u.subs.clone()).collect();
+                assert_eq!(ref_subs, fast_subs, "round {round}");
+            }
+        }
+    }
+
+    /// Replaying a drained recipe (per-broker placement order) must
+    /// reproduce `RefPacker::into_allocation` exactly.
+    #[test]
+    fn fast_packer_recipe_materializes_ref_allocation() {
+        let pubs = two_publishers();
+        let units = tricky_units(&pubs);
+        let brokers = vec![
+            broker(1, 120_000.0),
+            broker(2, 80_000.0),
+            broker(3, 80_000.0),
+        ];
+        let mut reference = RefPacker::new(&brokers);
+        reference
+            .pack_sorted(&pubs, units.iter().map(|u| &**u).collect())
+            .unwrap();
+        let expected = reference.into_allocation(&pubs);
+
+        let mut fast = FastPacker::new(&brokers, &pubs);
+        fast.pack(units.iter()).unwrap();
+        let mut picks = Vec::new();
+        fast.drain_picks_into(&mut picks);
+        let loads: Vec<BrokerLoad> = picks
+            .into_iter()
+            .map(|(id, picked)| {
+                let mut union = SubscriptionProfile::new();
+                let mut out = 0.0;
+                for u in &picked {
+                    union.or_assign(&u.profile);
+                    out += u.out_bandwidth;
+                }
+                let input = union.estimate_load(&pubs);
+                BrokerLoad {
+                    broker: id,
+                    units: picked.iter().map(|u| (**u).clone()).collect(),
+                    union_profile: union,
+                    out_bw_used: out,
+                    in_rate: input.rate,
+                    in_bandwidth: input.bandwidth,
+                }
+            })
+            .collect();
+        assert_eq!(loads, expected.loads);
+    }
+
+    /// Both packers reject the same first unit with the same error.
+    #[test]
+    fn fast_packer_reports_identical_infeasibility() {
+        let pubs = publishers();
+        let brokers = vec![broker(1, 12_000.0)];
+        let units: Vec<Arc<Unit>> = {
+            let mut us = vec![
+                unit(1, &(0..10).collect::<Vec<_>>(), &pubs),
+                unit(2, &(10..20).collect::<Vec<_>>(), &pubs),
+            ];
+            us.sort_by(pack_order);
+            us.into_iter().map(Arc::new).collect()
+        };
+        let mut reference = RefPacker::new(&brokers);
+        let ref_err = reference
+            .pack_sorted(&pubs, units.iter().map(|u| &**u).collect())
+            .unwrap_err();
+        let mut fast = FastPacker::new(&brokers, &pubs);
+        let fast_err = fast.pack(units.iter()).unwrap_err();
+        assert_eq!(ref_err, fast_err);
+        // Empty pool: Ok for no units, NoBrokers otherwise.
+        let mut empty = FastPacker::new(&[], &pubs);
+        assert!(empty.pack(std::iter::empty()).is_ok());
+        assert_eq!(empty.pack(units.iter()), Err(AllocError::NoBrokers));
     }
 
     #[test]

@@ -33,22 +33,74 @@
 //! pairs keep their entries because the underlying profiles never
 //! changed.
 //!
+//! Two further engine knobs shape *how* (never *what*) the answer is
+//! computed:
+//!
+//! * [`CramBuilder::layout`] picks the profile storage
+//!   ([`Layout::Arena`], the default, packs every per-publisher bit
+//!   window into one contiguous [`greenps_profile::BitsetArena`] and
+//!   runs the allocation tests on a persistent incremental packer;
+//!   [`Layout::PerProfile`] is the byte-exact legacy reference path);
+//! * [`CramBuilder::tile`] groups GIF keys into fixed-width tiles whose
+//!   OR-summary profiles let the poset scan reject a whole tile of
+//!   candidates with a single intersect pass.
+//!
+//! Both knobs preserve the allocation and [`CramStats`] bit-for-bit,
+//! except that tiling (by design) lowers `closeness_computations`.
+//!
 //! Entry point: [`CramBuilder`].
 
-use crate::capacity::RefPacker;
-use crate::engine::{shard_map_scratch, PairCache};
-use crate::model::{AllocError, Allocation, AllocationInput, Unit};
+use crate::capacity::{pack_order, FastPacker, RefPacker};
+use crate::engine::{shard_map_scratch, CacheConfig, PairCache};
+use crate::model::{AllocError, Allocation, AllocationInput, BrokerLoad, Unit};
 use crate::sorting::{bin_packing_units, units_from_input};
 use greenps_profile::{
-    Closeness, ClosenessMetric, Poset, PublisherTable, Relation, SubscriptionProfile,
+    ArenaKernel, Closeness, ClosenessKernel, ClosenessMetric, PerProfileKernel, Poset,
+    PublisherTable, Relation, ShiftingBitVector, SubscriptionProfile, DEFAULT_CAPACITY,
 };
+use greenps_pubsub::ids::{AdvId, BrokerId};
 use greenps_telemetry::{EventSink, Histogram, Registry, Span};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Key of a GIF inside the CRAM pool.
 pub(crate) type GifKey = u64;
 /// Key of a unit inside the CRAM pool.
 type UnitKey = u64;
+
+/// How the closeness engine stores GIF profiles.
+///
+/// The choice never changes the allocation or any [`CramStats`] field —
+/// both layouts route every metric evaluation through the same
+/// word-level popcount — it only changes memory behaviour and speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// One heap-allocated profile clone per GIF — the legacy layout,
+    /// kept as the bit-exact reference the arena is proven against.
+    /// Allocation tests re-sort and re-pack from scratch.
+    PerProfile,
+    /// Every per-publisher bit window packed into one contiguous
+    /// fixed-stride [`greenps_profile::BitsetArena`], so a pair
+    /// evaluation is a streaming popcount over adjacent rows with zero
+    /// allocations. Allocation tests run on a persistent packer over an
+    /// incrementally-maintained unit order.
+    Arena {
+        /// Row stride in bits. `0` (the default) sizes the stride
+        /// automatically from the widest window in the initial pool;
+        /// windows wider than the stride fall back to a side store, so
+        /// any value is correct.
+        stride: usize,
+    },
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::Arena { stride: 0 }
+    }
+}
+
+/// Default tile width (GIF keys per tile) for whole-tile pruning.
+pub const DEFAULT_TILE: usize = 64;
 
 /// CRAM configuration.
 #[derive(Debug, Clone, Copy)]
@@ -62,17 +114,26 @@ pub struct CramConfig {
     /// Worker threads for the closest-pair search (1 = sequential).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Profile storage layout for the closeness engine.
+    pub layout: Layout,
+    /// Tile width for whole-tile candidate rejection (`0` disables).
+    pub tile: usize,
+    /// Pair-closeness cache configuration.
+    pub cache: CacheConfig,
 }
 
 impl CramConfig {
     /// The paper's default configuration for a metric: all optimizations
-    /// on, sequential search.
+    /// on, sequential search, arena layout with tiled pruning.
     pub fn with_metric(metric: ClosenessMetric) -> Self {
         Self {
             metric,
             one_to_many: true,
             poset_pruning: true,
             threads: 1,
+            layout: Layout::default(),
+            tile: DEFAULT_TILE,
+            cache: CacheConfig::default(),
         }
     }
 }
@@ -117,8 +178,130 @@ struct Gif {
     units: Vec<UnitKey>,
 }
 
+/// Lazily-maintained index of GIF-key tiles for whole-tile rejection.
+///
+/// GIF keys are grouped into fixed-width tiles (`key / tile`); each
+/// tile keeps the OR-union of its members' profiles as an aggregate
+/// summary. During a poset scan, a tile whose summary is disjoint from
+/// the scanning GIF's profile can be rejected with one intersect pass:
+/// the summary covers every member, so each member's closeness is
+/// provably zero under the empty-pruning metrics — exactly the subtree
+/// prune the per-candidate `c == 0` branch would take, minus the
+/// per-candidate evaluations.
+///
+/// Membership changes only mark a bucket dirty; summaries are rebuilt
+/// lazily before each scan round. When rebuilding, every per-publisher
+/// window is widened to the members' combined extent so the union can
+/// never truncate — truncation would break the `summary ⊇ member`
+/// invariant the rejection's soundness rests on.
+struct TileIndex {
+    /// Tile width in GIF keys; `0` disables the index entirely.
+    tile: usize,
+    buckets: BTreeMap<u64, TileBucket>,
+    /// Buckets whose summary is stale (membership changed).
+    dirty: BTreeSet<u64>,
+}
+
+#[derive(Default)]
+struct TileBucket {
+    members: BTreeSet<GifKey>,
+    summary: SubscriptionProfile,
+}
+
+impl TileIndex {
+    fn new(tile: usize) -> Self {
+        Self {
+            tile,
+            buckets: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.tile > 0
+    }
+
+    fn bucket_of(&self, g: GifKey) -> u64 {
+        g / self.tile.max(1) as u64
+    }
+
+    fn on_insert(&mut self, g: GifKey) {
+        if !self.enabled() {
+            return;
+        }
+        let b = self.bucket_of(g);
+        self.buckets.entry(b).or_default().members.insert(g);
+        self.dirty.insert(b);
+    }
+
+    fn on_remove(&mut self, g: GifKey) {
+        if !self.enabled() {
+            return;
+        }
+        let b = self.bucket_of(g);
+        if let Some(bucket) = self.buckets.get_mut(&b) {
+            bucket.members.remove(&g);
+            if bucket.members.is_empty() {
+                self.buckets.remove(&b);
+                self.dirty.remove(&b);
+            } else {
+                self.dirty.insert(b);
+            }
+        }
+    }
+
+    /// The bucket's aggregate summary, valid only after [`Self::rebuild`].
+    fn summary(&self, b: u64) -> Option<&SubscriptionProfile> {
+        self.buckets.get(&b).map(|bucket| &bucket.summary)
+    }
+
+    /// Recomputes the summaries of all dirty buckets.
+    fn rebuild(&mut self, gifs: &BTreeMap<GifKey, Gif>) {
+        while let Some(b) = self.dirty.pop_first() {
+            if let Some(bucket) = self.buckets.get_mut(&b) {
+                bucket.summary = summarize(&bucket.members, gifs);
+            }
+        }
+    }
+}
+
+/// OR-union of the members' profiles, with each per-publisher window
+/// widened to the members' combined extent so no member bit is ever
+/// truncated away (the `summary ⊇ member` invariant).
+fn summarize(members: &BTreeSet<GifKey>, gifs: &BTreeMap<GifKey, Gif>) -> SubscriptionProfile {
+    let mut extents: BTreeMap<AdvId, (u64, u64)> = BTreeMap::new();
+    for g in members {
+        let Some(gif) = gifs.get(g) else { continue };
+        for (adv, v) in gif.profile.iter() {
+            let e = extents.entry(adv).or_insert((v.first_id(), v.window_end()));
+            e.0 = e.0.min(v.first_id());
+            e.1 = e.1.max(v.window_end());
+        }
+    }
+    let mut wide: BTreeMap<AdvId, ShiftingBitVector> = extents
+        .into_iter()
+        .map(|(adv, (lo, hi))| {
+            let bits = usize::try_from(hi.saturating_sub(lo)).unwrap_or(usize::MAX);
+            (adv, ShiftingBitVector::starting_at(bits.max(1), lo))
+        })
+        .collect();
+    for g in members {
+        let Some(gif) = gifs.get(g) else { continue };
+        for (adv, v) in gif.profile.iter() {
+            if let Some(w) = wide.get_mut(&adv) {
+                w.or_assign(v);
+            }
+        }
+    }
+    let mut summary = SubscriptionProfile::new();
+    for (adv, v) in wide {
+        summary.insert_vector(adv, v);
+    }
+    summary
+}
+
 struct Pool {
-    units: BTreeMap<UnitKey, Unit>,
+    units: BTreeMap<UnitKey, Arc<Unit>>,
     gifs: BTreeMap<GifKey, Gif>,
     /// Profile → GIF lookup. A `BTreeMap` (not `HashMap`) so that no
     /// iteration over this table — present or future — can depend on
@@ -126,17 +309,40 @@ struct Pool {
     /// decisions anywhere in the merge loop.
     by_profile: BTreeMap<SubscriptionProfile, GifKey>,
     poset: Poset<GifKey>,
+    /// Batch cardinality provider over the live GIF profiles — the
+    /// layout-specific half of every metric evaluation.
+    kernel: Box<dyn ClosenessKernel>,
+    /// Tile summaries for whole-tile rejection (inert when `tile` is 0).
+    tiles: TileIndex,
     next_unit: UnitKey,
     next_gif: GifKey,
 }
 
 impl Pool {
-    fn build(units: Vec<Unit>) -> Self {
+    fn build(units: Vec<Unit>, layout: Layout, tile: usize) -> Self {
+        let kernel: Box<dyn ClosenessKernel> = match layout {
+            Layout::PerProfile => Box::new(PerProfileKernel::new()),
+            Layout::Arena { stride } => {
+                let stride = if stride == 0 {
+                    units
+                        .iter()
+                        .flat_map(|u| u.profile.iter())
+                        .map(|(_, v)| v.capacity())
+                        .max()
+                        .unwrap_or(DEFAULT_CAPACITY)
+                } else {
+                    stride
+                };
+                Box::new(ArenaKernel::new(stride))
+            }
+        };
         let mut pool = Pool {
             units: BTreeMap::new(),
             gifs: BTreeMap::new(),
             by_profile: BTreeMap::new(),
             poset: Poset::new(),
+            kernel,
+            tiles: TileIndex::new(tile),
             next_unit: 0,
             next_gif: 0,
         };
@@ -163,6 +369,8 @@ impl Pool {
                     },
                 );
                 self.poset.insert(gk, unit.profile.clone());
+                self.kernel.insert(gk, &unit.profile);
+                self.tiles.on_insert(gk);
                 gk
             }
         };
@@ -180,13 +388,14 @@ impl Pool {
             })
             .unwrap_or_else(|e| e);
         gif.units.insert(pos, uk);
-        self.units.insert(uk, unit);
+        self.units.insert(uk, Arc::new(unit));
         (uk, gk)
     }
 
-    /// Removes a unit; deletes its GIF (and poset node) when emptied.
-    /// Returns the unit and whether the GIF was deleted.
-    fn remove_unit(&mut self, gk: GifKey, uk: UnitKey) -> (Unit, bool) {
+    /// Removes a unit; deletes its GIF (and poset node, kernel entry,
+    /// tile membership) when emptied. Returns the unit and whether the
+    /// GIF was deleted.
+    fn remove_unit(&mut self, gk: GifKey, uk: UnitKey) -> (Arc<Unit>, bool) {
         let unit = self.units.remove(&uk).expect("unknown unit");
         let gif = self.gifs.get_mut(&gk).expect("unknown gif");
         gif.units.retain(|&k| k != uk);
@@ -194,6 +403,8 @@ impl Pool {
             let gif = self.gifs.remove(&gk).expect("gif fetched above");
             self.by_profile.remove(&gif.profile);
             self.poset.remove(gk);
+            self.kernel.remove(gk);
+            self.tiles.on_remove(gk);
             (unit, true)
         } else {
             (unit, false)
@@ -208,6 +419,11 @@ impl Pool {
 
 /// The closeness measure a [`CramBuilder`] clusters with: one of the
 /// paper's metrics, or a borrowed user-supplied measure.
+///
+/// Built-in metrics evaluate through the pool's [`ClosenessKernel`]
+/// (one batch popcount pass + scalar arithmetic); custom measures see
+/// whole profiles, as their trait contract promises.
+#[derive(Clone, Copy)]
 enum MeasureRef<'a> {
     Metric(ClosenessMetric),
     Custom(&'a dyn Closeness),
@@ -239,18 +455,24 @@ pub struct CramBuilder<'a> {
     one_to_many: bool,
     poset_pruning: bool,
     threads: usize,
+    layout: Layout,
+    tile: usize,
+    cache: CacheConfig,
     telemetry: Registry,
 }
 
 impl<'a> CramBuilder<'a> {
     /// CRAM with a paper metric, all optimizations on, sequential
-    /// search.
+    /// search, arena layout with tiled pruning.
     pub fn new(metric: ClosenessMetric) -> Self {
         CramBuilder {
             measure: MeasureRef::Metric(metric),
             one_to_many: true,
             poset_pruning: true,
             threads: 1,
+            layout: Layout::default(),
+            tile: DEFAULT_TILE,
+            cache: CacheConfig::default(),
             telemetry: Registry::disabled(),
         }
     }
@@ -263,6 +485,9 @@ impl<'a> CramBuilder<'a> {
             one_to_many: true,
             poset_pruning: true,
             threads: 1,
+            layout: Layout::default(),
+            tile: DEFAULT_TILE,
+            cache: CacheConfig::default(),
             telemetry: Registry::disabled(),
         }
     }
@@ -275,8 +500,40 @@ impl<'a> CramBuilder<'a> {
             one_to_many: config.one_to_many,
             poset_pruning: config.poset_pruning,
             threads: config.threads,
+            layout: config.layout,
+            tile: config.tile,
+            cache: config.cache,
             telemetry: Registry::disabled(),
         }
+    }
+
+    /// Selects the profile storage layout. [`Layout::Arena`] (the
+    /// default) runs the contiguous-popcount kernel and the persistent
+    /// fast packer; [`Layout::PerProfile`] runs the legacy reference
+    /// path. The allocation and stats are bit-identical either way.
+    #[must_use]
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Tile width for whole-tile candidate rejection during the poset
+    /// scan (`0` disables tiling). Only `closeness_computations` can
+    /// change — the allocation and every other stat stay bit-identical,
+    /// because a rejected tile is exactly a set of candidates whose
+    /// closeness is provably zero.
+    #[must_use]
+    pub fn tile(mut self, tile: usize) -> Self {
+        self.tile = tile;
+        self
+    }
+
+    /// Pair-closeness cache configuration (entry budget + invalidation
+    /// policy).
+    #[must_use]
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Reports into `registry`: the `cram.run` span, per-scan timings,
@@ -333,10 +590,6 @@ impl<'a> CramBuilder<'a> {
         units: Vec<Unit>,
     ) -> Result<(Allocation, CramStats), AllocError> {
         let span = Span::enter(&self.telemetry, "cram.run");
-        let metric: &dyn Closeness = match &self.measure {
-            MeasureRef::Metric(m) => m,
-            MeasureRef::Custom(c) => *c,
-        };
         let mut stats = CramStats {
             subscriptions: units.iter().map(Unit::sub_count).sum(),
             ..CramStats::default()
@@ -345,11 +598,47 @@ impl<'a> CramBuilder<'a> {
         // Initialization: allocate without clustering; abort on failure.
         let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone())?;
 
-        let pool = Pool::build(units);
+        let pool = Pool::build(units, self.layout, self.tile);
         stats.initial_gifs = pool.gifs.len();
+        // The arena layout carries a persistent packer over an
+        // incrementally-maintained pack-order unit list; the
+        // per-profile layout re-packs from scratch per test — the
+        // byte-exact reference path the fast path is proven against.
+        let pack = match self.layout {
+            Layout::PerProfile => PackPath::Reference,
+            Layout::Arena { .. } => {
+                let mut order: Vec<PackEntry> = pool
+                    .units
+                    .iter()
+                    .map(|(&key, u)| PackEntry {
+                        key,
+                        unit: Arc::clone(u),
+                    })
+                    .collect();
+                order.sort_by(|a, b| pack_order(&a.unit, &b.unit));
+                PackPath::Fast {
+                    packer: FastPacker::new(&input.brokers, &input.publishers),
+                    order,
+                }
+            }
+        };
+        // The fast path keeps only the packing *recipe* of the best
+        // allocation and materializes once after the run; seeding it
+        // from the baseline keeps the fallback guarantee intact.
+        let best = match &pack {
+            PackPath::Reference => BestAlloc::Full(baseline),
+            PackPath::Fast { .. } => BestAlloc::Recipe {
+                brokers: baseline.broker_count(),
+                picks: baseline
+                    .loads
+                    .into_iter()
+                    .map(|l| (l.broker, l.units.into_iter().map(Arc::new).collect()))
+                    .collect(),
+            },
+        };
         let mut engine = Engine {
             pool,
-            metric,
+            measure: self.measure,
             one_to_many: self.one_to_many,
             poset_pruning: self.poset_pruning,
             threads: self.threads,
@@ -358,9 +647,12 @@ impl<'a> CramBuilder<'a> {
             partners: BTreeMap::new(),
             stale: BTreeSet::new(),
             blacklist: BTreeSet::new(),
-            cache: PairCache::new(),
+            cache: PairCache::with_config(self.cache),
             stats,
-            best: baseline,
+            best,
+            pack,
+            tile_checks: 0,
+            tile_pruned: 0,
             scan_timer: self.telemetry.histogram("cram.scan_us"),
             scan_scratch: ScanScratch::default(),
             removed_buf: Vec::new(),
@@ -373,7 +665,12 @@ impl<'a> CramBuilder<'a> {
         engine.stats.final_units = engine.pool.units.len();
         self.report(&engine);
         span.finish();
-        Ok((engine.best, engine.stats))
+        let stats = engine.stats;
+        let best = match engine.best {
+            BestAlloc::Full(a) => a,
+            BestAlloc::Recipe { picks, .. } => materialize_recipe(picks, &input.publishers),
+        };
+        Ok((best, stats))
     }
 
     /// Publishes the run's counters and gauges. Pure observation of
@@ -394,6 +691,17 @@ impl<'a> CramBuilder<'a> {
             .add(stats.one_to_many_merges as u64);
         t.gauge("cram.initial_gifs").set(stats.initial_gifs as u64);
         t.gauge("cram.final_units").set(stats.final_units as u64);
+        t.counter("cram.tile.checks").add(engine.tile_checks);
+        t.counter("cram.tile.pruned").add(engine.tile_pruned);
+        // Pruning effectiveness: share of candidate evaluations the
+        // tile summaries eliminated.
+        let tile_denom = engine.tile_pruned + stats.closeness_computations;
+        let tile_pct = if tile_denom == 0 {
+            0.0
+        } else {
+            engine.tile_pruned as f64 / tile_denom as f64 * 100.0
+        };
+        t.gauge("cram.tile.pruned_pct").set_f64(tile_pct);
         let cache = engine.cache.stats();
         t.counter("core.pair_cache.hits").add(cache.hits);
         t.counter("core.pair_cache.misses").add(cache.misses);
@@ -404,7 +712,7 @@ impl<'a> CramBuilder<'a> {
 
 struct Engine<'a> {
     pool: Pool,
-    metric: &'a dyn Closeness,
+    measure: MeasureRef<'a>,
     one_to_many: bool,
     poset_pruning: bool,
     /// Worker threads for the sharded partner refresh.
@@ -420,7 +728,13 @@ struct Engine<'a> {
     /// GIFs (blacklisting leaves profiles — and hence entries — valid).
     cache: PairCache<GifKey>,
     stats: CramStats,
-    best: Allocation,
+    best: BestAlloc,
+    /// How the allocation tests pack (layout-selected).
+    pack: PackPath,
+    /// Whole-tile summary checks performed (telemetry only).
+    tile_checks: u64,
+    /// Frontier candidates rejected tile-at-a-time (telemetry only).
+    tile_pruned: u64,
     /// Telemetry: per-scan wall times (µs). Atomic and lock-free, so
     /// shard workers record into it concurrently without affecting the
     /// scan results.
@@ -439,6 +753,111 @@ fn pair_key(a: GifKey, b: GifKey) -> (GifKey, GifKey) {
     (a.min(b), a.max(b))
 }
 
+/// One entry of the fast path's persistently-sorted unit list.
+struct PackEntry {
+    key: UnitKey,
+    unit: Arc<Unit>,
+}
+
+/// How [`Engine::test_and_record`] runs the allocation test.
+enum PackPath {
+    /// Collect, re-sort, and re-pack from scratch on every test — the
+    /// original implementation, kept byte-for-byte as the reference
+    /// path ([`Layout::PerProfile`]).
+    Reference,
+    /// A persistent [`FastPacker`] (epoch-reset broker/union state)
+    /// fed from an incrementally-maintained [`pack_order`]-sorted unit
+    /// list, so a test performs no sorting and no per-test allocations
+    /// ([`Layout::Arena`]).
+    Fast {
+        packer: FastPacker,
+        /// Live pool units sorted by [`pack_order`], maintained by
+        /// [`Engine::commit`].
+        order: Vec<PackEntry>,
+    },
+}
+
+/// The best allocation seen so far. The reference path stores it fully
+/// materialized after every improvement (the legacy behaviour); the
+/// fast path stores only the packing *recipe* — which broker got which
+/// units, in placement order — and materializes once when the run
+/// ends. Replaying the recipe performs the same profile unions,
+/// bandwidth sums, and load estimates in the same order as
+/// [`RefPacker::into_allocation`], so the result is bit-identical.
+enum BestAlloc {
+    Full(Allocation),
+    Recipe {
+        brokers: usize,
+        picks: Vec<(BrokerId, Vec<Arc<Unit>>)>,
+    },
+}
+
+impl BestAlloc {
+    fn broker_count(&self) -> usize {
+        match self {
+            BestAlloc::Full(a) => a.broker_count(),
+            BestAlloc::Recipe { brokers, .. } => *brokers,
+        }
+    }
+}
+
+/// Materializes a fast-path packing recipe into a full [`Allocation`]:
+/// per broker, replay `or_assign` over the picked units in placement
+/// order, sum their bandwidths, and estimate the union load — the
+/// exact fold [`RefPacker::into_allocation`] (and the baseline packer)
+/// performs, so the `f64` results match bit-for-bit.
+fn materialize_recipe(
+    picks: Vec<(BrokerId, Vec<Arc<Unit>>)>,
+    publishers: &PublisherTable,
+) -> Allocation {
+    let loads = picks
+        .into_iter()
+        .map(|(broker, picked)| {
+            let mut union = SubscriptionProfile::new();
+            let mut out_bw_used = 0.0;
+            for u in &picked {
+                union.or_assign(&u.profile);
+                out_bw_used += u.out_bandwidth;
+            }
+            let input = union.estimate_load(publishers);
+            BrokerLoad {
+                broker,
+                units: picked.iter().map(|u| (**u).clone()).collect(),
+                union_profile: union,
+                out_bw_used,
+                in_rate: input.rate,
+                in_bandwidth: input.bandwidth,
+            }
+        })
+        .collect();
+    Allocation { loads }
+}
+
+/// Streams the fast path's sorted unit list with `removed` keys
+/// filtered out and one trial merged unit spliced in at its
+/// [`pack_order`] position. Ties go to the survivors, matching the
+/// reference path's stable sort over survivors chained with the merged
+/// unit last (the order is strict across a live pool anyway — unit
+/// subscription lists are disjoint and non-empty).
+struct MergedOrder<'u, I: Iterator<Item = &'u Arc<Unit>>> {
+    inner: std::iter::Peekable<I>,
+    merged: Option<&'u Arc<Unit>>,
+}
+
+impl<'u, I: Iterator<Item = &'u Arc<Unit>>> Iterator for MergedOrder<'u, I> {
+    type Item = &'u Arc<Unit>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.merged {
+            Some(m) => match self.inner.peek() {
+                Some(u) if pack_order(u, m) != std::cmp::Ordering::Greater => self.inner.next(),
+                _ => self.merged.take(),
+            },
+            None => self.inner.next(),
+        }
+    }
+}
+
 /// Reusable working memory for [`scan_partner`]: the poset BFS frontier
 /// and visited set plus the pair closenesses computed so far (cache
 /// misses, merged into the shared cache after the shard joins). One
@@ -454,6 +873,13 @@ struct ScanScratch {
     computed: Vec<(GifKey, GifKey, f64)>,
     /// Measure evaluations performed by this shard's scans.
     computations: u64,
+    /// Per-scan memo of tile-summary disjointness, keyed by bucket —
+    /// one summary intersect per touched tile per scan.
+    tile_state: BTreeMap<u64, bool>,
+    /// Whole-tile summary checks performed by this shard's scans.
+    tile_checks: u64,
+    /// Frontier candidates rejected tile-at-a-time.
+    tile_pruned: u64,
 }
 
 /// Reusable working memory for [`Engine::attempt_cgs`]: the poset
@@ -488,8 +914,9 @@ struct CgsScratch {
 #[allow(clippy::too_many_arguments)]
 fn scan_partner(
     pool: &Pool,
-    metric: &dyn Closeness,
+    measure: MeasureRef<'_>,
     poset_pruning: bool,
+    use_tiles: bool,
     blacklist: &BTreeSet<(GifKey, GifKey)>,
     cache: &PairCache<GifKey>,
     timer: &Histogram,
@@ -505,13 +932,22 @@ fn scan_partner(
         visited,
         computed,
         computations,
+        tile_state,
+        tile_checks,
+        tile_pruned,
     } = scratch;
     let mut eval = |cand: GifKey, profile: &SubscriptionProfile| -> f64 {
         if let Some(c) = cache.get(g, cand) {
             return c;
         }
         *computations += 1;
-        let c = metric.closeness(g_profile, profile);
+        // Built-in metrics: one batch popcount pass through the
+        // layout's kernel (arena rows or per-profile clones — same
+        // cardinalities by construction), then scalar arithmetic.
+        let c = match measure {
+            MeasureRef::Metric(m) => m.from_cardinalities(pool.kernel.pair_cardinalities(g, cand)),
+            MeasureRef::Custom(m) => m.closeness(g_profile, profile),
+        };
         computed.push((g, cand, c));
         c
     };
@@ -529,18 +965,47 @@ fn scan_partner(
         }
     };
 
-    if poset_pruning && metric.supports_empty_pruning() {
+    let prune = poset_pruning
+        && match measure {
+            MeasureRef::Metric(m) => m.supports_empty_pruning(),
+            MeasureRef::Custom(m) => m.supports_empty_pruning(),
+        };
+    if prune {
         // BFS from the roots; prune empty subtrees and stop
         // descending once closeness decreases.
         frontier.clear();
         frontier.extend(pool.poset.roots().map(|r| (r, 0.0)));
         visited.clear();
+        tile_state.clear();
         let mut i = 0;
         while i < frontier.len() {
             let (n, parent_c) = frontier[i];
             i += 1;
             if !visited.insert(n) {
                 continue;
+            }
+            if use_tiles {
+                let b = pool.tiles.bucket_of(n);
+                let disjoint = match tile_state.get(&b) {
+                    Some(&d) => d,
+                    None => {
+                        *tile_checks += 1;
+                        let d = pool
+                            .tiles
+                            .summary(b)
+                            .is_some_and(|s| g_profile.intersect_count(s) == 0);
+                        tile_state.insert(b, d);
+                        d
+                    }
+                };
+                if disjoint {
+                    // Whole-tile rejection: the summary covers every
+                    // member of the tile, so a disjoint summary proves
+                    // closeness 0 for this candidate — exactly the
+                    // `c == 0.0` subtree prune below, minus the eval.
+                    *tile_pruned += 1;
+                    continue;
+                }
             }
             let n_profile = pool.poset.profile(n).expect("poset node");
             let c = eval(n, n_profile);
@@ -604,8 +1069,12 @@ impl Engine<'_> {
         if stale.is_empty() {
             return;
         }
+        // Bring the tile summaries up to date before freezing the pool
+        // for the shard workers (rebuild needs `&mut`).
+        self.pool.tiles.rebuild(&self.pool.gifs);
+        let use_tiles = self.use_tiles();
         let pool = &self.pool;
-        let metric = self.metric;
+        let measure = self.measure;
         let pruning = self.poset_pruning;
         let blacklist = &self.blacklist;
         let cache = &self.cache;
@@ -620,7 +1089,9 @@ impl Engine<'_> {
         let timer = &self.scan_timer;
         let (partners, scratches) =
             shard_map_scratch(&stale, threads, ScanScratch::default, |scratch, &g| {
-                scan_partner(pool, metric, pruning, blacklist, cache, timer, scratch, g)
+                scan_partner(
+                    pool, measure, pruning, use_tiles, blacklist, cache, timer, scratch, g,
+                )
             });
         for (&g, partner) in stale.iter().zip(partners) {
             self.partners.insert(g, partner);
@@ -634,7 +1105,21 @@ impl Engine<'_> {
                 self.cache.insert(g, cand, c);
             }
             self.stats.closeness_computations += scratch.computations;
+            self.tile_checks += scratch.tile_checks;
+            self.tile_pruned += scratch.tile_pruned;
         }
+    }
+
+    /// Whole-tile rejection applies only on the poset-pruned search
+    /// with a built-in metric: a disjoint summary proves member
+    /// closeness is zero because the metrics derive from pair
+    /// cardinalities — a guarantee a custom [`Closeness`] measure's
+    /// `supports_empty_pruning` flag does not extend to profiles it
+    /// never saw.
+    fn use_tiles(&self) -> bool {
+        self.poset_pruning
+            && self.pool.tiles.enabled()
+            && matches!(self.measure, MeasureRef::Metric(m) if m.supports_empty_pruning())
     }
 
     /// Sequential single-GIF variant of [`Engine::refresh_partners`],
@@ -642,11 +1127,14 @@ impl Engine<'_> {
     /// Reuses the engine-owned scan scratch, so revalidation allocates
     /// nothing in steady state.
     fn refresh_one(&mut self, g: GifKey) -> Option<(GifKey, f64)> {
+        self.pool.tiles.rebuild(&self.pool.gifs);
+        let use_tiles = self.use_tiles();
         let mut scratch = std::mem::take(&mut self.scan_scratch);
         let partner = scan_partner(
             &self.pool,
-            self.metric,
+            self.measure,
             self.poset_pruning,
+            use_tiles,
             &self.blacklist,
             &self.cache,
             &self.scan_timer,
@@ -658,6 +1146,10 @@ impl Engine<'_> {
         }
         self.stats.closeness_computations += scratch.computations;
         scratch.computations = 0;
+        self.tile_checks += scratch.tile_checks;
+        scratch.tile_checks = 0;
+        self.tile_pruned += scratch.tile_pruned;
+        scratch.tile_pruned = 0;
         self.scan_scratch = scratch;
         partner
     }
@@ -689,9 +1181,15 @@ impl Engine<'_> {
         }
     }
 
+    /// Closeness of two ad-hoc profiles (CGS unions and the like) —
+    /// these never live in the kernel, so built-in metrics take the
+    /// per-profile pass here (same `f64` by construction).
     fn closeness(&mut self, a: &SubscriptionProfile, b: &SubscriptionProfile) -> f64 {
         self.stats.closeness_computations += 1;
-        self.metric.closeness(a, b)
+        match self.measure {
+            MeasureRef::Metric(m) => m.closeness(a, b),
+            MeasureRef::Custom(m) => m.closeness(a, b),
+        }
     }
 
     /// Cache-aware closeness between two live GIFs' profiles.
@@ -700,9 +1198,14 @@ impl Engine<'_> {
             return c;
         }
         self.stats.closeness_computations += 1;
-        let c = self
-            .metric
-            .closeness(&self.pool.gifs[&g].profile, &self.pool.gifs[&h].profile);
+        let c = match self.measure {
+            MeasureRef::Metric(m) => {
+                m.from_cardinalities(self.pool.kernel.pair_cardinalities(g, h))
+            }
+            MeasureRef::Custom(m) => {
+                m.closeness(&self.pool.gifs[&g].profile, &self.pool.gifs[&h].profile)
+            }
+        };
         self.cache.insert(g, h, c);
         c
     }
@@ -718,20 +1221,45 @@ impl Engine<'_> {
     /// `removed` must be sorted ascending (the callers reuse
     /// [`Engine::removed_buf`] for it).
     fn test_and_record(&mut self, removed: &[UnitKey], merged: &Unit) -> bool {
-        let units: Vec<&Unit> = self
-            .pool
-            .units
-            .iter()
-            .filter(|(k, _)| removed.binary_search(k).is_err())
-            .map(|(_, u)| u)
-            .chain(std::iter::once(merged))
-            .collect();
-        let mut packer = RefPacker::new(self.brokers);
-        if packer.pack_sorted(self.publishers, units).is_err() {
-            return false;
-        }
-        if packer.used_brokers() <= self.best.broker_count() {
-            self.best = packer.into_allocation(self.publishers);
+        match &mut self.pack {
+            PackPath::Reference => {
+                let units: Vec<&Unit> = self
+                    .pool
+                    .units
+                    .iter()
+                    .filter(|(k, _)| removed.binary_search(k).is_err())
+                    .map(|(_, u)| &**u)
+                    .chain(std::iter::once(merged))
+                    .collect();
+                let mut packer = RefPacker::new(self.brokers);
+                if packer.pack_sorted(self.publishers, units).is_err() {
+                    return false;
+                }
+                if packer.used_brokers() <= self.best.broker_count() {
+                    self.best = BestAlloc::Full(packer.into_allocation(self.publishers));
+                }
+            }
+            PackPath::Fast { packer, order } => {
+                let merged_arc = Arc::new(merged.clone());
+                let live = order
+                    .iter()
+                    .filter(|e| removed.binary_search(&e.key).is_err())
+                    .map(|e| &e.unit);
+                let stream = MergedOrder {
+                    inner: live.peekable(),
+                    merged: Some(&merged_arc),
+                };
+                if packer.pack(stream).is_err() {
+                    return false;
+                }
+                let used = packer.used_brokers();
+                if used <= self.best.broker_count() {
+                    if let BestAlloc::Recipe { brokers, picks } = &mut self.best {
+                        *brokers = used;
+                        packer.drain_picks_into(picks);
+                    }
+                }
+            }
         }
         true
     }
@@ -744,7 +1272,17 @@ impl Engine<'_> {
     fn commit(&mut self, removals: impl IntoIterator<Item = (GifKey, UnitKey)>, merged: Unit) {
         let mut touched: BTreeSet<GifKey> = BTreeSet::new();
         for (gk, uk) in removals {
-            let (_unit, gif_deleted) = self.pool.remove_unit(gk, uk);
+            let (unit, gif_deleted) = self.pool.remove_unit(gk, uk);
+            if let PackPath::Fast { order, .. } = &mut self.pack {
+                match order.binary_search_by(|e| pack_order(&e.unit, &unit)) {
+                    Ok(pos) => {
+                        order.remove(pos);
+                    }
+                    // Unreachable under the strict pack order; fall
+                    // back to dropping by key to stay safe.
+                    Err(_) => order.retain(|e| e.key != uk),
+                }
+            }
             if gif_deleted {
                 self.partners.remove(&gk);
                 self.cache.invalidate(gk);
@@ -760,7 +1298,21 @@ impl Engine<'_> {
                 touched.insert(gk);
             }
         }
-        let (_, new_gif) = self.pool.add_unit(merged);
+        let (new_uk, new_gif) = self.pool.add_unit(merged);
+        if let PackPath::Fast { order, .. } = &mut self.pack {
+            if let Some(u) = self.pool.units.get(&new_uk) {
+                let pos = order
+                    .binary_search_by(|e| pack_order(&e.unit, u))
+                    .unwrap_or_else(|p| p);
+                order.insert(
+                    pos,
+                    PackEntry {
+                        key: new_uk,
+                        unit: Arc::clone(u),
+                    },
+                );
+            }
+        }
         touched.insert(new_gif);
         self.stale.extend(touched);
         self.stats.merges += 1;
@@ -772,11 +1324,10 @@ impl Engine<'_> {
         if g == h {
             return self.attempt_equal(g);
         }
-        let rel = {
-            let pg = &self.pool.gifs[&g].profile;
-            let ph = &self.pool.gifs[&h].profile;
-            pg.relationship(ph)
-        };
+        // One kernel pass classifies the pair — same decision procedure
+        // as `SubscriptionProfile::relationship`, on whichever layout
+        // the profiles live in.
+        let rel = Relation::from_cardinalities(self.pool.kernel.pair_cardinalities(g, h));
         match rel {
             Relation::Equal => self.attempt_equal(g),
             Relation::Superset => self.attempt_covering(g, h),
@@ -801,7 +1352,8 @@ impl Engine<'_> {
         }
         let merged_of = |pool: &Pool, k: usize| -> Unit {
             let mut it = units[..k].iter();
-            let first = pool.units[it.next().expect("attempt_equal requires >= 2 units")].clone();
+            let first =
+                (*pool.units[it.next().expect("attempt_equal requires >= 2 units")]).clone();
             it.fold(first, |acc, uk| acc.merge(&pool.units[uk]))
         };
         let feasible = |engine: &mut Self, k: usize| -> bool {
@@ -826,9 +1378,16 @@ impl Engine<'_> {
                 hi = mid - 1;
             }
         }
-        // Re-run the winning size so `best` reflects the committed pool.
         let k = lo;
-        assert!(feasible(self, k));
+        if matches!(self.pack, PackPath::Reference) {
+            // Re-run the winning size so `best` reflects the committed
+            // pool (legacy behaviour, byte-for-byte). The fast path
+            // skips this: the last successful probe was exactly size
+            // `k` — probes only raise `lo` on success and the pool is
+            // frozen during the search — so its recipe is already
+            // recorded and the re-pack would be a no-op.
+            assert!(feasible(self, k));
+        }
         let merged = merged_of(&self.pool, k);
         self.commit(units[..k].iter().map(|&uk| (g, uk)), merged);
         true
@@ -843,7 +1402,7 @@ impl Engine<'_> {
         let merged_of = |pool: &Pool, m: usize| -> Unit {
             covered_units[..m]
                 .iter()
-                .fold(pool.units[&cover_unit].clone(), |acc, uk| {
+                .fold((*pool.units[&cover_unit]).clone(), |acc, uk| {
                     acc.merge(&pool.units[uk])
                 })
         };
@@ -871,7 +1430,12 @@ impl Engine<'_> {
             }
         }
         let m = lo;
-        assert!(feasible(self, m));
+        if matches!(self.pack, PackPath::Reference) {
+            // Legacy re-pack of the winning size; the fast path's last
+            // successful probe was exactly size `m`, so its recipe is
+            // already recorded (see attempt_equal).
+            assert!(feasible(self, m));
+        }
         let merged = merged_of(&self.pool, m);
         self.commit(
             covered_units[..m]
@@ -990,7 +1554,7 @@ impl Engine<'_> {
 
         // Merge the parent's lightest unit with each CGS GIF's lightest.
         removals.push((g, g_unit));
-        let mut merged = self.pool.units[&g_unit].clone();
+        let mut merged = (*self.pool.units[&g_unit]).clone();
         for &d in cgs.iter() {
             let uk = self.pool.lightest(d);
             merged = merged.merge(&self.pool.units[&uk]);
@@ -1337,10 +1901,10 @@ mod tests {
     ) -> Engine<'a> {
         let units = crate::sorting::units_from_input(input);
         let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone()).unwrap();
-        let pool = Pool::build(units);
+        let pool = Pool::build(units, Layout::PerProfile, 0);
         let mut engine = Engine {
             pool,
-            metric,
+            measure: MeasureRef::Custom(metric),
             one_to_many: true,
             poset_pruning: true,
             threads: 1,
@@ -1349,9 +1913,12 @@ mod tests {
             partners: BTreeMap::new(),
             stale: BTreeSet::new(),
             blacklist: BTreeSet::new(),
-            cache: PairCache::new(),
+            cache: PairCache::default(),
             stats: CramStats::default(),
-            best: baseline,
+            best: BestAlloc::Full(baseline),
+            pack: PackPath::Reference,
+            tile_checks: 0,
+            tile_pruned: 0,
             scan_timer: Histogram::noop(),
             events: EventSink::noop(),
             scan_scratch: ScanScratch::default(),
@@ -1471,5 +2038,128 @@ mod tests {
                 assert_eq!(par_stats, seq_stats, "{metric} t={threads}");
             }
         }
+    }
+
+    /// Layout and tile are pure performance knobs: the allocation is
+    /// bit-identical to the per-profile reference, and every stat
+    /// except `closeness_computations` (which tiling may lower, never
+    /// raise) matches exactly.
+    #[test]
+    fn layouts_and_tiles_are_bit_identical() {
+        let subs: Vec<SubscriptionEntry> = (0..30)
+            .map(|i| {
+                let group = i % 6;
+                let ids: Vec<u64> = (group * 15..group * 15 + 8 + (i % 4)).collect();
+                entry(i, &ids)
+            })
+            .collect();
+        let input = AllocationInput {
+            brokers: brokers(30, 300_000.0),
+            subscriptions: subs,
+            publishers: publishers(),
+        };
+        for metric in ClosenessMetric::ALL {
+            let (ref_alloc, ref_stats) = CramBuilder::new(metric)
+                .layout(Layout::PerProfile)
+                .tile(0)
+                .run(&input)
+                .unwrap();
+            for (layout, tile) in [
+                (Layout::Arena { stride: 0 }, 0usize),
+                (Layout::PerProfile, 3),
+                (Layout::Arena { stride: 0 }, 3),
+                (Layout::Arena { stride: 0 }, DEFAULT_TILE),
+            ] {
+                let (alloc, stats) = CramBuilder::new(metric)
+                    .layout(layout)
+                    .tile(tile)
+                    .run(&input)
+                    .unwrap();
+                assert_eq!(
+                    alloc.loads, ref_alloc.loads,
+                    "{metric} {layout:?} tile={tile}"
+                );
+                if tile == 0 {
+                    assert_eq!(stats, ref_stats, "{metric} {layout:?}");
+                } else {
+                    assert!(
+                        stats.closeness_computations <= ref_stats.closeness_computations,
+                        "{metric} {layout:?} tile={tile}: {} > {}",
+                        stats.closeness_computations,
+                        ref_stats.closeness_computations
+                    );
+                    let mut normalized = stats;
+                    normalized.closeness_computations = ref_stats.closeness_computations;
+                    assert_eq!(normalized, ref_stats, "{metric} {layout:?} tile={tile}");
+                }
+            }
+        }
+    }
+
+    /// Every tile summary must be a superset of each member profile —
+    /// the invariant that makes whole-tile rejection sound — even when
+    /// member windows start at different ids (the widening case).
+    #[test]
+    fn tile_summaries_cover_members() {
+        let subs: Vec<SubscriptionEntry> = (0..24)
+            .map(|i| {
+                let group = i % 8;
+                // Shifted, partially-overlapping windows per group.
+                let ids: Vec<u64> = (group * 11..group * 11 + 6 + (i % 3)).collect();
+                entry(i, &ids)
+            })
+            .collect();
+        let input = AllocationInput {
+            brokers: brokers(24, 300_000.0),
+            subscriptions: subs,
+            publishers: publishers(),
+        };
+        let units = crate::sorting::units_from_input(&input);
+        let mut pool = Pool::build(units, Layout::Arena { stride: 0 }, 3);
+        pool.tiles.rebuild(&pool.gifs);
+        assert!(pool.gifs.len() > 3, "need several buckets");
+        for (gk, gif) in &pool.gifs {
+            let b = pool.tiles.bucket_of(*gk);
+            let summary = pool.tiles.summary(b).expect("bucket exists for member");
+            assert_eq!(
+                gif.profile.intersect_count(summary),
+                gif.profile.count_ones(),
+                "summary must cover every bit of member {gk:?}"
+            );
+        }
+    }
+
+    /// With many mutually disjoint groups, whole-tile rejection skips
+    /// member evaluations the untiled engine pays for — fewer
+    /// closeness computations, identical allocation.
+    #[test]
+    fn tile_pruning_reduces_closeness_computations() {
+        let subs: Vec<SubscriptionEntry> = (0..48)
+            .map(|i| {
+                let group = i % 12;
+                let ids: Vec<u64> = (group * 8..group * 8 + 5 + (i % 3)).collect();
+                entry(i, &ids)
+            })
+            .collect();
+        let input = AllocationInput {
+            brokers: brokers(48, 60_000.0),
+            subscriptions: subs,
+            publishers: publishers(),
+        };
+        let (tiled_alloc, tiled) = CramBuilder::new(ClosenessMetric::Ios)
+            .tile(2)
+            .run(&input)
+            .unwrap();
+        let (flat_alloc, flat) = CramBuilder::new(ClosenessMetric::Ios)
+            .tile(0)
+            .run(&input)
+            .unwrap();
+        assert_eq!(tiled_alloc.loads, flat_alloc.loads);
+        assert!(
+            tiled.closeness_computations < flat.closeness_computations,
+            "tiled {} vs flat {}",
+            tiled.closeness_computations,
+            flat.closeness_computations
+        );
     }
 }

@@ -23,7 +23,7 @@
 //! are bit-identical to the sequential scan for any worker count, so
 //! the thread count is chosen automatically.
 
-use crate::engine::{available_threads, shard_map, PairCache};
+use crate::engine::{available_threads, shard_map, CacheConfig, PairCache};
 use crate::model::{Allocation, AllocationInput, BrokerLoad, Unit};
 use crate::sorting::units_from_input;
 use greenps_profile::{ClosenessMetric, PublisherTable};
@@ -65,7 +65,7 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
     // the initial sharded pass is order-independent (see crate::engine).
     let mut live = clusters.iter().filter(|c| c.is_some()).count();
     let mut partner: Vec<Option<(usize, f64)>> = vec![None; clusters.len()];
-    let mut cache: PairCache<usize> = PairCache::new();
+    let mut cache: PairCache<usize> = PairCache::with_config(CacheConfig::default());
     struct Scan {
         best: Option<(usize, f64)>,
         computed: Vec<(usize, f64)>,

@@ -192,48 +192,34 @@ impl ShiftingBitVector {
     /// separate `and_count`/`or_count`/`xor_count` calls would walk the
     /// words up to three times.
     pub fn pair_cardinalities(&self, other: &Self) -> PairCardinalities {
-        let mut out = PairCardinalities::default();
-        let mut accum = |a: u64, b: u64| {
-            out.and += (a & b).count_ones() as usize;
-            out.or += (a | b).count_ones() as usize;
-            out.left += a.count_ones() as usize;
-            out.right += b.count_ones() as usize;
-        };
-        if self.first_id == other.first_id {
-            // Fast path: aligned windows (the common case thanks to
-            // publisher message-id synchronization).
-            let n = self.words.len().max(other.words.len());
-            for i in 0..n {
-                let a = self.words.get(i).copied().unwrap_or(0);
-                let b = other.words.get(i).copied().unwrap_or(0);
-                accum(a, b);
-            }
-        } else {
-            let (lo, hi_end) = combined_window(self, other);
-            let words = idx(hi_end - lo).div_ceil(WORD_BITS);
-            for i in 0..words {
-                accum(self.window_word(lo, i), other.window_word(lo, i));
-            }
-        }
-        out
+        pair_cardinalities_windows(
+            (&self.words, self.first_id, self.window_end()),
+            (&other.words, other.first_id, other.window_end()),
+        )
     }
 
     /// `|self ∩ other|` — ids recorded in both vectors.
+    #[deprecated(note = "use `pair_cardinalities` (one pass serves all metrics) \
+                         or a `ClosenessKernel`")]
     pub fn and_count(&self, other: &Self) -> usize {
         self.zip_count(other, |a, b| a & b)
     }
 
     /// `|self ∪ other|` — ids recorded in either vector.
+    #[deprecated(note = "use `pair_cardinalities` (one pass serves all metrics) \
+                         or a `ClosenessKernel`")]
     pub fn or_count(&self, other: &Self) -> usize {
         self.zip_count(other, |a, b| a | b)
     }
 
     /// `|self ⊕ other|` — ids recorded in exactly one vector.
+    #[deprecated(note = "use `pair_cardinalities` (one pass serves all metrics) \
+                         or a `ClosenessKernel`")]
     pub fn xor_count(&self, other: &Self) -> usize {
         self.zip_count(other, |a, b| a ^ b)
     }
 
-    fn zip_count(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> usize {
+    pub(crate) fn zip_count(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> usize {
         if self.first_id == other.first_id {
             // Fast path: aligned windows (the common case thanks to
             // publisher message-id synchronization).
@@ -256,12 +242,28 @@ impl ShiftingBitVector {
 
     /// True when every id recorded here is also recorded in `other`.
     pub fn is_subset_of(&self, other: &Self) -> bool {
-        self.and_count(other) == self.count_ones()
+        self.zip_count(other, |a, b| a & b) == self.count_ones()
     }
 
     /// Bitwise set equality (ignores window placement).
     pub fn same_ids(&self, other: &Self) -> bool {
-        self.xor_count(other) == 0
+        self.zip_count(other, |a, b| a ^ b) == 0
+    }
+
+    /// Raw backing words, LSB-first from `first_id`. The arena kernel
+    /// copies these into its contiguous pool.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Overwrites `self` with `other`'s window and bits, reusing the
+    /// existing word buffer so repeated copies in a packing loop stay
+    /// allocation-free once the buffer has grown to size.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.first_id = other.first_id;
+        self.capacity = other.capacity;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
     }
 
     /// Word `i` of this vector's bits re-aligned to a window starting
@@ -273,18 +275,7 @@ impl ShiftingBitVector {
     /// words on the fly instead of materializing a realigned copy, so
     /// the closeness kernels never allocate.
     fn window_word(&self, first: u64, i: usize) -> u64 {
-        debug_assert!(first <= self.first_id);
-        let delta = idx(self.first_id - first);
-        let (wo, bo) = (delta / WORD_BITS, delta % WORD_BITS);
-        let word =
-            |j: Option<usize>| -> u64 { j.and_then(|j| self.words.get(j).copied()).unwrap_or(0) };
-        let lo = word(i.checked_sub(wo));
-        if bo == 0 {
-            lo
-        } else {
-            let hi = word(i.checked_sub(wo + 1));
-            (lo << bo) | (hi >> (WORD_BITS - bo))
-        }
+        window_word_in(&self.words, self.first_id, first, i)
     }
 
     /// Materializes this vector's bits inside an arbitrary window
@@ -406,6 +397,65 @@ fn combined_window(a: &ShiftingBitVector, b: &ShiftingBitVector) -> (u64, u64) {
     )
 }
 
+/// Word `i` of a raw bit-window re-aligned to a window starting at
+/// `target_first`, which must not exceed `own_first`; bits outside the
+/// source window read as zero. Shared by [`ShiftingBitVector`] and the
+/// arena kernel so both streaming popcount paths produce identical
+/// words.
+pub(crate) fn window_word_in(words: &[u64], own_first: u64, target_first: u64, i: usize) -> u64 {
+    debug_assert!(target_first <= own_first);
+    let delta = idx(own_first - target_first);
+    let (wo, bo) = (delta / WORD_BITS, delta % WORD_BITS);
+    let word = |j: Option<usize>| -> u64 { j.and_then(|j| words.get(j).copied()).unwrap_or(0) };
+    let lo = word(i.checked_sub(wo));
+    if bo == 0 {
+        lo
+    } else {
+        let hi = word(i.checked_sub(wo + 1));
+        (lo << bo) | (hi >> (WORD_BITS - bo))
+    }
+}
+
+/// The batch popcount kernel over two raw bit-windows, each given as
+/// `(words, first_id, window_end)`. [`ShiftingBitVector`] and the
+/// contiguous arena both route through this single implementation, so
+/// the two layouts are word-for-word identical by construction.
+pub(crate) fn pair_cardinalities_windows(
+    a: (&[u64], u64, u64),
+    b: (&[u64], u64, u64),
+) -> PairCardinalities {
+    let (a_words, a_first, a_end) = a;
+    let (b_words, b_first, b_end) = b;
+    let mut out = PairCardinalities::default();
+    let mut accum = |x: u64, y: u64| {
+        out.and += (x & y).count_ones() as usize;
+        out.or += (x | y).count_ones() as usize;
+        out.left += x.count_ones() as usize;
+        out.right += y.count_ones() as usize;
+    };
+    if a_first == b_first {
+        // Fast path: aligned windows (the common case thanks to
+        // publisher message-id synchronization).
+        let n = a_words.len().max(b_words.len());
+        for i in 0..n {
+            let x = a_words.get(i).copied().unwrap_or(0);
+            let y = b_words.get(i).copied().unwrap_or(0);
+            accum(x, y);
+        }
+    } else {
+        let lo = a_first.min(b_first);
+        let hi_end = a_end.max(b_end);
+        let words = idx(hi_end - lo).div_ceil(WORD_BITS);
+        for i in 0..words {
+            accum(
+                window_word_in(a_words, a_first, lo, i),
+                window_word_in(b_words, b_first, lo, i),
+            );
+        }
+    }
+    out
+}
+
 impl PartialOrd for ShiftingBitVector {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
@@ -516,6 +566,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the deprecated per-op counts on purpose
     fn figure_1_clustering_example() {
         // S1: Adv1 bits 11100 at 75;       Adv2 bits 11111 at 144
         // S2: Adv1 bits 00111 at 75;       Adv3 bits 00100 at 2
@@ -535,6 +586,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the deprecated per-op counts on purpose
     fn set_ops_with_misaligned_windows() {
         let mut a = ShiftingBitVector::starting_at(16, 0);
         let mut b = ShiftingBitVector::starting_at(16, 8);
@@ -615,6 +667,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // cross-checks the kernel against the legacy counts
     fn pair_cardinalities_match_individual_counts() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);

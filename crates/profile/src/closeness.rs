@@ -14,6 +14,7 @@
 //! zero exactly when the relationship is empty — the property CRAM's
 //! poset search pruning relies on.
 
+use crate::bitvec::PairCardinalities;
 use crate::profile::SubscriptionProfile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -84,7 +85,18 @@ impl ClosenessMetric {
     /// ([`SubscriptionProfile::pair_cardinalities`]) rather than
     /// separate intersect/union/count walks.
     pub fn closeness(self, a: &SubscriptionProfile, b: &SubscriptionProfile) -> f64 {
-        let c = a.pair_cardinalities(b);
+        self.from_cardinalities(a.pair_cardinalities(b))
+    }
+
+    /// Evaluates the metric from precomputed pair cardinalities.
+    ///
+    /// This is the scalar half of [`Self::closeness`]: a
+    /// [`crate::kernel::ClosenessKernel`] produces the cardinalities
+    /// from whatever layout it stores profiles in, and this function
+    /// turns them into the metric value. Because `closeness` itself
+    /// routes through here, any kernel whose cardinalities match the
+    /// per-profile pass yields bit-identical `f64` results.
+    pub fn from_cardinalities(self, c: PairCardinalities) -> f64 {
         match self {
             ClosenessMetric::Intersect => c.and as f64,
             ClosenessMetric::Xor => {

@@ -39,13 +39,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod bitvec;
 pub mod closeness;
+pub mod kernel;
 pub mod poset;
 pub mod profile;
 
+pub use arena::{BitsetArena, RowId};
 pub use bitvec::{PairCardinalities, ShiftingBitVector, DEFAULT_CAPACITY};
 pub use closeness::{Closeness, ClosenessMetric, XOR_CAP};
+pub use kernel::{ArenaKernel, ClosenessKernel, PerProfileKernel};
 pub use poset::Poset;
 pub use profile::{
     fraction_of, Load, PublisherProfile, PublisherTable, Relation, SubscriptionProfile,

@@ -119,7 +119,7 @@ impl SubscriptionProfile {
     pub fn intersect_count(&self, other: &Self) -> usize {
         self.vectors
             .iter()
-            .filter_map(|(adv, v)| other.vectors.get(adv).map(|o| v.and_count(o)))
+            .filter_map(|(adv, v)| other.vectors.get(adv).map(|o| v.zip_count(o, |a, b| a & b)))
             .sum()
     }
 
@@ -128,7 +128,7 @@ impl SubscriptionProfile {
         let mut total = 0;
         for (adv, v) in &self.vectors {
             total += match other.vectors.get(adv) {
-                Some(o) => v.or_count(o),
+                Some(o) => v.zip_count(o, |a, b| a | b),
                 None => v.count_ones(),
             };
         }
@@ -233,7 +233,7 @@ impl SubscriptionProfile {
                 Some(mine) => {
                     let old = fraction(mine.count_ones(), mine.first_id(), mine.capacity());
                     let new = fraction(
-                        mine.or_count(o),
+                        mine.zip_count(o, |a, b| a | b),
                         mine.first_id().min(o.first_id()),
                         mine.capacity().max(o.capacity()),
                     );
@@ -272,7 +272,7 @@ impl SubscriptionProfile {
             match other.vectors.get(adv) {
                 Some(o) => add(
                     *adv,
-                    v.or_count(o),
+                    v.zip_count(o, |a, b| a | b),
                     v.first_id().min(o.first_id()),
                     v.capacity().max(o.capacity()),
                 ),
@@ -323,6 +323,24 @@ pub enum Relation {
 }
 
 impl Relation {
+    /// Derives the relation from precomputed pair cardinalities — the
+    /// same decision procedure as [`SubscriptionProfile::relationship`]
+    /// (`|∩| = 0` → empty; otherwise compare `|∩|` against `|S1|` and
+    /// `|S2|`), so a [`crate::kernel::ClosenessKernel`] can classify a
+    /// pair without re-walking the profiles.
+    #[must_use]
+    pub fn from_cardinalities(c: PairCardinalities) -> Relation {
+        if c.and == 0 {
+            return Relation::Empty;
+        }
+        match (c.and == c.left, c.and == c.right) {
+            (true, true) => Relation::Equal,
+            (false, true) => Relation::Superset,
+            (true, false) => Relation::Subset,
+            (false, false) => Relation::Intersect,
+        }
+    }
+
     /// The same relation seen from the other profile's side.
     #[must_use]
     pub fn flip(self) -> Relation {
