@@ -205,14 +205,18 @@ pub fn extract(file: &SourceFile) -> Vec<NameSite> {
                 }
             }
         }
-        // `Span::enter(reg, "…")` — the name is the second argument.
+        // `Span::enter(reg, "…")` / `Span::enter(reg, &format!("…"))` —
+        // the name is the second argument; format templates become
+        // dynamic sites matched against `<var>` pattern entries, the
+        // same as registry-method names.
         if t.is_ident("Span")
             && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
             && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
             && code.get(i + 3).is_some_and(|n| n.is_ident("enter"))
             && code.get(i + 4).is_some_and(|n| n.is_punct('('))
         {
-            // First string literal at argument depth 1 is the name.
+            // Find the comma separating the registry from the name
+            // (argument depth 1), then read the name like a first arg.
             let mut depth = 1usize;
             let mut k = i + 5;
             while k < code.len() && depth > 0 {
@@ -221,11 +225,11 @@ pub fn extract(file: &SourceFile) -> Vec<NameSite> {
                     depth += 1;
                 } else if c.is_punct(')') {
                     depth -= 1;
-                } else if depth == 1 {
-                    if let Some(body) = c.str_body() {
-                        push("span", c, false, body);
-                        break;
+                } else if depth == 1 && c.is_punct(',') {
+                    if let Some((tok, body, dynamic)) = first_arg_name(&code, k + 1) {
+                        push("span", tok, dynamic, &body);
                     }
+                    break;
                 }
                 k += 1;
             }
@@ -416,6 +420,15 @@ mod tests {
         let schema = "span cram.run\nring cram\nevent gif.merge\nevent pair.blacklist\n";
         let got = lint(src, schema);
         assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn format_built_span_names_are_dynamic_sites() {
+        let src = "fn f(reg: &Registry, z: u32) {\n    let _a = Span::enter(reg, &format!(\"zone.cram.z{z}\"));\n    let _b = Span::enter(reg, &format!(\"rogue.{z}.span\"));\n}\n";
+        let got = lint(src, "span zone.cram.z<id>\n");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("rogue."), "{got:?}");
+        assert!(got[0].message.contains("dynamic span name"), "{got:?}");
     }
 
     #[test]

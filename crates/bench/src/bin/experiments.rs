@@ -120,6 +120,7 @@ fn main() {
                      e9      one-to-many + overlay optimization ablations\n\
                      e10     bit-vector load-estimation accuracy\n\
                      bench-report  reference vs tuned CRAM -> BENCH_cram.json\n\
+                     scale-report  hierarchical zoned CRAM at 100k-1M subs -> BENCH_scale.json\n\
                      pipeline-smoke  interrupt + resume a run -> pipeline_checkpoint.json"
                 );
                 return;
@@ -144,6 +145,7 @@ fn main() {
             "e9" => e9(&opts),
             "e10" => e10(&opts),
             "bench-report" => bench_report(&opts),
+            "scale-report" => scale_report(&opts),
             "pipeline-smoke" => pipeline_smoke(&opts),
             "all" => {
                 e1_e2_e3(&opts);
@@ -700,6 +702,29 @@ fn pipeline_smoke(opts: &Opts) {
         resumed.metrics.deliveries,
         path.display()
     );
+}
+
+/// `scale-report`: hierarchical zoned allocation (DESIGN.md §12) over
+/// streaming workloads — 100k subscriptions in quick mode, plus a
+/// 1M-subscription row in the full run. Writes `BENCH_scale.json`
+/// (into `--csv <dir>` when given, else the cwd).
+fn scale_report(opts: &Opts) {
+    // Zone counts keep the largest zone's GIF pool small enough for the
+    // quadratic closest-pair search; the skew-1 weighting makes zone 0
+    // roughly 2x the mean so the memory bound is actually exercised.
+    let rows: &[(usize, usize)] = if opts.quick {
+        &[(100_000, 8)]
+    } else {
+        &[(100_000, 8), (1_000_000, 64)]
+    };
+    let threads = available_threads().clamp(1, 8);
+    let json = greenps_bench::scale_report_json(rows, threads, opts.quick);
+    let path = match &opts.csv {
+        Some(dir) => dir.join("BENCH_scale.json"),
+        None => PathBuf::from("BENCH_scale.json"),
+    };
+    std::fs::write(&path, json).expect("write BENCH_scale.json");
+    println!("scale-report: wrote {}", path.display());
 }
 
 /// `bench-report`: reference vs tuned (arena layout, tiled pruning,

@@ -19,6 +19,37 @@ use std::time::Instant;
 /// profiles.
 pub const PROFILE_WINDOW: u64 = 400;
 
+/// Peak resident set size of this process in KiB, read from the
+/// `VmHWM` line of `/proc/self/status`. `None` on non-Linux targets
+/// (reports render it as JSON `null`) so `BENCH_cram.json` and
+/// `BENCH_scale.json` share one memory column everywhere.
+pub fn peak_rss_kib() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status.lines().find_map(|line| {
+            line.strip_prefix("VmHWM:")?
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .ok()
+        })
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Renders [`peak_rss_kib`] as a JSON scalar (`null` off-Linux).
+fn peak_rss_json() -> String {
+    match peak_rss_kib() {
+        Some(kib) => kib.to_string(),
+        None => "null".to_string(),
+    }
+}
+
 /// Builds an [`AllocationInput`] directly from a scenario by evaluating
 /// every subscription filter against the stocks' publication streams —
 /// "ideal" Phase-1 profiles without running the simulator. Used by the
@@ -169,12 +200,13 @@ pub fn bench_report_json(sizes: &[usize], threads: usize, quick: bool) -> String
              \"parallel_ms\": {parallel_ms:.3}, \"speedup\": {speedup:.3}, \
              \"allocated_brokers\": {}, \"merges\": {}, \
              \"closeness_computations\": {}, \"reference_computations\": {}, \
-             \"reduction\": {reduction:.3}, \"identical\": true}}",
+             \"reduction\": {reduction:.3}, \"peak_rss_kib\": {}, \"identical\": true}}",
             scenario.brokers.len(),
             ref_alloc.broker_count(),
             ref_stats.merges,
             tuned_stats.closeness_computations,
             ref_stats.closeness_computations,
+            peak_rss_json(),
         ));
     }
     format!(
@@ -183,6 +215,88 @@ pub fn bench_report_json(sizes: &[usize], threads: usize, quick: bool) -> String
         quick,
         available,
         runs.join(",\n")
+    )
+}
+
+/// Publishers per zone used by the scale report's zoned workloads.
+pub const SCALE_PUBS_PER_ZONE: usize = 8;
+
+/// Seed of the scale-report workloads.
+pub const SCALE_SEED: u64 = 11;
+
+/// Runs the hierarchical zoned allocator ([`greenps_core::zones`]) over
+/// streaming zoned workloads — one `(subscriptions, zones)` row each —
+/// and renders the `BENCH_scale.json` report body. Zones are generated
+/// and profiled on demand by [`greenps_workload::zones::ZonedStreamFeed`],
+/// so peak RSS tracks the largest zone rather than the whole workload;
+/// every row records it via [`peak_rss_kib`] (note `VmHWM` is a
+/// high-water mark, so rows share the process-lifetime peak so far).
+///
+/// The key vocabulary of the emitted JSON is declared as `benchkey`
+/// entries in `analysis/telemetry-schema.txt` and checked by
+/// `tests/experiments_smoke.rs` — keep the three in sync.
+///
+/// # Panics
+/// Panics when the zoned allocator fails on a generated workload or a
+/// row drops subscriptions.
+pub fn scale_report_json(rows: &[(usize, usize)], zone_threads: usize, quick: bool) -> String {
+    use greenps_core::zones::{zoned_allocate, ZonedConfig};
+    use greenps_telemetry::Registry;
+    use greenps_workload::zones::{ZonedSpec, ZonedStreamFeed};
+
+    let available = greenps_core::engine::available_threads();
+    let effective_threads = zone_threads.max(1).min(available);
+    let mut rendered = Vec::new();
+    for &(subs, zones) in rows {
+        let spec = ZonedSpec {
+            zones: zones.max(1),
+            skew: 1,
+            total_subs: subs,
+            pubs_per_zone: SCALE_PUBS_PER_ZONE,
+            seed: SCALE_SEED,
+        };
+        let largest_zone = spec.zone_sub_counts().into_iter().max().unwrap_or(0);
+        let mut feed = ZonedStreamFeed::new(spec, PROFILE_WINDOW);
+        let brokers = feed.broker_pool((subs / 50).max(80));
+        let publishers = feed.publishers().clone();
+        let registry = Registry::new();
+        let config =
+            ZonedConfig::with_metric(ClosenessMetric::Intersect).zone_threads(zone_threads);
+        let t0 = Instant::now();
+        let zoned = zoned_allocate(&mut feed, &brokers, &publishers, &config, &registry)
+            .expect("zoned CRAM");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            zoned.sub_count(),
+            subs,
+            "every subscription must be allocated"
+        );
+        let rss = peak_rss_json();
+        println!(
+            "scale-report: {subs} subs / {zones} zones (largest {largest_zone}) -> \
+             {} brokers in {wall_ms:.0} ms, {} cross-zone links, peak RSS {rss} KiB",
+            zoned.allocation.broker_count(),
+            zoned.cross_links,
+        );
+        rendered.push(format!(
+            "    {{\"subscriptions\": {subs}, \"zones\": {}, \"brokers\": {}, \
+             \"threads\": {zone_threads}, \"effective_threads\": {effective_threads}, \
+             \"largest_zone\": {largest_zone}, \"gifs\": {}, \
+             \"allocated_brokers\": {}, \"cross_links\": {}, \
+             \"wall_ms\": {wall_ms:.3}, \"peak_rss_kib\": {rss}}}",
+            zoned.zone_count(),
+            brokers.len(),
+            zoned.zones.iter().map(|z| z.gifs).sum::<usize>(),
+            zoned.allocation.broker_count(),
+            zoned.cross_links,
+        ));
+    }
+    format!(
+        "{{\n  \"metric\": \"INTERSECT\",\n  \"quick\": {},\n  \
+         \"available_parallelism\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        quick,
+        available,
+        rendered.join(",\n")
     )
 }
 

@@ -229,12 +229,6 @@ impl<K: Ord + Copy> Default for PairCache<K> {
 }
 
 impl<K: Ord + Copy> PairCache<K> {
-    /// Creates an empty cache with the default [`CacheConfig`].
-    #[deprecated(note = "use `PairCache::with_config(CacheConfig::default())`")]
-    pub fn new() -> Self {
-        Self::with_config(CacheConfig::default())
-    }
-
     /// Creates an empty cache with an explicit configuration.
     pub fn with_config(config: CacheConfig) -> Self {
         PairCache {

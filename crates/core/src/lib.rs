@@ -60,6 +60,7 @@ pub mod overlay;
 pub mod pairwise;
 pub mod pipeline;
 pub mod sorting;
+pub mod zones;
 
 pub use capacity::{pack_all, Packer};
 pub use cram::{CramBuilder, CramConfig, CramStats};
@@ -77,3 +78,7 @@ pub use pipeline::{
     ReconfigContext,
 };
 pub use sorting::{bin_packing, fbf};
+pub use zones::{
+    zoned_allocate, StreamingGifBuilder, ZoneFeed, ZonePlan, ZonedAllocatePhase, ZonedAllocation,
+    ZonedConfig,
+};

@@ -39,6 +39,10 @@ pub enum PhaseKind {
     Gather,
     /// Phase 2: group subscriptions and allocate brokers.
     Allocate,
+    /// Phase 2 (hierarchical): per-zone CRAM runs plus the recursive
+    /// cross-zone pass ([`crate::zones`]). An alternative to
+    /// [`PhaseKind::Allocate`] for zone-sharded workloads.
+    ZonedAllocate,
     /// Phase 3a: build the broker tree and relocate publishers.
     BuildOverlay,
     /// Phase 3b: compute the new placement to deploy.
@@ -49,9 +53,10 @@ pub enum PhaseKind {
 
 impl PhaseKind {
     /// All phases in pipeline order.
-    pub const ALL: [PhaseKind; 5] = [
+    pub const ALL: [PhaseKind; 6] = [
         PhaseKind::Gather,
         PhaseKind::Allocate,
+        PhaseKind::ZonedAllocate,
         PhaseKind::BuildOverlay,
         PhaseKind::Deploy,
         PhaseKind::Measure,
@@ -63,6 +68,7 @@ impl PhaseKind {
         match self {
             PhaseKind::Gather => "gather",
             PhaseKind::Allocate => "allocate",
+            PhaseKind::ZonedAllocate => "zoned_allocate",
             PhaseKind::BuildOverlay => "build_overlay",
             PhaseKind::Deploy => "deploy",
             PhaseKind::Measure => "measure",
@@ -158,6 +164,7 @@ fn phase_span(registry: &Registry, kind: PhaseKind) -> Span {
     match kind {
         PhaseKind::Gather => Span::enter(registry, "pipeline.phase.gather"),
         PhaseKind::Allocate => Span::enter(registry, "pipeline.phase.allocate"),
+        PhaseKind::ZonedAllocate => Span::enter(registry, "pipeline.phase.zoned_allocate"),
         PhaseKind::BuildOverlay => Span::enter(registry, "pipeline.phase.build_overlay"),
         PhaseKind::Deploy => Span::enter(registry, "pipeline.phase.deploy"),
         PhaseKind::Measure => Span::enter(registry, "pipeline.phase.measure"),
@@ -231,6 +238,7 @@ impl Pipeline {
         let name = match phase {
             PhaseKind::Gather => "pipeline.phase.gather",
             PhaseKind::Allocate => "pipeline.phase.allocate",
+            PhaseKind::ZonedAllocate => "pipeline.phase.zoned_allocate",
             PhaseKind::BuildOverlay => "pipeline.phase.build_overlay",
             PhaseKind::Deploy => "pipeline.phase.deploy",
             PhaseKind::Measure => "pipeline.phase.measure",
@@ -321,9 +329,12 @@ mod tests {
 
     #[test]
     fn phase_kind_names_and_order() {
-        assert_eq!(PhaseKind::ALL.len(), 5);
+        assert_eq!(PhaseKind::ALL.len(), 6);
         assert_eq!(PhaseKind::BuildOverlay.to_string(), "build_overlay");
+        assert_eq!(PhaseKind::ZonedAllocate.to_string(), "zoned_allocate");
         assert!(PhaseKind::Gather < PhaseKind::Measure);
+        assert!(PhaseKind::Allocate < PhaseKind::ZonedAllocate);
+        assert!(PhaseKind::ZonedAllocate < PhaseKind::BuildOverlay);
     }
 
     #[test]

@@ -17,9 +17,11 @@ pub mod scenario;
 pub mod stock;
 pub mod subs;
 pub mod topology;
+pub mod zones;
 
 pub use pipeline::ReconfigPipeline;
 pub use runner::{run_approach, Approach, Outcome, RunConfig};
 pub use scenario::{Scenario, ScenarioBuilder, Topology};
 pub use stock::{symbols, StockSeries};
 pub use topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};
+pub use zones::{ZonedSpec, ZonedStreamFeed, DEFAULT_PUBS_PER_ZONE};

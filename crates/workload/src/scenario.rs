@@ -67,11 +67,11 @@ impl Scenario {
     }
 }
 
-fn broker(id: u64, bandwidth: f64) -> BrokerConfig {
+pub(crate) fn broker(id: u64, bandwidth: f64) -> BrokerConfig {
     BrokerConfig::new(BrokerId::new(id), default_matching_delay(), bandwidth)
 }
 
-fn stocks_for(publishers: usize, seed: u64) -> Vec<StockSeries> {
+pub(crate) fn stocks_for(publishers: usize, seed: u64) -> Vec<StockSeries> {
     symbols(publishers)
         .into_iter()
         .enumerate()
@@ -94,6 +94,17 @@ pub enum Topology {
     /// The adversarial §II-B workload: every broker hosts the *same*
     /// subscription, so publisher relocation alone cannot help.
     EveryBrokerSubscribes,
+    /// Zone-sharded workload for the hierarchical allocation path
+    /// (DESIGN.md §12): `zones` locality groups, each with its own
+    /// publishers, where zone `z` receives a subscription share
+    /// weighted by `(zones - z)^skew` (`skew = 0` → uniform). Every
+    /// generated subscription carries `locality = Some(zone)`.
+    Zoned {
+        /// Number of locality zones (≥ 1).
+        zones: usize,
+        /// Integer skew exponent for the per-zone subscription weights.
+        skew: u32,
+    },
 }
 
 /// One fluent entry point for every experiment scenario.
@@ -208,6 +219,7 @@ impl ScenarioBuilder {
             Topology::Heterogeneous => self.build_heterogeneous(),
             Topology::Scinet => self.build_scinet(),
             Topology::EveryBrokerSubscribes => self.build_every_broker_subscribes(),
+            Topology::Zoned { zones, skew } => self.build_zoned(zones, skew),
         };
         if self.capacity_scale != 1.0 {
             for b in &mut s.brokers {
@@ -290,6 +302,38 @@ impl ScenarioBuilder {
         Scenario {
             name: format!("scinet-{brokers}"),
             brokers: (0..brokers as u64)
+                .map(|i| broker(i, FULL_BANDWIDTH))
+                .collect(),
+            stocks,
+            publish_period: SimDuration::from_micros(PUBLISH_PERIOD_US),
+            subs,
+            seed,
+        }
+    }
+
+    fn build_zoned(&self, zones: usize, skew: u32) -> Scenario {
+        let zones = zones.max(1);
+        let seed = self.seed;
+        let pubs_per_zone = self
+            .publishers
+            .map(|p| (p / zones).max(1))
+            .unwrap_or(crate::zones::DEFAULT_PUBS_PER_ZONE);
+        let spec = crate::zones::ZonedSpec {
+            zones,
+            skew,
+            total_subs: self.total_subs,
+            pubs_per_zone,
+            seed,
+        };
+        let stocks = stocks_for(spec.total_publishers(), seed);
+        let mut subs = Vec::with_capacity(self.total_subs);
+        for z in 0..zones {
+            subs.extend(spec.zone_subs(z, &stocks));
+        }
+        let broker_count = self.brokers.unwrap_or((self.total_subs / 50).max(80)) as u64;
+        Scenario {
+            name: format!("zoned-{zones}x{}-skew{skew}", self.total_subs),
+            brokers: (0..broker_count)
                 .map(|i| broker(i, FULL_BANDWIDTH))
                 .collect(),
             stocks,

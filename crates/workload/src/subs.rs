@@ -23,7 +23,7 @@ pub const TEMPLATE_FRACTION: f64 = 0.4;
 const INEQ_ATTRS: [&str; 5] = ["open", "high", "low", "close", "volume"];
 
 /// A generated subscription bound to the publisher (stock) it follows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratedSub {
     /// Subscription identity.
     pub id: SubId,
@@ -31,6 +31,10 @@ pub struct GeneratedSub {
     pub filter: Filter,
     /// Index of the stock/publisher this subscription follows.
     pub publisher_index: usize,
+    /// Locality zone tag for hierarchical allocation (DESIGN.md §12).
+    /// `None` for the flat §VI-A topologies; `Some(zone)` for
+    /// [`crate::scenario::Topology::Zoned`] workloads.
+    pub locality: Option<u32>,
 }
 
 /// Generates `counts[i]` subscriptions for publisher `i` of `series`.
@@ -48,6 +52,7 @@ pub fn generate(series: &[StockSeries], counts: &[usize], seed: u64) -> Vec<Gene
                 id: SubId::new(next_id),
                 filter,
                 publisher_index: i,
+                locality: None,
             });
             next_id += 1;
         }

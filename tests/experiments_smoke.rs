@@ -215,15 +215,9 @@ fn traced_run_snapshot_matches_telemetry_schema() {
     assert!(snap.counters.keys().any(|c| c == "cram.merges"));
 }
 
-/// The key vocabulary of `BENCH_cram.json` equals the `benchkey`
-/// declarations of the schema — no undeclared keys, no dead entries.
-#[test]
-fn bench_report_keys_match_telemetry_schema() {
-    let schema = load_schema();
-    let json = greenps_bench::bench_report_json(&[60], 2, true);
-
-    let mut keys = std::collections::BTreeSet::new();
-    let mut rest = json.as_str();
+/// Collects every `"key":` token of a JSON report body.
+fn json_keys(json: &str, keys: &mut std::collections::BTreeSet<String>) {
+    let mut rest = json;
     while let Some(start) = rest.find('"') {
         let tail = &rest[start + 1..];
         let Some(end) = tail.find('"') else { break };
@@ -233,7 +227,22 @@ fn bench_report_keys_match_telemetry_schema() {
         }
         rest = &tail[end + 1..];
     }
-    assert!(!keys.is_empty(), "no keys parsed out of BENCH_cram JSON");
+}
+
+/// The combined key vocabulary of `BENCH_cram.json` and
+/// `BENCH_scale.json` equals the `benchkey` declarations of the schema
+/// — no undeclared keys, no dead entries.
+#[test]
+fn bench_report_keys_match_telemetry_schema() {
+    let schema = load_schema();
+
+    let mut keys = std::collections::BTreeSet::new();
+    json_keys(&greenps_bench::bench_report_json(&[60], 2, true), &mut keys);
+    json_keys(
+        &greenps_bench::scale_report_json(&[(600, 4)], 2, true),
+        &mut keys,
+    );
+    assert!(!keys.is_empty(), "no keys parsed out of the bench JSON");
 
     let declared: std::collections::BTreeSet<String> = schema
         .entries
@@ -244,7 +253,7 @@ fn bench_report_keys_match_telemetry_schema() {
     for key in &keys {
         assert!(
             declared.contains(key),
-            "BENCH_cram.json key `{key}` is not a declared benchkey"
+            "bench report key `{key}` is not a declared benchkey"
         );
     }
     for key in &declared {
