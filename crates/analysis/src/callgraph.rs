@@ -166,6 +166,8 @@ pub struct CallGraph {
     pub adj: Vec<Vec<usize>>,
     /// Workspace type registry (structs/enums/traits by bare name).
     pub types: BTreeMap<String, TypeInfo>,
+    /// Bare function name → node indices (candidate lookup).
+    pub by_name: BTreeMap<String, Vec<usize>>,
 }
 
 impl CallGraph {
@@ -215,17 +217,17 @@ impl CallGraph {
             edges: Vec::new(),
             adj: Vec::new(),
             types,
+            by_name: BTreeMap::new(),
         };
         // Bare-name index for candidate lookup.
-        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         for (i, n) in g.nodes.iter().enumerate() {
-            by_name.entry(n.item.name.as_str()).or_default().push(i);
+            g.by_name.entry(n.item.name.clone()).or_default().push(i);
         }
         let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
         for caller in 0..g.nodes.len() {
             let calls = g.nodes[caller].item.calls.clone();
             for call in &calls {
-                for callee in g.resolve(caller, &call.callee, &by_name) {
+                for callee in g.resolve_site(caller, &call.callee) {
                     if callee != caller {
                         edges.insert((caller, callee));
                     }
@@ -282,13 +284,12 @@ impl CallGraph {
         false
     }
 
-    /// Resolves one call site to candidate node indices.
-    fn resolve(
-        &self,
-        caller: usize,
-        callee: &Callee,
-        by_name: &BTreeMap<&str, Vec<usize>>,
-    ) -> Vec<usize> {
+    /// Resolves one call site of `caller` to candidate node indices —
+    /// the same resolution that built the edges, exposed so the
+    /// CFG-based lints can ask which callees a *specific* site (by
+    /// offset) may reach.
+    pub fn resolve_site(&self, caller: usize, callee: &Callee) -> Vec<usize> {
+        let by_name = &self.by_name;
         let item = &self.nodes[caller].item;
         match callee {
             Callee::Path(raw) => {

@@ -49,16 +49,21 @@ pub mod allowlist;
 pub mod attributes;
 pub mod baseline;
 pub mod callgraph;
+pub mod cancel_responsive;
 pub mod cast_safety;
+pub mod cfg;
 pub mod determinism;
+pub mod guard_scope;
 pub mod hot_path_alloc;
 pub mod layering;
 pub mod lexer;
 pub mod lock_hygiene;
 pub mod lock_order;
+pub mod loop_growth;
 pub mod panic_freedom;
 pub mod panic_reach;
 pub mod parser;
+pub mod sarif;
 pub mod source;
 pub mod telemetry_schema;
 

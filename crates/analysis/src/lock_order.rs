@@ -46,7 +46,7 @@ struct Guard {
 /// Walks back from the `.` at `code[dot]` collecting the receiver chain
 /// (`self.state.inner` → `state.inner`). Empty when the receiver is not
 /// a plain ident chain (e.g. a call result).
-fn receiver_chain(code: &[&Token<'_>], dot: usize) -> Option<String> {
+pub(crate) fn receiver_chain(code: &[&Token<'_>], dot: usize) -> Option<String> {
     let mut parts: Vec<&str> = Vec::new();
     let mut k = dot; // index of a `.`
     loop {
@@ -135,7 +135,7 @@ pub fn extract_edges(krate: &str, path: &str, content: &str) -> Vec<Edge> {
 
 /// Number of `ident .` pairs in the receiver chain ending at the `.`
 /// at `dot` (counting the `self` segment if present).
-fn chain_len(code: &[&Token<'_>], dot: usize) -> usize {
+pub(crate) fn chain_len(code: &[&Token<'_>], dot: usize) -> usize {
     let mut n = 0;
     let mut k = dot;
     loop {
@@ -153,7 +153,11 @@ fn chain_len(code: &[&Token<'_>], dot: usize) -> usize {
 
 /// When the tokens from `stmt_start` to `recv_start` are exactly
 /// `let [mut] name =`, returns `name`.
-fn let_binding(code: &[&Token<'_>], stmt_start: usize, recv_start: usize) -> Option<String> {
+pub(crate) fn let_binding(
+    code: &[&Token<'_>],
+    stmt_start: usize,
+    recv_start: usize,
+) -> Option<String> {
     let head: Vec<&&Token<'_>> = code.get(stmt_start..recv_start)?.iter().collect();
     match head.as_slice() {
         [l, n, eq] if l.is_ident("let") && n.kind == TokenKind::Ident && eq.is_punct('=') => {

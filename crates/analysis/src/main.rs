@@ -15,13 +15,14 @@
 
 use greenps_analysis::allowlist::{Allowlist, DETERMINISM_SPEC};
 use greenps_analysis::callgraph::CallGraph;
+use greenps_analysis::cancel_responsive::CANCEL_SPEC;
 use greenps_analysis::cast_safety::CAST_SPEC;
 use greenps_analysis::hot_path_alloc::HOT_PATH_SPEC;
 use greenps_analysis::telemetry_schema::Schema;
 use greenps_analysis::{
-    attributes, baseline, cast_safety, determinism, hot_path_alloc, layering, load_sources,
-    lock_hygiene, lock_order, panic_freedom, panic_reach, telemetry_schema, workspace_root,
-    Finding, SourceFile,
+    attributes, baseline, cancel_responsive, cast_safety, determinism, guard_scope, hot_path_alloc,
+    layering, load_sources, lock_hygiene, lock_order, loop_growth, panic_freedom, panic_reach,
+    sarif, telemetry_schema, workspace_root, Finding, SourceFile,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -33,6 +34,7 @@ const DET_ALLOWLIST_PATH: &str = "analysis/determinism-allowlist.txt";
 const HOT_PATHS_PATH: &str = "analysis/hot-paths.txt";
 const HOT_ALLOWLIST_PATH: &str = "analysis/hot-path-allowlist.txt";
 const CAST_ALLOWLIST_PATH: &str = "analysis/cast-allowlist.txt";
+const CANCEL_ALLOWLIST_PATH: &str = "analysis/cancel-allowlist.txt";
 const SCHEMA_PATH: &str = "analysis/telemetry-schema.txt";
 const BASELINE_PATH: &str = "analysis/baseline.json";
 
@@ -47,28 +49,36 @@ const LINTS: [&str; 7] = [
     "telemetry-schema",
 ];
 
-const USAGE: &str = "usage: cargo run -p greenps-analysis -- <check> [--ratchet] [--format text|json]\n\nchecks:\n  panic-freedom     unwrap/expect/panic!/indexing in runtime library code\n  layering          DESIGN.md \u{a7}3 crate dependency DAG\n  lock-hygiene      std::sync locks; guards held across channel ops\n  attributes        forbid(unsafe_code) + deny(missing_docs) on crate roots\n  determinism       HashMap/HashSet iteration + wall clocks in deterministic crates\n  telemetry-schema  instrument names vs analysis/telemetry-schema.txt\n  lock-order        static lock acquisition-order cycles\n  panic-reach       pub APIs that can transitively reach a panic site (tracked)\n  hot-path-alloc    allocations reachable from analysis/hot-paths.txt entries\n  cast-safety       potentially truncating/wrapping `as` casts in library code\n  callgraph         print the workspace call graph as greenps-callgraph/1 JSON\n  all               every check above (callgraph excluded)\n\nflags:\n  --ratchet         compare counts against analysis/baseline.json: growth\n                    fails, improvements auto-shrink the baseline (all only)\n  --format <fmt>    text (default) or json";
+const USAGE: &str = "usage: cargo run -p greenps-analysis -- <check> [--ratchet] [--format text|json]\n\nchecks:\n  panic-freedom     unwrap/expect/panic!/indexing in runtime library code\n  layering          DESIGN.md \u{a7}3 crate dependency DAG\n  lock-hygiene      std::sync locks; guards held across channel ops\n  attributes        forbid(unsafe_code) + deny(missing_docs) on crate roots\n  determinism       HashMap/HashSet iteration + wall clocks in deterministic crates\n  telemetry-schema  instrument names vs analysis/telemetry-schema.txt\n  lock-order        static lock acquisition-order cycles\n  panic-reach       pub APIs that can transitively reach a panic site (tracked)\n  hot-path-alloc    allocations reachable from analysis/hot-paths.txt entries\n  cast-safety       potentially truncating/wrapping `as` casts in library code\n  cancel-responsive loops reachable from long-running entries must poll cancel\n  guard-scope       Tracked guards held across kernel/export/delivery calls\n  loop-growth       unreserved push/insert in subscription-scale loops (tracked)\n  callgraph         print the workspace call graph as greenps-callgraph/1 JSON\n  all               every check above (callgraph excluded)\n\nflags:\n  --ratchet         compare counts against analysis/baseline.json: growth\n                    fails, improvements auto-shrink the baseline (all only)\n  --format <fmt>    text (default), json, or sarif";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     check: String,
     ratchet: bool,
-    json: bool,
+    format: Format,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut check: Option<String> = None;
     let mut ratchet = false;
-    let mut json = false;
+    let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--ratchet" => ratchet = true,
             "--format" => match it.next().map(String::as_str) {
-                Some("text") => json = false,
-                Some("json") => json = true,
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 other => {
                     return Err(format!(
-                        "--format expects `text` or `json`, got {}",
+                        "--format expects `text`, `json`, or `sarif`, got {}",
                         other.unwrap_or("nothing")
                     ))
                 }
@@ -85,7 +95,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(Options {
         check,
         ratchet,
-        json,
+        format,
     })
 }
 
@@ -133,11 +143,13 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.json {
-        print!("{}", baseline::render_findings_json(&counts, &findings));
-    } else {
-        for f in &findings {
-            println!("{f}");
+    match opts.format {
+        Format::Json => print!("{}", baseline::render_findings_json(&counts, &findings)),
+        Format::Sarif => print!("{}", sarif::render(&findings)),
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
         }
     }
 
@@ -145,18 +157,21 @@ fn main() -> ExitCode {
         return ratchet(&root, &counts);
     }
 
-    // panic-reach findings are *tracked*: the per-site allowlist already
-    // justifies the underlying sites, so reachable endpoints inform but
-    // do not fail a plain run — the `panic.reachable-endpoints` ratchet
-    // counter is the enforcement.
-    let enforced = findings.iter().filter(|f| f.lint != "panic-reach").count();
+    // panic-reach and loop-growth findings are *tracked*: their ratchet
+    // counters (`panic.reachable-endpoints`, `growth.findings`) are the
+    // enforcement, so they inform but do not fail a plain run.
+    let tracked = ["panic-reach", "loop-growth"];
+    let enforced = findings
+        .iter()
+        .filter(|f| !tracked.contains(&f.lint))
+        .count();
     if enforced == 0 {
-        if !opts.json {
+        if opts.format == Format::Text {
             if findings.is_empty() {
                 println!("analysis: `{}` clean", opts.check);
             } else {
                 println!(
-                    "analysis: `{}` clean ({} tracked panic-reach finding(s))",
+                    "analysis: `{}` clean ({} tracked finding(s))",
                     opts.check,
                     findings.len()
                 );
@@ -232,7 +247,12 @@ fn run_checks(root: &Path, check: &str) -> Result<(Vec<Finding>, BTreeMap<String
         .collect();
     let needs_graph = matches!(
         check,
-        "panic-reach" | "hot-path-alloc" | "cast-safety" | "all"
+        "panic-reach"
+            | "hot-path-alloc"
+            | "cast-safety"
+            | "cancel-responsive"
+            | "guard-scope"
+            | "all"
     );
     let graph = needs_graph.then(|| CallGraph::build(&first_party));
 
@@ -338,6 +358,42 @@ fn run_checks(root: &Path, check: &str) -> Result<(Vec<Finding>, BTreeMap<String
         }
     }
 
+    if matches!(check, "cancel-responsive" | "all") {
+        known = true;
+        if let Some(graph) = &graph {
+            let allow_text =
+                fs::read_to_string(root.join(CANCEL_ALLOWLIST_PATH)).unwrap_or_default();
+            let allowlist = Allowlist::parse_with(CANCEL_ALLOWLIST_PATH, &allow_text, &CANCEL_SPEC);
+            extra_counts.insert(
+                "allowlist.cancel-entries".to_string(),
+                allowlist.entries.len(),
+            );
+            let got = cancel_responsive::run(
+                &first_party,
+                graph,
+                cancel_responsive::DEFAULT_ENTRIES,
+                &allowlist,
+                CANCEL_ALLOWLIST_PATH,
+            );
+            extra_counts.insert("cancel.findings".to_string(), got.len());
+            findings.extend(got);
+        }
+    }
+    if matches!(check, "guard-scope" | "all") {
+        known = true;
+        if let Some(graph) = &graph {
+            let got = guard_scope::run(&first_party, graph);
+            extra_counts.insert("guard.findings".to_string(), got.len());
+            findings.extend(got);
+        }
+    }
+    if matches!(check, "loop-growth" | "all") {
+        known = true;
+        let got = loop_growth::run(&first_party);
+        extra_counts.insert("growth.findings".to_string(), got.len());
+        findings.extend(got);
+    }
+
     if !known {
         return Err(format!("unknown check `{check}`\n{USAGE}"));
     }
@@ -348,7 +404,14 @@ fn run_checks(root: &Path, check: &str) -> Result<(Vec<Finding>, BTreeMap<String
     // The interprocedural passes report under dotted counter names
     // (set above from their own tallies); drop the per-lint duplicates
     // the generic tally just created for their findings.
-    for lint in ["panic-reach", "hot-path-alloc", "cast-safety"] {
+    for lint in [
+        "panic-reach",
+        "hot-path-alloc",
+        "cast-safety",
+        "cancel-responsive",
+        "guard-scope",
+        "loop-growth",
+    ] {
         counts.remove(lint);
     }
     counts.append(&mut extra_counts);

@@ -1,0 +1,164 @@
+//! Byte-stable SARIF 2.1.0 rendering of a findings report.
+//!
+//! CI uploads the output of `--format sarif` as an artifact so code
+//! hosts and review tooling can ingest the workspace lints without
+//! parsing the bespoke `greenps-analysis/1` JSON. The writer is
+//! hand-rolled like the rest of the workspace's serializers: keys in
+//! fixed order, findings in the caller's (already sorted) order, no
+//! floats, so the same findings always render to the same bytes.
+//!
+//! Structure: one run, one driver (`greenps-analysis`), one rule per
+//! distinct lint (sorted by id), one result per finding. Tracked
+//! lints (`panic-reach`, `loop-growth`) map to level `note`;
+//! everything else is `error`. Findings with line 0 are file-level
+//! and carry no region.
+
+use crate::Finding;
+
+/// Lints that are ratchet-tracked rather than hard-enforced.
+const TRACKED: [&str; 2] = ["panic-reach", "loop-growth"];
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn level(lint: &str) -> &'static str {
+    if TRACKED.contains(&lint) {
+        "note"
+    } else {
+        "error"
+    }
+}
+
+/// Renders `findings` as a SARIF 2.1.0 document. Findings should be
+/// pre-sorted (the CLI's report order) for byte stability.
+pub fn render(findings: &[Finding]) -> String {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"greenps-analysis\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/greenps\",\n");
+    out.push_str("          \"rules\": [");
+    let last = rules.len().saturating_sub(1);
+    for (i, r) in rules.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"defaultConfiguration\": {{\"level\": \"{}\"}}}}{comma}",
+            esc(r),
+            level(r)
+        ));
+    }
+    if rules.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n          ]");
+    }
+    out.push_str("\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    let last = findings.len().saturating_sub(1);
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        out.push_str("\n        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(f.lint)));
+        out.push_str(&format!("          \"level\": \"{}\",\n", level(f.lint)));
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            esc(&f.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\"physicalLocation\": {");
+        out.push_str(&format!(
+            "\"artifactLocation\": {{\"uri\": \"{}\"}}",
+            esc(&f.path)
+        ));
+        if f.line > 0 {
+            out.push_str(&format!(", \"region\": {{\"startLine\": {}}}", f.line));
+        }
+        out.push_str("}}\n          ]\n        }");
+        out.push_str(comma);
+    }
+    if findings.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n      ]");
+    }
+    out.push_str("\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, path: &str, line: usize, msg: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.to_string(),
+            line,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let a = render(&[]);
+        let b = render(&[]);
+        assert_eq!(a, b);
+        assert!(a.contains("\"version\": \"2.1.0\""));
+        assert!(a.contains("\"rules\": []"));
+        assert!(a.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn findings_render_with_rule_level_and_region() {
+        let got = render(&[
+            finding("panic-freedom", "crates/core/src/a.rs", 7, "no `unwrap`"),
+            finding("panic-reach", "crates/core/src/b.rs", 0, "endpoint"),
+        ]);
+        assert!(got.contains("\"ruleId\": \"panic-freedom\""));
+        assert!(got.contains("\"level\": \"error\""));
+        assert!(got.contains("\"startLine\": 7"));
+        // Tracked lint maps to note; line 0 carries no region.
+        assert!(got.contains("\"ruleId\": \"panic-reach\""));
+        assert!(got.contains("\"level\": \"note\""));
+        assert!(!got.contains("\"startLine\": 0"));
+    }
+
+    #[test]
+    fn messages_are_escaped() {
+        let got = render(&[finding(
+            "determinism",
+            "crates/core/src/a.rs",
+            1,
+            "say \"hi\"\\\n",
+        )]);
+        assert!(got.contains("say \\\"hi\\\"\\\\\\n"));
+    }
+
+    #[test]
+    fn identical_input_renders_identical_bytes() {
+        let fs = vec![
+            finding("layering", "crates/core/src/a.rs", 3, "edge"),
+            finding("lock-order", "crates/broker/src/b.rs", 9, "cycle"),
+        ];
+        assert_eq!(render(&fs), render(&fs));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based test of the CFG builder: inserting comments and
+//! whitespace between tokens must never change the graph. Block ranges
+//! index into the comment-stripped code-token slice, so the projection
+//! compares token indices, successor edges, and loop structure — all
+//! byte-offset-independent.
+//!
+//! Trivia is only inserted where the original source already separates
+//! two tokens; splitting an adjacent pair would legitimately change
+//! the token stream.
+
+use greenps_analysis::cfg::Cfg;
+use greenps_analysis::lexer::{code, tokenize};
+use greenps_analysis::parser::parse_file;
+use greenps_analysis::SourceFile;
+use proptest::prelude::*;
+
+/// Snippets covering the builder's control-flow shapes: branches,
+/// loop flavors, `break`/`continue` (labelled and not), `match` arms,
+/// `?` early exits, and nesting.
+const SOURCES: &[&str] = &[
+    r#"
+    pub fn branches(a: u64) -> u64 {
+        if a > 3 { helper(a) } else { a + 1 }
+    }
+    pub fn helper(v: u64) -> u64 { v }
+    "#,
+    r#"
+    pub fn loops(items: &[u64]) -> u64 {
+        let mut total = 0;
+        for x in items {
+            if *x == 0 { continue; }
+            total += x;
+        }
+        while total > 100 { total /= 2; }
+        loop {
+            if total == 0 { break; }
+            total -= 1;
+        }
+        total
+    }
+    "#,
+    r#"
+    pub fn nested(rows: &[Vec<u64>]) -> u64 {
+        let mut hits = 0;
+        'outer: for row in rows {
+            for v in row {
+                if *v > 9 { break 'outer; }
+                hits += 1;
+            }
+        }
+        hits
+    }
+    "#,
+    r#"
+    pub fn questions(s: &str) -> Result<u64, std::num::ParseIntError> {
+        let a: u64 = s.parse()?;
+        let b: u64 = "7".parse()?;
+        Ok(a + b)
+    }
+    "#,
+    r#"
+    pub fn matches(k: u64) -> u64 {
+        match k {
+            0 => 1,
+            1 | 2 => { let t = k * 2; t }
+            _ => {
+                let mut v = k;
+                while v > 10 { v -= 3; }
+                v
+            }
+        }
+    }
+    "#,
+];
+
+/// Trivia variants that are safe anywhere two tokens are already
+/// separated: every line comment terminates itself with a newline.
+const TRIVIA: &[&str] = &[
+    " ",
+    "\n",
+    "\t\t",
+    "/* inserted */",
+    "// inserted\n",
+    "/* multi\n   line */ ",
+];
+
+/// Re-renders `src` with extra trivia inside every pre-existing
+/// inter-token gap, chosen by cycling through `seed`.
+fn insert_trivia(src: &str, seed: &[u8]) -> String {
+    let toks = tokenize(src);
+    let mut out = String::with_capacity(src.len() * 2);
+    let mut prev_end = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.start > prev_end {
+            out.push_str(&src[prev_end..t.start]);
+            let pick = seed[i % seed.len()] as usize % TRIVIA.len();
+            out.push_str(TRIVIA[pick]);
+        }
+        out.push_str(t.text);
+        prev_end = t.end;
+    }
+    out.push_str(&src[prev_end..]);
+    out
+}
+
+/// Byte-offset-independent projection: per function, every block's
+/// code-token index ranges and successors, the exit index, and each
+/// loop's kind and head block. Code-token indices are stable under
+/// comment/whitespace insertion because trivia never produces a code
+/// token.
+fn cfg_summaries(src: &str) -> Vec<String> {
+    let file = SourceFile {
+        path: "props.rs".into(),
+        content: src.to_string(),
+    };
+    let parsed = parse_file(&file);
+    let toks = tokenize(src);
+    let code = code(&toks);
+    parsed
+        .fns
+        .iter()
+        .filter_map(|f| f.body.map(|b| (f, b)))
+        .map(|(f, body)| {
+            let cfg = Cfg::build(&code, body, src);
+            let blocks: Vec<String> = cfg
+                .blocks
+                .iter()
+                .map(|b| format!("ranges={:?} succs={:?}", b.ranges, b.succs))
+                .collect();
+            let loops: Vec<String> = cfg
+                .loops
+                .iter()
+                .map(|l| format!("{:?}@{}", l.kind, l.head))
+                .collect();
+            format!(
+                "{} exit={} blocks={blocks:?} loops={loops:?}",
+                f.qualified, cfg.exit
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// The CFG is invariant under comment/whitespace insertion at
+    /// token boundaries the source already separates.
+    #[test]
+    fn cfg_stable_under_trivia(
+        src_idx in 0usize..SOURCES.len(),
+        seed in proptest::collection::vec(0u8..u8::MAX, 1..48),
+    ) {
+        let src = SOURCES.get(src_idx).expect("index drawn from range");
+        let mutated = insert_trivia(src, &seed);
+        prop_assert!(&mutated != src, "trivia insertion must change the bytes");
+        let base = cfg_summaries(src);
+        prop_assert!(!base.is_empty(), "every snippet parses at least one fn");
+        prop_assert_eq!(base, cfg_summaries(&mutated));
+    }
+}

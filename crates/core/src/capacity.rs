@@ -15,6 +15,7 @@
 //! place units through it.
 
 use crate::model::{AllocError, Allocation, BrokerLoad, BrokerSpec, Unit};
+use crate::pipeline::CancelToken;
 use greenps_profile::{PublisherTable, ShiftingBitVector, SubscriptionProfile};
 use greenps_pubsub::ids::{AdvId, BrokerId};
 use std::sync::Arc;
@@ -539,19 +540,25 @@ impl FastPacker {
     }
 }
 
-/// Runs a complete packing pass: places every unit in the given order.
+/// Runs a complete packing pass: places every unit in the given order,
+/// polling `cancel` between units.
 ///
 /// # Errors
 /// Fails fast with the unit that could not be placed, mirroring the
 /// paper's "the algorithm ends … if at least one subscription cannot be
-/// allocated to any broker".
+/// allocated to any broker", or with [`AllocError::Cancelled`] when the
+/// token trips mid-pass.
 pub fn pack_all(
     brokers: &[BrokerSpec],
     publishers: &PublisherTable,
     units: impl IntoIterator<Item = Unit>,
+    cancel: &CancelToken,
 ) -> Result<Allocation, AllocError> {
     let mut packer = Packer::new(brokers, publishers);
     for unit in units {
+        if cancel.is_cancelled_hot() {
+            return Err(AllocError::Cancelled);
+        }
         packer.place(unit)?;
     }
     Ok(packer.into_allocation())
@@ -888,7 +895,7 @@ mod tests {
         let units: Vec<Unit> = (0..5)
             .map(|i| unit(i, &[i * 2, i * 2 + 1], &pubs))
             .collect();
-        let alloc = pack_all(&brokers, &pubs, units).unwrap();
+        let alloc = pack_all(&brokers, &pubs, units, &CancelToken::never()).unwrap();
         assert_eq!(alloc.sub_count(), 5);
         assert_eq!(
             alloc.broker_count(),

@@ -53,6 +53,7 @@
 use crate::capacity::{pack_order, FastPacker, RefPacker};
 use crate::engine::{shard_map_scratch, CacheConfig, PairCache};
 use crate::model::{AllocError, Allocation, AllocationInput, BrokerLoad, Unit};
+use crate::pipeline::CancelToken;
 use crate::sorting::{bin_packing_units, units_from_input};
 use greenps_profile::{
     ArenaKernel, Closeness, ClosenessKernel, ClosenessMetric, PerProfileKernel, Poset,
@@ -319,7 +320,12 @@ struct Pool {
 }
 
 impl Pool {
-    fn build(units: Vec<Unit>, layout: Layout, tile: usize) -> Self {
+    fn build(
+        units: Vec<Unit>,
+        layout: Layout,
+        tile: usize,
+        cancel: &CancelToken,
+    ) -> Result<Self, AllocError> {
         let kernel: Box<dyn ClosenessKernel> = match layout {
             Layout::PerProfile => Box::new(PerProfileKernel::new()),
             Layout::Arena { stride } => {
@@ -347,9 +353,12 @@ impl Pool {
             next_gif: 0,
         };
         for u in units {
+            if cancel.is_cancelled_hot() {
+                return Err(AllocError::Cancelled);
+            }
             pool.add_unit(u);
         }
-        pool
+        Ok(pool)
     }
 
     fn add_unit(&mut self, unit: Unit) -> (UnitKey, GifKey) {
@@ -459,6 +468,7 @@ pub struct CramBuilder<'a> {
     tile: usize,
     cache: CacheConfig,
     telemetry: Registry,
+    cancel: CancelToken,
 }
 
 impl<'a> CramBuilder<'a> {
@@ -474,6 +484,7 @@ impl<'a> CramBuilder<'a> {
             tile: DEFAULT_TILE,
             cache: CacheConfig::default(),
             telemetry: Registry::disabled(),
+            cancel: CancelToken::never(),
         }
     }
 
@@ -489,6 +500,7 @@ impl<'a> CramBuilder<'a> {
             tile: DEFAULT_TILE,
             cache: CacheConfig::default(),
             telemetry: Registry::disabled(),
+            cancel: CancelToken::never(),
         }
     }
 
@@ -504,6 +516,7 @@ impl<'a> CramBuilder<'a> {
             tile: config.tile,
             cache: config.cache,
             telemetry: Registry::disabled(),
+            cancel: CancelToken::never(),
         }
     }
 
@@ -533,6 +546,16 @@ impl<'a> CramBuilder<'a> {
     #[must_use]
     pub fn cache(mut self, cache: CacheConfig) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Threads a cancellation token into the run: the merge loop, the
+    /// baseline packing, and the pool build all poll it and stop with
+    /// [`AllocError::Cancelled`]. The default is a never-cancelled
+    /// token, so untoken'd runs behave exactly as before.
+    #[must_use]
+    pub fn cancel_token(mut self, cancel: &CancelToken) -> Self {
+        self.cancel = cancel.clone();
         self
     }
 
@@ -596,9 +619,14 @@ impl<'a> CramBuilder<'a> {
         };
 
         // Initialization: allocate without clustering; abort on failure.
-        let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone())?;
+        let baseline = bin_packing_units(
+            &input.brokers,
+            &input.publishers,
+            units.clone(),
+            &self.cancel,
+        )?;
 
-        let pool = Pool::build(units, self.layout, self.tile);
+        let pool = Pool::build(units, self.layout, self.tile, &self.cancel)?;
         stats.initial_gifs = pool.gifs.len();
         // The arena layout carries a persistent packer over an
         // incrementally-maintained pack-order unit list; the
@@ -658,9 +686,14 @@ impl<'a> CramBuilder<'a> {
             removed_buf: Vec::new(),
             cgs_scratch: CgsScratch::default(),
             events: self.telemetry.ring("cram"),
+            cancel: self.cancel.clone(),
         };
         engine.stale.extend(engine.pool.gifs.keys().copied());
-        engine.run();
+        if !engine.run() {
+            // Cancelled mid-merge: no partial allocation escapes.
+            span.finish();
+            return Err(AllocError::Cancelled);
+        }
         engine.stats.poset_relation_ops = engine.pool.poset.relation_ops();
         engine.stats.final_units = engine.pool.units.len();
         self.report(&engine);
@@ -747,6 +780,8 @@ struct Engine<'a> {
     removed_buf: Vec<UnitKey>,
     /// Reusable descent/cover/removal buffers for [`Engine::attempt_cgs`].
     cgs_scratch: CgsScratch,
+    /// Polled once per merge iteration; a tripped token stops the run.
+    cancel: CancelToken,
 }
 
 fn pair_key(a: GifKey, b: GifKey) -> (GifKey, GifKey) {
@@ -1028,11 +1063,18 @@ fn scan_partner(
 }
 
 impl Engine<'_> {
-    fn run(&mut self) {
+    /// Runs the merge iteration to fixpoint. Returns `false` when the
+    /// cancellation token tripped before convergence (one poll per
+    /// merge iteration bounds the stop latency to a single
+    /// refresh/attempt round).
+    fn run(&mut self) -> bool {
         loop {
+            if self.cancel.is_cancelled_hot() {
+                return false;
+            }
             self.refresh_partners();
             let Some((g, h, _closeness)) = self.global_best() else {
-                return;
+                return true;
             };
             self.stats.iterations += 1;
             let committed = self.attempt(g, h);
@@ -1582,6 +1624,10 @@ mod tests {
     use greenps_pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
     use greenps_pubsub::Filter;
 
+    fn never() -> CancelToken {
+        CancelToken::never()
+    }
+
     fn publishers() -> PublisherTable {
         [PublisherProfile::new(
             AdvId::new(1),
@@ -1900,10 +1946,12 @@ mod tests {
         metric: &'a dyn greenps_profile::Closeness,
     ) -> Engine<'a> {
         let units = crate::sorting::units_from_input(input);
-        let baseline = bin_packing_units(&input.brokers, &input.publishers, units.clone()).unwrap();
-        let pool = Pool::build(units, Layout::PerProfile, 0);
+        let baseline =
+            bin_packing_units(&input.brokers, &input.publishers, units.clone(), &never()).unwrap();
+        let pool = Pool::build(units, Layout::PerProfile, 0, &never()).unwrap();
         let mut engine = Engine {
             pool,
+            cancel: never(),
             measure: MeasureRef::Custom(metric),
             one_to_many: true,
             poset_pruning: true,
@@ -1927,6 +1975,44 @@ mod tests {
         };
         engine.stale.extend(engine.pool.gifs.keys().copied());
         engine
+    }
+
+    /// A token tripped before the run aborts in the baseline packing,
+    /// before any engine work starts.
+    #[test]
+    fn pre_cancelled_token_aborts_the_run() {
+        let input = AllocationInput {
+            brokers: brokers(4, 100_000.0),
+            subscriptions: (0..8).map(|i| entry(i, &[i, i + 1])).collect(),
+            publishers: publishers(),
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let err = CramBuilder::new(ClosenessMetric::Ios)
+            .cancel_token(&token)
+            .run(&input)
+            .unwrap_err();
+        assert_eq!(err.to_string(), AllocError::Cancelled.to_string());
+    }
+
+    /// The merge loop itself polls the token: a cancellation tripped
+    /// after engine construction stops the iteration at the next
+    /// loop-top poll instead of running to convergence.
+    #[test]
+    fn merge_loop_polls_the_cancel_token() {
+        let input = AllocationInput {
+            brokers: brokers(4, 100_000.0),
+            subscriptions: vec![
+                entry(0, &(0..10).collect::<Vec<_>>()),
+                entry(1, &(5..15).collect::<Vec<_>>()),
+            ],
+            publishers: publishers(),
+        };
+        let metric = ClosenessMetric::Ios;
+        let mut engine = engine_for(&input, &metric);
+        engine.cancel.cancel();
+        assert!(!engine.run(), "tripped token stops the merge loop");
+        assert_eq!(engine.stats.merges, 0, "no merge ran after the trip");
     }
 
     /// Merging a GIF away must drop every cached closeness touching it
@@ -2115,7 +2201,7 @@ mod tests {
             publishers: publishers(),
         };
         let units = crate::sorting::units_from_input(&input);
-        let mut pool = Pool::build(units, Layout::Arena { stride: 0 }, 3);
+        let mut pool = Pool::build(units, Layout::Arena { stride: 0 }, 3, &never()).unwrap();
         pool.tiles.rebuild(&pool.gifs);
         assert!(pool.gifs.len() > 3, "need several buckets");
         for (gk, gif) in &pool.gifs {

@@ -9,9 +9,11 @@
 //! lives in `greenps-broker`.
 
 use crate::cram::{CramBuilder, CramConfig, CramStats};
-use crate::grape::{place_publishers, GrapeConfig, InterestTree};
+use crate::grape::{place_publishers_cancellable, GrapeConfig, InterestTree};
 use crate::model::{AllocError, Allocation, AllocationInput};
-use crate::overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayError};
+use crate::overlay::{
+    build_overlay_cancellable, AllocatorKind, Overlay, OverlayConfig, OverlayError,
+};
 use crate::pipeline::artifact::{
     allocation_from_json, allocation_to_json, arr_field, cram_stats_from_json, cram_stats_to_json,
     field, overlay_from_json, overlay_to_json, u64_field,
@@ -20,7 +22,7 @@ use crate::pipeline::json::JsonValue;
 use crate::pipeline::{
     Artifact, ArtifactError, Phase, PhaseKind, Pipeline, PipelineError, ReconfigContext,
 };
-use crate::sorting::{bin_packing, fbf};
+use crate::sorting::{bin_packing_cancellable, fbf_cancellable};
 use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
 use greenps_telemetry::Span;
 use std::collections::BTreeMap;
@@ -241,13 +243,15 @@ pub fn allocate(
     let registry = ctx.registry();
     let _span = Span::enter(registry, "phase2.allocation");
     let mut cram_stats = None;
+    let cancel = ctx.cancel_token();
     let allocation = match &config.overlay.allocator {
-        AllocatorKind::Fbf { seed } => fbf(input, *seed)?,
-        AllocatorKind::BinPacking => bin_packing(input)?,
+        AllocatorKind::Fbf { seed } => fbf_cancellable(input, *seed, &cancel)?,
+        AllocatorKind::BinPacking => bin_packing_cancellable(input, &cancel)?,
         AllocatorKind::Cram(cfg) => {
             let (a, stats) = CramBuilder::from_config(*cfg)
                 .telemetry(registry)
                 .threads(ctx.threads())
+                .cancel_token(&cancel)
                 .run(input)?;
             cram_stats = Some(stats);
             a
@@ -272,15 +276,16 @@ pub fn finish_plan(
     ctx: &ReconfigContext,
 ) -> Result<ReconfigurationPlan, PlanError> {
     let registry = ctx.registry();
+    let cancel = ctx.cancel_token();
     let overlay = {
         let _span = Span::enter(registry, "phase3.overlay");
-        build_overlay(input, &planned.allocation, &config.overlay)?
+        build_overlay_cancellable(input, &planned.allocation, &config.overlay, &cancel)?
     };
     let subscription_homes = overlay.subscription_homes();
     let publisher_homes = {
         let _span = Span::enter(registry, "grape");
-        let tree = InterestTree::from_overlay(&overlay);
-        place_publishers(&tree, &input.publishers, config.grape)
+        let tree = InterestTree::from_overlay_cancellable(&overlay, &cancel)?;
+        place_publishers_cancellable(&tree, &input.publishers, config.grape, &cancel)?
     };
     Ok(ReconfigurationPlan {
         allocation: planned.allocation,

@@ -13,7 +13,9 @@
 //! (which publications of this publisher each broker's local
 //! subscriptions sink).
 
+use crate::model::AllocError;
 use crate::overlay::Overlay;
+use crate::pipeline::CancelToken;
 use greenps_profile::{fraction_of, PublisherTable, SubscriptionProfile};
 use greenps_pubsub::ids::{AdvId, BrokerId};
 use std::collections::BTreeMap;
@@ -83,18 +85,34 @@ impl InterestTree {
 
     /// Builds the interest tree of an overlay (locals = hosted units).
     pub fn from_overlay(overlay: &Overlay) -> Self {
-        let brokers: Vec<(BrokerId, SubscriptionProfile)> = overlay
-            .nodes()
-            .map(|n| {
-                let mut local = SubscriptionProfile::new();
-                for u in &n.units {
-                    local.or_assign(&u.profile);
-                }
-                (n.broker, local)
-            })
-            .collect();
+        // The never-token cannot trip, so the cancellable path cannot
+        // return `Err`; the empty-tree arm is unreachable but total.
+        Self::from_overlay_cancellable(overlay, &CancelToken::never())
+            .unwrap_or_else(|_| Self::new(Vec::new(), &[]))
+    }
+
+    /// [`InterestTree::from_overlay`] with a cancellation token: the
+    /// per-broker unit-union scan polls it once per overlay node.
+    ///
+    /// # Errors
+    /// [`AllocError::Cancelled`] when the token trips mid-build.
+    pub(crate) fn from_overlay_cancellable(
+        overlay: &Overlay,
+        cancel: &CancelToken,
+    ) -> Result<Self, AllocError> {
+        let mut brokers: Vec<(BrokerId, SubscriptionProfile)> = Vec::new();
+        for n in overlay.nodes() {
+            if cancel.is_cancelled_hot() {
+                return Err(AllocError::Cancelled);
+            }
+            let mut local = SubscriptionProfile::new();
+            for u in &n.units {
+                local.or_assign(&u.profile);
+            }
+            brokers.push((n.broker, local));
+        }
         let edges: Vec<(BrokerId, BrokerId)> = overlay.edges().collect();
-        Self::new(brokers, &edges)
+        Ok(Self::new(brokers, &edges))
     }
 
     /// Number of brokers.
@@ -224,10 +242,34 @@ pub fn place_publishers(
     publishers: &PublisherTable,
     config: GrapeConfig,
 ) -> BTreeMap<AdvId, BrokerId> {
-    publishers
-        .iter()
-        .filter_map(|p| place_publisher(tree, p.adv_id, publishers, config).map(|b| (p.adv_id, b)))
-        .collect()
+    // Never-token: `Err` is unreachable, the empty map is a total
+    // fallback.
+    place_publishers_cancellable(tree, publishers, config, &CancelToken::never())
+        .unwrap_or_default()
+}
+
+/// [`place_publishers`] with a cancellation token, polled once per
+/// publisher — each publisher's placement walks the whole tree, so one
+/// poll per publisher bounds the stop latency to a single relocation.
+///
+/// # Errors
+/// [`AllocError::Cancelled`] when the token trips mid-placement.
+pub(crate) fn place_publishers_cancellable(
+    tree: &InterestTree,
+    publishers: &PublisherTable,
+    config: GrapeConfig,
+    cancel: &CancelToken,
+) -> Result<BTreeMap<AdvId, BrokerId>, AllocError> {
+    let mut homes = BTreeMap::new();
+    for p in publishers.iter() {
+        if cancel.is_cancelled_hot() {
+            return Err(AllocError::Cancelled);
+        }
+        if let Some(b) = place_publisher(tree, p.adv_id, publishers, config) {
+            homes.insert(p.adv_id, b);
+        }
+    }
+    Ok(homes)
 }
 
 #[cfg(test)]

@@ -74,11 +74,11 @@ pub use model::{
 pub use overlay::{build_overlay, AllocatorKind, Overlay, OverlayConfig, OverlayStats};
 pub use pairwise::{pairwise_k, pairwise_n, PairwiseResult};
 pub use pipeline::{
-    Artifact, ArtifactError, CheckpointStore, Phase, PhaseKind, Pipeline, PipelineError,
-    ReconfigContext,
+    Artifact, ArtifactError, CancelToken, CheckpointStore, Phase, PhaseKind, Pipeline,
+    PipelineError, ReconfigContext,
 };
 pub use sorting::{bin_packing, fbf};
 pub use zones::{
-    zoned_allocate, StreamingGifBuilder, ZoneFeed, ZonePlan, ZonedAllocatePhase, ZonedAllocation,
-    ZonedConfig,
+    zoned_allocate, zoned_allocate_resumable, StreamingGifBuilder, ZoneFeed, ZonePlan,
+    ZonedAllocatePhase, ZonedAllocation, ZonedCheckpoint, ZonedConfig, ZonedRun,
 };

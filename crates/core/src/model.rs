@@ -265,6 +265,13 @@ pub enum AllocError {
     },
     /// The broker pool is empty but subscriptions exist.
     NoBrokers,
+    /// The run observed a tripped [`CancelToken`] and stopped early.
+    /// No partial allocation escapes through this variant; resumable
+    /// entry points (e.g. `zoned_allocate_resumable`) return a typed
+    /// checkpoint instead of this error.
+    ///
+    /// [`CancelToken`]: crate::pipeline::CancelToken
+    Cancelled,
 }
 
 impl fmt::Display for AllocError {
@@ -278,6 +285,7 @@ impl fmt::Display for AllocError {
                 )
             }
             AllocError::NoBrokers => f.write_str("broker pool is empty"),
+            AllocError::Cancelled => f.write_str("allocation cancelled"),
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::cram::{CramBuilder, CramConfig};
 use crate::model::{AllocError, Allocation, AllocationInput, BrokerSpec, Unit};
+use crate::pipeline::CancelToken;
 use crate::sorting::bin_packing_units;
 use greenps_profile::{PublisherTable, SubscriptionProfile};
 use greenps_pubsub::ids::{BrokerId, SubId};
@@ -43,21 +44,27 @@ pub enum AllocatorKind {
 }
 
 impl AllocatorKind {
-    /// Runs the allocator over prebuilt units.
+    /// Runs the allocator over prebuilt units, threading `cancel` into
+    /// its packing/merge loops.
+    ///
+    /// # Errors
+    /// Allocator failures, or [`AllocError::Cancelled`] when the token
+    /// trips mid-run.
     pub fn allocate_units(
         &self,
         brokers: &[BrokerSpec],
         publishers: &PublisherTable,
         units: Vec<Unit>,
+        cancel: &CancelToken,
     ) -> Result<Allocation, AllocError> {
         match self {
             AllocatorKind::Fbf { seed } => {
                 let mut units = units;
                 let mut rng = StdRng::seed_from_u64(*seed);
                 units.shuffle(&mut rng);
-                crate::capacity::pack_all(brokers, publishers, units)
+                crate::capacity::pack_all(brokers, publishers, units, cancel)
             }
-            AllocatorKind::BinPacking => bin_packing_units(brokers, publishers, units),
+            AllocatorKind::BinPacking => bin_packing_units(brokers, publishers, units, cancel),
             AllocatorKind::Cram(cfg) => {
                 let input = AllocationInput {
                     brokers: brokers.to_vec(),
@@ -65,6 +72,7 @@ impl AllocatorKind {
                     publishers: publishers.clone(),
                 };
                 CramBuilder::from_config(*cfg)
+                    .cancel_token(cancel)
                     .run_units(&input, units)
                     .map(|(a, _)| a)
             }
@@ -382,6 +390,24 @@ pub fn build_overlay(
     leaf: &Allocation,
     config: &OverlayConfig,
 ) -> Result<Overlay, OverlayError> {
+    build_overlay_cancellable(input, leaf, config, &CancelToken::never())
+}
+
+/// [`build_overlay`] with a cancellation token: the leaf scan and the
+/// per-layer construction loop poll it, and each layer's allocator run
+/// polls it internally. A tripped token surfaces as
+/// [`OverlayError::Alloc`] of [`AllocError::Cancelled`] — unlike an
+/// infeasible layer allocation, it does *not* fall back to the forced
+/// root (a cancelled overlay must not silently degrade).
+///
+/// # Errors
+/// As [`build_overlay`], plus the cancellation case above.
+pub(crate) fn build_overlay_cancellable(
+    input: &AllocationInput,
+    leaf: &Allocation,
+    config: &OverlayConfig,
+    cancel: &CancelToken,
+) -> Result<Overlay, OverlayError> {
     if leaf.loads.is_empty() {
         return Err(OverlayError::EmptyAllocation);
     }
@@ -392,6 +418,9 @@ pub fn build_overlay(
     // Leaf layer from the Phase-2 allocation.
     let mut layer: Vec<BrokerId> = Vec::new();
     for load in &leaf.loads {
+        if cancel.is_cancelled_hot() {
+            return Err(OverlayError::Alloc(AllocError::Cancelled));
+        }
         nodes.insert(
             load.broker,
             OverlayNode {
@@ -418,6 +447,9 @@ pub fn build_overlay(
         .collect();
 
     while layer.len() > 1 {
+        if cancel.is_cancelled_hot() {
+            return Err(OverlayError::Alloc(AllocError::Cancelled));
+        }
         // Virtual subscriptions: one per layer node, bandwidth = the
         // node's input bandwidth.
         let units: Vec<Unit> = layer
@@ -435,10 +467,18 @@ pub fn build_overlay(
         let alloc = if pool.is_empty() {
             None
         } else {
-            config
+            match config
                 .allocator
-                .allocate_units(&pool, &input.publishers, units)
-                .ok()
+                .allocate_units(&pool, &input.publishers, units, cancel)
+            {
+                Ok(a) => Some(a),
+                // Cancellation aborts the overlay; any other failure
+                // falls back to the forced root below.
+                Err(AllocError::Cancelled) => {
+                    return Err(OverlayError::Alloc(AllocError::Cancelled))
+                }
+                Err(_) => None,
+            }
         };
 
         let alloc = match alloc {

@@ -24,7 +24,8 @@
 //! the thread count is chosen automatically.
 
 use crate::engine::{available_threads, shard_map, CacheConfig, PairCache};
-use crate::model::{Allocation, AllocationInput, BrokerLoad, Unit};
+use crate::model::{AllocError, Allocation, AllocationInput, BrokerLoad, Unit};
+use crate::pipeline::CancelToken;
 use crate::sorting::units_from_input;
 use greenps_profile::{ClosenessMetric, PublisherTable};
 use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
@@ -42,14 +43,21 @@ pub struct PairwiseResult {
 /// XOR closeness metric, with GIF-style grouping of equal profiles as a
 /// starting point (the bit-vector extension the paper grants the
 /// baselines).
-fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
+fn cluster_to_k(
+    mut units: Vec<Unit>,
+    k: usize,
+    cancel: &CancelToken,
+) -> Result<Vec<Unit>, AllocError> {
     if k == 0 {
-        return units;
+        return Ok(units);
     }
     // Merge equal profiles first — equivalent free wins.
     units.sort_by(|a, b| a.subs.first().cmp(&b.subs.first()));
     let mut clusters: Vec<Option<Unit>> = Vec::new();
     'outer: for u in units {
+        if cancel.is_cancelled_hot() {
+            return Err(AllocError::Cancelled);
+        }
         for c in clusters.iter_mut().flatten() {
             if c.profile == u.profile {
                 *c = c.merge(&u);
@@ -103,12 +111,18 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
         scan(&clusters, &cache, i)
     });
     for (i, s) in outcomes.into_iter().enumerate() {
+        if cancel.is_cancelled_hot() {
+            return Err(AllocError::Cancelled);
+        }
         partner[i] = s.best;
         for (j, cl) in s.computed {
             cache.insert(i, j, cl);
         }
     }
     while live > k {
+        if cancel.is_cancelled_hot() {
+            return Err(AllocError::Cancelled);
+        }
         let Some((i, j, _)) = partner
             .iter()
             .enumerate()
@@ -148,7 +162,7 @@ fn cluster_to_k(mut units: Vec<Unit>, k: usize) -> Vec<Unit> {
             }
         }
     }
-    clusters.into_iter().flatten().collect()
+    Ok(clusters.into_iter().flatten().collect())
 }
 
 /// Assigns clusters to brokers, ignoring capacity.
@@ -158,11 +172,15 @@ fn assign(
     publishers: &PublisherTable,
     one_per_broker: bool,
     rng: &mut StdRng,
-) -> Allocation {
+    cancel: &CancelToken,
+) -> Result<Allocation, AllocError> {
     let mut broker_ids: Vec<_> = input.brokers.iter().map(|b| b.id).collect();
     broker_ids.shuffle(rng);
     let mut loads: Vec<BrokerLoad> = Vec::new();
     for (i, unit) in clusters.into_iter().enumerate() {
+        if cancel.is_cancelled_hot() {
+            return Err(AllocError::Cancelled);
+        }
         let broker = if one_per_broker {
             broker_ids[i % broker_ids.len()]
         } else {
@@ -191,31 +209,48 @@ fn assign(
         }
     }
     loads.sort_by_key(|l| l.broker);
-    Allocation { loads }
+    Ok(Allocation { loads })
 }
 
 /// PAIRWISE-K: cluster to `k` clusters (the count computed by CRAM-XOR),
-/// then assign clusters to random brokers.
-pub fn pairwise_k(input: &AllocationInput, k: usize, seed: u64) -> PairwiseResult {
+/// then assign clusters to random brokers. The clustering and
+/// assignment loops poll `cancel` once per iteration and stop with
+/// [`AllocError::Cancelled`].
+///
+/// # Errors
+/// [`AllocError::Cancelled`] when the token trips mid-run.
+pub fn pairwise_k(
+    input: &AllocationInput,
+    k: usize,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<PairwiseResult, AllocError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let clusters = cluster_to_k(units_from_input(input), k.max(1));
+    let clusters = cluster_to_k(units_from_input(input), k.max(1), cancel)?;
     let n = clusters.len();
-    PairwiseResult {
-        allocation: assign(input, clusters, &input.publishers, false, &mut rng),
+    Ok(PairwiseResult {
+        allocation: assign(input, clusters, &input.publishers, false, &mut rng, cancel)?,
         clusters: n,
-    }
+    })
 }
 
 /// PAIRWISE-N: cluster to one cluster per broker and assign each cluster
-/// to a broker.
-pub fn pairwise_n(input: &AllocationInput, seed: u64) -> PairwiseResult {
+/// to a broker. Polls `cancel` like [`pairwise_k`].
+///
+/// # Errors
+/// [`AllocError::Cancelled`] when the token trips mid-run.
+pub fn pairwise_n(
+    input: &AllocationInput,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<PairwiseResult, AllocError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let clusters = cluster_to_k(units_from_input(input), input.brokers.len().max(1));
+    let clusters = cluster_to_k(units_from_input(input), input.brokers.len().max(1), cancel)?;
     let n = clusters.len();
-    PairwiseResult {
-        allocation: assign(input, clusters, &input.publishers, true, &mut rng),
+    Ok(PairwiseResult {
+        allocation: assign(input, clusters, &input.publishers, true, &mut rng, cancel)?,
         clusters: n,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -266,7 +301,7 @@ mod tests {
     #[test]
     fn clusters_to_requested_count() {
         let inp = input(6, 5, 10);
-        let r = pairwise_k(&inp, 3, 1);
+        let r = pairwise_k(&inp, 3, 1, &CancelToken::never()).unwrap();
         assert_eq!(r.clusters, 3);
         assert_eq!(r.allocation.sub_count(), 30);
     }
@@ -275,7 +310,7 @@ mod tests {
     fn equal_profiles_merge_for_free() {
         let inp = input(4, 10, 10);
         // 4 distinct profiles → asking for 4 clusters needs no lossy merges
-        let r = pairwise_k(&inp, 4, 1);
+        let r = pairwise_k(&inp, 4, 1, &CancelToken::never()).unwrap();
         assert_eq!(r.clusters, 4);
         for load in &r.allocation.loads {
             for u in &load.units {
@@ -287,7 +322,7 @@ mod tests {
     #[test]
     fn pairwise_n_spreads_one_cluster_per_broker() {
         let inp = input(8, 4, 8);
-        let r = pairwise_n(&inp, 2);
+        let r = pairwise_n(&inp, 2, &CancelToken::never()).unwrap();
         assert_eq!(r.clusters, 8);
         assert_eq!(r.allocation.broker_count(), 8);
         for load in &r.allocation.loads {
@@ -298,15 +333,15 @@ mod tests {
     #[test]
     fn k_larger_than_distinct_profiles_is_fine() {
         let inp = input(2, 3, 4);
-        let r = pairwise_k(&inp, 100, 3);
+        let r = pairwise_k(&inp, 100, 3, &CancelToken::never()).unwrap();
         assert_eq!(r.clusters, 2);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let inp = input(5, 4, 6);
-        let a = pairwise_k(&inp, 3, 9);
-        let b = pairwise_k(&inp, 3, 9);
+        let a = pairwise_k(&inp, 3, 9, &CancelToken::never()).unwrap();
+        let b = pairwise_k(&inp, 3, 9, &CancelToken::never()).unwrap();
         let shape = |r: &PairwiseResult| {
             r.allocation
                 .loads
@@ -352,7 +387,7 @@ mod tests {
             subscriptions: vec![mk(0, 0..8), mk(1, 2..10), mk(2, 50..58)],
             publishers,
         };
-        let r = pairwise_k(&inp, 2, 0);
+        let r = pairwise_k(&inp, 2, 0, &CancelToken::never()).unwrap();
         assert_eq!(r.clusters, 2);
         let sizes: Vec<usize> = r
             .allocation

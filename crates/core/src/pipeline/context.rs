@@ -12,6 +12,52 @@ use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// A shared cancellation flag, cheap enough to poll per loop iteration.
+///
+/// The token is a clonable handle on one `AtomicBool`; every clone
+/// observes the same flag. All accesses use `Relaxed` ordering: the
+/// flag is a pure boolean signal that carries no payload, so no other
+/// memory needs to be ordered around it — the worst case is one extra
+/// loop iteration before a store becomes visible, which the
+/// wave-granularity stop-latency contract already tolerates. `Relaxed`
+/// keeps the hot-path poll a plain load with no fence, which is what
+/// lets [`CancelToken::is_cancelled_hot`] live inside per-subscription
+/// loops (it is declared allocation-free in `analysis/hot-paths.txt`).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that is never cancelled. Used by the non-cancellable
+    /// convenience wrappers so the polled loops still compile to a
+    /// single always-false load.
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Clears the flag (e.g. before resuming from a checkpoint).
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+
+    /// Hot-path poll: a single relaxed load, no fence, no allocation.
+    #[inline]
+    pub fn is_cancelled_hot(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
 /// Shared per-run context: telemetry, seed, thread budget, cancellation.
 ///
 /// Telemetry is observation only — a run with an enabled registry is
@@ -22,7 +68,7 @@ pub struct ReconfigContext {
     registry: Registry,
     seed: u64,
     threads: usize,
-    cancel: Arc<AtomicBool>,
+    cancel: CancelToken,
 }
 
 impl Default for ReconfigContext {
@@ -38,7 +84,7 @@ impl ReconfigContext {
             registry: Registry::disabled(),
             seed: 1,
             threads: 1,
-            cancel: Arc::new(AtomicBool::new(false)),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -84,20 +130,36 @@ impl ReconfigContext {
         StdRng::seed_from_u64(self.seed)
     }
 
-    /// Requests cancellation: the next phase boundary stops the run.
-    /// Visible through every clone of this context.
+    /// Requests cancellation: the next poll point stops the run.
+    /// Visible through every clone of this context and every token
+    /// handed out by [`ReconfigContext::cancel_token`]. Relaxed store;
+    /// see [`CancelToken`] for why no stronger ordering is needed.
     pub fn cancel(&self) {
-        self.cancel.store(true, Ordering::SeqCst);
+        self.cancel.cancel();
     }
 
     /// Clears a previous cancellation request (e.g. before resuming).
     pub fn clear_cancel(&self) {
-        self.cancel.store(false, Ordering::SeqCst);
+        self.cancel.clear();
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.cancel.load(Ordering::SeqCst)
+        self.cancel.is_cancelled_hot()
+    }
+
+    /// Hot-path alias of [`ReconfigContext::is_cancelled`]: a single
+    /// relaxed load, declared allocation-free in
+    /// `analysis/hot-paths.txt`.
+    #[inline]
+    pub fn is_cancelled_hot(&self) -> bool {
+        self.cancel.is_cancelled_hot()
+    }
+
+    /// A token sharing this context's cancellation flag, for threading
+    /// into allocator internals that should not see the full context.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 }
 
@@ -137,7 +199,22 @@ mod tests {
         let clone = ctx.clone();
         clone.cancel();
         assert!(ctx.is_cancelled());
+        assert!(ctx.is_cancelled_hot());
         ctx.clear_cancel();
         assert!(!clone.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_token_shares_the_context_flag() {
+        let ctx = ReconfigContext::new();
+        let token = ctx.cancel_token();
+        assert!(!token.is_cancelled_hot());
+        ctx.cancel();
+        assert!(token.is_cancelled_hot(), "token sees context cancel");
+        token.clear();
+        assert!(!ctx.is_cancelled(), "context sees token clear");
+        token.cancel();
+        assert!(ctx.is_cancelled_hot());
+        assert!(!CancelToken::never().is_cancelled_hot());
     }
 }

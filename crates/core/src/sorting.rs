@@ -11,6 +11,7 @@
 
 use crate::capacity::pack_all;
 use crate::model::{AllocError, Allocation, AllocationInput, Unit};
+use crate::pipeline::CancelToken;
 use greenps_profile::PublisherTable;
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
 
@@ -31,10 +32,23 @@ pub fn units_from_input(input: &AllocationInput) -> Vec<Unit> {
 /// # Errors
 /// Fails when any subscription cannot be placed on any broker.
 pub fn fbf(input: &AllocationInput, seed: u64) -> Result<Allocation, AllocError> {
+    fbf_cancellable(input, seed, &CancelToken::never())
+}
+
+/// [`fbf`] with a cancellation token: the packing pass polls it between
+/// units and stops with [`AllocError::Cancelled`].
+///
+/// # Errors
+/// As [`fbf`], plus [`AllocError::Cancelled`] when the token trips.
+pub(crate) fn fbf_cancellable(
+    input: &AllocationInput,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<Allocation, AllocError> {
     let mut units = units_from_input(input);
     let mut rng = StdRng::seed_from_u64(seed);
     units.shuffle(&mut rng);
-    pack_all(&input.brokers, &input.publishers, units)
+    pack_all(&input.brokers, &input.publishers, units, cancel)
 }
 
 /// BIN PACKING: subscriptions sorted by descending bandwidth
@@ -43,8 +57,21 @@ pub fn fbf(input: &AllocationInput, seed: u64) -> Result<Allocation, AllocError>
 /// # Errors
 /// Fails when any subscription cannot be placed on any broker.
 pub fn bin_packing(input: &AllocationInput) -> Result<Allocation, AllocError> {
+    bin_packing_cancellable(input, &CancelToken::never())
+}
+
+/// [`bin_packing`] with a cancellation token: the packing pass polls it
+/// between units and stops with [`AllocError::Cancelled`].
+///
+/// # Errors
+/// As [`bin_packing`], plus [`AllocError::Cancelled`] when the token
+/// trips.
+pub(crate) fn bin_packing_cancellable(
+    input: &AllocationInput,
+    cancel: &CancelToken,
+) -> Result<Allocation, AllocError> {
     let units = units_from_input(input);
-    bin_packing_units(&input.brokers, &input.publishers, units)
+    bin_packing_units(&input.brokers, &input.publishers, units, cancel)
 }
 
 /// BIN PACKING over prebuilt units — the allocation test CRAM re-runs on
@@ -57,6 +84,7 @@ pub fn bin_packing_units(
     brokers: &[crate::model::BrokerSpec],
     publishers: &PublisherTable,
     mut units: Vec<Unit>,
+    cancel: &CancelToken,
 ) -> Result<Allocation, AllocError> {
     units.sort_by(|a, b| {
         b.out_bandwidth
@@ -64,7 +92,7 @@ pub fn bin_packing_units(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.subs.cmp(&b.subs))
     });
-    pack_all(brokers, publishers, units)
+    pack_all(brokers, publishers, units, cancel)
 }
 
 #[cfg(test)]

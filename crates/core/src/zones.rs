@@ -35,7 +35,9 @@ use crate::pipeline::artifact::{
     field, u64_field, unit_from_json, unit_to_json, usize_field,
 };
 use crate::pipeline::json::JsonValue;
-use crate::pipeline::{Artifact, ArtifactError, Phase, PhaseKind, PipelineError, ReconfigContext};
+use crate::pipeline::{
+    Artifact, ArtifactError, CancelToken, Phase, PhaseKind, PipelineError, ReconfigContext,
+};
 use greenps_profile::{ClosenessMetric, PublisherTable, SubscriptionProfile};
 use greenps_pubsub::ids::{AdvId, SubId};
 use greenps_telemetry::{Registry, Span};
@@ -89,16 +91,27 @@ fn dominant_adv(profile: &SubscriptionProfile) -> Option<AdvId> {
 }
 
 /// Splits `input`'s subscriptions into per-zone index lists (indices
-/// into `input.subscriptions`, each list in input order).
+/// into `input.subscriptions`, each list in input order), polling
+/// `cancel` once per subscription.
 ///
 /// Deterministic: the same input and plan always produce the same
 /// partition, and every subscription lands in exactly one zone.
-pub fn partition(input: &AllocationInput, plan: &ZonePlan) -> Vec<Vec<usize>> {
+///
+/// # Errors
+/// [`AllocError::Cancelled`] when the token trips mid-scan.
+pub fn partition(
+    input: &AllocationInput,
+    plan: &ZonePlan,
+    cancel: &CancelToken,
+) -> Result<Vec<Vec<usize>>, AllocError> {
     match plan {
         ZonePlan::PublisherAffinity { zones, seed } => {
             let zones = (*zones).max(1);
             let mut out = vec![Vec::new(); zones];
             for (i, sub) in input.subscriptions.iter().enumerate() {
+                if cancel.is_cancelled_hot() {
+                    return Err(AllocError::Cancelled);
+                }
                 let key = match dominant_adv(&sub.profile) {
                     Some(adv) => adv.raw(),
                     // Empty profiles have no affinity; spread by id.
@@ -109,7 +122,7 @@ pub fn partition(input: &AllocationInput, plan: &ZonePlan) -> Vec<Vec<usize>> {
                     bucket.push(i);
                 }
             }
-            out
+            Ok(out)
         }
         ZonePlan::Tags(tags) => {
             let zones = tags
@@ -120,12 +133,15 @@ pub fn partition(input: &AllocationInput, plan: &ZonePlan) -> Vec<Vec<usize>> {
                 .max(1);
             let mut out = vec![Vec::new(); zones];
             for (i, sub) in input.subscriptions.iter().enumerate() {
+                if cancel.is_cancelled_hot() {
+                    return Err(AllocError::Cancelled);
+                }
                 let z = tags.get(&sub.id).map_or(0, |&z| z as usize);
                 if let Some(bucket) = out.get_mut(z) {
                     bucket.push(i);
                 }
             }
-            out
+            Ok(out)
         }
     }
 }
@@ -208,8 +224,18 @@ pub trait ZoneFeed {
     fn zone_count(&self) -> usize;
 
     /// Streams zone `zone`'s units (in a deterministic order) into
-    /// `builder`.
-    fn feed(&mut self, zone: usize, builder: &mut StreamingGifBuilder);
+    /// `builder`, polling `cancel` as it goes.
+    ///
+    /// # Errors
+    /// [`AllocError::Cancelled`] when the token trips mid-zone; the
+    /// partially-fed builder is discarded by the caller, never
+    /// allocated.
+    fn feed(
+        &mut self,
+        zone: usize,
+        builder: &mut StreamingGifBuilder,
+        cancel: &CancelToken,
+    ) -> Result<(), AllocError>;
 }
 
 /// A [`ZoneFeed`] over an already-materialized [`AllocationInput`],
@@ -224,10 +250,29 @@ pub struct InputZoneFeed<'a> {
 impl<'a> InputZoneFeed<'a> {
     /// Partitions `input` under `plan`.
     pub fn new(input: &'a AllocationInput, plan: &ZonePlan) -> Self {
-        InputZoneFeed {
+        // Never-token: the partition cannot be cancelled, so the empty
+        // fallback is unreachable but total.
+        Self::with_cancel(input, plan, &CancelToken::never()).unwrap_or_else(|_| InputZoneFeed {
             input,
-            zones: partition(input, plan),
-        }
+            zones: Vec::new(),
+        })
+    }
+
+    /// [`InputZoneFeed::new`] with a cancellation token threaded into
+    /// the partition scan and every later [`ZoneFeed::feed`] call.
+    ///
+    /// # Errors
+    /// [`AllocError::Cancelled`] when the token trips during the
+    /// partition scan.
+    pub fn with_cancel(
+        input: &'a AllocationInput,
+        plan: &ZonePlan,
+        cancel: &CancelToken,
+    ) -> Result<Self, AllocError> {
+        Ok(InputZoneFeed {
+            input,
+            zones: partition(input, plan, cancel)?,
+        })
     }
 
     /// Subscriptions per zone.
@@ -241,15 +286,24 @@ impl ZoneFeed for InputZoneFeed<'_> {
         self.zones.len()
     }
 
-    fn feed(&mut self, zone: usize, builder: &mut StreamingGifBuilder) {
+    fn feed(
+        &mut self,
+        zone: usize,
+        builder: &mut StreamingGifBuilder,
+        cancel: &CancelToken,
+    ) -> Result<(), AllocError> {
         let Some(indices) = self.zones.get(zone) else {
-            return;
+            return Ok(());
         };
         for &i in indices {
+            if cancel.is_cancelled_hot() {
+                return Err(AllocError::Cancelled);
+            }
             if let Some(entry) = self.input.subscriptions.get(i) {
                 builder.push(Unit::from_subscription(entry, &self.input.publishers));
             }
         }
+        Ok(())
     }
 }
 
@@ -346,6 +400,31 @@ pub fn super_units(allocation: &Allocation) -> Vec<Unit> {
         .collect()
 }
 
+/// Outcome of a resumable hierarchical run: either the finished
+/// allocation or a checkpoint of the zones completed before the cancel
+/// flag was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZonedRun {
+    /// The run finished; nothing was cancelled.
+    Complete(ZonedAllocation),
+    /// The cancel token tripped; `0` holds every completed zone (a
+    /// prefix of the zone order). Feed it back as the `resume` argument
+    /// of [`zoned_allocate_resumable`] to continue bit-identically.
+    Cancelled(ZonedCheckpoint),
+}
+
+/// Completed per-zone outcomes of a cancelled hierarchical run — always
+/// a prefix of the zone order, so resuming means starting at zone
+/// `done.len()`. Each [`ZoneOutcome`] carries its super-unit roots,
+/// which is all the cross-zone pass (and the cross-link accounting)
+/// needs; re-running the remaining zones and the cross pass yields a
+/// result bit-identical to an uninterrupted run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ZonedCheckpoint {
+    /// Outcomes of the zones that finished before cancellation.
+    pub done: Vec<ZoneOutcome>,
+}
+
 /// Cross-zone links of a final allocation: for every broker, the
 /// number of distinct source zones among its subscriptions minus one.
 fn count_cross_links(allocation: &Allocation, sub_zone: &[(SubId, u32)]) -> u64 {
@@ -390,6 +469,49 @@ pub fn zoned_allocate(
     config: &ZonedConfig,
     registry: &Registry,
 ) -> Result<ZonedAllocation, AllocError> {
+    // Never-token: the `Cancelled` arm is unreachable, but mapping it
+    // to an error keeps the wrapper total without a panic path.
+    match zoned_allocate_resumable(
+        feed,
+        brokers,
+        publishers,
+        config,
+        registry,
+        &CancelToken::never(),
+        None,
+    )? {
+        ZonedRun::Complete(allocation) => Ok(allocation),
+        ZonedRun::Cancelled(_) => Err(AllocError::Cancelled),
+    }
+}
+
+/// [`zoned_allocate`] with cancellation and resume: polls `cancel` at
+/// every wave boundary (and threads it into the per-zone CRAM runs, the
+/// feed, and the cross-zone pass), stopping within one wave of the
+/// store. A cancelled run returns [`ZonedRun::Cancelled`] holding every
+/// *completed* zone — always a prefix of the zone order; in-flight
+/// zones are discarded, never checkpointed half-done. Passing that
+/// checkpoint back as `resume` skips the completed zones and produces a
+/// [`ZonedAllocation`] bit-identical to an uninterrupted run, because
+/// zones are computed independently and deterministically.
+///
+/// Telemetry (observation only): everything [`zoned_allocate`] reports,
+/// plus the `pipeline.cancel.observed` counter and a `zone.cancelled`
+/// event in the `zone` ring when a cancellation is observed.
+///
+/// # Errors
+/// As [`zoned_allocate`]; cancellation is *not* an error here — it is
+/// the [`ZonedRun::Cancelled`] outcome.
+#[allow(clippy::too_many_arguments)]
+pub fn zoned_allocate_resumable(
+    feed: &mut dyn ZoneFeed,
+    brokers: &[BrokerSpec],
+    publishers: &PublisherTable,
+    config: &ZonedConfig,
+    registry: &Registry,
+    cancel: &CancelToken,
+    resume: Option<ZonedCheckpoint>,
+) -> Result<ZonedRun, AllocError> {
     let zone_count = feed.zone_count().max(1);
     registry.gauge("zone.count").set(zone_count as u64);
     // Per-zone runs only consult the broker pool and publisher table;
@@ -402,9 +524,18 @@ pub fn zoned_allocate(
     let wave = config.zone_threads.max(1);
     let single = zone_count == 1;
 
+    // Telemetry for an observed cancellation, fired once per return.
+    let observe_cancel = |done: usize| {
+        registry.counter("pipeline.cancel.observed").add(1);
+        registry.ring("zone").emit_with("zone.cancelled", || {
+            format!("{done} of {zone_count} zone(s) checkpointed")
+        });
+    };
+
     let run_zone = |z: u32, gifs: usize, units: Vec<Unit>| {
         let _span = Span::enter(registry, &format!("zone.cram.z{z}"));
         CramBuilder::from_config(config.cram)
+            .cancel_token(cancel)
             .run_units(&shared, units)
             .map(|(alloc, stats)| (z, gifs, alloc, stats))
     };
@@ -412,8 +543,27 @@ pub fn zoned_allocate(
     let mut zones: Vec<ZoneOutcome> = Vec::with_capacity(zone_count);
     let mut sub_zone: Vec<(SubId, u32)> = Vec::new();
     let mut final_alloc = None;
-    let mut start = 0usize;
+    // Resume: trust only a plausible prefix (single-zone runs always
+    // restart — their checkpoint is never produced, and the flat
+    // equivalence guarantee is cheaper to keep by re-running).
+    if let Some(checkpoint) = resume {
+        if !single && checkpoint.done.len() <= zone_count {
+            zones = checkpoint.done;
+            for z in &zones {
+                for root in &z.roots {
+                    for &sub in &root.subs {
+                        sub_zone.push((sub, z.zone));
+                    }
+                }
+            }
+        }
+    }
+    let mut start = zones.len();
     while start < zone_count {
+        if cancel.is_cancelled_hot() {
+            observe_cancel(zones.len());
+            return Ok(ZonedRun::Cancelled(ZonedCheckpoint { done: zones }));
+        }
         let end = (start + wave).min(zone_count);
         // Materialize this wave's pools. The feed is one stream, so
         // materialization is sequential; only `end - start` zones are
@@ -421,7 +571,16 @@ pub fn zoned_allocate(
         let mut batch: Vec<(u32, usize, Vec<Unit>)> = Vec::with_capacity(end - start);
         for z in start..end {
             let mut builder = StreamingGifBuilder::new();
-            feed.feed(z, &mut builder);
+            match feed.feed(z, &mut builder, cancel) {
+                Ok(()) => {}
+                Err(AllocError::Cancelled) => {
+                    // The half-fed zone is dropped; `zones` still holds
+                    // only fully-completed waves, a valid prefix.
+                    observe_cancel(zones.len());
+                    return Ok(ZonedRun::Cancelled(ZonedCheckpoint { done: zones }));
+                }
+                Err(e) => return Err(e),
+            }
             let subs: usize = builder.units().iter().map(Unit::sub_count).sum();
             registry.histogram("zone.size").record(subs as u64);
             let (units, gifs) = builder.finish();
@@ -449,7 +608,19 @@ pub fn zoned_allocate(
                 })
             };
         for result in results {
-            let (zone, gifs, alloc, stats) = result?;
+            let (zone, gifs, alloc, stats) = match result {
+                Ok(r) => r,
+                Err(AllocError::Cancelled) => {
+                    // Results are processed in zone order, so stopping
+                    // at the first cancelled zone keeps `zones` a
+                    // completed prefix; later zones of the wave (even
+                    // finished ones) are recomputed deterministically
+                    // on resume.
+                    observe_cancel(zones.len());
+                    return Ok(ZonedRun::Cancelled(ZonedCheckpoint { done: zones }));
+                }
+                Err(e) => return Err(e),
+            };
             let roots = super_units(&alloc);
             let subscriptions = alloc.sub_count();
             if single {
@@ -470,12 +641,17 @@ pub fn zoned_allocate(
         // One zone: the recursive pass would only re-cluster that
         // zone's own result — skip it so the outcome is bit-identical
         // to a flat run.
-        return Ok(ZonedAllocation {
+        return Ok(ZonedRun::Complete(ZonedAllocation {
             allocation,
             zones,
             cross_stats: None,
             cross_links: 0,
-        });
+        }));
+    }
+
+    if cancel.is_cancelled_hot() {
+        observe_cancel(zones.len());
+        return Ok(ZonedRun::Cancelled(ZonedCheckpoint { done: zones }));
     }
 
     // Recursive Phase 3 across zones: every zone root becomes a unit
@@ -483,20 +659,58 @@ pub fn zoned_allocate(
     // assignments are discarded; each super-unit fit one broker in its
     // zone, so the baseline packing stays feasible.
     let roots: Vec<Unit> = zones.iter().flat_map(|z| z.roots.iter().cloned()).collect();
-    let (allocation, stats) = {
+    let cross = {
         let _span = Span::enter(registry, "zone.cram.cross");
         CramBuilder::from_config(config.cram)
             .telemetry(registry)
-            .run_units(&shared, roots)?
+            .cancel_token(cancel)
+            .run_units(&shared, roots)
+    };
+    let (allocation, stats) = match cross {
+        Ok(r) => r,
+        Err(AllocError::Cancelled) => {
+            // Every zone is done; only the cross pass restarts on
+            // resume.
+            observe_cancel(zones.len());
+            return Ok(ZonedRun::Cancelled(ZonedCheckpoint { done: zones }));
+        }
+        Err(e) => return Err(e),
     };
     sub_zone.sort_unstable();
     let cross_links = count_cross_links(&allocation, &sub_zone);
     registry.counter("zone.merge.cross_links").add(cross_links);
-    Ok(ZonedAllocation {
+    Ok(ZonedRun::Complete(ZonedAllocation {
         allocation,
         zones,
         cross_stats: Some(stats),
         cross_links,
+    }))
+}
+
+fn zone_outcome_to_json(z: &ZoneOutcome) -> JsonValue {
+    JsonValue::obj()
+        .field("zone", JsonValue::U64(u64::from(z.zone)))
+        .field("subscriptions", JsonValue::U64(z.subscriptions as u64))
+        .field("gifs", JsonValue::U64(z.gifs as u64))
+        .field("stats", cram_stats_to_json(&z.stats))
+        .field(
+            "roots",
+            JsonValue::Arr(z.roots.iter().map(unit_to_json).collect()),
+        )
+}
+
+fn zone_outcome_from_json(entry: &JsonValue) -> Result<ZoneOutcome, ArtifactError> {
+    let mut roots = Vec::new();
+    for u in arr_field(entry, "roots")? {
+        roots.push(unit_from_json(u)?);
+    }
+    Ok(ZoneOutcome {
+        zone: u32::try_from(u64_field(entry, "zone")?)
+            .map_err(|_| ArtifactError::new("zone index out of range"))?,
+        subscriptions: usize_field(entry, "subscriptions")?,
+        gifs: usize_field(entry, "gifs")?,
+        stats: cram_stats_from_json(field(entry, "stats")?)?,
+        roots,
     })
 }
 
@@ -504,22 +718,7 @@ impl Artifact for ZonedAllocation {
     const KIND: &'static str = "zoned-allocation";
 
     fn to_json(&self) -> JsonValue {
-        let zones = JsonValue::Arr(
-            self.zones
-                .iter()
-                .map(|z| {
-                    JsonValue::obj()
-                        .field("zone", JsonValue::U64(u64::from(z.zone)))
-                        .field("subscriptions", JsonValue::U64(z.subscriptions as u64))
-                        .field("gifs", JsonValue::U64(z.gifs as u64))
-                        .field("stats", cram_stats_to_json(&z.stats))
-                        .field(
-                            "roots",
-                            JsonValue::Arr(z.roots.iter().map(unit_to_json).collect()),
-                        )
-                })
-                .collect(),
-        );
+        let zones = JsonValue::Arr(self.zones.iter().map(zone_outcome_to_json).collect());
         let obj = JsonValue::obj()
             .field("allocation", allocation_to_json(&self.allocation))
             .field("cross_links", JsonValue::U64(self.cross_links))
@@ -533,18 +732,7 @@ impl Artifact for ZonedAllocation {
     fn from_json(value: &JsonValue) -> Result<Self, ArtifactError> {
         let mut zones = Vec::new();
         for entry in arr_field(value, "zones")? {
-            let mut roots = Vec::new();
-            for u in arr_field(entry, "roots")? {
-                roots.push(unit_from_json(u)?);
-            }
-            zones.push(ZoneOutcome {
-                zone: u32::try_from(u64_field(entry, "zone")?)
-                    .map_err(|_| ArtifactError::new("zone index out of range"))?,
-                subscriptions: usize_field(entry, "subscriptions")?,
-                gifs: usize_field(entry, "gifs")?,
-                stats: cram_stats_from_json(field(entry, "stats")?)?,
-                roots,
-            });
+            zones.push(zone_outcome_from_json(entry)?);
         }
         Ok(ZonedAllocation {
             allocation: allocation_from_json(field(value, "allocation")?)?,
@@ -555,6 +743,25 @@ impl Artifact for ZonedAllocation {
             },
             cross_links: u64_field(value, "cross_links")?,
         })
+    }
+}
+
+impl Artifact for ZonedCheckpoint {
+    const KIND: &'static str = "zoned-checkpoint";
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj().field(
+            "done",
+            JsonValue::Arr(self.done.iter().map(zone_outcome_to_json).collect()),
+        )
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, ArtifactError> {
+        let mut done = Vec::new();
+        for entry in arr_field(value, "done")? {
+            done.push(zone_outcome_from_json(entry)?);
+        }
+        Ok(ZonedCheckpoint { done })
     }
 }
 
@@ -569,6 +776,13 @@ pub struct ZonedAllocatePhase<'a> {
     pub plan: ZonePlan,
     /// Per-zone and cross-zone CRAM settings.
     pub config: ZonedConfig,
+    /// Completed-zone checkpoint from a previously cancelled run;
+    /// consumed (taken) by [`Phase::run`].
+    pub resume: Option<ZonedCheckpoint>,
+    /// Where a cancelled run parks its checkpoint: when [`Phase::run`]
+    /// returns [`PipelineError::Cancelled`], this holds the completed
+    /// prefix to stash and later feed back through `resume`.
+    pub partial: Option<ZonedCheckpoint>,
 }
 
 impl Phase for ZonedAllocatePhase<'_> {
@@ -577,18 +791,39 @@ impl Phase for ZonedAllocatePhase<'_> {
     const KIND: PhaseKind = PhaseKind::ZonedAllocate;
 
     fn run(&mut self, _input: (), ctx: &ReconfigContext) -> Result<ZonedAllocation, PipelineError> {
-        let mut feed = InputZoneFeed::new(self.input, &self.plan);
-        zoned_allocate(
+        let cancel = ctx.cancel_token();
+        let cancelled = |phase: &mut Self, checkpoint: Option<ZonedCheckpoint>| {
+            phase.partial = checkpoint;
+            PipelineError::Cancelled {
+                phase: PhaseKind::ZonedAllocate,
+            }
+        };
+        let mut feed = match InputZoneFeed::with_cancel(self.input, &self.plan, &cancel) {
+            Ok(feed) => feed,
+            Err(AllocError::Cancelled) => return Err(cancelled(self, None)),
+            Err(e) => {
+                return Err(PipelineError::Phase {
+                    phase: PhaseKind::ZonedAllocate,
+                    message: e.to_string(),
+                })
+            }
+        };
+        match zoned_allocate_resumable(
             &mut feed,
             &self.input.brokers,
             &self.input.publishers,
             &self.config,
             ctx.registry(),
-        )
-        .map_err(|e| PipelineError::Phase {
-            phase: PhaseKind::ZonedAllocate,
-            message: e.to_string(),
-        })
+            &cancel,
+            self.resume.take(),
+        ) {
+            Ok(ZonedRun::Complete(allocation)) => Ok(allocation),
+            Ok(ZonedRun::Cancelled(checkpoint)) => Err(cancelled(self, Some(checkpoint))),
+            Err(e) => Err(PipelineError::Phase {
+                phase: PhaseKind::ZonedAllocate,
+                message: e.to_string(),
+            }),
+        }
     }
 }
 
@@ -648,8 +883,8 @@ mod tests {
     fn affinity_partition_is_deterministic_and_total() {
         let inp = input(60, 8, 4);
         let plan = ZonePlan::PublisherAffinity { zones: 3, seed: 7 };
-        let a = partition(&inp, &plan);
-        let b = partition(&inp, &plan);
+        let a = partition(&inp, &plan, &CancelToken::never()).unwrap();
+        let b = partition(&inp, &plan, &CancelToken::never()).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.len(), 3);
         let mut all: Vec<usize> = a.iter().flatten().copied().collect();
@@ -671,7 +906,13 @@ mod tests {
         // seed never does (checked above). Changing the zone count
         // changes the shape.
         assert_eq!(
-            partition(&inp, &ZonePlan::PublisherAffinity { zones: 1, seed: 7 }).len(),
+            partition(
+                &inp,
+                &ZonePlan::PublisherAffinity { zones: 1, seed: 7 },
+                &CancelToken::never()
+            )
+            .unwrap()
+            .len(),
             1
         );
     }
@@ -684,7 +925,7 @@ mod tests {
             tags.insert(SubId::new(i), (i % 3) as u32);
         }
         // Subs 8 and 9 are untagged -> zone 0.
-        let zones = partition(&inp, &ZonePlan::Tags(tags));
+        let zones = partition(&inp, &ZonePlan::Tags(tags), &CancelToken::never()).unwrap();
         assert_eq!(zones.len(), 3);
         assert!(zones[0].contains(&8) && zones[0].contains(&9));
         assert_eq!(zones.iter().map(Vec::len).sum::<usize>(), 10);
@@ -820,6 +1061,8 @@ mod tests {
             input: &inp,
             plan: ZonePlan::PublisherAffinity { zones: 2, seed: 2 },
             config: ZonedConfig::with_metric(ClosenessMetric::Intersect),
+            resume: None,
+            partial: None,
         };
         let first = pipeline.run_phase(&mut phase, ()).unwrap();
         assert!(pipeline.store().contains(PhaseKind::ZonedAllocate));

@@ -17,7 +17,7 @@ use greenps_core::croc::{
     AllocatePhase, BuildOverlayPhase, PlanConfig, PlannedAllocation, ReconfigurationPlan,
 };
 use greenps_core::grape::{place_publishers, GrapeConfig, InterestTree};
-use greenps_core::model::AllocationInput;
+use greenps_core::model::{AllocError, AllocationInput};
 use greenps_core::pairwise::{pairwise_k, pairwise_n};
 use greenps_core::pipeline::artifact::{
     self, arr_field, f64_field, ids_from_json, ids_to_json, linear_fn_from_json, linear_fn_to_json,
@@ -325,10 +325,24 @@ impl Phase for PairwisePhase<'_> {
                     phase: PhaseKind::Allocate,
                     message: format!("CRAM-XOR for K failed: {e}"),
                 })?;
-            pairwise_k(self.input, stats.final_units, self.seed)
+            pairwise_k(
+                self.input,
+                stats.final_units,
+                self.seed,
+                &ctx.cancel_token(),
+            )
         } else {
-            pairwise_n(self.input, self.seed)
+            pairwise_n(self.input, self.seed, &ctx.cancel_token())
         };
+        let result = result.map_err(|e| match e {
+            AllocError::Cancelled => PipelineError::Cancelled {
+                phase: PhaseKind::Allocate,
+            },
+            other => PipelineError::Phase {
+                phase: PhaseKind::Allocate,
+                message: other.to_string(),
+            },
+        })?;
         Ok(PlannedAllocation {
             allocation: result.allocation,
             cram_stats: None,

@@ -170,12 +170,9 @@ pub fn symbols(n: usize) -> Vec<String> {
         "RHAT",
     ];
     (0..n)
-        .map(|i| {
-            if i < BASE.len() {
-                BASE[i].to_string()
-            } else {
-                format!("SYM{i:03}")
-            }
+        .map(|i| match BASE.get(i) {
+            Some(sym) => (*sym).to_string(),
+            None => format!("SYM{i:03}"),
         })
         .collect()
 }

@@ -23,7 +23,8 @@ use crate::scenario::{
 };
 use crate::stock::StockSeries;
 use crate::subs::{generate, GeneratedSub};
-use greenps_core::model::{BrokerSpec, Unit};
+use greenps_core::model::{AllocError, BrokerSpec, Unit};
+use greenps_core::pipeline::CancelToken;
 use greenps_core::zones::{StreamingGifBuilder, ZoneFeed};
 use greenps_profile::{PublisherProfile, PublisherTable, SubscriptionProfile};
 use greenps_pubsub::ids::{AdvId, MsgId, SubId};
@@ -182,8 +183,16 @@ impl ZoneFeed for ZonedStreamFeed {
         self.spec.zones.max(1)
     }
 
-    fn feed(&mut self, zone: usize, builder: &mut StreamingGifBuilder) {
+    fn feed(
+        &mut self,
+        zone: usize,
+        builder: &mut StreamingGifBuilder,
+        cancel: &CancelToken,
+    ) -> Result<(), AllocError> {
         for sub in self.spec.zone_subs(zone, &self.stocks) {
+            if cancel.is_cancelled_hot() {
+                return Err(AllocError::Cancelled);
+            }
             let stream = &self.streams[sub.publisher_index];
             let mut profile = SubscriptionProfile::new();
             for p in stream {
@@ -198,6 +207,7 @@ impl ZoneFeed for ZonedStreamFeed {
                 out_bandwidth: load.bandwidth,
             });
         }
+        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@
 
 use greenps_core::cram::CramBuilder;
 use greenps_core::pairwise::pairwise_n;
-use greenps_core::pipeline::ReconfigContext;
+use greenps_core::pipeline::{CancelToken, ReconfigContext};
 use greenps_profile::ClosenessMetric;
 use greenps_simnet::SimDuration;
 use greenps_workload::runner::{profile_and_gather, RunConfig};
@@ -54,7 +54,7 @@ fn pairwise_allocation_deploys_and_delivers() {
         .build();
     scenario.brokers.truncate(10);
     let (_, input) = profile_and_gather(&scenario, &cfg(83), &ReconfigContext::new());
-    let result = pairwise_n(&input, 83);
+    let result = pairwise_n(&input, 83, &CancelToken::never()).unwrap();
     let placement = from_allocation(&scenario, &result.allocation, 83);
     let mut d = deploy(&scenario, &placement);
     d.run_for(SimDuration::from_secs(4));

@@ -7,7 +7,7 @@ use greenps::core::cram::CramBuilder;
 use greenps::core::croc::{plan, PlanConfig};
 use greenps::core::overlay::{build_overlay, AllocatorKind, OverlayConfig};
 use greenps::core::pairwise::{pairwise_k, pairwise_n};
-use greenps::core::pipeline::ReconfigContext;
+use greenps::core::pipeline::{CancelToken, ReconfigContext};
 use greenps::core::sorting::{bin_packing, fbf};
 use greenps::profile::ClosenessMetric;
 use greenps_analysis::telemetry_schema::Schema;
@@ -45,9 +45,9 @@ fn e1_core_all_algorithms_allocate_same_subscriptions() {
             "{metric}: GIFs group"
         );
     }
-    let pk = pairwise_k(&input, 10, 71);
+    let pk = pairwise_k(&input, 10, 71, &CancelToken::never()).unwrap();
     assert_eq!(pk.allocation.sub_count(), 200);
-    let pn = pairwise_n(&input, 71);
+    let pn = pairwise_n(&input, 71, &CancelToken::never()).unwrap();
     assert_eq!(pn.allocation.sub_count(), 200);
     assert!(pn.clusters <= 20);
 }

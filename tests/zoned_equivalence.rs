@@ -5,6 +5,7 @@
 
 use greenps::core::cram::CramBuilder;
 use greenps::core::model::{AllocationInput, BrokerSpec, LinearFn, SubscriptionEntry};
+use greenps::core::pipeline::CancelToken;
 use greenps::core::zones::{partition, zoned_allocate, InputZoneFeed, ZonePlan, ZonedConfig};
 use greenps::profile::{ClosenessMetric, PublisherProfile, PublisherTable, SubscriptionProfile};
 use greenps::pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
@@ -119,8 +120,8 @@ proptest! {
         seed in 0u64..u64::MAX,
     ) {
         let plan = ZonePlan::PublisherAffinity { zones, seed };
-        let first = partition(&input, &plan);
-        let second = partition(&input, &plan);
+        let first = partition(&input, &plan, &CancelToken::never()).unwrap();
+        let second = partition(&input, &plan, &CancelToken::never()).unwrap();
         prop_assert_eq!(&first, &second);
         prop_assert_eq!(first.len(), zones);
         let mut all: Vec<usize> = first.iter().flatten().copied().collect();
