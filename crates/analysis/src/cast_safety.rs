@@ -43,12 +43,13 @@ pub const CAST_SPEC: AllowlistSpec = AllowlistSpec {
 };
 
 /// Crates whose library code is scanned.
-pub const CHECKED_CRATES: [&str; 7] = [
+pub const CHECKED_CRATES: [&str; 8] = [
     "pubsub",
     "profile",
     "core",
     "broker",
     "simnet",
+    "net",
     "telemetry",
     "workload",
 ];

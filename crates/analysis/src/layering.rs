@@ -11,25 +11,35 @@ use crate::{line_of, Finding, SourceFile};
 
 /// Allowed `greenps-*` dependency edges, from DESIGN.md §3.
 /// `(crate, allowed direct dependencies)`.
-pub const ALLOWED: [(&str, &[&str]); 9] = [
+pub const ALLOWED: [(&str, &[&str]); 10] = [
     ("pubsub", &[]),
     ("telemetry", &[]),
     ("simnet", &["telemetry"]),
+    ("net", &["simnet", "telemetry"]),
     ("profile", &["pubsub"]),
     ("core", &["pubsub", "profile", "telemetry"]),
     (
         "broker",
-        &["pubsub", "simnet", "profile", "core", "telemetry"],
+        &["pubsub", "simnet", "net", "profile", "core", "telemetry"],
     ),
     (
         "workload",
-        &["pubsub", "simnet", "profile", "core", "broker", "telemetry"],
+        &[
+            "pubsub",
+            "simnet",
+            "net",
+            "profile",
+            "core",
+            "broker",
+            "telemetry",
+        ],
     ),
     (
         "bench",
         &[
             "pubsub",
             "simnet",
+            "net",
             "profile",
             "core",
             "broker",

@@ -28,7 +28,9 @@ use crate::parser::{self, FnItem};
 use crate::{line_of, Finding, SourceFile};
 
 /// Crates whose library code is checked (the runtime data path).
-pub const CHECKED_CRATES: [&str; 6] = ["pubsub", "profile", "core", "broker", "simnet", "workload"];
+pub const CHECKED_CRATES: [&str; 7] = [
+    "pubsub", "profile", "core", "broker", "simnet", "net", "workload",
+];
 
 /// Identifier fragments marking a loop as subscription/zone-scale.
 const SCALE_KEYWORDS: &[&str] = &["sub", "zone", "unit", "gif", "wave", "partner"];

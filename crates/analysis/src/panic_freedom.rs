@@ -16,8 +16,15 @@ use crate::lexer::{self, in_regions, Token, TokenKind};
 use crate::{line_of, line_text, Finding, SourceFile};
 
 /// Crates whose library code must be panic-free.
-pub const CHECKED_CRATES: [&str; 6] =
-    ["pubsub", "profile", "core", "broker", "simnet", "telemetry"];
+pub const CHECKED_CRATES: [&str; 7] = [
+    "pubsub",
+    "profile",
+    "core",
+    "broker",
+    "simnet",
+    "net",
+    "telemetry",
+];
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 

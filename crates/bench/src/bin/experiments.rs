@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick] [--csv <dir>] [--telemetry <path>]
-//!             <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|pipeline-smoke|all>
+//!             <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|bench-report|scale-report|
+//!              transport-report|pipeline-smoke|all>
 //! ```
 //!
 //! `--quick` shrinks the grids so the whole suite finishes in a couple
@@ -121,6 +122,7 @@ fn main() {
                      e10     bit-vector load-estimation accuracy\n\
                      bench-report  reference vs tuned CRAM -> BENCH_cram.json\n\
                      scale-report  hierarchical zoned CRAM at 100k-1M subs -> BENCH_scale.json\n\
+                     transport-report  real loopback TCP overlay deployment -> BENCH_transport.json\n\
                      pipeline-smoke  interrupt + resume a run -> pipeline_checkpoint.json"
                 );
                 return;
@@ -146,6 +148,7 @@ fn main() {
             "e10" => e10(&opts),
             "bench-report" => bench_report(&opts),
             "scale-report" => scale_report(&opts),
+            "transport-report" => transport_report(&opts),
             "pipeline-smoke" => pipeline_smoke(&opts),
             "all" => {
                 e1_e2_e3(&opts);
@@ -725,6 +728,26 @@ fn scale_report(opts: &Opts) {
     };
     std::fs::write(&path, json).expect("write BENCH_scale.json");
     println!("scale-report: wrote {}", path.display());
+}
+
+/// `transport-report`: deploy stock-chain overlays as real loopback
+/// TCP threads (`greenps_net::TcpTransport` — one OS thread per
+/// connection plus accept loops), measure delivered msgs/sec and
+/// per-broker delivery latency, and write `BENCH_transport.json` (into
+/// `--csv <dir>` when given, else the cwd).
+fn transport_report(opts: &Opts) {
+    let rows: &[(usize, u64)] = if opts.quick {
+        &[(4, 50)]
+    } else {
+        &[(4, 100), (8, 200)]
+    };
+    let json = greenps_bench::transport_report_json(rows, opts.quick);
+    let path = match &opts.csv {
+        Some(dir) => dir.join("BENCH_transport.json"),
+        None => PathBuf::from("BENCH_transport.json"),
+    };
+    std::fs::write(&path, json).expect("write BENCH_transport.json");
+    println!("transport-report: wrote {}", path.display());
 }
 
 /// `bench-report`: reference vs tuned (arena layout, tiled pruning,

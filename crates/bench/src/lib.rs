@@ -300,6 +300,100 @@ pub fn scale_report_json(rows: &[(usize, usize)], zone_threads: usize, quick: bo
     )
 }
 
+/// Deploys a stock-chain overlay as real loopback TCP processes — one
+/// `(brokers, publications-per-publisher)` row each — over
+/// [`greenps_net::TcpTransport`], measures throughput and per-broker
+/// delivery latency, and renders the `BENCH_transport.json` report
+/// body. Transport counters (`transport.*`) come straight out of the
+/// telemetry registry the transport records into; per-broker latency
+/// samples are additionally folded into the declared
+/// `broker.b<id>.delivery_delay_us` histograms so a `--telemetry`
+/// export sees the same numbers as the report.
+///
+/// The key vocabulary of the emitted JSON is declared as `benchkey`
+/// entries in `analysis/telemetry-schema.txt` and checked by
+/// `tests/experiments_smoke.rs` — keep the three in sync.
+///
+/// # Panics
+/// Panics when the loopback deployment cannot bind, connect, or
+/// complete a run.
+pub fn transport_report_json(rows: &[(usize, u64)], quick: bool) -> String {
+    use greenps_broker::{NetDeployment, NetScenario};
+    use greenps_core::pipeline::CancelToken;
+    use greenps_net::TcpTransport;
+    use greenps_telemetry::Registry;
+
+    let mut rendered = Vec::new();
+    for &(brokers, publications) in rows {
+        let registry = Registry::new();
+        let scenario = NetScenario::stock_chain(brokers, publications);
+        let mut transport = TcpTransport::with_telemetry(&registry);
+        let deployment =
+            NetDeployment::build(&mut transport, &scenario).expect("build tcp overlay");
+        let report = deployment
+            .run(&CancelToken::never())
+            .expect("run tcp overlay");
+        for (b, lat) in &report.latency_us_by_broker {
+            let hist = registry.histogram(&format!("broker.b{}.delivery_delay_us", b.raw()));
+            for &us in lat {
+                hist.record(us);
+            }
+        }
+        let snap = registry.snapshot();
+        let wire = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let delivered = report.total_delivered();
+        let elapsed_ms = report.elapsed.as_secs_f64() * 1e3;
+        let msgs_per_sec = report.delivered_per_sec();
+        let mean_hops = match report.mean_hops {
+            Some(h) => format!("{h:.3}"),
+            None => "null".to_string(),
+        };
+        let mut latency_rows = Vec::new();
+        for (b, lat) in &report.latency_us_by_broker {
+            let mut sorted = lat.clone();
+            sorted.sort_unstable();
+            let samples = sorted.len();
+            let mean_us = sorted.iter().sum::<u64>() as f64 / samples.max(1) as f64;
+            let p99_us = sorted
+                .get(((samples.saturating_sub(1)) * 99) / 100)
+                .copied()
+                .unwrap_or(0);
+            latency_rows.push(format!(
+                "{{\"broker\": {}, \"samples\": {samples}, \
+                 \"mean_us\": {mean_us:.1}, \"p99_us\": {p99_us}}}",
+                b.raw()
+            ));
+        }
+        println!(
+            "transport-report: {brokers} brokers x {publications} pubs over tcp-loopback -> \
+             {delivered} delivered in {elapsed_ms:.0} ms ({msgs_per_sec:.0} msgs/s, \
+             {} frames on the wire)",
+            wire("transport.frames_sent"),
+        );
+        rendered.push(format!(
+            "    {{\"brokers\": {brokers}, \"publications\": {publications}, \
+             \"published\": {}, \"delivered\": {delivered}, \
+             \"msgs_per_sec\": {msgs_per_sec:.3}, \"elapsed_ms\": {elapsed_ms:.3}, \
+             \"send_errors\": {}, \"mean_hops\": {mean_hops}, \
+             \"frames_sent\": {}, \"frames_received\": {}, \
+             \"bytes_sent\": {}, \"bytes_received\": {}, \
+             \"latency\": [{}]}}",
+            report.published,
+            report.send_errors,
+            wire("transport.frames_sent"),
+            wire("transport.frames_received"),
+            wire("transport.bytes_sent"),
+            wire("transport.bytes_received"),
+            latency_rows.join(", "),
+        ));
+    }
+    format!(
+        "{{\n  \"backend\": \"tcp-loopback\",\n  \"quick\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        quick,
+        rendered.join(",\n")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

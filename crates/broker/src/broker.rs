@@ -12,25 +12,20 @@
 //! * profiles local subscriptions with bit vectors and local publishers
 //!   with rate/bandwidth counters (the CBC);
 //! * answers BIR floods with aggregated BIA messages (Phase 1).
+//!
+//! All of that logic lives in the transport-independent
+//! [`BrokerCore`](crate::logic::BrokerCore); this module is the simnet
+//! face of it — a [`Process`] whose `Context` is adapted into the
+//! core's [`BrokerSink`](crate::logic::BrokerSink), preserving the
+//! discrete-event semantics bit for bit.
 
-use crate::messages::{BrokerMsg, GatheredBroker};
-use greenps_core::model::{BrokerSpec, LinearFn, SubscriptionEntry};
-use greenps_profile::{PublisherProfile, SubscriptionProfile};
-use greenps_pubsub::ids::{AdvId, BrokerId, MsgId, SubId};
-use greenps_pubsub::routing::RoutingTables;
+use crate::logic::{BrokerCore, BrokerSink};
+use crate::messages::BrokerMsg;
+use greenps_core::model::LinearFn;
+use greenps_pubsub::ids::BrokerId;
 use greenps_simnet::{Context, NodeId, Process, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
-
-/// Per-publisher statistics kept by the CBC for locally attached
-/// publishers.
-#[derive(Debug, Clone)]
-struct LocalPublisher {
-    first_seen: SimTime,
-    msgs: u64,
-    bytes: u64,
-    last_msg_id: MsgId,
-}
+use std::ops::{Deref, DerefMut};
 
 /// Broker configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,325 +57,54 @@ impl BrokerConfig {
     }
 }
 
-#[derive(Debug)]
-struct PendingBir {
-    parent: NodeId,
-    waiting: BTreeSet<NodeId>,
-    collected: Vec<GatheredBroker>,
-}
-
-/// The broker process.
+/// The broker process: [`BrokerCore`] driven by the simnet event loop.
 pub struct Broker {
-    config: BrokerConfig,
-    routing: RoutingTables<NodeId>,
-    broker_neighbors: BTreeSet<NodeId>,
-    clients: BTreeSet<NodeId>,
-    busy_until: SimTime,
-    /// CBC: bit-vector profiles of local (client) subscriptions.
-    sub_profiles: BTreeMap<SubId, SubscriptionProfile>,
-    /// CBC: local publisher statistics keyed by advertisement.
-    local_publishers: BTreeMap<AdvId, LocalPublisher>,
-    pending_bir: BTreeMap<u64, PendingBir>,
-    seen_bir: BTreeSet<u64>,
-    /// Publications processed (matched) by this broker.
-    pub matched_count: u64,
-    /// Publications delivered to local clients.
-    pub delivered_count: u64,
-    /// Reusable next-hop buffer for [`Broker::handle_publication`]: the
-    /// per-publication forwarding set is rebuilt in place instead of
-    /// allocating a fresh `Vec` per message.
-    hops_scratch: Vec<NodeId>,
+    core: BrokerCore<NodeId>,
 }
 
 impl Broker {
     /// Creates a broker process.
     pub fn new(config: BrokerConfig) -> Self {
         Self {
-            config,
-            routing: RoutingTables::new(),
-            broker_neighbors: BTreeSet::new(),
-            clients: BTreeSet::new(),
-            busy_until: SimTime::ZERO,
-            sub_profiles: BTreeMap::new(),
-            local_publishers: BTreeMap::new(),
-            pending_bir: BTreeMap::new(),
-            seen_bir: BTreeSet::new(),
-            matched_count: 0,
-            delivered_count: 0,
-            hops_scratch: Vec::new(),
+            core: BrokerCore::new(config),
         }
     }
+}
 
-    /// Broker identity.
-    pub fn id(&self) -> BrokerId {
-        self.config.id
+impl Deref for Broker {
+    type Target = BrokerCore<NodeId>;
+    fn deref(&self) -> &BrokerCore<NodeId> {
+        &self.core
     }
+}
 
-    /// Registers a neighboring broker node (call on both endpoints after
-    /// connecting them in the network).
-    pub fn add_broker_neighbor(&mut self, node: NodeId) {
-        self.broker_neighbors.insert(node);
+impl DerefMut for Broker {
+    fn deref_mut(&mut self) -> &mut BrokerCore<NodeId> {
+        &mut self.core
     }
+}
 
-    /// Number of stored subscriptions (routing-table entries).
-    pub fn subscription_count(&self) -> usize {
-        self.routing.subscription_count()
+/// Adapts the simnet [`Context`] to the core's sink: sends become
+/// simulated sends, the clock is virtual time.
+struct CtxSink<'a, 'b> {
+    ctx: &'a mut Context<'b, BrokerMsg>,
+}
+
+impl BrokerSink<NodeId> for CtxSink<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
     }
-
-    /// The CBC profile of a local subscription.
-    pub fn profile_of(&self, sub: SubId) -> Option<&SubscriptionProfile> {
-        self.sub_profiles.get(&sub)
+    fn send(&mut self, to: NodeId, msg: BrokerMsg) {
+        self.ctx.send(to, msg);
     }
-
-    /// Resets CBC profiling state (fresh re-profiling window).
-    pub fn reset_profiles(&mut self) {
-        for p in self.sub_profiles.values_mut() {
-            *p = SubscriptionProfile::with_capacity(self.config.profile_bits);
-        }
-        self.local_publishers.clear();
-    }
-
-    /// Builds this broker's own BIA contribution.
-    fn own_info(&self, now: SimTime) -> GatheredBroker {
-        let subscriptions = self
-            .sub_profiles
-            .iter()
-            .filter_map(|(&id, profile)| {
-                self.routing
-                    .subscription(id)
-                    .map(|s| SubscriptionEntry::new(id, s.filter.clone(), profile.clone()))
-            })
-            .collect();
-        let publishers = self
-            .local_publishers
-            .iter()
-            .map(|(&adv, lp)| {
-                let elapsed = now.since(lp.first_seen).as_secs_f64().max(1e-9);
-                PublisherProfile::new(
-                    adv,
-                    lp.msgs as f64 / elapsed,
-                    lp.bytes as f64 / elapsed,
-                    lp.last_msg_id,
-                )
-            })
-            .collect();
-        GatheredBroker {
-            spec: BrokerSpec::new(
-                self.config.id,
-                self.config.url.clone(),
-                self.config.matching_delay,
-                self.config.out_bandwidth,
-            ),
-            subscriptions,
-            publishers,
-        }
-    }
-
-    fn handle_publication(
-        &mut self,
-        ctx: &mut Context<'_, BrokerMsg>,
-        from: NodeId,
-        env: crate::messages::PubEnvelope,
-    ) {
-        // Single service queue: matching delay depends on table size.
-        let service =
-            SimDuration::from_secs_f64(self.config.matching_delay.delay(self.subscription_count()));
-        let now = ctx.now();
-        let start = now.max(self.busy_until);
-        self.busy_until = start + service;
-        let fwd_delay = self.busy_until.since(now);
-        self.matched_count += 1;
-
-        // CBC: update local publisher stats.
-        if self.clients.contains(&from) {
-            let lp = self
-                .local_publishers
-                .entry(env.publication.adv_id)
-                .or_insert_with(|| LocalPublisher {
-                    first_seen: now,
-                    msgs: 0,
-                    bytes: 0,
-                    last_msg_id: MsgId::new(0),
-                });
-            lp.msgs += 1;
-            lp.bytes += env.publication.wire_size() as u64;
-            lp.last_msg_id = lp.last_msg_id.max(env.publication.msg_id);
-        }
-
-        // Match once; derive forwarding set and local deliveries. The
-        // hop buffer is a scratch field so steady-state forwarding does
-        // not allocate per publication.
-        let matching = self.routing.matching_subscriptions_mut(&env.publication);
-        let mut hops = std::mem::take(&mut self.hops_scratch);
-        hops.clear();
-        for &sub in &matching {
-            let Some(&hop) = self.routing.subscription_hop(sub) else {
-                continue;
-            };
-            if hop == from {
-                continue;
-            }
-            if self.clients.contains(&hop) {
-                // CBC: record the publication in the local profile.
-                if let Some(profile) = self.sub_profiles.get_mut(&sub) {
-                    profile.record(env.publication.adv_id, env.publication.msg_id);
-                }
-            }
-            if !hops.contains(&hop) {
-                hops.push(hop);
-            }
-        }
-        for &hop in &hops {
-            if self.clients.contains(&hop) {
-                self.delivered_count += 1;
-            }
-            ctx.send_after(fwd_delay, hop, BrokerMsg::Publication(env.hopped()));
-        }
-        self.hops_scratch = hops;
-    }
-
-    /// Advertisement churn (control plane): install the advertisement
-    /// and route existing subscriptions toward a late advertiser.
-    fn handle_advertise(
-        &mut self,
-        ctx: &mut Context<'_, BrokerMsg>,
-        from: NodeId,
-        adv: greenps_pubsub::message::Advertisement,
-    ) {
-        if self.routing.insert_advertisement(adv.clone(), from) {
-            for &n in &self.broker_neighbors {
-                if n != from {
-                    ctx.send(n, BrokerMsg::Advertise(adv.clone()));
-                }
-            }
-            // Late advertisement: route existing subscriptions
-            // toward it.
-            let subs = self.routing.subscriptions_toward(&adv, &from);
-            if self.broker_neighbors.contains(&from) {
-                for sub_id in subs {
-                    if let Some(s) = self.routing.subscription(sub_id) {
-                        ctx.send(from, BrokerMsg::Subscribe(s.clone()));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Subscription churn (control plane): install the subscription,
-    /// start a CBC profile for local clients, and forward upstream.
-    fn handle_subscribe(
-        &mut self,
-        ctx: &mut Context<'_, BrokerMsg>,
-        from: NodeId,
-        sub: greenps_pubsub::message::Subscription,
-    ) {
-        let is_local = self.clients.contains(&from);
-        let forwards = self.routing.insert_subscription(sub.clone(), from);
-        if is_local {
-            self.sub_profiles.insert(
-                sub.id,
-                SubscriptionProfile::with_capacity(self.config.profile_bits),
-            );
-        }
-        for hop in forwards {
-            if self.broker_neighbors.contains(&hop) {
-                ctx.send(hop, BrokerMsg::Subscribe(sub.clone()));
-            }
-        }
-    }
-
-    fn handle_bir(&mut self, ctx: &mut Context<'_, BrokerMsg>, from: NodeId, request: u64) {
-        if !self.seen_bir.insert(request) {
-            // Duplicate (possible only in non-tree overlays): answer
-            // empty so the sender is not left waiting.
-            ctx.send(
-                from,
-                BrokerMsg::Bia {
-                    request,
-                    infos: Vec::new(),
-                },
-            );
-            return;
-        }
-        let targets: Vec<NodeId> = self
-            .broker_neighbors
-            .iter()
-            .copied()
-            .filter(|&n| n != from)
-            .collect();
-        if targets.is_empty() {
-            let infos = vec![self.own_info(ctx.now())];
-            ctx.send(from, BrokerMsg::Bia { request, infos });
-            return;
-        }
-        for &t in &targets {
-            ctx.send(t, BrokerMsg::Bir { request });
-        }
-        self.pending_bir.insert(
-            request,
-            PendingBir {
-                parent: from,
-                waiting: targets.into_iter().collect(),
-                collected: Vec::new(),
-            },
-        );
-    }
-
-    fn handle_bia(
-        &mut self,
-        ctx: &mut Context<'_, BrokerMsg>,
-        from: NodeId,
-        request: u64,
-        infos: Vec<GatheredBroker>,
-    ) {
-        let Some(pending) = self.pending_bir.get_mut(&request) else {
-            return;
-        };
-        pending.waiting.remove(&from);
-        pending.collected.extend(infos);
-        if !pending.waiting.is_empty() {
-            return;
-        }
-        let Some(pending) = self.pending_bir.remove(&request) else {
-            return;
-        };
-        let mut infos = pending.collected;
-        infos.push(self.own_info(ctx.now()));
-        ctx.send(pending.parent, BrokerMsg::Bia { request, infos });
+    fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: BrokerMsg) {
+        self.ctx.send_after(delay, to, msg);
     }
 }
 
 impl Process<BrokerMsg> for Broker {
     fn on_message(&mut self, ctx: &mut Context<'_, BrokerMsg>, from: NodeId, msg: BrokerMsg) {
-        match msg {
-            BrokerMsg::ClientHello { .. } => {
-                self.clients.insert(from);
-            }
-            BrokerMsg::Advertise(adv) => self.handle_advertise(ctx, from, adv),
-            BrokerMsg::Unadvertise(id) => {
-                if self.routing.remove_advertisement(id) {
-                    for &n in &self.broker_neighbors {
-                        if n != from {
-                            ctx.send(n, BrokerMsg::Unadvertise(id));
-                        }
-                    }
-                }
-            }
-            BrokerMsg::Subscribe(sub) => self.handle_subscribe(ctx, from, sub),
-            BrokerMsg::Unsubscribe(id) => {
-                if self.routing.remove_subscription(id).is_some() {
-                    self.sub_profiles.remove(&id);
-                    for &n in &self.broker_neighbors {
-                        if n != from {
-                            ctx.send(n, BrokerMsg::Unsubscribe(id));
-                        }
-                    }
-                }
-            }
-            BrokerMsg::Publication(env) => self.handle_publication(ctx, from, env),
-            BrokerMsg::Bir { request } => self.handle_bir(ctx, from, request),
-            BrokerMsg::Bia { request, infos } => self.handle_bia(ctx, from, request, infos),
-        }
+        self.core.on_message(&mut CtxSink { ctx }, from, msg);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -396,9 +120,11 @@ impl Process<BrokerMsg> for Broker {
 mod tests {
     use super::*;
     use crate::client::{CrocClient, PublisherClient, SubscriberClient};
+    use crate::logic::LocalPublisher;
     use crate::messages::PubEnvelope;
+    use greenps_profile::{PublisherProfile, SubscriptionProfile};
     use greenps_pubsub::filter::{stock_advertisement, stock_template};
-    use greenps_pubsub::ids::ClientId;
+    use greenps_pubsub::ids::{AdvId, ClientId, MsgId, SubId};
     use greenps_pubsub::message::{Publication, Subscription};
     use greenps_simnet::{LinkSpec, Network};
 

@@ -1,5 +1,13 @@
 //! Publish/subscribe client processes: publishers, subscribers, and the
 //! CROC coordinator client.
+//!
+//! These are the **sim-transport** clients — cooperative
+//! `greenps_simnet::Process` implementations scheduled by the
+//! deterministic event loop (the backend behind
+//! `greenps_net::SimTransport`). Their real-socket counterparts live in
+//! [`crate::netdeploy`], which drives the same [`BrokerMsg`] vocabulary
+//! over `greenps_net::TcpTransport` endpoints; both sides speak the
+//! transport seam described in DESIGN.md §13.
 
 use crate::messages::{BrokerMsg, GatheredBroker, PubEnvelope};
 use greenps_pubsub::ids::{AdvId, ClientId, MsgId};

@@ -247,6 +247,7 @@ impl Deployment {
     pub fn allocation_input(infos: Vec<GatheredBroker>) -> AllocationInput {
         let mut input = AllocationInput::new();
         let mut publishers = PublisherTable::new();
+        input.brokers.reserve(infos.len());
         for info in infos {
             input.brokers.push(info.spec);
             input.subscriptions.extend(info.subscriptions);

@@ -18,9 +18,17 @@ pub mod broker;
 pub mod client;
 pub mod deploy;
 pub mod live;
+pub mod logic;
 pub mod messages;
+pub mod netdeploy;
+pub mod wire;
 
 pub use broker::{Broker, BrokerConfig};
 pub use client::{CrocClient, PublicationGen, PublisherClient, SubscriberClient};
 pub use deploy::{DeployError, Deployment, GatherError, RunMetrics, TopologySpec};
+pub use logic::{BrokerCore, BrokerSink};
 pub use messages::{BrokerMsg, GatheredBroker, PubEnvelope};
+pub use netdeploy::{
+    NetBrokerStats, NetDeployError, NetDeployReport, NetDeployment, NetPublisher, NetScenario,
+    NetSubscriber,
+};

@@ -3,10 +3,12 @@
 //! simulator — the moral equivalent of a PANDA deployment onto real
 //! processes.
 //!
-//! Each broker is a thread owning advertisement-based routing tables;
-//! links are channel pairs. The harness uses this runtime to demonstrate
-//! that a `ReconfigurationPlan` is executable against live processes,
-//! not only inside the simulator.
+//! Each broker is a thread owning a [`BrokerCore`] — the same
+//! transport-independent state machine the simulator and TCP backends
+//! drive — with channel pairs for links and a [`LiveSink`] adapting
+//! core sends onto crossbeam senders. The harness uses this runtime to
+//! demonstrate that a `ReconfigurationPlan` is executable against live
+//! processes, not only inside the simulator.
 //!
 //! Every public operation returns `Result<_, LiveError>` rather than
 //! panicking: an unknown broker id or a broker thread that has already
@@ -18,15 +20,20 @@
 //! stop making progress (see DESIGN.md §9).
 
 use crate::audit::TrackedRwLock;
+use crate::broker::BrokerConfig;
+use crate::logic::{BrokerCore, BrokerSink};
+use crate::messages::{BrokerMsg, PubEnvelope};
+use greenps_core::model::LinearFn;
 use greenps_core::pipeline::ReconfigContext;
-use greenps_pubsub::ids::{AdvId, BrokerId, SubId};
+use greenps_pubsub::ids::{AdvId, BrokerId, ClientId, SubId};
 use greenps_pubsub::message::{Advertisement, Publication, Subscription};
-use greenps_pubsub::routing::RoutingTables;
+use greenps_simnet::{SimDuration, SimTime};
 use greenps_telemetry::{Gauge, Registry};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -67,14 +74,14 @@ impl std::error::Error for LiveError {
     }
 }
 
-/// Messages flowing between live endpoints.
+/// Messages flowing between live endpoints. Broker traffic is the
+/// shared [`BrokerMsg`] vocabulary — the same state machine the simnet
+/// and TCP backends drive — while the `Attach*` variants carry the
+/// channel-wiring control plane unique to this runtime.
 enum LiveMsg {
     AttachBroker(EndpointId, Sender<Envelope>),
     AttachClient(EndpointId, Sender<Publication>),
-    Advertise(Advertisement),
-    Subscribe(Subscription),
-    Unsubscribe(SubId),
-    Publication(Publication),
+    Broker(BrokerMsg),
     Shutdown,
 }
 
@@ -126,6 +133,47 @@ impl BrokerGauges {
     }
 }
 
+/// [`BrokerSink`] over crossbeam channels: peer sends travel as
+/// [`LiveMsg::Broker`] envelopes, client-bound publications unwrap to
+/// the bare [`Publication`] delivery channel. The live runtime has no
+/// scheduler, so `send_after` sends immediately — service delays are
+/// whatever the OS threads impose.
+struct LiveSink<'a> {
+    my_id: EndpointId,
+    peers: &'a HashMap<EndpointId, Sender<Envelope>>,
+    clients: &'a HashMap<EndpointId, Sender<Publication>>,
+    stats: &'a mut LiveBrokerStats,
+    start: &'a Instant,
+}
+
+impl BrokerSink<EndpointId> for LiveSink<'_> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    fn send(&mut self, to: EndpointId, msg: BrokerMsg) {
+        if let Some(tx) = self.clients.get(&to) {
+            if let BrokerMsg::Publication(env) = msg {
+                self.stats.msgs_out += 1;
+                self.stats.delivered += 1;
+                let _ = tx.send(env.publication);
+            }
+            return;
+        }
+        if let Some(tx) = self.peers.get(&to) {
+            self.stats.msgs_out += 1;
+            let _ = tx.send(Envelope {
+                from: self.my_id,
+                msg: LiveMsg::Broker(msg),
+            });
+        }
+    }
+
+    fn send_after(&mut self, _delay: SimDuration, to: EndpointId, msg: BrokerMsg) {
+        self.send(to, msg);
+    }
+}
+
 fn broker_main(
     broker: BrokerId,
     my_id: EndpointId,
@@ -133,86 +181,38 @@ fn broker_main(
     board: StatsBoard,
     gauges: BrokerGauges,
 ) -> LiveBrokerStats {
-    let mut routing: RoutingTables<EndpointId> = RoutingTables::new();
+    let mut core: BrokerCore<EndpointId> =
+        BrokerCore::new(BrokerConfig::new(broker, LinearFn::new(0.0, 0.0), 1e9));
     let mut peers: HashMap<EndpointId, Sender<Envelope>> = HashMap::new();
     let mut clients: HashMap<EndpointId, Sender<Publication>> = HashMap::new();
     let mut stats = LiveBrokerStats::default();
+    let start = Instant::now();
     let mut since_refresh = 0u64;
     while let Ok(Envelope { from, msg }) = rx.recv() {
-        stats.msgs_in += 1;
         match msg {
             LiveMsg::AttachBroker(id, tx) => {
-                stats.msgs_in -= 1; // control wiring, not traffic
+                // Control wiring, not traffic: no msgs_in.
                 peers.insert(id, tx);
+                core.add_broker_neighbor(id);
             }
             LiveMsg::AttachClient(id, tx) => {
-                stats.msgs_in -= 1;
                 clients.insert(id, tx);
             }
-            LiveMsg::Advertise(adv) => {
-                if routing.insert_advertisement(adv.clone(), from) {
-                    for (&id, tx) in &peers {
-                        if id != from {
-                            stats.msgs_out += 1;
-                            let _ = tx.send(Envelope {
-                                from: my_id,
-                                msg: LiveMsg::Advertise(adv.clone()),
-                            });
-                        }
-                    }
-                    for sub_id in routing.subscriptions_toward(&adv, &from) {
-                        if let (Some(s), Some(tx)) =
-                            (routing.subscription(sub_id), peers.get(&from))
-                        {
-                            stats.msgs_out += 1;
-                            let _ = tx.send(Envelope {
-                                from: my_id,
-                                msg: LiveMsg::Subscribe(s.clone()),
-                            });
-                        }
-                    }
-                }
+            LiveMsg::Broker(m) => {
+                stats.msgs_in += 1;
+                let mut sink = LiveSink {
+                    my_id,
+                    peers: &peers,
+                    clients: &clients,
+                    stats: &mut stats,
+                    start: &start,
+                };
+                core.on_message(&mut sink, from, m);
             }
-            LiveMsg::Subscribe(sub) => {
-                for hop in routing.insert_subscription(sub.clone(), from) {
-                    if let Some(tx) = peers.get(&hop) {
-                        stats.msgs_out += 1;
-                        let _ = tx.send(Envelope {
-                            from: my_id,
-                            msg: LiveMsg::Subscribe(sub.clone()),
-                        });
-                    }
-                }
+            LiveMsg::Shutdown => {
+                stats.msgs_in += 1;
+                break;
             }
-            LiveMsg::Unsubscribe(id) => {
-                if routing.remove_subscription(id).is_some() {
-                    for (&pid, tx) in &peers {
-                        if pid != from {
-                            stats.msgs_out += 1;
-                            let _ = tx.send(Envelope {
-                                from: my_id,
-                                msg: LiveMsg::Unsubscribe(id),
-                            });
-                        }
-                    }
-                }
-            }
-            LiveMsg::Publication(p) => {
-                for hop in routing.route_publication_mut(&p, Some(&from)) {
-                    if let Some(tx) = peers.get(&hop) {
-                        stats.msgs_out += 1;
-                        let _ = tx.send(Envelope {
-                            from: my_id,
-                            msg: LiveMsg::Publication(p.clone()),
-                        });
-                    } else if let Some(tx) = clients.get(&hop) {
-                        stats.msgs_out += 1;
-                        stats.delivered += 1;
-                        let _ = tx.send(p.clone());
-                    }
-                }
-            }
-            LiveMsg::Shutdown => break,
         }
         since_refresh += 1;
         if since_refresh >= STATS_REFRESH_EVERY {
@@ -349,7 +349,14 @@ impl LiveNet {
         let tx = self.sender(broker)?.clone();
         tx.send(Envelope {
             from: endpoint,
-            msg: LiveMsg::Advertise(adv.clone()),
+            msg: LiveMsg::Broker(BrokerMsg::ClientHello {
+                client: ClientId::new(endpoint),
+            }),
+        })
+        .map_err(|_| LiveError::Disconnected(broker))?;
+        tx.send(Envelope {
+            from: endpoint,
+            msg: LiveMsg::Broker(BrokerMsg::Advertise(adv.clone())),
         })
         .map_err(|_| LiveError::Disconnected(broker))?;
         Ok(LivePublisher {
@@ -375,7 +382,14 @@ impl LiveNet {
         .map_err(|_| LiveError::Disconnected(broker))?;
         tx.send(Envelope {
             from: endpoint,
-            msg: LiveMsg::Subscribe(subscription),
+            msg: LiveMsg::Broker(BrokerMsg::ClientHello {
+                client: ClientId::new(endpoint),
+            }),
+        })
+        .map_err(|_| LiveError::Disconnected(broker))?;
+        tx.send(Envelope {
+            from: endpoint,
+            msg: LiveMsg::Broker(BrokerMsg::Subscribe(subscription)),
         })
         .map_err(|_| LiveError::Disconnected(broker))?;
         Ok(drx)
@@ -386,7 +400,7 @@ impl LiveNet {
         self.sender(broker)?
             .send(Envelope {
                 from: endpoint_of(broker),
-                msg: LiveMsg::Unsubscribe(id),
+                msg: LiveMsg::Broker(BrokerMsg::Unsubscribe(id)),
             })
             .map_err(|_| LiveError::Disconnected(broker))
     }
@@ -452,7 +466,10 @@ impl LivePublisher {
     pub fn publish(&self, publication: Publication) {
         let _ = self.tx.send(Envelope {
             from: self.endpoint,
-            msg: LiveMsg::Publication(publication),
+            msg: LiveMsg::Broker(BrokerMsg::Publication(PubEnvelope::new(
+                publication,
+                SimTime::ZERO,
+            ))),
         });
     }
 }

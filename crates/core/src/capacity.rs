@@ -427,6 +427,8 @@ impl FastPacker {
                 // `estimate_rate_delta` f64 sequence, with the union's
                 // cached popcount standing in for its `count_ones` walk.
                 self.or_scratch.clear();
+                // At most one entry per advertisement slot hit below.
+                self.or_scratch.reserve(self.advs.len());
                 let mut delta = 0.0;
                 for (adv, o) in unit.profile.iter() {
                     let Ok(ai) = self.advs.binary_search(&adv) else {

@@ -1100,8 +1100,9 @@ impl Engine<'_> {
     /// order, so the outcome is identical for any thread count —
     /// including 1, which takes the same path sequentially.
     fn refresh_partners(&mut self) {
-        let mut stale: Vec<GifKey> = Vec::new();
-        for g in std::mem::take(&mut self.stale) {
+        let marked = std::mem::take(&mut self.stale);
+        let mut stale: Vec<GifKey> = Vec::with_capacity(marked.len());
+        for g in marked {
             if self.pool.gifs.contains_key(&g) {
                 stale.push(g);
             } else {
@@ -1544,6 +1545,10 @@ impl Engine<'_> {
         if remaining.is_empty() {
             return false;
         }
+        // A CGS takes at most every descendant, and removals one more
+        // entry for the parent itself.
+        cgs.reserve(remaining.len());
+        removals.reserve(remaining.len() + 1);
 
         let g_unit = self.pool.lightest(g);
         let budget = self.pool.units[&g_unit].out_bandwidth

@@ -200,13 +200,15 @@ impl Artifact for ReconfigurationPlan {
     }
 
     fn from_json(value: &JsonValue) -> Result<Self, ArtifactError> {
-        let mut subscription_homes = BTreeMap::new();
-        for entry in arr_field(value, "subscription_homes")? {
-            subscription_homes.insert(
-                SubId::new(u64_field(entry, "id")?),
-                BrokerId::new(u64_field(entry, "broker")?),
-            );
-        }
+        let subscription_homes = arr_field(value, "subscription_homes")?
+            .iter()
+            .map(|entry| {
+                Ok((
+                    SubId::new(u64_field(entry, "id")?),
+                    BrokerId::new(u64_field(entry, "broker")?),
+                ))
+            })
+            .collect::<Result<BTreeMap<_, _>, ArtifactError>>()?;
         let mut publisher_homes = BTreeMap::new();
         for entry in arr_field(value, "publisher_homes")? {
             publisher_homes.insert(

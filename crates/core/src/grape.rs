@@ -100,7 +100,8 @@ impl InterestTree {
         overlay: &Overlay,
         cancel: &CancelToken,
     ) -> Result<Self, AllocError> {
-        let mut brokers: Vec<(BrokerId, SubscriptionProfile)> = Vec::new();
+        let mut brokers: Vec<(BrokerId, SubscriptionProfile)> =
+            Vec::with_capacity(overlay.broker_count());
         for n in overlay.nodes() {
             if cancel.is_cancelled_hot() {
                 return Err(AllocError::Cancelled);

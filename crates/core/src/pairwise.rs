@@ -53,7 +53,7 @@ fn cluster_to_k(
     }
     // Merge equal profiles first — equivalent free wins.
     units.sort_by(|a, b| a.subs.first().cmp(&b.subs.first()));
-    let mut clusters: Vec<Option<Unit>> = Vec::new();
+    let mut clusters: Vec<Option<Unit>> = Vec::with_capacity(units.len());
     'outer: for u in units {
         if cancel.is_cancelled_hot() {
             return Err(AllocError::Cancelled);
@@ -176,7 +176,8 @@ fn assign(
 ) -> Result<Allocation, AllocError> {
     let mut broker_ids: Vec<_> = input.brokers.iter().map(|b| b.id).collect();
     broker_ids.shuffle(rng);
-    let mut loads: Vec<BrokerLoad> = Vec::new();
+    // One `BrokerLoad` per distinct broker at most.
+    let mut loads: Vec<BrokerLoad> = Vec::with_capacity(broker_ids.len());
     for (i, unit) in clusters.into_iter().enumerate() {
         if cancel.is_cancelled_hot() {
             return Err(AllocError::Cancelled);

@@ -58,6 +58,24 @@ impl CancelToken {
     }
 }
 
+/// Which transport backend the Deploy/Measure phases should run the
+/// broker overlay on.
+///
+/// The reconfiguration algorithms themselves are transport-blind; this
+/// choice only selects how the measurement harness carries broker
+/// messages (DESIGN.md §13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// The deterministic discrete-event simulator — bit-identical runs,
+    /// virtual time. The default, and the only backend used by the
+    /// repeatability suites.
+    #[default]
+    Sim,
+    /// Real loopback TCP sockets with one thread per connection:
+    /// wall-clock time, actual kernel queues, epoch-fenced sessions.
+    TcpLoopback,
+}
+
 /// Shared per-run context: telemetry, seed, thread budget, cancellation.
 ///
 /// Telemetry is observation only — a run with an enabled registry is
@@ -69,6 +87,7 @@ pub struct ReconfigContext {
     seed: u64,
     threads: usize,
     cancel: CancelToken,
+    transport: TransportChoice,
 }
 
 impl Default for ReconfigContext {
@@ -85,7 +104,21 @@ impl ReconfigContext {
             seed: 1,
             threads: 1,
             cancel: CancelToken::new(),
+            transport: TransportChoice::Sim,
         }
+    }
+
+    /// Selects the transport backend for deployment phases (builder
+    /// style). Pure simulation phases ignore it.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportChoice) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The transport backend deployment phases should use.
+    pub fn transport(&self) -> TransportChoice {
+        self.transport
     }
 
     /// Replaces the telemetry registry (builder style).
@@ -175,6 +208,14 @@ mod tests {
         assert_eq!(ctx.seed(), 1);
         assert_eq!(ctx.threads(), 1);
         assert!(!ctx.is_cancelled());
+        assert_eq!(ctx.transport(), TransportChoice::Sim);
+    }
+
+    #[test]
+    fn transport_choice_is_a_plain_setting() {
+        let ctx = ReconfigContext::new().with_transport(TransportChoice::TcpLoopback);
+        assert_eq!(ctx.transport(), TransportChoice::TcpLoopback);
+        assert_eq!(ctx.clone().transport(), TransportChoice::TcpLoopback);
     }
 
     #[test]

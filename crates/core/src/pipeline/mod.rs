@@ -25,7 +25,7 @@ mod context;
 mod store;
 
 pub use artifact::{Artifact, ArtifactError};
-pub use context::{CancelToken, ReconfigContext};
+pub use context::{CancelToken, ReconfigContext, TransportChoice};
 pub use store::{CheckpointStore, CHECKPOINT_SCHEMA};
 
 use crate::croc::PlanError;

@@ -1,0 +1,53 @@
+//! # greenps-net
+//!
+//! The transport seam between the broker overlay and whatever carries
+//! its bytes (DESIGN.md §13). One small contract — [`Transport`] opens
+//! [`Endpoint`]s; endpoints connect, send framed messages and poll
+//! [`NetEvent`]s — with two backends:
+//!
+//! - [`SimTransport`]: a veneer over the deterministic
+//!   `greenps-simnet` discrete-event loop, cooperative and
+//!   single-threaded, for tests and reproducible experiments;
+//! - [`TcpTransport`]: a std-only threaded backend over `std::net`
+//!   loopback sockets with length-prefixed frames, a hand-rolled
+//!   byte-stable [`Wire`] codec, and epoch-fenced sessions so a
+//!   reconnecting node never observes ghosts of its previous session.
+//!
+//! ## Example
+//!
+//! ```
+//! use greenps_net::{decode_exact, Endpoint, NetEvent, SimTransport, Transport, Wire, WireReader};
+//! use greenps_simnet::Payload;
+//! use std::time::Duration;
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! struct Tick(u64);
+//! impl Payload for Tick {
+//!     fn wire_size(&self) -> usize { 8 }
+//! }
+//!
+//! let mut transport: SimTransport<Tick> = SimTransport::new();
+//! let mut a = transport.open(1).unwrap();
+//! let mut b = transport.open(2).unwrap();
+//! a.connect(&b.addr()).unwrap();
+//! a.send(2, &Tick(41)).unwrap();
+//! match b.poll(Duration::ZERO) {
+//!     Some(NetEvent::Msg { from, msg }) => assert_eq!((from, msg), (1, Tick(41))),
+//!     other => panic!("expected a message, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod frame;
+pub mod sim;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use frame::{FrameError, Hello, MAX_FRAME_LEN};
+pub use sim::{SimEndpoint, SimTransport};
+pub use tcp::{TcpEndpoint, TcpTransport};
+pub use transport::{Endpoint, EndpointAddr, NetError, NetEvent, NodeName, Transport};
+pub use wire::{decode_exact, Wire, WireError, WireReader};

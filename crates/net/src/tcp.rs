@@ -1,0 +1,502 @@
+//! The threaded TCP backend: real sockets, framed messages,
+//! epoch-fenced sessions.
+//!
+//! Each [`TcpEndpoint`] binds an ephemeral loopback listener and runs
+//! one accept thread plus one reader thread per live connection. All
+//! inbound activity funnels through a channel of raw events that
+//! [`TcpEndpoint::poll`] integrates on the driver thread — the endpoint
+//! itself is single-owner (`&mut self` everywhere), so the send path
+//! holds no lock: it encodes into an owned scratch buffer and issues a
+//! single `write_all` per frame.
+//!
+//! ## Epoch fencing
+//!
+//! [`TcpTransport::open`] stamps every endpoint incarnation of a node
+//! name with a strictly increasing epoch, exchanged in the connection
+//! hello. `poll` keeps, per peer, only the *newest* epoch it has seen:
+//! a `Session` with a larger epoch supersedes the old connection, and
+//! `Msg`/`Closed` events from an older epoch are silently fenced
+//! (counted in `transport.stale_events_fenced`). A broker that
+//! reconnects therefore never sees ghosts of its previous session.
+//!
+//! ## Cancellation
+//!
+//! The accept and reader loops poll a shared stop flag at least every
+//! [`POLL_INTERVAL`]; the deployment layer wires the pipeline's
+//! `CancelToken` to [`TcpEndpoint::stop_handle`] so a cancelled run
+//! tears the socket threads down promptly.
+
+use crate::frame::{self, FrameError, Hello};
+use crate::transport::{Endpoint, EndpointAddr, NetError, NetEvent, NodeName, Transport};
+use crate::wire::{decode_exact, Wire};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use greenps_telemetry::{Counter, Registry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked socket loops wake to poll the stop flag.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Raw events produced by the accept/reader threads, integrated (and
+/// epoch-fenced) on the driver thread inside `poll`.
+enum RawEvent<M> {
+    Session {
+        peer: NodeName,
+        epoch: u32,
+        stream: TcpStream,
+    },
+    Msg {
+        peer: NodeName,
+        epoch: u32,
+        msg: M,
+    },
+    Closed {
+        peer: NodeName,
+        epoch: u32,
+    },
+}
+
+/// Telemetry handles shared with the socket threads.
+#[derive(Clone)]
+struct ReaderCounters {
+    frames_received: Counter,
+    bytes_received: Counter,
+    decode_errors: Counter,
+}
+
+/// An established session's write half, owned by the endpoint.
+struct Conn {
+    stream: TcpStream,
+    epoch: u32,
+}
+
+/// A `Read` adapter that converts read timeouts into stop-flag polls,
+/// so framed reads block in bounded slices and observe cancellation.
+struct PollRead<'a> {
+    stream: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for PollRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // `Read` is implemented for `&TcpStream`, so no clone is needed.
+        let mut raw: &TcpStream = self.stream;
+        loop {
+            match raw.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.stop.load(Ordering::Relaxed) {
+                        return Err(io::ErrorKind::ConnectionAborted.into());
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// The TCP backend factory. Tracks one strictly increasing epoch per
+/// node name so reopened endpoints supersede their predecessors.
+pub struct TcpTransport {
+    registry: Registry,
+    epochs: HashMap<NodeName, u32>,
+}
+
+impl TcpTransport {
+    /// A transport with telemetry disabled.
+    pub fn new() -> Self {
+        Self {
+            registry: Registry::disabled(),
+            epochs: HashMap::new(),
+        }
+    }
+
+    /// A transport feeding `transport.*` instruments in `registry`.
+    pub fn with_telemetry(registry: &Registry) -> Self {
+        Self {
+            registry: registry.clone(),
+            epochs: HashMap::new(),
+        }
+    }
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Wire + Send + 'static> Transport<M> for TcpTransport {
+    type Endpoint = TcpEndpoint<M>;
+
+    fn open(&mut self, node: NodeName) -> Result<TcpEndpoint<M>, NetError> {
+        let epoch = self
+            .epochs
+            .entry(node)
+            .and_modify(|e| *e = e.saturating_add(1))
+            .or_insert(1);
+        TcpEndpoint::bind(node, *epoch, &self.registry)
+    }
+}
+
+/// One node's TCP attachment: a loopback listener, an accept thread,
+/// per-connection reader threads, and an owned map of write halves.
+pub struct TcpEndpoint<M> {
+    node: NodeName,
+    epoch: u32,
+    local: SocketAddr,
+    conns: HashMap<NodeName, Conn>,
+    events_rx: Receiver<RawEvent<M>>,
+    events_tx: Sender<RawEvent<M>>,
+    stop: Arc<AtomicBool>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reader_counters: ReaderCounters,
+    frames_sent: Counter,
+    bytes_sent: Counter,
+    sessions_opened: Counter,
+    sessions_closed: Counter,
+    stale_fenced: Counter,
+    scratch: Vec<u8>,
+    down: bool,
+}
+
+impl<M: Wire + Send + 'static> TcpEndpoint<M> {
+    fn bind(node: NodeName, epoch: u32, registry: &Registry) -> Result<Self, NetError> {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| NetError::Open(e.to_string()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::Open(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Open(e.to_string()))?;
+        let (events_tx, events_rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let reader_counters = ReaderCounters {
+            frames_received: registry.counter("transport.frames_received"),
+            bytes_received: registry.counter("transport.bytes_received"),
+            decode_errors: registry.counter("transport.decode_errors"),
+        };
+        let endpoint = Self {
+            node,
+            epoch,
+            local,
+            conns: HashMap::new(),
+            events_rx,
+            events_tx: events_tx.clone(),
+            stop: Arc::clone(&stop),
+            threads: Arc::clone(&threads),
+            reader_counters: reader_counters.clone(),
+            frames_sent: registry.counter("transport.frames_sent"),
+            bytes_sent: registry.counter("transport.bytes_sent"),
+            sessions_opened: registry.counter("transport.sessions_opened"),
+            sessions_closed: registry.counter("transport.sessions_closed"),
+            stale_fenced: registry.counter("transport.stale_events_fenced"),
+            scratch: Vec::with_capacity(1024),
+            down: false,
+        };
+        let accept_threads = Arc::clone(&threads);
+        let accept_stop = Arc::clone(&stop);
+        let my = Hello { node, epoch };
+        let handle = std::thread::spawn(move || {
+            accept_loop(
+                listener,
+                my,
+                events_tx,
+                accept_stop,
+                accept_threads,
+                reader_counters,
+            );
+        });
+        threads.lock().push(handle);
+        Ok(endpoint)
+    }
+
+    /// The stop flag socket loops poll; the deployment layer bridges a
+    /// pipeline `CancelToken` onto this to make cancellation reach the
+    /// accept/recv loops.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Integrates one raw event against the per-peer epoch fence.
+    fn integrate(&mut self, raw: RawEvent<M>) -> Option<NetEvent<M>> {
+        match raw {
+            RawEvent::Session {
+                peer,
+                epoch,
+                stream,
+            } => {
+                let newer = self.conns.get(&peer).is_none_or(|c| epoch > c.epoch);
+                if !newer {
+                    // A redundant or stale handshake: the existing
+                    // session stands; the extra socket closes on drop.
+                    self.stale_fenced.inc();
+                    return None;
+                }
+                self.conns.insert(peer, Conn { stream, epoch });
+                self.sessions_opened.inc();
+                Some(NetEvent::Session { peer, epoch })
+            }
+            RawEvent::Msg { peer, epoch, msg } => {
+                let live = self.conns.get(&peer).is_some_and(|c| c.epoch == epoch);
+                if !live {
+                    self.stale_fenced.inc();
+                    return None;
+                }
+                Some(NetEvent::Msg { from: peer, msg })
+            }
+            RawEvent::Closed { peer, epoch } => {
+                let live = self.conns.get(&peer).is_some_and(|c| c.epoch == epoch);
+                if !live {
+                    self.stale_fenced.inc();
+                    return None;
+                }
+                self.conns.remove(&peer);
+                self.sessions_closed.inc();
+                Some(NetEvent::Closed { peer })
+            }
+        }
+    }
+}
+
+impl<M: Wire + Send + 'static> Endpoint<M> for TcpEndpoint<M> {
+    fn node(&self) -> NodeName {
+        self.node
+    }
+
+    fn addr(&self) -> EndpointAddr {
+        EndpointAddr::Tcp(self.local)
+    }
+
+    fn connect(&mut self, addr: &EndpointAddr) -> Result<NodeName, NetError> {
+        if self.down {
+            return Err(NetError::Shutdown);
+        }
+        let EndpointAddr::Tcp(sa) = addr else {
+            return Err(NetError::WrongAddrKind);
+        };
+        let stream = TcpStream::connect(sa).map_err(|e| NetError::Connect(e.to_string()))?;
+        let my = Hello {
+            node: self.node,
+            epoch: self.epoch,
+        };
+        let hello =
+            handshake(&stream, my, &self.stop).map_err(|e| NetError::Connect(e.to_string()))?;
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| NetError::Connect(e.to_string()))?;
+        let tx = self.events_tx.clone();
+        let stop = Arc::clone(&self.stop);
+        let counters = self.reader_counters.clone();
+        let peer = hello.node;
+        let peer_epoch = hello.epoch;
+        let handle = std::thread::spawn(move || {
+            reader_loop(stream, peer, peer_epoch, tx, stop, counters);
+        });
+        self.threads.lock().push(handle);
+        // The dialed session is live immediately — the connect() return
+        // is its Session notification; `poll` will fence the mirror
+        // handshake the peer's accept side may race in.
+        self.conns.insert(
+            peer,
+            Conn {
+                stream: write_half,
+                epoch: peer_epoch,
+            },
+        );
+        self.sessions_opened.inc();
+        Ok(peer)
+    }
+
+    fn send(&mut self, peer: NodeName, msg: &M) -> Result<(), NetError> {
+        if self.down {
+            return Err(NetError::Shutdown);
+        }
+        let Some(conn) = self.conns.get_mut(&peer) else {
+            return Err(NetError::UnknownPeer(peer));
+        };
+        frame::begin_frame(&mut self.scratch);
+        msg.encode(&mut self.scratch);
+        match frame::write_frame(&mut conn.stream, &mut self.scratch) {
+            Ok(()) => {
+                self.frames_sent.inc();
+                self.bytes_sent.add(self.scratch.len() as u64);
+                Ok(())
+            }
+            Err(_) => {
+                self.conns.remove(&peer);
+                self.sessions_closed.inc();
+                Err(NetError::SessionLost(peer))
+            }
+        }
+    }
+
+    fn poll(&mut self, wait: Duration) -> Option<NetEvent<M>> {
+        if self.down {
+            return None;
+        }
+        let deadline = Instant::now() + wait;
+        loop {
+            let raw = if wait.is_zero() {
+                match self.events_rx.try_recv() {
+                    Ok(raw) => raw,
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => return None,
+                }
+            } else {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match self.events_rx.recv_timeout(left) {
+                    Ok(raw) => raw,
+                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                        return None;
+                    }
+                }
+            };
+            if let Some(ev) = self.integrate(raw) {
+                return Some(ev);
+            }
+            if !wait.is_zero() && Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.stop.store(true, Ordering::Relaxed);
+        // Dropping the write halves closes the sockets, which unblocks
+        // peers' readers with EOF.
+        self.conns.clear();
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M> Drop for TcpEndpoint<M> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Threads spawned by this endpoint hold only channel senders and
+        // socket clones; with the stop flag up they exit within one
+        // POLL_INTERVAL, so dropping without an explicit shutdown() does
+        // not leak spinning threads. Joining here would deadlock a
+        // same-thread drop during panic unwinding, so we only signal.
+    }
+}
+
+/// Performs the symmetric write-then-read hello exchange.
+fn handshake(stream: &TcpStream, my: Hello, stop: &AtomicBool) -> Result<Hello, FrameError> {
+    stream.set_nodelay(true).map_err(FrameError::Io)?;
+    stream
+        .set_read_timeout(Some(POLL_INTERVAL))
+        .map_err(FrameError::Io)?;
+    let mut write_half = stream;
+    frame::write_hello(&mut write_half, my)?;
+    let mut reader = PollRead { stream, stop };
+    frame::read_hello(&mut reader)
+}
+
+/// Accepts connections until the stop flag rises, spawning one reader
+/// thread per handshaken peer.
+fn accept_loop<M: Wire + Send + 'static>(
+    listener: TcpListener,
+    my: Hello,
+    tx: Sender<RawEvent<M>>,
+    stop: Arc<AtomicBool>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    counters: ReaderCounters,
+) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let stop = Arc::clone(&stop);
+                let counters = counters.clone();
+                let handle = std::thread::spawn(move || {
+                    let hello = match handshake(&stream, my, &stop) {
+                        Ok(h) => h,
+                        Err(_) => return, // malformed dialer: drop it
+                    };
+                    let write_half = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    };
+                    let peer = hello.node;
+                    let epoch = hello.epoch;
+                    let _ = tx.send(RawEvent::Session {
+                        peer,
+                        epoch,
+                        stream: write_half,
+                    });
+                    reader_loop(stream, peer, epoch, tx, stop, counters);
+                });
+                threads.lock().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept failure; retry after a beat.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Reads frames off one connection until EOF, error or stop.
+fn reader_loop<M: Wire + Send + 'static>(
+    stream: TcpStream,
+    peer: NodeName,
+    epoch: u32,
+    tx: Sender<RawEvent<M>>,
+    stop: Arc<AtomicBool>,
+    counters: ReaderCounters,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut reader = PollRead {
+        stream: &stream,
+        stop: &stop,
+    };
+    loop {
+        match frame::read_frame(&mut reader, &mut buf) {
+            Ok(true) => match decode_exact::<M>(&buf) {
+                Ok(msg) => {
+                    counters.frames_received.inc();
+                    counters.bytes_received.add(buf.len() as u64);
+                    if tx.send(RawEvent::Msg { peer, epoch, msg }).is_err() {
+                        return; // endpoint dropped
+                    }
+                }
+                Err(_) => {
+                    // A peer speaking garbage is indistinguishable from
+                    // corruption: close the session.
+                    counters.decode_errors.inc();
+                    let _ = tx.send(RawEvent::Closed { peer, epoch });
+                    return;
+                }
+            },
+            Ok(false) | Err(_) => {
+                let _ = tx.send(RawEvent::Closed { peer, epoch });
+                return;
+            }
+        }
+    }
+}

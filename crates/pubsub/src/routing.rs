@@ -69,7 +69,8 @@ impl<H: Clone + Ord> RoutingTables<H> {
     /// set of hops it must be forwarded to: the distinct last hops of
     /// every intersecting advertisement, excluding the hop it came from.
     pub fn insert_subscription(&mut self, sub: Subscription, last_hop: H) -> Vec<H> {
-        let mut out: Vec<H> = Vec::new();
+        // At most one forward per advertisement hop.
+        let mut out: Vec<H> = Vec::with_capacity(self.advertisements.len());
         for (adv, adv_hop) in self.advertisements.values() {
             if *adv_hop != last_hop
                 && sub.filter.intersects_advertisement(&adv.filter)
@@ -105,8 +106,10 @@ impl<H: Clone + Ord> RoutingTables<H> {
     /// Routes a publication: returns the distinct last hops of matching
     /// subscriptions, excluding the hop the publication arrived from.
     pub fn route_publication(&self, publication: &Publication, from: Option<&H>) -> Vec<H> {
-        let mut out: Vec<H> = Vec::new();
-        for sub_id in self.matcher.matches(publication) {
+        let matches = self.matcher.matches(publication);
+        // At most one forward per matching subscription.
+        let mut out: Vec<H> = Vec::with_capacity(matches.len());
+        for sub_id in matches {
             if let Some((_, hop)) = self.subscriptions.get(&sub_id) {
                 if Some(hop) != from && !out.contains(hop) {
                     out.push(hop.clone());

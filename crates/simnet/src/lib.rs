@@ -50,6 +50,6 @@ pub mod metrics;
 pub mod network;
 pub mod time;
 
-pub use metrics::{Histogram, Summary, TrafficCounters};
+pub use metrics::TrafficCounters;
 pub use network::{Context, LinkSpec, Network, NodeId, Payload, Process};
 pub use time::{SimDuration, SimTime};

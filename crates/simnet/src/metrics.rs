@@ -1,19 +1,16 @@
-//! Measurement utilities: counters and histograms.
+//! Measurement utilities for the simulated event loop.
 //!
 //! The experiment harness measures average broker message rate, hop
-//! counts and delivery delays over a simulated window. The actual
-//! bookkeeping lives in `greenps-telemetry` ([`Summary`] is re-exported
-//! from there; [`Histogram`] adapts its `BucketHistogram` to simulated
-//! time) so the logic exists in exactly one place;
-//! [`TrafficCounters`] remains a plain per-node tally because the
-//! event loop owns it by value on its hot path — the network mirrors
-//! it into telemetry instruments when a registry is attached
-//! (`Network::set_telemetry`).
+//! counts and delivery delays over a simulated window. All aggregation
+//! (summaries, delay histograms, quantiles) lives in `greenps-telemetry`
+//! — use [`greenps_telemetry::BucketHistogram`] /
+//! [`greenps_telemetry::Summary`] directly, or attach a
+//! [`greenps_telemetry::Registry`] via `Network::set_telemetry` for the
+//! instrument-handle form. Only [`TrafficCounters`] remains here: a
+//! plain per-node tally the event loop owns by value on its hot path,
+//! mirrored into telemetry instruments when a registry is attached.
 
 use crate::time::SimDuration;
-use greenps_telemetry::BucketHistogram;
-
-pub use greenps_telemetry::Summary;
 
 /// Per-node traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -54,62 +51,6 @@ impl TrafficCounters {
     }
 }
 
-/// Fixed-bucket histogram for delivery delays (microsecond domain) — a
-/// thin adapter giving `greenps-telemetry`'s [`BucketHistogram`] a
-/// simulated-time recording surface.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    inner: BucketHistogram,
-}
-
-impl Histogram {
-    /// Creates a histogram with the given ascending bucket upper bounds;
-    /// an implicit overflow bucket catches everything above the last.
-    ///
-    /// # Panics
-    /// Panics if `bounds` is empty or not strictly ascending.
-    pub fn new(bounds: Vec<u64>) -> Self {
-        Self {
-            inner: BucketHistogram::new(bounds),
-        }
-    }
-
-    /// A default delay histogram: 1ms .. 60s, roughly logarithmic.
-    pub fn delay_default() -> Self {
-        Self::new(vec![
-            1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
-            60_000_000,
-        ])
-    }
-
-    /// Records an observation.
-    pub fn record(&mut self, value: u64) {
-        self.inner.record(value);
-    }
-
-    /// Records a simulated duration in microseconds.
-    pub fn record_duration(&mut self, d: SimDuration) {
-        self.record(d.as_micros());
-    }
-
-    /// The aggregate summary of all recorded values.
-    pub fn summary(&self) -> &Summary {
-        self.inner.summary()
-    }
-
-    /// Approximate value at a quantile in `[0, 1]`, using bucket upper
-    /// bounds. Returns `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        self.inner.quantile(q)
-    }
-
-    /// Per-bucket `(upper_bound, count)` pairs; the final entry uses
-    /// `u64::MAX` as the overflow bound.
-    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.inner.buckets()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,59 +65,5 @@ mod tests {
         assert_eq!(t.msg_rate(SimDuration::ZERO), 0.0);
         t.reset();
         assert_eq!(t.total_msgs(), 0);
-    }
-
-    #[test]
-    fn summary_statistics() {
-        let mut s = Summary::new();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), None);
-        for v in [2.0, 4.0, 6.0] {
-            s.record(v);
-        }
-        assert_eq!(s.count(), 3);
-        assert_eq!(s.mean(), 4.0);
-        assert_eq!(s.min(), Some(2.0));
-        assert_eq!(s.max(), Some(6.0));
-
-        let mut t = Summary::new();
-        t.record(10.0);
-        s.merge(&t);
-        assert_eq!(s.count(), 4);
-        assert_eq!(s.max(), Some(10.0));
-    }
-
-    #[test]
-    fn histogram_buckets_and_quantiles() {
-        let mut h = Histogram::new(vec![10, 100, 1000]);
-        for v in [5, 9, 50, 500, 5000] {
-            h.record(v);
-        }
-        let buckets: Vec<_> = h.buckets().collect();
-        assert_eq!(buckets, vec![(10, 2), (100, 1), (1000, 1), (u64::MAX, 1)]);
-        assert_eq!(h.quantile(0.0), Some(10));
-        assert_eq!(h.quantile(0.5), Some(100));
-        assert_eq!(h.quantile(1.0), Some(5000)); // overflow reports max
-        assert_eq!(h.summary().count(), 5);
-    }
-
-    #[test]
-    fn histogram_record_duration_uses_micros() {
-        let mut h = Histogram::delay_default();
-        h.record_duration(SimDuration::from_millis(2));
-        assert_eq!(h.summary().count(), 1);
-        assert_eq!(h.quantile(1.0), Some(5_000));
-    }
-
-    #[test]
-    fn empty_histogram_quantile_is_none() {
-        let h = Histogram::delay_default();
-        assert_eq!(h.quantile(0.5), None);
-    }
-
-    #[test]
-    #[should_panic(expected = "strictly ascending")]
-    fn histogram_rejects_unsorted_bounds() {
-        let _ = Histogram::new(vec![10, 10]);
     }
 }

@@ -10,8 +10,12 @@
 
 use crate::runner::{Approach, Outcome, RunConfig};
 use crate::scenario::Scenario;
-use crate::topology::{automatic, deploy, from_allocation, from_plan, manual, Placement};
-use greenps_broker::{BrokerConfig, Deployment, RunMetrics, TopologySpec};
+use crate::topology::{
+    automatic, deploy, from_allocation, from_plan, manual, net_scenario, Placement,
+};
+use greenps_broker::{
+    BrokerConfig, Deployment, NetDeployError, NetDeployment, RunMetrics, TopologySpec,
+};
 use greenps_core::cram::CramBuilder;
 use greenps_core::croc::{
     AllocatePhase, BuildOverlayPhase, PlanConfig, PlannedAllocation, ReconfigurationPlan,
@@ -26,8 +30,9 @@ use greenps_core::pipeline::artifact::{
 use greenps_core::pipeline::json::JsonValue;
 use greenps_core::pipeline::{
     Artifact, ArtifactError, CheckpointStore, Phase, PhaseKind, Pipeline, PipelineError,
-    ReconfigContext,
+    ReconfigContext, TransportChoice,
 };
+use greenps_net::TcpTransport;
 use greenps_profile::{ClosenessMetric, SubscriptionProfile};
 use greenps_pubsub::ids::{AdvId, BrokerId};
 use greenps_simnet::{LinkSpec, SimDuration};
@@ -455,12 +460,103 @@ fn relocate_publishers_only(scenario: &Scenario, gathered: GatherOut) -> Placeme
 
 /// Final stage: deploy the placement, warm up, and measure; the pool
 /// average is renormalized to the scenario's full broker pool.
+///
+/// The transport backend comes from
+/// [`ReconfigContext::transport`]: the default
+/// [`TransportChoice::Sim`] path runs the discrete-event deployment
+/// bit-identically to every previous release, while
+/// [`TransportChoice::TcpLoopback`] replays a pre-generated slice of
+/// the workload over real loopback sockets via
+/// [`greenps_broker::NetDeployment`].
 #[derive(Debug)]
 pub struct MeasurePhase<'a> {
     /// The scenario being measured.
     pub scenario: &'a Scenario,
     /// Timing knobs (warmup and measurement windows).
     pub cfg: RunConfig,
+}
+
+/// Cap on materialized publications per publisher for loopback runs:
+/// the stream is generated up front, so a long simulated measurement
+/// window must not translate into an unbounded allocation.
+const TCP_PUBS_CAP: u64 = 200;
+
+impl MeasurePhase<'_> {
+    /// The simulator path — unchanged semantics, virtual time.
+    fn measure_sim(&self, placement: &Placement, ctx: &ReconfigContext) -> RunMetrics {
+        let registry = ctx.registry();
+        let mut d = {
+            let _span = Span::enter(registry, "phase3.deployment");
+            let mut d = deploy(self.scenario, placement);
+            d.set_telemetry(registry);
+            d.run_for(self.cfg.warmup);
+            d
+        };
+        d.measure(self.cfg.measure)
+    }
+
+    /// The loopback path: the measurement window is mapped onto a
+    /// pre-generated publication stream (one publication per publish
+    /// period, capped) and replayed over TCP; wall-clock readings take
+    /// the place of the virtual clock.
+    fn measure_tcp(
+        &self,
+        placement: &Placement,
+        ctx: &ReconfigContext,
+    ) -> Result<RunMetrics, PipelineError> {
+        let period = self.scenario.publish_period.as_micros().max(1);
+        let per_publisher = (self.cfg.measure.as_micros() / period).clamp(1, TCP_PUBS_CAP);
+        let net = net_scenario(self.scenario, placement, per_publisher as usize);
+        let mut transport = TcpTransport::with_telemetry(ctx.registry());
+        let _span = Span::enter(ctx.registry(), "phase3.deployment");
+        let report = NetDeployment::build(&mut transport, &net)
+            .and_then(|d| d.run(&ctx.cancel_token()))
+            .map_err(|e| match e {
+                NetDeployError::Cancelled => PipelineError::Cancelled {
+                    phase: PhaseKind::Measure,
+                },
+                other => PipelineError::Phase {
+                    phase: PhaseKind::Measure,
+                    message: other.to_string(),
+                },
+            })?;
+        Ok(net_run_metrics(&report))
+    }
+}
+
+/// Folds a transport deployment report into the simulator's metric
+/// shape so downstream reporting is backend-agnostic.
+fn net_run_metrics(report: &greenps_broker::NetDeployReport) -> RunMetrics {
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    let broker_msg_rates: Vec<(BrokerId, f64)> = report
+        .broker_stats
+        .iter()
+        .map(|(&b, s)| (b, s.matched as f64 / secs))
+        .collect();
+    let total_rate: f64 = broker_msg_rates.iter().map(|(_, r)| r).sum();
+    let active = broker_msg_rates.len().max(1) as f64;
+    let lat_sum: u64 = report.latency_us_by_broker.values().flatten().sum();
+    let lat_n = report
+        .latency_us_by_broker
+        .values()
+        .map(|v| v.len() as u64)
+        .sum::<u64>();
+    RunMetrics {
+        window: SimDuration::from_micros(
+            u64::try_from(report.elapsed.as_micros()).unwrap_or(u64::MAX),
+        ),
+        avg_broker_msg_rate: total_rate / active,
+        avg_active_broker_msg_rate: total_rate / active,
+        broker_msg_rates,
+        total_msgs: report.broker_stats.values().map(|s| s.matched).sum(),
+        deliveries: report.total_delivered(),
+        mean_hops: report.mean_hops.unwrap_or(0.0),
+        mean_delay_s: if lat_n == 0 {
+            0.0
+        } else {
+            lat_sum as f64 / lat_n as f64 / 1e6
+        },
+    }
 }
 
 impl Phase for MeasurePhase<'_> {
@@ -473,15 +569,10 @@ impl Phase for MeasurePhase<'_> {
         placement: PlacementOut,
         ctx: &ReconfigContext,
     ) -> Result<MeasureOut, PipelineError> {
-        let registry = ctx.registry();
-        let mut d = {
-            let _span = Span::enter(registry, "phase3.deployment");
-            let mut d = deploy(self.scenario, &placement.0);
-            d.set_telemetry(registry);
-            d.run_for(self.cfg.warmup);
-            d
+        let mut m = match ctx.transport() {
+            TransportChoice::Sim => self.measure_sim(&placement.0, ctx),
+            TransportChoice::TcpLoopback => self.measure_tcp(&placement.0, ctx)?,
         };
-        let mut m = d.measure(self.cfg.measure);
         m.rescale_to_pool(self.scenario.broker_count());
         Ok(MeasureOut(m))
     }
@@ -800,6 +891,30 @@ mod tests {
         assert_eq!(back.0.spec.edges, out.0.spec.edges);
         assert_eq!(back.0.publisher_homes, out.0.publisher_homes);
         assert_eq!(back.0.subscriber_homes, out.0.subscriber_homes);
+    }
+
+    #[test]
+    fn measure_phase_tcp_loopback_delivers() {
+        let mut s = ScenarioBuilder::new(Topology::Homogeneous)
+            .total_subs(16)
+            .seed(3)
+            .build();
+        s.brokers.truncate(4);
+        let cfg = RunConfig {
+            warmup: SimDuration::from_secs(1),
+            profile: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(5),
+            seed: 3,
+        };
+        let placement = manual(&s, 3);
+        let ctx = ReconfigContext::new().with_transport(TransportChoice::TcpLoopback);
+        let out = MeasurePhase { scenario: &s, cfg }
+            .run(PlacementOut(placement), &ctx)
+            .expect("tcp measure phase");
+        let m = out.0;
+        assert!(m.deliveries > 0, "loopback overlay carried traffic");
+        assert!(m.window.as_micros() > 0, "wall-clock window recorded");
+        assert!(m.total_msgs > 0);
     }
 
     #[test]

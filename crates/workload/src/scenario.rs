@@ -350,8 +350,11 @@ impl ScenarioBuilder {
         // One template subscription per broker (identical interests).
         let counts = vec![brokers];
         let mut subs = generate(&stocks, &counts, seed);
-        for s in &mut subs {
-            s.filter = greenps_pubsub::filter::stock_template(&stocks[0].symbol);
+        if let Some(first) = stocks.first() {
+            let template = greenps_pubsub::filter::stock_template(&first.symbol);
+            for s in &mut subs {
+                s.filter = template.clone();
+            }
         }
         Scenario {
             name: format!("every-broker-subscribes-{brokers}"),

@@ -43,7 +43,7 @@ pub struct GeneratedSub {
 pub fn generate(series: &[StockSeries], counts: &[usize], seed: u64) -> Vec<GeneratedSub> {
     assert_eq!(series.len(), counts.len(), "one count per publisher");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(counts.iter().sum());
     let mut next_id = 0u64;
     for (i, (stock, &count)) in series.iter().zip(counts).enumerate() {
         for _ in 0..count {

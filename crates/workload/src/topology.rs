@@ -2,12 +2,14 @@
 //! deployment of a CROC reconfiguration plan.
 
 use crate::scenario::Scenario;
-use greenps_broker::{BrokerConfig, Deployment, TopologySpec};
+use greenps_broker::{
+    BrokerConfig, Deployment, NetPublisher, NetScenario, NetSubscriber, TopologySpec,
+};
 use greenps_core::croc::ReconfigurationPlan;
 use greenps_core::model::Allocation;
 use greenps_pubsub::filter::stock_advertisement;
-use greenps_pubsub::ids::{AdvId, BrokerId, ClientId, SubId};
-use greenps_pubsub::message::Subscription;
+use greenps_pubsub::ids::{AdvId, BrokerId, ClientId, MsgId, SubId};
+use greenps_pubsub::message::{Advertisement, Subscription};
 use greenps_simnet::{LinkSpec, SimDuration};
 use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -226,6 +228,50 @@ pub fn deploy(scenario: &Scenario, placement: &Placement) -> Deployment {
         .expect("subscriber homes come from the placement's own brokers");
     }
     d
+}
+
+/// Converts a placement into a pre-generated transport scenario for
+/// [`greenps_broker::NetDeployment`]: the same brokers, edges and
+/// client homes, with each publisher's stream materialized up front
+/// (`per_publisher` publications from its stock series) so the run can
+/// be replayed identically over any transport backend.
+pub(crate) fn net_scenario(
+    scenario: &Scenario,
+    placement: &Placement,
+    per_publisher: usize,
+) -> NetScenario {
+    let publishers = scenario
+        .stocks
+        .iter()
+        .enumerate()
+        .map(|(i, stock)| {
+            let adv = AdvId::new(i as u64 + 1);
+            NetPublisher {
+                client: ClientId::new(1_000_000 + i as u64),
+                broker: placement.publisher_homes[i],
+                advertisement: Advertisement::new(adv, stock_advertisement(&stock.symbol)),
+                publications: (0..per_publisher as u64)
+                    .map(|m| stock.publication(adv, MsgId::new(m)))
+                    .collect(),
+            }
+        })
+        .collect();
+    let subscribers = scenario
+        .subs
+        .iter()
+        .enumerate()
+        .map(|(i, sub)| NetSubscriber {
+            client: ClientId::new(2_000_000 + sub.id.raw()),
+            broker: placement.subscriber_homes[i],
+            subscription: Subscription::new(sub.id, sub.filter.clone()),
+        })
+        .collect();
+    NetScenario {
+        brokers: placement.spec.brokers.clone(),
+        edges: placement.spec.edges.clone(),
+        publishers,
+        subscribers,
+    }
 }
 
 /// Sanity helper for tests: the set of subscription ids in a placement.

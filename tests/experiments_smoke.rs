@@ -229,9 +229,9 @@ fn json_keys(json: &str, keys: &mut std::collections::BTreeSet<String>) {
     }
 }
 
-/// The combined key vocabulary of `BENCH_cram.json` and
-/// `BENCH_scale.json` equals the `benchkey` declarations of the schema
-/// — no undeclared keys, no dead entries.
+/// The combined key vocabulary of `BENCH_cram.json`, `BENCH_scale.json`
+/// and `BENCH_transport.json` equals the `benchkey` declarations of the
+/// schema — no undeclared keys, no dead entries.
 #[test]
 fn bench_report_keys_match_telemetry_schema() {
     let schema = load_schema();
@@ -240,6 +240,10 @@ fn bench_report_keys_match_telemetry_schema() {
     json_keys(&greenps_bench::bench_report_json(&[60], 2, true), &mut keys);
     json_keys(
         &greenps_bench::scale_report_json(&[(600, 4)], 2, true),
+        &mut keys,
+    );
+    json_keys(
+        &greenps_bench::transport_report_json(&[(3, 10)], true),
         &mut keys,
     );
     assert!(!keys.is_empty(), "no keys parsed out of the bench JSON");
